@@ -1,0 +1,59 @@
+"""Online vs offline conflict maps (§6: RTSS/CTSS [11], interference maps
+[13, 14]).
+
+Three CMAP variants on in-range sender pairs:
+
+* **online** — plain CMAP: learns from losses, pays a convergence tax;
+* **offline** — defer tables preloaded from an idealised O(n²) measurement
+  campaign, learning effectively frozen (RTSS/CTSS-style);
+* **warm-start** — preloaded *and* still learning (entries age normally).
+
+The §6 trade: offline knowledge removes the transient losses but cannot
+track change and presumes the traffic matrix; online learning needs neither.
+On a static channel the three should converge to similar steady-state
+throughput — the offline variant's edge is confined to the warmup the paper
+also acknowledges ("flows under CMAP may experience transient packet loss
+before conflict map entries converge", §7).
+"""
+
+from conftest import run_once
+
+from repro.core.offline_map import preload_offline_map
+from repro.experiments.report import render_pair_cdf
+from repro.experiments.runners import PairCdfResult
+from repro.experiments.scenarios import find_inrange_configs
+from repro.network import Network, cmap_factory
+
+
+def _run(testbed, scale):
+    configs = find_inrange_configs(testbed, scale.configs)
+    variants = ("online", "offline", "warm_start")
+    totals = {v: [] for v in variants}
+    per_flow = {v: [] for v in variants}
+    for idx, config in enumerate(configs):
+        for variant in variants:
+            net = Network(testbed, run_seed=idx)
+            for n in config.nodes:
+                net.add_node(n, cmap_factory())
+            if variant != "online":
+                preload_offline_map(
+                    net, list(config.flows), freeze=(variant == "offline")
+                )
+            for s, r in config.flows:
+                net.add_saturated_flow(s, r)
+            res = net.run(duration=scale.duration, warmup=scale.warmup)
+            f1 = res.flow_mbps(config.s1, config.r1)
+            f2 = res.flow_mbps(config.s2, config.r2)
+            totals[variant].append(f1 + f2)
+            per_flow[variant].append((f1, f2))
+    return PairCdfResult("offline_map", configs, totals, per_flow)
+
+
+def test_offline_vs_online_map(benchmark, testbed, scale):
+    result = run_once(benchmark, _run, testbed, scale)
+    print()
+    print(render_pair_cdf(result, "Conflict map: online vs offline (in-range pairs)"))
+    med = {name: result.median(name) for name in result.totals}
+    benchmark.extra_info["medians"] = {k: round(v, 2) for k, v in med.items()}
+    # All three variants must land in the same steady-state band.
+    assert min(med.values()) > 0.6 * max(med.values())

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Hidden terminals: CMAP's loss-based backoff as the safety net (§5.5).
+
+Two senders out of range of each other transmit to receivers that hear both.
+Neither carrier sense nor the conflict map can prevent the collisions (the
+senders never hear each other's headers), so CMAP falls back on receiver-
+reported loss rates: the suffering sender grows its contention window and
+yields. The paper's claim is *no degradation* versus the status quo.
+
+Run:
+    python examples/hidden_terminals.py
+"""
+
+from repro import Testbed, Network, cmap_factory, dcf_factory, CmapParams
+from repro.experiments.scenarios import find_hidden_terminal_configs
+
+
+def run(testbed, config, label, factory):
+    net = Network(testbed, run_seed=3, track_tx=True)
+    for node in config.nodes:
+        net.add_node(node, factory)
+    for s, r in config.flows:
+        net.add_saturated_flow(s, r)
+    result = net.run(duration=12.0, warmup=5.0)
+    f1 = result.flow_mbps(config.s1, config.r1)
+    f2 = result.flow_mbps(config.s2, config.r2)
+    print(f"  {label:<26} total {f1 + f2:5.2f} Mb/s ({f1:.2f} + {f2:.2f})")
+    return f1 + f2
+
+
+def main():
+    testbed = Testbed(seed=1)
+    config = find_hidden_terminal_configs(testbed, count=1, seed=1)[0]
+    links = testbed.links
+    print(
+        f"hidden-terminal pair: {config.s1}->{config.r1} and "
+        f"{config.s2}->{config.r2}"
+    )
+    print(
+        f"  senders hear each other? PRR {links.prr(config.s1, config.s2):.2f} "
+        f"/ {links.prr(config.s2, config.s1):.2f} (out of range)"
+    )
+    print()
+    run(testbed, config, "802.11, carrier sense on",
+        dcf_factory(carrier_sense=True, acks=True))
+    run(testbed, config, "CMAP", cmap_factory())
+    # Ablation: what the backoff is worth. l_backoff = 1.0 means the loss
+    # reports can never trigger a backoff.
+    run(testbed, config, "CMAP, backoff disabled",
+        cmap_factory(CmapParams(l_backoff=1.0)))
+    print()
+    print("paper Fig. 15: all variants land near the single-pair rate;")
+    print("the backoff keeps CMAP from wasting airtime on doomed bursts.")
+
+
+if __name__ == "__main__":
+    main()

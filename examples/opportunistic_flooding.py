@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Opportunistic (anypath) dissemination with the augmented conflict map.
+
+The paper's §3.6 sketch, running: a source broadcasts a batch to a set of
+forwarders and needs *any one* of them to receive each packet. A plain CMAP
+broadcast applies unicast-style deference; the anypath extension instead
+computes P(at least one forwarder receives | ongoing transmissions) from
+reception rates carried in the (rated) interferer lists, and keeps
+transmitting while any forwarder remains clear of the interference.
+
+The scenario jams one forwarder with a persistent neighbouring transfer and
+compares delivery with the anypath decision on and off.
+
+Run:
+    python examples/opportunistic_flooding.py
+"""
+
+from repro import CmapParams, Network, Testbed, cmap_factory
+from repro.experiments.scenarios import find_mesh_topologies
+from repro.phy.frames import BROADCAST
+
+
+def run(testbed, topo, jammer_flow, jammed_forwarder, anypath):
+    params = CmapParams(
+        anypath_broadcast=anypath,
+        ilist_report_rates=anypath,
+        # Replicated delimiters (§5.6) let the mostly-deaf broadcast source
+        # catch ongoing-transmission info in its short listening gaps.
+        replicate_ht_in_data=True,
+        nvpkt=8,
+    )
+    net = Network(testbed, run_seed=4)
+    nodes = set(topo.nodes) | set(jammer_flow)
+    for n in nodes:
+        net.add_node(n, cmap_factory(params))
+    src_mac = net.nodes[topo.source].mac
+    src_mac.set_forwarders(topo.forwarders)
+    # A paced source (~5.2 Mb/s, near channel capacity) leaves listening windows
+    # between bursts, as any real dissemination source would.
+    from repro.traffic.generators import CbrSource
+
+    cbr = CbrSource(net.sim, src_mac, BROADCAST, rate_bps=5.2e6)
+    cbr.start()
+    # Preload the conflict-map state the forwarders would report. A pure
+    # broadcast sender is on the air almost continuously and so almost never
+    # overhears interferer-list broadcasts (it has no ACK-listening window);
+    # preloading isolates the *decision* mechanics — and mirrors what the
+    # §3.1 two-hop/piggyback dissemination options exist to fix.
+    from repro.core.conflict_map import InterfererEntry
+
+    evidence = [InterfererEntry(topo.source, jammer_flow[0], loss_rate=1.0)]
+    src_mac.defer_table.update_from_interferer_list(
+        topo.source, jammed_forwarder, evidence, now=0.0
+    )
+    src_mac.anypath.update_from_rated_list(jammed_forwarder, evidence, now=0.0)
+    net.add_saturated_flow(*jammer_flow)
+    result = net.run(duration=10.0, warmup=4.0)
+    per_forwarder = {a: result.flow_mbps(topo.source, a) for a in topo.forwarders}
+    best = max(per_forwarder.values())
+    label = "anypath decision" if anypath else "plain (conjunction) broadcast"
+    print(f"  {label}:")
+    for a, mbps in per_forwarder.items():
+        print(f"    S->{a:<3} {mbps:5.2f} Mb/s")
+    print(f"    best-forwarder (what opportunistic routing uses): {best:5.2f} Mb/s")
+    print(
+        f"    decisions: {src_mac.cstats.go_decisions} transmit, "
+        f"{src_mac.cstats.defer_decisions} defer"
+    )
+    return best, src_mac.cstats.defer_decisions
+
+
+def main():
+    testbed = Testbed(seed=1)
+    topo = find_mesh_topologies(testbed, count=6, seed=0)[4]
+    links = testbed.links
+    # Jam the forwarder that the strongest outside interferer can reach:
+    # pick an interferer in range of one forwarder but not the source.
+    jammer = None
+    for x in testbed.node_ids:
+        if x in topo.nodes:
+            continue
+        hits = [a for a in topo.forwarders if links.prr(x, a) > 0.5]
+        if len(hits) == 1 and links.prr(x, topo.source) > 0.2:
+            partners = [b for b in testbed.node_ids
+                        if b not in topo.nodes and b != x
+                        and links.potential_tx_link(x, b)]
+            if partners:
+                jammer = (x, partners[0])
+                break
+    if jammer is None:
+        raise SystemExit("no suitable jammer in this seed; try another")
+    jammed = next(a for a in topo.forwarders if links.prr(jammer[0], a) > 0.5)
+    print(
+        f"source {topo.source} -> forwarders {topo.forwarders}; "
+        f"jammer {jammer[0]} -> {jammer[1]} interferes with forwarder {jammed}\n"
+    )
+    plain_best, plain_defers = run(testbed, topo, jammer, jammed, anypath=False)
+    print()
+    any_best, any_defers = run(testbed, topo, jammer, jammed, anypath=True)
+    print()
+    print("plain §3.6 broadcasts defer whenever *any* forwarder conflicts;")
+    print("the anypath rule keeps flooding while one clear forwarder remains:")
+    print(f"  deferrals: plain {plain_defers} vs anypath {any_defers}")
+    print(f"  best-forwarder throughput: {plain_best:.2f} vs {any_best:.2f} Mb/s")
+    print("(with slack capacity the deferral cost hides in the queue; under")
+    print(" saturation it surfaces as lost airtime — see tests/test_anypath.py)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` on offline hosts
+where the `wheel` package (required for PEP 660 editable installs) is absent.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — a full reproduction of CMAP (Vutukuru et al., NSDI 2008).
+
+CMAP is a reactive wireless link layer that harnesses exposed terminals: it
+lets transmissions proceed concurrently by default and learns, from observed
+packet loss, which concurrent transmission pairs actually conflict — stored
+in a distributed *conflict map* consulted before each transmission.
+
+Quickstart::
+
+    from repro import Testbed, Network, cmap_factory
+
+    testbed = Testbed(seed=1)
+    net = Network(testbed, track_tx=True)
+    for node in (0, 1, 2, 3):
+        net.add_node(node, cmap_factory())
+    net.add_saturated_flow(0, 1)
+    net.add_saturated_flow(2, 3)
+    result = net.run(duration=10.0, warmup=4.0)
+    print(result.flow_mbps(0, 1), result.flow_mbps(2, 3))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.core.params import CmapParams, LatencyProfile
+from repro.core.cmap_mac import CmapMac
+from repro.mac.dcf import DcfMac, DcfParams
+from repro.mac.rtscts import RtsCtsMac, rtscts_factory
+from repro.mac.ecsma import EcsmaMac, ecsma_factory
+from repro.mac.autorate import ArfDcfMac, arf_factory
+from repro.mac.cs_tuning import CsTuningMac, cs_tuning_factory
+from repro.mac.iamac import IaMac, iamac_factory
+from repro.mac.base import Packet
+from repro.net.testbed import Testbed, TestbedConfig
+from repro.net import presets
+from repro.network import Network, RunResult, cmap_factory, dcf_factory
+from repro.sim.engine import Simulator
+from repro.tracing import Tracer, TraceKind
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CmapParams",
+    "LatencyProfile",
+    "CmapMac",
+    "DcfMac",
+    "DcfParams",
+    "RtsCtsMac",
+    "rtscts_factory",
+    "EcsmaMac",
+    "ecsma_factory",
+    "ArfDcfMac",
+    "arf_factory",
+    "CsTuningMac",
+    "cs_tuning_factory",
+    "IaMac",
+    "iamac_factory",
+    "Packet",
+    "Testbed",
+    "TestbedConfig",
+    "presets",
+    "Network",
+    "RunResult",
+    "cmap_factory",
+    "dcf_factory",
+    "Simulator",
+    "Tracer",
+    "TraceKind",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Statistics helpers for experiment post-processing."""
+
+from repro.analysis.stats import Cdf, summarize, percentile
+
+__all__ = ["Cdf", "summarize", "percentile"]

@@ -1,0 +1,124 @@
+"""Airtime timelines: render who was transmitting when, as text.
+
+Debugging a MAC means staring at timelines. ``TimelineRenderer`` turns a
+medium's transmission log into an ASCII strip chart — one row per node, one
+column per time bucket — which makes capture monopolies, alternation, and
+concurrency immediately visible:
+
+    node  0 |######....######....######..|
+    node  3 |......####......####........|
+
+Used by ``examples/conflict_map_inspection.py`` and available to any run
+created with ``Network(..., track_tx=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TimelineStats:
+    """Aggregate airtime statistics computed from a tx log."""
+
+    busy_fraction: Dict[int, float]
+    overlap_fraction: float
+    window: Tuple[float, float]
+
+
+class TimelineRenderer:
+    """Render (node, start, end) transmission logs as text strip charts."""
+
+    def __init__(
+        self,
+        tx_log: Sequence[Tuple[int, float, float]],
+        start: float,
+        end: float,
+    ):
+        if end <= start:
+            raise ValueError("window must have positive length")
+        self.tx_log = list(tx_log)
+        self.start = start
+        self.end = end
+
+    # ------------------------------------------------------------------
+    def _clipped(self, nodes: Optional[Sequence[int]] = None):
+        wanted = set(nodes) if nodes is not None else None
+        for node, s, e in self.tx_log:
+            if wanted is not None and node not in wanted:
+                continue
+            s = max(s, self.start)
+            e = min(e, self.end)
+            if s < e:
+                yield node, s, e
+
+    def render(
+        self,
+        nodes: Optional[Sequence[int]] = None,
+        width: int = 72,
+        busy_char: str = "#",
+        idle_char: str = ".",
+    ) -> str:
+        """One row per node; a bucket shows ``busy_char`` if the node
+        transmitted at any point inside it."""
+        rows: Dict[int, List[str]] = {}
+        if nodes is not None:
+            for n in nodes:
+                rows[n] = [idle_char] * width
+        bucket = (self.end - self.start) / width
+        for node, s, e in self._clipped(nodes):
+            if node not in rows:
+                rows[node] = [idle_char] * width
+            first = int((s - self.start) / bucket)
+            last = min(width - 1, int((e - self.start) / bucket))
+            for i in range(first, last + 1):
+                rows[node][i] = busy_char
+        label_w = max((len(str(n)) for n in rows), default=1)
+        lines = [
+            f"node {str(n):>{label_w}} |{''.join(cells)}|"
+            for n, cells in sorted(rows.items())
+        ]
+        span_ms = (self.end - self.start) * 1000
+        lines.append(f"{'':>{label_w + 5}} [{span_ms:.0f} ms window]")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def stats(self, nodes: Optional[Sequence[int]] = None) -> TimelineStats:
+        """Per-node busy fractions plus the >= 2-senders overlap fraction."""
+        span = self.end - self.start
+        busy: Dict[int, float] = {}
+        events: List[Tuple[float, int]] = []
+        for node, s, e in self._clipped(nodes):
+            busy[node] = busy.get(node, 0.0) + (e - s)
+            events.append((s, +1))
+            events.append((e, -1))
+        events.sort()
+        overlap = 0.0
+        active = 0
+        last_t = self.start
+        for t, delta in events:
+            if active >= 2:
+                overlap += t - last_t
+            active += delta
+            last_t = t
+        return TimelineStats(
+            busy_fraction={n: b / span for n, b in busy.items()},
+            overlap_fraction=overlap / span,
+            window=(self.start, self.end),
+        )
+
+    def alternation_count(self, a: int, b: int) -> int:
+        """How many times the active sender flipped between ``a`` and ``b``.
+
+        High alternation = fair interleaving; 0 or 1 = channel capture.
+        """
+        sequence = [
+            node
+            for node, s, _ in sorted(self._clipped((a, b)), key=lambda x: x[1])
+        ]
+        flips = 0
+        for prev, cur in zip(sequence, sequence[1:]):
+            if prev != cur:
+                flips += 1
+        return flips

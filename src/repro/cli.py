@@ -1,0 +1,157 @@
+"""Command-line entry point: regenerate any paper figure from a shell.
+
+Usage::
+
+    python -m repro.cli fig12 --scale smoke
+    python -m repro.cli fig17 --scale quick --seed 3
+    python -m repro.cli census
+    python -m repro.cli map --regions
+    python -m repro.cli all --scale smoke
+
+Figures print the same rows/series the paper reports (see EXPERIMENTS.md
+for the side-by-side record). ``--scale`` trades fidelity for wall time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import report
+from repro.experiments.runners import (
+    ExperimentScale,
+    run_ap_topology,
+    run_bitrate_sweep,
+    run_exposed_terminals,
+    run_header_trailer_cdf,
+    run_header_trailer_density,
+    run_hidden_interferer_scatter,
+    run_hidden_terminals,
+    run_inrange_senders,
+    run_mesh_dissemination,
+    run_single_link_calibration,
+)
+from repro.net.testbed import Testbed
+
+
+def _scale(name: str) -> ExperimentScale:
+    presets = {
+        "smoke": ExperimentScale.smoke,
+        "quick": ExperimentScale.quick,
+        "paper": ExperimentScale.paper,
+    }
+    if name not in presets:
+        raise SystemExit(f"unknown scale {name!r}; pick from {sorted(presets)}")
+    return presets[name]()
+
+
+def _figures() -> Dict[str, Callable[[Testbed, ExperimentScale], str]]:
+    """Figure id -> callable producing the printed report."""
+
+    def calibration(tb, scale):
+        return report.render_calibration(run_single_link_calibration(tb, scale))
+
+    def fig12(tb, scale):
+        return report.render_pair_cdf(
+            run_exposed_terminals(tb, scale), "Fig. 12 — exposed terminals"
+        )
+
+    def fig13(tb, scale):
+        return report.render_pair_cdf(
+            run_inrange_senders(tb, scale), "Fig. 13 — senders in range"
+        )
+
+    def fig14(tb, scale):
+        return report.render_hidden_interferer(
+            run_hidden_interferer_scatter(tb, scale)
+        )
+
+    def fig15(tb, scale):
+        return report.render_pair_cdf(
+            run_hidden_terminals(tb, scale), "Fig. 15 — hidden terminals"
+        )
+
+    def fig16(tb, scale):
+        return report.render_ht_cdf(run_header_trailer_cdf(tb, scale))
+
+    def fig17(tb, scale):
+        return report.render_ap(run_ap_topology(tb, scale))
+
+    def fig19(tb, scale):
+        return report.render_ht_density(run_header_trailer_density(tb, scale))
+
+    def fig20(tb, scale):
+        return report.render_bitrate_sweep(run_bitrate_sweep(tb, scale))
+
+    def mesh(tb, scale):
+        return report.render_mesh(
+            run_mesh_dissemination(tb, scale, include_extensions=True)
+        )
+
+    return {
+        "calibration": calibration,
+        "fig12": fig12,
+        "fig13": fig13,
+        "fig14": fig14,
+        "fig15": fig15,
+        "fig16": fig16,
+        "fig17": fig17,
+        "fig18": fig17,  # same runner; Fig. 18 is the per-sender view
+        "fig19": fig19,
+        "fig20": fig20,
+        "mesh": mesh,
+    }
+
+
+def main(argv=None) -> int:
+    figures = _figures()
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(figures) + ["census", "map", "all"],
+        help="figure to regenerate, or census/map/all",
+    )
+    parser.add_argument("--scale", default="smoke",
+                        help="smoke | quick | paper (default smoke)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="testbed seed (default 1)")
+    parser.add_argument("--regions", action="store_true",
+                        help="with 'map': draw the §5.6 region boundaries")
+    args = parser.parse_args(argv)
+
+    testbed = Testbed(seed=args.seed)
+
+    if args.target == "census":
+        census = testbed.links.census()
+        print("testbed census (paper §5.1: 68 % / 12 % / 20 %, degree 15.2/17)")
+        print(f"  connected directed pairs : {census.connected_pairs}")
+        print(f"  PRR < 0.1                : {census.frac_prr_below_01:.1%}")
+        print(f"  0.1 <= PRR < 1           : {census.frac_prr_mid:.1%}")
+        print(f"  PRR ~ 1                  : {census.frac_prr_perfect:.1%}")
+        print(f"  mean / median degree     : {census.mean_degree:.1f} / "
+              f"{census.median_degree:.0f}")
+        return 0
+
+    if args.target == "map":
+        from repro.net.visualize import render_floor
+
+        print(render_floor(testbed, show_regions=args.regions))
+        return 0
+
+    scale = _scale(args.scale)
+    targets = sorted(figures) if args.target == "all" else [args.target]
+    for name in targets:
+        t0 = time.time()
+        print(f"=== {name} (scale={args.scale}, seed={args.seed}) ===")
+        print(figures[name](testbed, scale))
+        print(f"[{time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""CMAP — the paper's primary contribution.
+
+Components map one-to-one onto the design in §2–§3:
+
+* :mod:`repro.core.params` — design parameters (§3, §4.2) and the
+  software-MAC latency profile (§4.1);
+* :mod:`repro.core.conflict_map` — interferer lists, defer tables, and the
+  ongoing-transmission list (§3.1, §3.2);
+* :mod:`repro.core.arq` — the windowed ACK/retransmission protocol (§3.3);
+* :mod:`repro.core.backoff` — the loss-rate-based backoff policy (§3.4);
+* :mod:`repro.core.cmap_mac` — the MAC tying it all together (§2, §4).
+"""
+
+from repro.core.params import CmapParams, LatencyProfile
+from repro.core.backoff import LossBackoff
+from repro.core.conflict_map import (
+    DeferTable,
+    InterfererList,
+    InterfererEntry,
+    OngoingList,
+    OngoingEntry,
+)
+from repro.core.arq import ArqSender, VpktRecord, ReceiverWindow
+from repro.core.cmap_mac import CmapMac
+from repro.core.anypath import AnypathTable
+from repro.core.offline_map import offline_conflict_entries, preload_offline_map
+
+__all__ = [
+    "CmapParams",
+    "LatencyProfile",
+    "LossBackoff",
+    "DeferTable",
+    "InterfererList",
+    "InterfererEntry",
+    "OngoingList",
+    "OngoingEntry",
+    "ArqSender",
+    "VpktRecord",
+    "ReceiverWindow",
+    "CmapMac",
+    "AnypathTable",
+    "offline_conflict_entries",
+    "preload_offline_map",
+]

@@ -1,0 +1,110 @@
+"""Anypath (opportunistic-routing) broadcast decisions — the §3.6 sketch.
+
+Opportunistic routing (ExOR-style, [2]) broadcasts a batch to a *forwarder
+set* and needs only one forwarder to receive each packet. The paper: "the
+conflict map data structure must be augmented with packet reception rates at
+receivers in the presence of interference. The sender's decision on whether
+to transmit or not will then be based on the probability that at least one
+forwarder receives the packet, given the ongoing transmissions."
+
+:class:`AnypathTable` is that augmentation: it stores, per (forwarder,
+interferer) pair, the measured delivery rate of our packets at the forwarder
+while the interferer is active (learned from the rated interferer lists the
+forwarders broadcast). :meth:`delivery_probability` composes those into
+P(at least one forwarder receives | ongoing transmitter set), and
+:meth:`should_transmit` applies the threshold rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.conflict_map import InterfererEntry
+
+
+class AnypathTable:
+    """Per-(forwarder, interferer) delivery rates at one sender."""
+
+    def __init__(self, me: int, entry_timeout: float = 10.0,
+                 default_delivery: float = 1.0):
+        self.me = me
+        self.entry_timeout = entry_timeout
+        #: Optimistic default, in CMAP's spirit: unknown pairs are assumed
+        #: deliverable until loss evidence arrives.
+        self.default_delivery = default_delivery
+        self._rates: Dict[Tuple[int, int], Tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Population (from rated interferer lists, §3.6)
+    # ------------------------------------------------------------------
+    def update_from_rated_list(
+        self, reporter: int, entries: Iterable[InterfererEntry], now: float
+    ) -> int:
+        """Fold in a forwarder's rated list; returns #entries absorbed.
+
+        Only entries about *our* transmissions (``entry.source == me``)
+        matter: they say what fraction of our packets the reporter lost
+        while ``entry.interferer`` was active.
+        """
+        count = 0
+        for entry in entries:
+            if entry.source != self.me:
+                continue
+            self._rates[(reporter, entry.interferer)] = (
+                1.0 - entry.loss_rate,
+                now,
+            )
+            count += 1
+        return count
+
+    def _delivery(self, forwarder: int, interferer: int, now: float) -> float:
+        value = self._rates.get((forwarder, interferer))
+        if value is None:
+            return self.default_delivery
+        rate, stamp = value
+        if stamp < now - self.entry_timeout:
+            del self._rates[(forwarder, interferer)]
+            return self.default_delivery
+        return rate
+
+    # ------------------------------------------------------------------
+    # The §3.6 decision
+    # ------------------------------------------------------------------
+    def forwarder_delivery(
+        self, forwarder: int, ongoing_srcs: Sequence[int], now: float,
+        base_delivery: float = 1.0,
+    ) -> float:
+        """P(this forwarder receives) under the given ongoing transmitters.
+
+        Interferer effects compose multiplicatively — the standard
+        independence approximation for distinct interferers.
+        """
+        p = base_delivery
+        for src in ongoing_srcs:
+            if src in (self.me, forwarder):
+                continue
+            p *= self._delivery(forwarder, src, now)
+        return p
+
+    def delivery_probability(
+        self, forwarders: Sequence[int], ongoing_srcs: Sequence[int],
+        now: float,
+    ) -> float:
+        """P(at least one forwarder receives | ongoing transmissions)."""
+        if not forwarders:
+            return 0.0
+        p_none = 1.0
+        for f in forwarders:
+            p_none *= 1.0 - self.forwarder_delivery(f, ongoing_srcs, now)
+        return 1.0 - p_none
+
+    def should_transmit(
+        self, forwarders: Sequence[int], ongoing_srcs: Sequence[int],
+        now: float, threshold: float = 0.5,
+    ) -> bool:
+        """The transmit-or-defer rule: go when P(>=1 receives) clears it."""
+        return self.delivery_probability(forwarders, ongoing_srcs, now) >= threshold
+
+    def known_pairs(self) -> List[Tuple[int, int]]:
+        return sorted(self._rates)

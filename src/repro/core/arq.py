@@ -1,0 +1,323 @@
+"""Windowed ACK and retransmission protocol (paper §3.3).
+
+Sender side (:class:`ArqSender`): packets destined to one receiver get
+link-layer sequence numbers and are grouped into virtual packets.  Up to
+``N_window`` virtual packets may be outstanding (sent, not covered by an
+ACK).  A cumulative ACK reports the set of sequence numbers received within a
+trailing window; covered packets are released, uncovered ones are queued for
+retransmission ahead of new data.  When the window fills, the sender times
+out for τ ∈ [τ_min, τ_max] and then retransmits the unacknowledged packets in
+sequence.
+
+Receiver side (:class:`ReceiverWindow`): tracks per-virtual-packet reception,
+produces the cumulative bitmap and the loss-rate report each ACK carries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.mac.base import Packet
+
+_vpkt_ids = itertools.count(1)
+
+
+@dataclass
+class SeqPacket:
+    """A packet with its link-layer sequence number and retry count."""
+
+    seq: int
+    packet: Packet
+    transmissions: int = 0
+
+
+@dataclass
+class VpktRecord:
+    """One sent virtual packet awaiting acknowledgement."""
+
+    vpkt_id: int
+    dst: int
+    packets: List[SeqPacket]
+    time_sent: float
+
+    @property
+    def seqs(self) -> List[int]:
+        return [sp.seq for sp in self.packets]
+
+
+class ArqSender:
+    """Sender-side windowed ARQ state for a single destination stream."""
+
+    def __init__(
+        self,
+        dst: int,
+        nvpkt: int,
+        nwindow: int,
+        window_span: int,
+        reliable: bool = True,
+    ):
+        self.dst = dst
+        self.nvpkt = nvpkt
+        self.nwindow = nwindow
+        self.window_span = window_span
+        #: Broadcast streams (§3.6) are unreliable: no ACKs, no outstanding
+        #: window, packets transmitted exactly once.
+        self.reliable = reliable
+        self._next_seq = 0
+        self._retx: Deque[SeqPacket] = deque()
+        self._outstanding: "OrderedDict[int, VpktRecord]" = OrderedDict()
+        # --- stats ---
+        self.packets_first_tx = 0
+        self.packets_retx = 0
+        self.packets_acked = 0
+        self.packets_abandoned = 0
+        self.window_timeouts = 0
+
+    # ------------------------------------------------------------------
+    # Window state
+    # ------------------------------------------------------------------
+    @property
+    def outstanding_vpkts(self) -> int:
+        return len(self._outstanding)
+
+    def window_full(self) -> bool:
+        if not self.reliable:
+            return False
+        return self.outstanding_vpkts >= self.nwindow
+
+    def has_retx_pending(self) -> bool:
+        return bool(self._retx)
+
+    # ------------------------------------------------------------------
+    # Building virtual packets
+    # ------------------------------------------------------------------
+    def build_vpkt(self, fresh_packets: List[Packet], now: float) -> VpktRecord:
+        """Assemble the next virtual packet: retransmissions first, then new.
+
+        ``fresh_packets`` supplies up to ``nvpkt - len(retx queue)`` new
+        packets; the caller sizes it via :meth:`fresh_slots`.
+        """
+        batch: List[SeqPacket] = []
+        while self._retx and len(batch) < self.nvpkt:
+            sp = self._retx.popleft()
+            sp.transmissions += 1
+            self.packets_retx += 1
+            batch.append(sp)
+        for pkt in fresh_packets:
+            if len(batch) >= self.nvpkt:
+                raise ValueError("more fresh packets than available slots")
+            sp = SeqPacket(self._next_seq, pkt, transmissions=1)
+            self._next_seq += 1
+            self.packets_first_tx += 1
+            batch.append(sp)
+        if not batch:
+            raise ValueError("cannot build an empty virtual packet")
+        record = VpktRecord(next(_vpkt_ids), self.dst, batch, now)
+        if self.reliable:
+            self._outstanding[record.vpkt_id] = record
+        return record
+
+    def fresh_slots(self) -> int:
+        """How many new packets the next virtual packet can carry."""
+        return max(0, self.nvpkt - len(self._retx))
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def process_ack(
+        self, max_seq: int, received: FrozenSet[int], window_span: int
+    ) -> Tuple[int, int]:
+        """Apply one cumulative ACK; returns (#acked, #queued for retx).
+
+        Sequence numbers at or below ``max_seq`` are *covered*: acked if in
+        ``received``, otherwise lost (unless below the bitmap window, where
+        we conservatively treat silence as loss and retransmit — the receiver
+        dedups). Sequence numbers above ``max_seq`` stay outstanding only if
+        their whole virtual packet is uncovered.
+        """
+        acked = 0
+        requeued = 0
+        resolved: List[int] = []
+        for vpkt_id, record in self._outstanding.items():
+            remaining: List[SeqPacket] = []
+            covered_any = False
+            for sp in record.packets:
+                if sp.seq <= max_seq:
+                    covered_any = True
+                    if sp.seq in received:
+                        acked += 1
+                        self.packets_acked += 1
+                    else:
+                        self._retx.append(sp)
+                        requeued += 1
+                else:
+                    remaining.append(sp)
+            if covered_any and not remaining:
+                resolved.append(vpkt_id)
+            elif covered_any and remaining:
+                record.packets = remaining
+        for vpkt_id in resolved:
+            del self._outstanding[vpkt_id]
+        return acked, requeued
+
+    # ------------------------------------------------------------------
+    # Window timeout (§3.3)
+    # ------------------------------------------------------------------
+    def flush_window(self) -> int:
+        """Window timeout fired: everything outstanding goes to retx.
+
+        Returns the number of packets queued for retransmission.
+        """
+        self.window_timeouts += 1
+        count = 0
+        for record in self._outstanding.values():
+            for sp in record.packets:
+                self._retx.append(sp)
+                count += 1
+        self._outstanding.clear()
+        # Retransmit oldest-first ("in sequence").
+        self._retx = deque(sorted(self._retx, key=lambda sp: sp.seq))
+        return count
+
+
+class _RxVpkt:
+    """Receiver-side record of one virtual packet being received."""
+
+    __slots__ = (
+        "vpkt_id", "src", "first_seq", "num_packets",
+        "start", "expected_end", "received_seqs",
+        "header_ok", "trailer_ok", "closed", "created",
+    )
+
+    def __init__(self, vpkt_id: int, src: int, created: float = 0.0):
+        self.vpkt_id = vpkt_id
+        self.src = src
+        self.first_seq: Optional[int] = None
+        self.num_packets: Optional[int] = None
+        self.start: Optional[float] = None
+        self.expected_end: Optional[float] = None
+        self.received_seqs: Set[int] = set()
+        self.header_ok = False
+        self.trailer_ok = False
+        self.closed = False
+        self.created = created
+
+
+class ReceiverWindow:
+    """Receiver-side ARQ state for one sender.
+
+    Produces the cumulative ACK contents (max seq, received-set over the
+    trailing window, loss rate over the previous ``nwindow`` virtual packets)
+    and tracks header/trailer reception for the Fig. 16 / Fig. 19 statistics.
+    """
+
+    def __init__(self, src: int, window_span: int, nwindow: int):
+        self.src = src
+        self.window_span = window_span
+        self.nwindow = nwindow
+        self._received: Set[int] = set()
+        self._max_seq = -1
+        #: (expected, received) per closed virtual packet, recent-first cap.
+        self._vpkt_outcomes: Deque[Tuple[int, int]] = deque(maxlen=nwindow)
+        self._open: Dict[int, _RxVpkt] = {}
+        # --- Fig. 16 / Fig. 19 statistics ---
+        self.vpkts_header_ok: Set[int] = set()
+        self.vpkts_trailer_ok: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Frame events
+    # ------------------------------------------------------------------
+    def _vpkt(self, vpkt_id: int, now: float = 0.0) -> _RxVpkt:
+        if vpkt_id not in self._open:
+            self._open[vpkt_id] = _RxVpkt(vpkt_id, self.src, created=now)
+        return self._open[vpkt_id]
+
+    def expire_stale(self, now: float, horizon: float = 1.0) -> int:
+        """Close open virtual packets whose trailer evidently never arrived.
+
+        A record is stale once its announced end (or, lacking a header, its
+        creation) lies more than ``horizon`` seconds in the past. Closing it
+        feeds the loss-rate estimator — a burst whose trailer died should
+        count against the sender — and bounds receiver memory. Returns the
+        number of records expired.
+        """
+        stale = []
+        for vpkt_id, v in self._open.items():
+            anchor = v.expected_end if v.expected_end is not None else v.created
+            if anchor < now - horizon:
+                stale.append(vpkt_id)
+        for vpkt_id in stale:
+            self._close(self._open.pop(vpkt_id))
+        return len(stale)
+
+    def on_header(
+        self, vpkt_id: int, first_seq: int, num_packets: int,
+        now: float, expected_end: float,
+    ) -> None:
+        self.expire_stale(now)
+        v = self._vpkt(vpkt_id, now)
+        v.header_ok = True
+        v.first_seq = first_seq
+        v.num_packets = num_packets
+        v.start = now
+        v.expected_end = expected_end
+        self.vpkts_header_ok.add(vpkt_id)
+
+    def on_data(self, vpkt_id: int, seq: int, now: float = 0.0) -> None:
+        v = self._vpkt(vpkt_id, now)
+        v.received_seqs.add(seq)
+        self._received.add(seq)
+        if seq > self._max_seq:
+            self._max_seq = seq
+        self._trim_received()
+
+    def on_trailer(
+        self, vpkt_id: int, first_seq: int, num_packets: int, now: float
+    ) -> "_RxVpkt":
+        """Close the virtual packet; returns the record for loss attribution."""
+        v = self._vpkt(vpkt_id, now)
+        v.trailer_ok = True
+        if v.first_seq is None:
+            v.first_seq = first_seq
+        if v.num_packets is None:
+            v.num_packets = num_packets
+        self.vpkts_trailer_ok.add(vpkt_id)
+        self._close(v)
+        del self._open[vpkt_id]
+        return v
+
+    def _close(self, v: _RxVpkt) -> None:
+        if v.closed:
+            return
+        v.closed = True
+        expected = v.num_packets if v.num_packets is not None else len(v.received_seqs)
+        self._vpkt_outcomes.append((expected, len(v.received_seqs)))
+
+    def _trim_received(self) -> None:
+        floor = self._max_seq - self.window_span
+        if len(self._received) > 2 * self.window_span:
+            self._received = {s for s in self._received if s > floor}
+
+    # ------------------------------------------------------------------
+    # ACK contents
+    # ------------------------------------------------------------------
+    def ack_payload(self) -> Tuple[int, FrozenSet[int], float]:
+        """(max_seq, received seqs within the window, loss rate)."""
+        floor = self._max_seq - self.window_span
+        window = frozenset(s for s in self._received if s > floor)
+        return self._max_seq, window, self.loss_rate()
+
+    def loss_rate(self) -> float:
+        """Loss rate over the previous window of virtual packets (§3.4)."""
+        expected = sum(e for e, _ in self._vpkt_outcomes)
+        received = sum(r for _, r in self._vpkt_outcomes)
+        if expected <= 0:
+            return 0.0
+        return max(0.0, 1.0 - received / expected)
+
+    def either_header_or_trailer(self) -> Set[int]:
+        """Virtual packets for which at least one delimiter arrived."""
+        return self.vpkts_header_ok | self.vpkts_trailer_ok

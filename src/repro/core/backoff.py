@@ -1,0 +1,54 @@
+"""Loss-rate-based backoff (paper §3.4, Fig. 7).
+
+Unlike 802.11, CMAP does *not* back off on each missing ACK — missing ACKs
+are usually ACK collisions at an exposed sender, not data loss. Instead the
+receiver reports its packet loss rate over the previous window in every
+cumulative ACK, and the sender:
+
+* resets ``CW`` to zero when the reported loss rate is at or below
+  ``l_backoff``;
+* otherwise sets ``CW`` to ``CW_start`` and doubles it on every consecutive
+  high-loss report, capped at ``CW_max``.
+
+Between virtual packets the sender waits a uniform random duration in
+``[0, CW]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LossBackoff:
+    """The contention-window state machine of Fig. 7."""
+
+    def __init__(self, cw_start: float, cw_max: float, loss_threshold: float):
+        if not 0.0 <= loss_threshold <= 1.0:
+            raise ValueError("loss threshold must be a probability")
+        if cw_start < 0 or cw_max < cw_start:
+            raise ValueError("need 0 <= cw_start <= cw_max")
+        self.cw_start = cw_start
+        self.cw_max = cw_max
+        self.loss_threshold = loss_threshold
+        self.cw = 0.0
+        #: Counters for tests/diagnostics.
+        self.increments = 0
+        self.resets = 0
+
+    def update(self, reported_loss_rate: float) -> None:
+        """Apply one ACK's loss-rate report (Fig. 7 pseudocode)."""
+        if reported_loss_rate > self.loss_threshold:
+            if self.cw == 0.0:
+                self.cw = self.cw_start
+            elif self.cw < self.cw_max:
+                self.cw = min(2.0 * self.cw, self.cw_max)
+            self.increments += 1
+        else:
+            self.cw = 0.0
+            self.resets += 1
+
+    def draw_wait(self, rng: np.random.Generator) -> float:
+        """A backoff duration uniform in [0, CW] (0 when CW is 0)."""
+        if self.cw <= 0.0:
+            return 0.0
+        return float(rng.uniform(0.0, self.cw))

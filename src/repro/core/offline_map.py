@@ -1,0 +1,105 @@
+"""Offline conflict maps — the RTSS/CTSS / interference-map contrast (§6).
+
+Two §6 comparators (RTSS/CTSS [11]; the interference map [13]; Padhye et
+al. [14]) build conflict knowledge *offline*: measure pairwise link
+interference once, then run with a static table. This module reproduces
+that approach against CMAP's online one:
+
+* :func:`offline_conflict_entries` computes, from the testbed's channel
+  model, which (sender, interferer) pairs conflict at a given receiver —
+  the idealised outcome of an exhaustive offline measurement campaign
+  (O(n²) pairwise trials on a real testbed);
+* :func:`preload_offline_map` installs the result into CMAP nodes' defer
+  tables with an effectively-infinite timeout, yielding an "RTSS/CTSS-like"
+  MAC: CMAP's machinery, offline knowledge, no adaptation.
+
+The trade the paper describes falls out: an offline map works as long as
+the channel matches the calibration and the traffic matrix is known, but it
+cannot notice new interferers or changed conditions, and the measurement
+cost scales quadratically where CMAP's learning is driven by the traffic
+that actually flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.conflict_map import InterfererEntry
+from repro.net.testbed import Testbed
+from repro.util.units import dbm_to_mw, linear_to_db
+
+
+def offline_conflict_entries(
+    testbed: Testbed,
+    flows: Sequence[Tuple[int, int]],
+    l_interf: float = 0.5,
+    probe_size_bytes: int = 1428,
+) -> Dict[int, List[InterfererEntry]]:
+    """Idealised offline measurement: per receiver, who conflicts with whom.
+
+    For every flow (u -> v) and every other flow's sender x, computes the
+    delivery probability of u's packets at v under x's concurrent
+    transmission (interference-limited SINR through the same error model the
+    radio uses) and emits an interferer-list entry when the implied loss
+    rate exceeds ``l_interf`` — i.e. exactly the entries CMAP would learn,
+    minus the learning.
+
+    Returns ``{receiver: [InterfererEntry, ...]}``, the shape a receiver's
+    broadcast would carry.
+    """
+    noise_mw = dbm_to_mw(testbed.config.noise_dbm)
+    out: Dict[int, List[InterfererEntry]] = {}
+    senders = [s for s, _ in flows]
+    for u, v in flows:
+        entries: List[InterfererEntry] = []
+        signal_dbm = testbed.rss.rss(u, v)
+        for x in senders:
+            if x in (u, v):
+                continue
+            interference_mw = dbm_to_mw(testbed.rss.rss(x, v))
+            sinr_db = linear_to_db(
+                dbm_to_mw(signal_dbm) / (interference_mw + noise_mw)
+            )
+            # Fading-free conditional delivery under x's interference; the
+            # mixture average would need per-pair joint draws, so offline
+            # campaigns (like real ones) use the mean channel.
+            delivery = testbed.error_model.frame_success(
+                sinr_db, testbed.config.rate, probe_size_bytes
+            )
+            loss = 1.0 - delivery
+            if loss > l_interf:
+                entries.append(InterfererEntry(u, x, loss_rate=loss))
+        if entries:
+            out.setdefault(v, []).extend(entries)
+    return out
+
+
+def preload_offline_map(
+    network,
+    flows: Sequence[Tuple[int, int]],
+    l_interf: float = 0.5,
+    freeze: bool = True,
+) -> int:
+    """Install offline conflict knowledge into a network's CMAP nodes.
+
+    Every CMAP node receives each receiver's entry list exactly as if it had
+    overheard that receiver's broadcast at t = 0. With ``freeze`` the defer
+    tables get an effectively-infinite entry timeout (pure offline
+    operation, RTSS/CTSS-style); without it the entries age out and online
+    learning refreshes them (a warm-start hybrid).
+
+    Returns the number of defer-table entries installed network-wide.
+    """
+    offline = offline_conflict_entries(network.testbed, flows, l_interf)
+    installed = 0
+    for node in network.nodes.values():
+        mac = node.mac
+        if not hasattr(mac, "defer_table"):
+            continue
+        if freeze:
+            mac.defer_table.entry_timeout = float("inf")
+        for receiver, entries in offline.items():
+            installed += mac.defer_table.update_from_interferer_list(
+                mac.node_id, receiver, entries, now=0.0
+            )
+    return installed

@@ -1,0 +1,182 @@
+"""CMAP design parameters and the software-MAC latency model.
+
+Defaults are the prototype's values (paper §4.2):
+
+* ``N_vpkt = 32`` data packets per virtual packet;
+* ``N_window = 8`` virtual packets of send window;
+* ``t_ackwait = t_deferwait = 5 ms`` (sized for the 0.5–5 ms MAC↔PHY
+  latency of the Click/MadWifi software MAC, §4.1);
+* ``CW_start = 5 ms``, ``CW_max = 320 ms`` (802.11 values scaled by N_vpkt);
+* ``l_interf = l_backoff = 0.5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.modulation import Phy80211a, Rate, RATE_6M
+
+
+@dataclass
+class LatencyProfile:
+    """Models the MAC↔PHY turnaround latency of the prototype (§4.1).
+
+    ``ack_turnaround(rng)`` returns the receiver-side delay between finishing
+    a virtual packet's trailer and putting the ACK on the air. The paper
+    measured 0.5–2 ms for ~90 % of packets and 2–5 ms for the rest; the
+    hardware profile collapses this to SIFS.
+    """
+
+    name: str = "paper_soft_mac"
+    fast_range: tuple = (0.5e-3, 2.0e-3)
+    slow_range: tuple = (2.0e-3, 5.0e-3)
+    slow_fraction: float = 0.1
+    fixed: Optional[float] = None
+
+    def ack_turnaround(self, rng: np.random.Generator) -> float:
+        if self.fixed is not None:
+            return self.fixed
+        if rng.random() < self.slow_fraction:
+            lo, hi = self.slow_range
+        else:
+            lo, hi = self.fast_range
+        return float(rng.uniform(lo, hi))
+
+    def tx_turnaround(self, rng: np.random.Generator) -> float:
+        """Sender-side MAC->PHY latency before a burst leaves the antenna.
+
+        §4.1's measured latency applies to every command crossing the
+        kernel/driver/firmware boundary, not only ACK generation; without it
+        a simulated burst holder would restart unrealistically fast and
+        starve deferring neighbours of the inter-burst gap.
+        """
+        return self.ack_turnaround(rng)
+
+    @classmethod
+    def paper_soft_mac(cls) -> "LatencyProfile":
+        """The Click/MadWifi software MAC as measured in §4.1."""
+        return cls()
+
+    @classmethod
+    def hardware(cls) -> "LatencyProfile":
+        """An idealised hardware CMAP: ACK after SIFS only."""
+        return cls(name="hardware", fixed=Phy80211a.SIFS)
+
+
+@dataclass
+class CmapParams:
+    """All CMAP knobs, defaulting to the prototype's choices."""
+
+    # --- virtual packets and ARQ (§3.3, §4.1–4.2) ---
+    nvpkt: int = 32
+    nwindow: int = 8
+    data_rate: Rate = RATE_6M
+    #: Control traffic (headers, trailers, ACKs, interferer lists) always
+    #: goes at the lowest rate (§5.8).
+    control_rate: Rate = RATE_6M
+    t_ackwait: float = 5e-3
+    t_deferwait: float = 5e-3
+    #: Deferred senders re-check after t_deferwait scaled by a uniform factor
+    #: in this range; models the ms-scale timer jitter of the software MAC
+    #: and prevents lock-step re-collisions of symmetric deferrers. The low
+    #: end lets a deferrer occasionally catch the holder's inter-burst gap,
+    #: which is what lets conflicting flows alternate.
+    deferwait_jitter: tuple = (0.2, 1.2)
+
+    # --- backoff (§3.4, §4.2) ---
+    cw_start: float = 5e-3
+    cw_max: float = 320e-3
+    l_backoff: float = 0.5
+
+    # --- conflict map (§3.1) ---
+    l_interf: float = 0.5
+    #: Minimum packets observed concurrent with an interferer before its
+    #: loss rate is trusted (guards against single-packet noise).
+    interf_min_samples: int = 16
+    #: Sliding-window horizon for interference loss statistics.
+    interf_window_s: float = 4.0
+    #: Period between interferer-list broadcasts.
+    ilist_period: float = 0.5
+    #: Interferer-list entries and defer-table entries expire after this long
+    #: without refresh ("timed out periodically to accommodate changing
+    #: channel conditions", §3.1).
+    ilist_entry_timeout: float = 10.0
+    defer_entry_timeout: float = 10.0
+
+    # --- latency model (§4.1) ---
+    latency: LatencyProfile = field(default_factory=LatencyProfile.paper_soft_mac)
+
+    # --- optional extensions (paper-described, off by default) ---
+    #: §3.2: send a non-conflicting packet to another destination when the
+    #: head-of-line destination must defer.
+    per_destination_queues: bool = False
+    #: §3.5: annotate map entries with bit-rates.
+    rate_aware_map: bool = False
+    #: §3.5's adaptation sketch: when the defer table blocks the configured
+    #: rate, transmit at the highest lower rate the (rate-aware) map does
+    #: not block — provided it beats the expected value of waiting. Requires
+    #: ``rate_aware_map``.
+    adapt_rate_on_defer: bool = False
+    #: A downshifted rate must deliver at least this fraction of the
+    #: configured rate to beat deferring (deferring roughly halves airtime
+    #: when serializing against one peer).
+    downshift_min_fraction: float = 0.5
+    #: §3.1: propagate interferer lists two hops for asymmetric links.
+    two_hop_ilist: bool = False
+    #: §5.6: replicate header/trailer info inside every data frame.
+    replicate_ht_in_data: bool = False
+    #: §3.1: piggy-back interferer lists on ACKs as well as broadcasts.
+    piggyback_ilist: bool = False
+    #: §3.6: opportunistic-routing broadcasts — consult the reception-rate-
+    #: augmented map and transmit when P(>= 1 forwarder receives) clears
+    #: ``anypath_threshold``. Forwarder sets are installed per sender via
+    #: :meth:`repro.core.cmap_mac.CmapMac.set_forwarders`.
+    anypath_broadcast: bool = False
+    anypath_threshold: float = 0.5
+    #: Broadcast interferer lists with measured loss rates for *all*
+    #: observed pairs (needed by anypath senders; auto-enabled with it).
+    ilist_report_rates: bool = False
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def data_frame_airtime(self, payload_bytes: int = 1400) -> float:
+        from repro.phy.frames import MAC_OVERHEAD_BYTES
+
+        return Phy80211a.airtime(payload_bytes + MAC_OVERHEAD_BYTES, self.data_rate)
+
+    def header_trailer_airtime(self) -> float:
+        from repro.phy.frames import CMAP_HEADER_TRAILER_BYTES, MAC_OVERHEAD_BYTES
+
+        return Phy80211a.airtime(
+            CMAP_HEADER_TRAILER_BYTES + MAC_OVERHEAD_BYTES, self.control_rate
+        )
+
+    def vpkt_airtime(self, num_packets: Optional[int] = None,
+                     payload_bytes: int = 1400) -> float:
+        """On-air time of one virtual packet (header + data burst + trailer)."""
+        n = self.nvpkt if num_packets is None else num_packets
+        return (
+            2 * self.header_trailer_airtime()
+            + n * self.data_frame_airtime(payload_bytes)
+        )
+
+    def window_timeout_bounds(self, payload_bytes: int = 1400) -> tuple:
+        """(τ_min, τ_max) for the full-window timeout (§3.3).
+
+        τ_max is one send window's worth of airtime; τ_min is half that.
+        """
+        tau_max = self.nwindow * self.vpkt_airtime(payload_bytes=payload_bytes)
+        return tau_max / 2.0, tau_max
+
+    def ack_window_span(self) -> int:
+        """Sequence-number span covered by a cumulative ACK bitmap.
+
+        Twice the send window, so that when ACK losses let the window fill
+        completely, the oldest outstanding packets are still inside the
+        bitmap and are not spuriously retransmitted (a 64-byte bitmap).
+        """
+        return 2 * self.nwindow * self.nvpkt

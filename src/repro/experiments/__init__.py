@@ -1,0 +1,54 @@
+"""Experiment harness: scenario selection, runners, and reporting.
+
+One runner per table/figure of the paper's evaluation (§5); see DESIGN.md's
+experiment index for the mapping and ``benchmarks/`` for the entry points
+that regenerate each figure's rows/series.
+"""
+
+from repro.experiments.scenarios import (
+    ScenarioError,
+    find_exposed_terminal_configs,
+    find_inrange_configs,
+    find_hidden_terminal_configs,
+    find_hidden_interferer_triples,
+    find_ap_topology,
+    find_mesh_topologies,
+    PairConfig,
+    ApTopology,
+    MeshTopology,
+)
+from repro.experiments.runners import (
+    ExperimentScale,
+    run_single_link_calibration,
+    run_exposed_terminals,
+    run_inrange_senders,
+    run_hidden_terminals,
+    run_hidden_interferer_scatter,
+    run_ap_topology,
+    run_header_trailer_density,
+    run_mesh_dissemination,
+    run_bitrate_sweep,
+)
+
+__all__ = [
+    "ScenarioError",
+    "find_exposed_terminal_configs",
+    "find_inrange_configs",
+    "find_hidden_terminal_configs",
+    "find_hidden_interferer_triples",
+    "find_ap_topology",
+    "find_mesh_topologies",
+    "PairConfig",
+    "ApTopology",
+    "MeshTopology",
+    "ExperimentScale",
+    "run_single_link_calibration",
+    "run_exposed_terminals",
+    "run_inrange_senders",
+    "run_hidden_terminals",
+    "run_hidden_interferer_scatter",
+    "run_ap_topology",
+    "run_header_trailer_density",
+    "run_mesh_dissemination",
+    "run_bitrate_sweep",
+]

@@ -1,0 +1,141 @@
+"""Text rendering of experiment results, shaped like the paper's figures.
+
+Benchmarks call these to print the same rows/series the paper reports, so a
+reader can diff our measured shape against the published one (recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.stats import Cdf, summarize
+from repro.experiments.runners import (
+    ApResult,
+    BitrateSweepResult,
+    CalibrationResult,
+    HeaderTrailerCdfResult,
+    HiddenInterfererResult,
+    HtDensityResult,
+    MeshResult,
+    PairCdfResult,
+)
+
+
+def _cdf_table(curves: Dict[str, Sequence[float]], unit: str = "Mb/s") -> str:
+    """Quantile table for several named CDFs (the paper's CDF figures)."""
+    quantiles = (0.1, 0.25, 0.5, 0.75, 0.9)
+    width = max(len(name) for name in curves) + 2
+    head = "".join(f"{f'p{int(q*100)}':>9}" for q in quantiles)
+    lines = [f"{'curve':<{width}}{head}   ({unit})"]
+    for name, values in curves.items():
+        cdf = Cdf(values)
+        row = "".join(f"{cdf.quantile(q):>9.2f}" for q in quantiles)
+        lines.append(f"{name:<{width}}{row}")
+    return "\n".join(lines)
+
+
+def render_calibration(result: CalibrationResult) -> str:
+    return (
+        "single-link calibration (paper §4.2: CMAP 5.04, 802.11 5.07 Mb/s)\n"
+        f"  CMAP  : {result.cmap_mbps:.2f} Mb/s\n"
+        f"  802.11: {result.dcf_mbps:.2f} Mb/s  (pair {result.pair})"
+    )
+
+
+def render_pair_cdf(result: PairCdfResult, title: str) -> str:
+    lines = [title, _cdf_table(result.totals)]
+    if "cmap" in result.totals and "cs_on" in result.totals:
+        lines.append(
+            f"median gain CMAP / CS-on: {result.gain_over('cmap', 'cs_on'):.2f}x"
+        )
+    if result.cmap_concurrency:
+        s = summarize(result.cmap_concurrency)
+        lines.append(
+            f"CMAP concurrency fraction: mean {s.mean:.2f}, median {s.median:.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_hidden_interferer(result: HiddenInterfererResult) -> str:
+    lines = [
+        "hidden interferers (paper §5.4, Fig. 14)",
+        f"  points: {len(result.points)}",
+        f"  bottom-left quadrant fraction: {result.bottom_left_fraction:.3f}"
+        "  (paper: 0.08)",
+        f"  expected CMAP normalized throughput: "
+        f"{result.expected_cmap_throughput:.3f}  (paper: 0.896)",
+    ]
+    return "\n".join(lines)
+
+
+def render_ap(result: ApResult) -> str:
+    lines = ["AP topology aggregate throughput (paper Fig. 17)"]
+    protocols = list(next(iter(result.aggregate.values())).keys())
+    header = "  N " + "".join(f"{p:>10}" for p in protocols) + "   cmap/cs_on"
+    lines.append(header)
+    for n in sorted(result.aggregate):
+        row = f"  {n:<2} "
+        means = {}
+        for p in protocols:
+            vals = result.aggregate[n][p]
+            means[p] = sum(vals) / len(vals) if vals else 0.0
+            row += f"{means[p]:>10.2f}"
+        gain = means.get("cmap", 0) / means["cs_on"] if means.get("cs_on") else 0
+        row += f"{gain:>12.2f}x"
+        lines.append(row)
+    lines.append("")
+    lines.append("per-sender throughput CDF (paper Fig. 18; median 2.5 vs 4.6)")
+    lines.append(_cdf_table(result.per_sender))
+    return "\n".join(lines)
+
+
+def render_ht_cdf(result: HeaderTrailerCdfResult) -> str:
+    curves = {
+        "in-range, header": result.inrange_header,
+        "in-range, either": result.inrange_either,
+        "out-of-range, header": result.outofrange_header,
+        "out-of-range, either": result.outofrange_either,
+    }
+    curves = {k: v for k, v in curves.items() if v}
+    return "header/trailer reception (paper Fig. 16)\n" + _cdf_table(
+        curves, unit="reception rate"
+    )
+
+
+def render_ht_density(result: HtDensityResult) -> str:
+    lines = [
+        "header-or-trailer reception vs concurrent senders (paper Fig. 19)",
+        "  N     mean   median      p10      p25      p75      p90",
+    ]
+    for n in sorted(result.rates_by_n):
+        vals = result.rates_by_n[n]
+        if not vals:
+            continue
+        s = summarize(vals)
+        lines.append(
+            f"  {n:<3}{s.mean:>8.2f}{s.median:>9.2f}{s.p10:>9.2f}"
+            f"{s.p25:>9.2f}{s.p75:>9.2f}{s.p90:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_mesh(result: MeshResult) -> str:
+    lines = ["two-hop mesh dissemination (paper §5.7: CMAP +52 % over CS)"]
+    for name, vals in result.aggregate.items():
+        mean = sum(vals) / len(vals) if vals else 0.0
+        lines.append(f"  {name:<8} mean aggregate {mean:.2f} Mb/s over {len(vals)} topologies")
+    lines.append(f"  gain: {result.gain():.2f}x")
+    return "\n".join(lines)
+
+
+def render_bitrate_sweep(result: BitrateSweepResult) -> str:
+    lines = ["exposed terminals at multiple bit-rates (paper Fig. 20)"]
+    for mbps in sorted(result.by_rate):
+        sub = result.by_rate[mbps]
+        lines.append(f"-- {mbps} Mb/s --")
+        lines.append(_cdf_table(sub.totals))
+        lines.append(
+            f"median gain CMAP / CS-on: {sub.gain_over('cmap', 'cs_on'):.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,630 @@
+"""Per-figure experiment runners (paper §5).
+
+Each ``run_*`` function regenerates the data behind one table or figure and
+returns a plain dataclass of series; ``benchmarks/`` wraps them with printing
+and pytest-benchmark timing, and ``repro.experiments.report`` renders them as
+text tables shaped like the paper's figures.
+
+All runners accept an :class:`ExperimentScale`; the default is a reduced
+scale that preserves the papers' *shapes* in seconds-to-minutes of wall time.
+``ExperimentScale.paper()`` matches the paper's sample sizes (50 configs per
+CDF, 500 triples, 10 trials per N, 100 s runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.params import CmapParams, LatencyProfile
+from repro.mac.dcf import DcfParams
+from repro.experiments.scenarios import (
+    ApTopology,
+    InterfererTriple,
+    MeshTopology,
+    PairConfig,
+    find_ap_topology,
+    find_exposed_terminal_configs,
+    find_hidden_interferer_triples,
+    find_hidden_terminal_configs,
+    find_inrange_configs,
+    find_mesh_topologies,
+)
+from repro.net.testbed import Testbed
+from repro.network import MacFactory, Network, cmap_factory, dcf_factory
+from repro.phy.modulation import RATES, Rate, RATE_6M
+
+
+@dataclass
+class ExperimentScale:
+    """Sample sizes and run lengths for the harness."""
+
+    configs: int = 10  # pair configs per CDF (paper: 50)
+    duration: float = 12.0  # run length, seconds (paper: 100)
+    warmup: float = 5.0  # excluded from measurement (paper: 40)
+    triples: int = 60  # hidden-interferer triples (paper: 500)
+    trials_per_n: int = 2  # AP client draws per N (paper: 10)
+    mesh_topologies: int = 4  # mesh instances (paper: 10)
+    ht_configs_per_n: int = 4  # Fig. 19 topologies per sender count
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        return cls(
+            configs=50,
+            duration=100.0,
+            warmup=40.0,
+            triples=500,
+            trials_per_n=10,
+            mesh_topologies=10,
+            ht_configs_per_n=8,
+        )
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """A minutes-scale preset for CI and benchmarks."""
+        return cls()
+
+    @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        """A seconds-scale preset for tests."""
+        return cls(
+            configs=3,
+            duration=6.0,
+            warmup=2.5,
+            triples=10,
+            trials_per_n=1,
+            mesh_topologies=2,
+            ht_configs_per_n=2,
+        )
+
+
+#: The protocol line-up used across figures, keyed by the paper's labels.
+def protocol_factories(
+    cmap_params: Optional[CmapParams] = None,
+    data_rate: Rate = RATE_6M,
+) -> Dict[str, MacFactory]:
+    def dcf(cs: bool, acks: bool) -> MacFactory:
+        return dcf_factory(params=DcfParams(
+            carrier_sense=cs, acks=acks, data_rate=data_rate))
+
+    params = cmap_params or CmapParams(data_rate=data_rate)
+    return {
+        "cs_on": dcf(True, True),
+        "cs_off_acks": dcf(False, True),
+        "cs_off_noacks": dcf(False, False),
+        "cmap": cmap_factory(params),
+    }
+
+
+def _run_pair(
+    testbed: Testbed,
+    config: PairConfig,
+    factory: MacFactory,
+    scale: ExperimentScale,
+    run_seed: int,
+    track_tx: bool = False,
+) -> "Network":
+    net = Network(testbed, run_seed=run_seed, track_tx=track_tx)
+    for n in config.nodes:
+        net.add_node(n, factory)
+    for s, r in config.flows:
+        net.add_saturated_flow(s, r)
+    net.result = net.run(duration=scale.duration, warmup=scale.warmup)
+    return net
+
+
+# ======================================================================
+# §4.2: single-link calibration
+# ======================================================================
+@dataclass
+class CalibrationResult:
+    """Paper §4.2: CMAP 5.04 Mb/s vs 802.11 5.07 Mb/s on one link."""
+
+    cmap_mbps: float
+    dcf_mbps: float
+    pair: Tuple[int, int]
+
+
+def run_single_link_calibration(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> CalibrationResult:
+    scale = scale or ExperimentScale()
+    links = testbed.links
+    pair = None
+    for a in links.node_ids:
+        for b in links.node_ids:
+            if a != b and links.potential_tx_link(a, b) and links.strong_signal(a, b):
+                pair = (a, b)
+                break
+        if pair:
+            break
+    if pair is None:
+        raise RuntimeError("testbed has no strong potential transmission link")
+    results = {}
+    for name, factory in (
+        ("cmap", cmap_factory()),
+        ("dcf", dcf_factory(True, True)),
+    ):
+        net = Network(testbed, run_seed=seed)
+        for n in pair:
+            net.add_node(n, factory)
+        net.add_saturated_flow(*pair)
+        res = net.run(duration=scale.duration, warmup=scale.warmup)
+        results[name] = res.flow_mbps(*pair)
+    return CalibrationResult(results["cmap"], results["dcf"], pair)
+
+
+# ======================================================================
+# Figs. 12 / 13 / 15 / 20: two-pair CDF experiments
+# ======================================================================
+@dataclass
+class PairCdfResult:
+    """One CDF figure: per-protocol total throughput across configurations."""
+
+    figure: str
+    configs: List[PairConfig]
+    #: protocol label -> total throughput (Mb/s) per configuration.
+    totals: Dict[str, List[float]]
+    #: protocol label -> per-flow throughput pairs per configuration.
+    per_flow: Dict[str, List[Tuple[float, float]]]
+    #: CMAP concurrency fraction per configuration (when measured).
+    cmap_concurrency: List[float] = field(default_factory=list)
+
+    def median(self, protocol: str) -> float:
+        vals = sorted(self.totals[protocol])
+        return vals[len(vals) // 2]
+
+    def gain_over(self, protocol: str, baseline: str) -> float:
+        """Ratio of medians — the paper's headline "2x over CSMA"."""
+        base = self.median(baseline)
+        return self.median(protocol) / base if base > 0 else float("inf")
+
+
+def _pair_cdf_experiment(
+    figure: str,
+    testbed: Testbed,
+    configs: List[PairConfig],
+    protocols: Dict[str, MacFactory],
+    scale: ExperimentScale,
+    track_cmap_concurrency: bool = True,
+) -> PairCdfResult:
+    totals: Dict[str, List[float]] = {name: [] for name in protocols}
+    per_flow: Dict[str, List[Tuple[float, float]]] = {name: [] for name in protocols}
+    concurrency: List[float] = []
+    for idx, config in enumerate(configs):
+        for name, factory in protocols.items():
+            track = track_cmap_concurrency and name.startswith("cmap")
+            net = _run_pair(testbed, config, factory, scale, run_seed=idx,
+                            track_tx=track)
+            res = net.result
+            f1 = res.flow_mbps(config.s1, config.r1)
+            f2 = res.flow_mbps(config.s2, config.r2)
+            totals[name].append(f1 + f2)
+            per_flow[name].append((f1, f2))
+            if track:
+                concurrency.append(res.concurrency_fraction(config.senders))
+    return PairCdfResult(figure, configs, totals, per_flow, concurrency)
+
+
+def run_pair_cdf_experiment(
+    figure: str,
+    testbed: Testbed,
+    configs: List[PairConfig],
+    protocols: Dict[str, MacFactory],
+    scale: ExperimentScale,
+    track_cmap_concurrency: bool = True,
+) -> PairCdfResult:
+    """Public entry for custom two-pair CDF experiments (ablations)."""
+    return _pair_cdf_experiment(
+        figure, testbed, configs, protocols, scale, track_cmap_concurrency
+    )
+
+
+def run_exposed_terminals(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    include_win1: bool = True,
+) -> PairCdfResult:
+    """Fig. 12: exposed terminals. Curves: CS+acks, CS-off+no-acks, CMAP,
+    and CMAP with a window of one virtual packet (the §5.2 ablation)."""
+    scale = scale or ExperimentScale()
+    configs = find_exposed_terminal_configs(testbed, scale.configs, seed)
+    protocols = {
+        "cs_on": dcf_factory(True, True),
+        "cs_off_noacks": dcf_factory(False, False),
+        "cmap": cmap_factory(),
+    }
+    if include_win1:
+        protocols["cmap_win1"] = cmap_factory(CmapParams(nwindow=1))
+    return _pair_cdf_experiment("fig12", testbed, configs, protocols, scale)
+
+
+def run_inrange_senders(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> PairCdfResult:
+    """Fig. 13: two senders in range of each other, cross links free."""
+    scale = scale or ExperimentScale()
+    configs = find_inrange_configs(testbed, scale.configs, seed)
+    protocols = {
+        "cs_on": dcf_factory(True, True),
+        "cs_off_acks": dcf_factory(False, True),
+        "cs_off_noacks": dcf_factory(False, False),
+        "cmap": cmap_factory(),
+    }
+    return _pair_cdf_experiment("fig13", testbed, configs, protocols, scale)
+
+
+def run_hidden_terminals(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> PairCdfResult:
+    """Fig. 15: senders out of range, receivers hear both senders."""
+    scale = scale or ExperimentScale()
+    configs = find_hidden_terminal_configs(testbed, scale.configs, seed)
+    protocols = {
+        "cs_on": dcf_factory(True, True),
+        "cs_off_acks": dcf_factory(False, True),
+        "cmap": cmap_factory(),
+    }
+    return _pair_cdf_experiment("fig15", testbed, configs, protocols, scale)
+
+
+@dataclass
+class BitrateSweepResult:
+    """Fig. 20: exposed-terminal CDFs at 6/12/18 Mb/s."""
+
+    #: rate (Mb/s) -> protocol -> totals across configs.
+    by_rate: Dict[int, PairCdfResult]
+
+
+def run_bitrate_sweep(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    rates: Sequence[int] = (6, 12, 18),
+) -> BitrateSweepResult:
+    """Fig. 20: repeat the exposed-terminal experiment at higher bit-rates.
+
+    Control frames (headers, trailers, ACKs, interferer lists) stay at the
+    base rate, as in §5.8.
+    """
+    scale = scale or ExperimentScale()
+    configs = find_exposed_terminal_configs(testbed, scale.configs, seed)
+    out: Dict[int, PairCdfResult] = {}
+    for mbps in rates:
+        rate = RATES[mbps]
+        protocols = {
+            "cs_on": dcf_factory(
+                params=DcfParams(carrier_sense=True, acks=True, data_rate=rate)
+            ),
+            "cmap": cmap_factory(CmapParams(data_rate=rate, control_rate=RATE_6M)),
+        }
+        out[mbps] = _pair_cdf_experiment(
+            f"fig20@{mbps}", testbed, configs, protocols, scale
+        )
+    return BitrateSweepResult(out)
+
+
+# ======================================================================
+# Fig. 14: hidden-interferer scatter (§5.4)
+# ======================================================================
+@dataclass
+class ScatterPoint:
+    """One Fig. 14 point plus the §5.4 CMAP expectation inputs."""
+
+    triple: InterfererTriple
+    min_prr: float  # min(PRR(I->R), PRR(I->S))
+    isolated_mbps: float
+    interfered_mbps: float
+
+    @property
+    def normalized_throughput(self) -> float:
+        if self.isolated_mbps <= 0:
+            return 0.0
+        return min(1.0, self.interfered_mbps / self.isolated_mbps)
+
+    @property
+    def hear_probability(self) -> float:
+        """p = max(pr + ps - 1, 0): both S and R hear I (§5.4)."""
+        return self._p
+
+    def set_hear_probability(self, pr: float, ps: float) -> None:
+        self._p = max(pr + ps - 1.0, 0.0)
+
+
+@dataclass
+class HiddenInterfererResult:
+    """Fig. 14's scatter and the two §5.4 headline statistics."""
+
+    points: List[ScatterPoint]
+    #: fraction with normalised throughput < 0.5 AND min PRR < 0.5
+    bottom_left_fraction: float
+    #: E[p * 1 + (1 - p) * T] over all points (paper: 0.896)
+    expected_cmap_throughput: float
+
+
+def run_hidden_interferer_scatter(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> HiddenInterfererResult:
+    scale = scale or ExperimentScale()
+    triples = find_hidden_interferer_triples(testbed, scale.triples, seed)
+    links = testbed.links
+    blast = dcf_factory(False, False)  # CS and ACKs disabled (§5.4 footnote)
+    points: List[ScatterPoint] = []
+    for idx, t in enumerate(triples):
+        # Baseline: S -> R alone.
+        net = Network(testbed, run_seed=idx)
+        for n in (t.sender, t.receiver):
+            net.add_node(n, blast)
+        net.add_saturated_flow(t.sender, t.receiver)
+        res = net.run(duration=scale.duration / 2, warmup=scale.warmup / 2)
+        isolated = res.flow_mbps(t.sender, t.receiver)
+        # With the interferer blasting continuously.
+        net = Network(testbed, run_seed=idx)
+        for n in {t.sender, t.receiver, t.interferer, t.interferer_receiver}:
+            net.add_node(n, blast)
+        net.add_saturated_flow(t.sender, t.receiver)
+        net.add_saturated_flow(t.interferer, t.interferer_receiver)
+        res = net.run(duration=scale.duration / 2, warmup=scale.warmup / 2)
+        interfered = res.flow_mbps(t.sender, t.receiver)
+
+        pr = links.prr(t.interferer, t.receiver)
+        ps = links.prr(t.interferer, t.sender)
+        point = ScatterPoint(t, min(pr, ps), isolated, interfered)
+        point.set_hear_probability(pr, ps)
+        points.append(point)
+
+    usable = [p for p in points if p.isolated_mbps > 0.1]
+    bottom_left = sum(
+        1 for p in usable if p.normalized_throughput < 0.5 and p.min_prr < 0.5
+    )
+    expected = sum(
+        p.hear_probability + (1 - p.hear_probability) * p.normalized_throughput
+        for p in usable
+    )
+    n = max(1, len(usable))
+    return HiddenInterfererResult(points, bottom_left / n, expected / n)
+
+
+# ======================================================================
+# Figs. 17 / 18: access-point topologies (§5.6)
+# ======================================================================
+@dataclass
+class ApResult:
+    """Figs. 17 and 18: aggregate and per-sender throughput by N."""
+
+    #: N -> protocol -> list of aggregate throughput (Mb/s), one per trial.
+    aggregate: Dict[int, Dict[str, List[float]]]
+    #: protocol -> pooled per-sender throughputs across all N and trials.
+    per_sender: Dict[str, List[float]]
+    #: N -> list of per-receiver header-or-trailer rates (CMAP runs).
+    ht_rates: Dict[int, List[float]]
+
+
+def run_ap_topology(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    n_values: Sequence[int] = (3, 4, 5, 6),
+    protocols: Optional[Dict[str, MacFactory]] = None,
+) -> ApResult:
+    scale = scale or ExperimentScale()
+    if protocols is None:
+        protocols = {
+            "cs_on": dcf_factory(True, True),
+            "cs_off": dcf_factory(False, True),
+            "cmap": cmap_factory(),
+        }
+    aggregate: Dict[int, Dict[str, List[float]]] = {}
+    per_sender: Dict[str, List[float]] = {name: [] for name in protocols}
+    ht_rates: Dict[int, List[float]] = {}
+    for n in n_values:
+        aggregate[n] = {name: [] for name in protocols}
+        ht_rates[n] = []
+        for trial in range(scale.trials_per_n):
+            topo = find_ap_topology(testbed, n, trial_seed=trial)
+            for name, factory in protocols.items():
+                net = Network(testbed, run_seed=1000 * n + trial)
+                for node in topo.nodes:
+                    net.add_node(node, factory)
+                for s, r in topo.flows:
+                    net.add_saturated_flow(s, r)
+                res = net.run(duration=scale.duration, warmup=scale.warmup)
+                flows = [res.flow_mbps(s, r) for s, r in topo.flows]
+                aggregate[n][name].append(sum(flows))
+                per_sender[name].extend(flows)
+                if name == "cmap":
+                    ht_rates[n].extend(
+                        _collect_ht_rates(net, topo.flows)
+                    )
+    return ApResult(aggregate, per_sender, ht_rates)
+
+
+def _collect_ht_rates(net: Network, flows: Sequence[Tuple[int, int]]) -> List[float]:
+    """Per-receiver P(header or trailer) for each flow of a CMAP run."""
+    rates = []
+    for s, r in flows:
+        smac = net.nodes[s].mac
+        rmac = net.nodes[r].mac
+        sent = smac.cstats.vpkts_sent_to.get(r, 0)
+        if sent > 0:
+            rates.append(rmac.header_or_trailer_rate(s, sent))
+    return rates
+
+
+# ======================================================================
+# Fig. 16 / Fig. 19: header-trailer reception statistics
+# ======================================================================
+@dataclass
+class HeaderTrailerCdfResult:
+    """Fig. 16: reception rates of header vs header-or-trailer per pair."""
+
+    inrange_header: List[float]
+    inrange_either: List[float]
+    outofrange_header: List[float]
+    outofrange_either: List[float]
+
+
+def run_header_trailer_cdf(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> HeaderTrailerCdfResult:
+    """Fig. 16: computed from CMAP runs of the §5.3 (senders in range) and
+    §5.5 (senders out of range) experiments."""
+    scale = scale or ExperimentScale()
+    out = {"inrange": ([], []), "outofrange": ([], [])}
+    for label, finder in (
+        ("inrange", find_inrange_configs),
+        ("outofrange", find_hidden_terminal_configs),
+    ):
+        configs = finder(testbed, scale.configs, seed)
+        for idx, config in enumerate(configs):
+            net = _run_pair(
+                testbed, config, cmap_factory(), scale, run_seed=idx
+            )
+            for s, r in config.flows:
+                smac = net.nodes[s].mac
+                rmac = net.nodes[r].mac
+                sent = smac.cstats.vpkts_sent_to.get(r, 0)
+                if sent <= 0:
+                    continue
+                out[label][0].append(rmac.header_rate(s, sent))
+                out[label][1].append(rmac.header_or_trailer_rate(s, sent))
+    return HeaderTrailerCdfResult(
+        inrange_header=out["inrange"][0],
+        inrange_either=out["inrange"][1],
+        outofrange_header=out["outofrange"][0],
+        outofrange_either=out["outofrange"][1],
+    )
+
+
+@dataclass
+class HtDensityResult:
+    """Fig. 19: header-or-trailer reception rate vs concurrent sender count."""
+
+    #: N -> list of per-receiver header-or-trailer rates.
+    rates_by_n: Dict[int, List[float]]
+
+
+def run_header_trailer_density(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    n_values: Sequence[int] = (2, 3, 4, 5, 6, 7),
+    seed: int = 0,
+) -> HtDensityResult:
+    """Fig. 19: N concurrent saturated CMAP flows on random potential
+    transmission links; collect P(header or trailer) at each receiver."""
+    import itertools as _it
+
+    scale = scale or ExperimentScale()
+    links = testbed.links
+    tx_links = [
+        (a, b)
+        for a, b in _it.permutations(links.node_ids, 2)
+        if links.potential_tx_link(a, b)
+    ]
+    rng = testbed.rngs.fork("htdensity", seed).stream("sample")
+    rates_by_n: Dict[int, List[float]] = {}
+    for n in n_values:
+        rates_by_n[n] = []
+        for trial in range(scale.ht_configs_per_n):
+            # Sample n disjoint flows.
+            flows: List[Tuple[int, int]] = []
+            used: set = set()
+            attempts = 0
+            while len(flows) < n and attempts < 2000:
+                attempts += 1
+                s, r = tx_links[int(rng.integers(0, len(tx_links)))]
+                if s in used or r in used:
+                    continue
+                flows.append((s, r))
+                used.update((s, r))
+            if len(flows) < n:
+                continue
+            net = Network(testbed, run_seed=100 * n + trial)
+            for node in used:
+                net.add_node(node, cmap_factory())
+            for s, r in flows:
+                net.add_saturated_flow(s, r)
+            net.run(duration=scale.duration, warmup=scale.warmup)
+            rates_by_n[n].extend(_collect_ht_rates(net, flows))
+    return HtDensityResult(rates_by_n)
+
+
+# ======================================================================
+# §5.7: two-hop content dissemination mesh
+# ======================================================================
+@dataclass
+class MeshResult:
+    """§5.7: aggregate leaf throughput per topology and protocol."""
+
+    #: protocol -> list of aggregate min-throughput (Mb/s), one per topology.
+    aggregate: Dict[str, List[float]]
+
+    def mean(self, protocol: str) -> float:
+        vals = self.aggregate[protocol]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def gain(self, protocol: str = "cmap", baseline: str = "cs_on") -> float:
+        base = self.mean(baseline)
+        return self.mean(protocol) / base if base > 0 else float("inf")
+
+
+def run_mesh_dissemination(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    fanout: int = 3,
+    include_extensions: bool = False,
+) -> MeshResult:
+    """§5.7: S broadcasts a batch to the A_i (phase 1), then the A_i forward
+    to their B_i concurrently (phase 2). Per-leaf throughput is the min of
+    its two hops; the aggregate sums over leaves (the paper reports CMAP
+    beating carrier sense by 52 % on this aggregate, driven by exposed
+    terminals among the A_i -> B_i transfers)."""
+    scale = scale or ExperimentScale()
+    topologies = find_mesh_topologies(testbed, scale.mesh_topologies, fanout, seed)
+    protocols: Dict[str, MacFactory] = {
+        "cs_on": dcf_factory(True, True),
+        "cmap": cmap_factory(),
+    }
+    if include_extensions:
+        # §5.6's robustness fix + ACK-piggybacked interferer lists: helps
+        # most on conflict-heavy topologies where deaf senders miss headers.
+        protocols["cmap_ext"] = cmap_factory(
+            CmapParams(replicate_ht_in_data=True, piggyback_ilist=True)
+        )
+    aggregate: Dict[str, List[float]] = {name: [] for name in protocols}
+    for idx, topo in enumerate(topologies):
+        for name, factory in protocols.items():
+            # Phase 1: single broadcast sender; per-forwarder goodput.
+            net1 = Network(testbed, run_seed=2 * idx)
+            for node in topo.nodes:
+                net1.add_node(node, factory)
+            from repro.phy.frames import BROADCAST
+
+            net1.add_saturated_flow(topo.source, BROADCAST)
+            res1 = net1.run(duration=scale.duration / 2, warmup=scale.warmup / 2)
+            phase1 = {
+                a: res1.flow_mbps(topo.source, a) for a in topo.forwarders
+            }
+            # Phase 2: concurrent forwarder -> leaf transfers.
+            net2 = Network(testbed, run_seed=2 * idx + 1)
+            for node in topo.nodes:
+                net2.add_node(node, factory)
+            for a, b in zip(topo.forwarders, topo.leaves):
+                net2.add_saturated_flow(a, b)
+            res2 = net2.run(duration=scale.duration / 2, warmup=scale.warmup / 2)
+            total = 0.0
+            for a, b in zip(topo.forwarders, topo.leaves):
+                total += min(phase1[a], res2.flow_mbps(a, b))
+            aggregate[name].append(total)
+    return MeshResult(aggregate)

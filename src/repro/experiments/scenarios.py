@@ -1,0 +1,413 @@
+"""Scenario selection: the topology constraints of Fig. 11 and §5.6–5.7.
+
+Each finder enumerates node tuples from a testbed's link table that satisfy
+the paper's constraints, then samples the requested number uniformly with a
+seeded RNG — the analogue of the paper choosing "50 configurations at random
+from all possible configurations".
+
+Fig. 11's constraint vocabulary (all defined in §5.1, implemented by
+:class:`repro.net.links.LinkTable`):
+
+* *potential transmission link*: PRR > 0.9 both ways, signal above the 10th
+  percentile — the only links data flows use;
+* *in range*: PRR > 0.2 both ways, signal above the 10th percentile;
+* *not in range*: PRR < 0.2 both ways;
+* *strong signal*: at/above the 90th percentile network-wide;
+* *weak signal*: below the 90th percentile.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.links import LinkTable
+from repro.net.testbed import Testbed
+from repro.util.rng import RngFactory
+
+
+class ScenarioError(RuntimeError):
+    """Raised when a testbed cannot supply a requested scenario."""
+
+
+@dataclass(frozen=True)
+class PairConfig:
+    """Two sender->receiver pairs: (s1 -> r1) and (s2 -> r2)."""
+
+    s1: int
+    r1: int
+    s2: int
+    r2: int
+
+    @property
+    def nodes(self) -> Tuple[int, int, int, int]:
+        return (self.s1, self.r1, self.s2, self.r2)
+
+    @property
+    def senders(self) -> Tuple[int, int]:
+        return (self.s1, self.s2)
+
+    @property
+    def flows(self) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        return ((self.s1, self.r1), (self.s2, self.r2))
+
+
+def _sample(items: List, count: int, rng: np.random.Generator) -> List:
+    if not items:
+        raise ScenarioError("no configurations satisfy the constraints")
+    if count >= len(items):
+        return list(items)
+    idx = rng.choice(len(items), size=count, replace=False)
+    return [items[i] for i in sorted(idx)]
+
+
+def _potential_tx_links(links: LinkTable) -> List[Tuple[int, int]]:
+    return [
+        (a, b)
+        for a, b in itertools.permutations(links.node_ids, 2)
+        if links.potential_tx_link(a, b)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fig. 11(a): exposed terminals (§5.2)
+# ----------------------------------------------------------------------
+def find_exposed_terminal_configs(
+    testbed: Testbed,
+    count: int,
+    seed: int = 0,
+    max_candidates: int = 200_000,
+) -> List[PairConfig]:
+    """Configurations satisfying Fig. 11(a):
+
+    (i) senders in range of each other; (ii) each pair a potential
+    transmission link; (iii) sender->its receiver strong (90th pct);
+    (iv) every other inter-node signal weak (below 90th pct).
+    """
+    links = testbed.links
+    strong_links = [
+        (a, b) for a, b in _potential_tx_links(links) if links.strong_signal(a, b)
+    ]
+    out: List[PairConfig] = []
+    for (s1, r1), (s2, r2) in itertools.permutations(strong_links, 2):
+        if len({s1, r1, s2, r2}) != 4:
+            continue
+        if not links.in_range(s1, s2):
+            continue
+        cross = [(s1, r2), (s2, r1), (r1, r2), (r2, r1), (r1, s2), (r2, s1),
+                 (s1, s2), (s2, s1)]
+        if all(links.weak_signal(a, b) for a, b in cross):
+            out.append(PairConfig(s1, r1, s2, r2))
+            if len(out) >= max_candidates:
+                break
+    rng = testbed.rngs.fork("scenario", "exposed", seed).stream("sample")
+    return _sample(out, count, rng)
+
+
+# ----------------------------------------------------------------------
+# Fig. 11(b): two senders in range, unconstrained cross links (§5.3)
+# ----------------------------------------------------------------------
+def find_inrange_configs(
+    testbed: Testbed,
+    count: int,
+    seed: int = 0,
+    max_candidates: int = 200_000,
+) -> List[PairConfig]:
+    """Configurations satisfying Fig. 11(b): senders in range, both pairs
+    potential transmission links, no further constraints (some will be
+    exposed terminals, some will conflict)."""
+    links = testbed.links
+    tx_links = _potential_tx_links(links)
+    out: List[PairConfig] = []
+    for (s1, r1), (s2, r2) in itertools.permutations(tx_links, 2):
+        if len({s1, r1, s2, r2}) != 4:
+            continue
+        if links.in_range(s1, s2):
+            out.append(PairConfig(s1, r1, s2, r2))
+            if len(out) >= max_candidates:
+                break
+    rng = testbed.rngs.fork("scenario", "inrange", seed).stream("sample")
+    return _sample(out, count, rng)
+
+
+# ----------------------------------------------------------------------
+# Fig. 11(c): hidden terminals (§5.5)
+# ----------------------------------------------------------------------
+def find_hidden_terminal_configs(
+    testbed: Testbed,
+    count: int,
+    seed: int = 0,
+    max_candidates: int = 200_000,
+) -> List[PairConfig]:
+    """Configurations satisfying Fig. 11(c): each receiver has a potential
+    transmission link to *both* senders (so transmissions almost always
+    interfere at the receivers) while the senders are not in range of each
+    other (so they cannot defer)."""
+    links = testbed.links
+    out: List[PairConfig] = []
+    ids = links.node_ids
+    for s1, s2 in itertools.combinations(ids, 2):
+        if not links.out_of_range(s1, s2):
+            continue
+        for r1, r2 in itertools.permutations(ids, 2):
+            if len({s1, s2, r1, r2}) != 4:
+                continue
+            if (
+                links.potential_tx_link(s1, r1)
+                and links.potential_tx_link(s2, r1)
+                and links.potential_tx_link(s1, r2)
+                and links.potential_tx_link(s2, r2)
+            ):
+                out.append(PairConfig(s1, r1, s2, r2))
+                if len(out) >= max_candidates:
+                    break
+        if len(out) >= max_candidates:
+            break
+    rng = testbed.rngs.fork("scenario", "hidden", seed).stream("sample")
+    return _sample(out, count, rng)
+
+
+def prr_at_rate(testbed: Testbed, a: int, b: int, mbps: int,
+                probe_size_bytes: int = 1428) -> float:
+    """Isolated analytic PRR of the link a->b at an arbitrary bit-rate.
+
+    The link table is built at the base rate (the paper measures link
+    quality at 6 Mb/s, §5.1); multi-rate experiments need the same channel
+    re-evaluated against a higher rate's SINR requirement.
+    """
+    from repro.phy.modulation import RATES
+
+    return testbed.fading.mean_prr(
+        testbed.rss.rss(a, b),
+        testbed.config.noise_dbm,
+        RATES[mbps],
+        probe_size_bytes,
+        testbed.error_model,
+        a,
+        b,
+    )
+
+
+def filter_configs_by_rate(
+    testbed: Testbed,
+    configs: List[PairConfig],
+    mbps: int,
+    min_prr: float = 0.9,
+) -> List[PairConfig]:
+    """Keep only configs whose two data links still work at ``mbps``."""
+    return [
+        c
+        for c in configs
+        if prr_at_rate(testbed, c.s1, c.r1, mbps) > min_prr
+        and prr_at_rate(testbed, c.s2, c.r2, mbps) > min_prr
+    ]
+
+
+# ----------------------------------------------------------------------
+# §5.4: hidden-interferer triples (Fig. 14)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InterfererTriple:
+    """A sender->receiver pair plus a randomly chosen interferer."""
+
+    sender: int
+    receiver: int
+    interferer: int
+    interferer_receiver: int
+
+
+def find_hidden_interferer_triples(
+    testbed: Testbed,
+    count: int,
+    seed: int = 0,
+) -> List[InterfererTriple]:
+    """§5.4's sampling: a random potential transmission link (S, R) and an
+    interferer I chosen uniformly from all other nodes; I blasts to a
+    receiver of its own (any node in range, else broadcast-style neighbour).
+    """
+    links = testbed.links
+    tx_links = _potential_tx_links(links)
+    if not tx_links:
+        raise ScenarioError("testbed has no potential transmission links")
+    rng = testbed.rngs.fork("scenario", "interferer", seed).stream("sample")
+    triples: List[InterfererTriple] = []
+    ids = links.node_ids
+    attempts = 0
+    while len(triples) < count and attempts < 100 * count:
+        attempts += 1
+        s, r = tx_links[int(rng.integers(0, len(tx_links)))]
+        i = ids[int(rng.integers(0, len(ids)))]
+        if i in (s, r):
+            continue
+        # The interferer needs somewhere to send its packets; prefer a
+        # potential-tx neighbour, else its best-PRR neighbour.
+        partners = [b for b in ids if b not in (s, r, i)
+                    and links.potential_tx_link(i, b)]
+        if partners:
+            ir = partners[int(rng.integers(0, len(partners)))]
+        else:
+            ir = max(
+                (b for b in ids if b not in (s, r, i)),
+                key=lambda b: links.prr(i, b),
+            )
+        triples.append(InterfererTriple(s, r, i, ir))
+    if len(triples) < count:
+        raise ScenarioError("could not sample enough interferer triples")
+    return triples
+
+
+# ----------------------------------------------------------------------
+# §5.6: access-point topology
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ApTopology:
+    """One AP experiment instance: per-region AP and one client flow each.
+
+    ``flows`` holds (sender, receiver) per cell — the paper randomly picks
+    the AP or the client as the sender.
+    """
+
+    aps: Tuple[int, ...]
+    flows: Tuple[Tuple[int, int], ...]
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        out = []
+        for s, r in self.flows:
+            out.extend((s, r))
+        return tuple(dict.fromkeys(out))
+
+    @property
+    def senders(self) -> Tuple[int, ...]:
+        return tuple(s for s, _ in self.flows)
+
+
+def find_ap_topology(
+    testbed: Testbed,
+    num_aps: int,
+    trial_seed: int = 0,
+    columns: int = 3,
+    rows: int = 2,
+) -> ApTopology:
+    """§5.6: divide the floor into regions, one AP per region such that APs
+    are mutually out of communication range; clients are region nodes with a
+    potential transmission link to their AP; sender direction is random.
+
+    ``trial_seed`` varies the client choice (the paper runs 10 trials per
+    N with different clients each time). APs are chosen deterministically
+    per testbed: for each region, the node that is out of range of the APs
+    already picked and closest to the region centre.
+    """
+    links = testbed.links
+    regions = testbed.regions(columns, rows)
+    by_region = testbed.nodes_by_region(columns, rows)
+    if num_aps > len(regions):
+        raise ScenarioError(f"cannot place {num_aps} APs in {len(regions)} regions")
+
+    # Use adjacent regions when fewer than all are needed (paper §5.6).
+    chosen_regions = regions[:num_aps]
+    aps: List[int] = []
+    for region in chosen_regions:
+        candidates = sorted(
+            by_region[region.index],
+            key=lambda n: (testbed.positions[n].x - region.center.x) ** 2
+            + (testbed.positions[n].y - region.center.y) ** 2,
+        )
+        ap = None
+        for cand in candidates:
+            if all(links.out_of_range(cand, other) for other in aps):
+                ap = cand
+                break
+        if ap is None:
+            raise ScenarioError(
+                f"no AP candidate out of range of the others in region {region.index}"
+            )
+        aps.append(ap)
+
+    rng = testbed.rngs.fork("scenario", "ap", num_aps, trial_seed).stream("pick")
+    flows: List[Tuple[int, int]] = []
+    for region, ap in zip(chosen_regions, aps):
+        clients = [
+            n
+            for n in by_region[region.index]
+            if n != ap and n not in aps and links.potential_tx_link(ap, n)
+        ]
+        if not clients:
+            raise ScenarioError(f"AP {ap} has no clients in region {region.index}")
+        client = clients[int(rng.integers(0, len(clients)))]
+        if rng.random() < 0.5:
+            flows.append((ap, client))
+        else:
+            flows.append((client, ap))
+    return ApTopology(tuple(aps), tuple(flows))
+
+
+# ----------------------------------------------------------------------
+# §5.7: two-hop content dissemination mesh
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MeshTopology:
+    """Fig. 11(d): source S, forwarders A_i, leaf receivers B_i."""
+
+    source: int
+    forwarders: Tuple[int, ...]
+    leaves: Tuple[int, ...]
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return (self.source,) + self.forwarders + self.leaves
+
+
+def find_mesh_topologies(
+    testbed: Testbed,
+    count: int,
+    fanout: int = 3,
+    seed: int = 0,
+) -> List[MeshTopology]:
+    """Sample §5.7 topologies: S with ``fanout`` potential-tx neighbours
+    A_i, each with its own potential-tx leaf B_i (all nodes distinct).
+
+    Content dissemination pushes data *outward*: per Fig. 11(d)'s geometry,
+    each leaf B_i lies farther from the source than its forwarder A_i. That
+    outward fan is what makes forwarders frequently exposed terminals with
+    respect to each other during the A_i -> B_i transfers.
+    """
+    links = testbed.links
+    positions = testbed.positions
+    rng = testbed.rngs.fork("scenario", "mesh", seed).stream("sample")
+    ids = links.node_ids
+    out: List[MeshTopology] = []
+    attempts = 0
+    while len(out) < count and attempts < 300 * count:
+        attempts += 1
+        s = ids[int(rng.integers(0, len(ids)))]
+        neighbours = [a for a in ids if a != s and links.potential_tx_link(s, a)]
+        if len(neighbours) < fanout:
+            continue
+        picks = rng.choice(len(neighbours), size=fanout, replace=False)
+        forwarders = [neighbours[i] for i in picks]
+        used = {s, *forwarders}
+        leaves: List[int] = []
+        ok = True
+        for a in forwarders:
+            dist_sa = positions[s].distance_to(positions[a])
+            cands = [
+                b for b in ids
+                if b not in used
+                and links.potential_tx_link(a, b)
+                and positions[s].distance_to(positions[b]) > dist_sa
+            ]
+            if not cands:
+                ok = False
+                break
+            b = cands[int(rng.integers(0, len(cands)))]
+            leaves.append(b)
+            used.add(b)
+        if ok:
+            out.append(MeshTopology(s, tuple(forwarders), tuple(leaves)))
+    if len(out) < count:
+        raise ScenarioError("could not sample enough mesh topologies")
+    return out

@@ -1,0 +1,38 @@
+"""MAC layer: shared machinery and the 802.11 DCF baselines.
+
+The paper compares CMAP against three configurations of the same 802.11 MAC
+(§5): carrier sense on with ACKs (the "status quo"), carrier sense off with
+ACKs, and carrier sense off without ACKs. All three are configurations of
+:class:`repro.mac.dcf.DcfMac`.
+"""
+
+from repro.mac.base import MacBase, MacStats, Packet
+from repro.mac.dcf import DcfMac, DcfParams
+from repro.mac.rtscts import RtsCtsMac, RtsCtsParams, rtscts_factory
+from repro.mac.iamac import IaMac, IaMacParams, iamac_factory
+from repro.mac.ecsma import EcsmaMac, EcsmaParams, ecsma_factory
+from repro.mac.autorate import ArfDcfMac, ArfParams, arf_factory
+from repro.mac.cs_tuning import CsTuningMac, CsTuningParams, cs_tuning_factory
+
+__all__ = [
+    "MacBase",
+    "MacStats",
+    "Packet",
+    "DcfMac",
+    "DcfParams",
+    "RtsCtsMac",
+    "RtsCtsParams",
+    "rtscts_factory",
+    "IaMac",
+    "IaMacParams",
+    "iamac_factory",
+    "EcsmaMac",
+    "EcsmaParams",
+    "ecsma_factory",
+    "ArfDcfMac",
+    "ArfParams",
+    "arf_factory",
+    "CsTuningMac",
+    "CsTuningParams",
+    "cs_tuning_factory",
+]

@@ -1,0 +1,100 @@
+"""Auto Rate Fallback (ARF) on top of the DCF baseline.
+
+The paper's multi-rate discussion (§3.5, §5.8) fixes rates manually and
+notes that "online bit-rate adaptation algorithms can benefit from using the
+information in the conflict map". To study that claim we need the standard
+adaptation baseline those algorithms are judged against: ARF — step the rate
+up after a run of consecutive successes, step down after consecutive
+failures. ARF is known to misread collision losses as channel losses, which
+is exactly what makes it interesting around exposed/hidden terminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.mac.dcf import DcfMac, DcfParams
+from repro.phy.modulation import RATES, Rate
+
+
+@dataclass
+class ArfParams(DcfParams):
+    """DCF parameters plus the ARF thresholds."""
+
+    #: Consecutive successes required to try the next higher rate.
+    up_threshold: int = 10
+    #: Consecutive failures that force the next lower rate.
+    down_threshold: int = 2
+    #: The ladder to climb; defaults to the full 802.11a set.
+    ladder_mbps: tuple = (6, 9, 12, 18, 24, 36, 48, 54)
+    #: Index of the starting rung.
+    start_index: int = 0
+
+
+class ArfDcfMac(DcfMac):
+    """DCF whose data rate follows the ARF ladder."""
+
+    def __init__(self, sim, node_id, radio, rng, params: Optional[ArfParams] = None):
+        params = params or ArfParams()
+        super().__init__(sim, node_id, radio, rng, params)
+        self._ladder: List[Rate] = [RATES[m] for m in params.ladder_mbps]
+        self._rung = params.start_index
+        self._consecutive_ok = 0
+        self._consecutive_fail = 0
+        #: True right after an upward probe; a failure then is an immediate
+        #: fall-back (classic ARF behaviour).
+        self._probing = False
+        self.rate_changes = 0
+        self._apply_rate()
+
+    # ------------------------------------------------------------------
+    @property
+    def current_rate(self) -> Rate:
+        return self._ladder[self._rung]
+
+    def _apply_rate(self) -> None:
+        self.params.data_rate = self.current_rate
+
+    def _step(self, delta: int) -> None:
+        new = max(0, min(len(self._ladder) - 1, self._rung + delta))
+        if new != self._rung:
+            self._rung = new
+            self.rate_changes += 1
+            self._apply_rate()
+
+    # ------------------------------------------------------------------
+    # Hook the DCF outcome paths
+    # ------------------------------------------------------------------
+    def _packet_done(self, success: bool) -> None:
+        if success:
+            self._consecutive_ok += 1
+            self._consecutive_fail = 0
+            self._probing = False
+            if self._consecutive_ok >= self.params.up_threshold:
+                self._consecutive_ok = 0
+                self._step(+1)
+                self._probing = True
+        super()._packet_done(success)
+
+    def _ack_timed_out(self) -> None:
+        self._consecutive_ok = 0
+        self._consecutive_fail += 1
+        if self._probing:
+            # A failed probe drops straight back down.
+            self._probing = False
+            self._consecutive_fail = 0
+            self._step(-1)
+        elif self._consecutive_fail >= self.params.down_threshold:
+            self._consecutive_fail = 0
+            self._step(-1)
+        super()._ack_timed_out()
+
+
+def arf_factory(params: Optional[ArfParams] = None):
+    """Factory matching :func:`repro.network.dcf_factory`'s shape."""
+
+    def make(sim, node_id, radio, rng) -> ArfDcfMac:
+        return ArfDcfMac(sim, node_id, radio, rng, params or ArfParams())
+
+    return make

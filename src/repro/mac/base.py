@@ -1,0 +1,144 @@
+"""Shared MAC machinery: packet model, queues, stats, radio callbacks.
+
+A MAC owns one radio. Traffic reaches it either through :meth:`enqueue`
+(pushed, e.g. CBR) or through a *pull source* (saturated senders ask for the
+next packet on demand, which models the paper's "transmit as fast as they
+can" workloads without unbounded queues). Received application payloads are
+handed to a sink callback; duplicate suppression happens in the sink, since
+"throughput" in the paper is *non-duplicate* packets per second (§5.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phy.frames import Frame
+    from repro.phy.radio import Radio
+    from repro.phy.reception import Reception
+    from repro.sim.engine import Simulator
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """An application-layer packet handed to a MAC for delivery."""
+
+    dst: int
+    size_bytes: int = 1400
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created: float = 0.0
+
+
+#: Sink signature: (src, dst, packet_id, size_bytes, time_received).
+SinkFn = Callable[[int, int, int, int, float], None]
+
+
+@dataclass
+class MacStats:
+    """Counters every MAC maintains."""
+
+    packets_offered: int = 0
+    data_frames_sent: int = 0
+    data_frames_received_ok: int = 0
+    packets_delivered_up: int = 0
+    packets_dropped: int = 0
+    retransmissions: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    ack_timeouts: int = 0
+
+
+class MacBase:
+    """Base class wiring a MAC to its radio, queue, source, and sink."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: int,
+        radio: "Radio",
+        rng: np.random.Generator,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.radio = radio
+        self.rng = rng
+        radio.mac = self
+        self.stats = MacStats()
+        # Structured tracing hook; Network installs a real Tracer on demand.
+        from repro.tracing import NULL_TRACER
+
+        self.tracer = NULL_TRACER
+        self._queue: Deque[Packet] = deque()
+        self._source = None  # pull source, see attach_source()
+        self._sink: Optional[SinkFn] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Traffic plumbing
+    # ------------------------------------------------------------------
+    def attach_source(self, source) -> None:
+        """Attach a pull source providing ``next_packet() -> Packet | None``."""
+        self._source = source
+
+    def attach_sink(self, sink: SinkFn) -> None:
+        """Attach the callback invoked once per received data packet copy."""
+        self._sink = sink
+
+    def enqueue(self, packet: Packet) -> None:
+        """Push a packet; wakes the MAC if it is idle."""
+        packet.created = self.sim.now
+        self._queue.append(packet)
+        self.stats.packets_offered += 1
+        if self._started:
+            self.on_queue_refill()
+
+    def has_pending(self) -> bool:
+        return bool(self._queue) or (
+            self._source is not None and self._source.has_packet()
+        )
+
+    def next_packet(self) -> Optional[Packet]:
+        """Pop the next packet to send (queue first, then the pull source)."""
+        if self._queue:
+            return self._queue.popleft()
+        if self._source is not None and self._source.has_packet():
+            pkt = self._source.next_packet()
+            if pkt is not None:
+                self.stats.packets_offered += 1
+            return pkt
+        return None
+
+    def deliver_up(self, src: int, packet_id: int, size_bytes: int) -> None:
+        """Hand a received data payload to the sink."""
+        self.stats.packets_delivered_up += 1
+        if self._sink is not None:
+            self._sink(src, self.node_id, packet_id, size_bytes, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Lifecycle and radio callbacks (subclasses override)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin operation; idempotent."""
+        self._started = True
+
+    def on_queue_refill(self) -> None:
+        """Called when new traffic appears while running."""
+
+    def on_frame_received(self, frame: "Frame", ok: bool, reception: "Reception") -> None:
+        raise NotImplementedError
+
+    def on_tx_complete(self, frame: "Frame") -> None:
+        raise NotImplementedError
+
+    def on_channel_busy(self) -> None:
+        """Carrier-sense edge: medium went busy."""
+
+    def on_channel_idle(self) -> None:
+        """Carrier-sense edge: medium went idle."""

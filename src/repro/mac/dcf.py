@@ -1,0 +1,267 @@
+"""802.11 DCF — the paper's baseline MAC, with CS and ACK switches.
+
+Implements the distributed coordination function at the fidelity the paper's
+comparison needs: DIFS/SIFS timing, slotted binary-exponential backoff with
+freezing, stop-and-wait link-layer ACKs, retry limit, and post-transmission
+backoff. The two switches produce the paper's three baselines:
+
+* ``carrier_sense=True,  acks=True``  — "CS, acks" (the status quo);
+* ``carrier_sense=False, acks=True``  — "CS off, acks";
+* ``carrier_sense=False, acks=False`` — "CS off, no acks" (blast mode,
+  used in §5.2/§5.4 to measure raw concurrency).
+
+With carrier sense disabled, backoff durations are pure waits (nothing can
+freeze them, as the hardware is not listening before talking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.mac.base import MacBase, Packet
+from repro.phy.frames import (
+    BROADCAST,
+    DcfAckFrame,
+    DcfDataFrame,
+    Frame,
+    FrameKind,
+    MAC_OVERHEAD_BYTES,
+)
+from repro.phy.modulation import Phy80211a, Rate, RATE_6M
+
+
+@dataclass
+class DcfParams:
+    """DCF configuration (802.11a defaults)."""
+
+    carrier_sense: bool = True
+    acks: bool = True
+    data_rate: Rate = RATE_6M
+    ack_rate: Rate = RATE_6M
+    cw_min: int = 15
+    cw_max: int = 1023
+    retry_limit: int = 7
+    slot: float = Phy80211a.SLOT_TIME
+    sifs: float = Phy80211a.SIFS
+    difs: float = Phy80211a.DIFS
+    #: Extra slack beyond SIFS + ACK airtime before declaring ACK loss.
+    ack_timeout_slack: float = 25e-6
+
+    def ack_timeout(self) -> float:
+        ack_air = Phy80211a.airtime(14, self.ack_rate)
+        return self.sifs + ack_air + self.ack_timeout_slack
+
+
+class _State(Enum):
+    IDLE = "idle"
+    CONTEND = "contend"  # waiting for DIFS / counting down backoff
+    TX = "tx"
+    WAIT_ACK = "wait_ack"
+
+
+class DcfMac(MacBase):
+    """One node's DCF instance."""
+
+    def __init__(self, sim, node_id, radio, rng, params: Optional[DcfParams] = None):
+        super().__init__(sim, node_id, radio, rng)
+        self.params = params or DcfParams()
+        self._state = _State.IDLE
+        self._cw = self.params.cw_min
+        self._retries = 0
+        self._current: Optional[Packet] = None
+        self._current_frame: Optional[DcfDataFrame] = None
+        self._seq = 0
+        self._backoff_slots: Optional[int] = None
+        self._difs_event = None
+        self._slot_event = None
+        self._ack_timer = None
+        #: Post-TX backoff applies even after success (standard DCF).
+        self._need_post_backoff = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        super().start()
+        self._maybe_begin()
+
+    def on_queue_refill(self) -> None:
+        self._maybe_begin()
+
+    def _maybe_begin(self) -> None:
+        if self._state is not _State.IDLE or not self._started:
+            return
+        if self._current is None:
+            self._current = self.next_packet()
+        if self._current is None:
+            return
+        self._state = _State.CONTEND
+        if self._backoff_slots is None:
+            if self._need_post_backoff or self._retries > 0:
+                self._backoff_slots = int(self.rng.integers(0, self._cw + 1))
+            else:
+                self._backoff_slots = 0
+        if self.params.carrier_sense:
+            self._start_difs_when_idle()
+        else:
+            # No listening: DIFS and backoff are pure time.
+            delay = self.params.difs + self._backoff_slots * self.params.slot
+            self._backoff_slots = 0
+            self._slot_event = self.sim.schedule(delay, self._transmit_current)
+
+    # ------------------------------------------------------------------
+    # Carrier-sensed contention
+    # ------------------------------------------------------------------
+    def _start_difs_when_idle(self) -> None:
+        self._cancel_timers()
+        if self.radio.is_channel_busy():
+            return  # on_channel_idle will restart us
+        self._difs_event = self.sim.schedule(self.params.difs, self._difs_elapsed)
+
+    def _difs_elapsed(self) -> None:
+        self._difs_event = None
+        self._next_slot()
+
+    def _next_slot(self) -> None:
+        self._slot_event = None
+        if self._backoff_slots is None or self._backoff_slots <= 0:
+            self._backoff_slots = None
+            self._transmit_current()
+            return
+        self._backoff_slots -= 1
+        self._slot_event = self.sim.schedule(self.params.slot, self._next_slot)
+
+    def on_channel_busy(self) -> None:
+        if self._state is _State.CONTEND and self.params.carrier_sense:
+            # Freeze: cancel DIFS/slot timers, keep remaining slot count.
+            self._cancel_timers()
+
+    def on_channel_idle(self) -> None:
+        if self._state is _State.CONTEND and self.params.carrier_sense:
+            self._start_difs_when_idle()
+
+    def _cancel_timers(self) -> None:
+        for ev_name in ("_difs_event", "_slot_event"):
+            ev = getattr(self, ev_name)
+            if ev is not None:
+                ev.cancel()
+                setattr(self, ev_name, None)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _transmit_current(self) -> None:
+        self._slot_event = None
+        if self._current is None:  # pragma: no cover - defensive
+            self._state = _State.IDLE
+            return
+        if self.radio.is_transmitting:  # pragma: no cover - defensive
+            self.sim.schedule(self.params.slot, self._transmit_current)
+            return
+        pkt = self._current
+        frame = DcfDataFrame(
+            src=self.node_id,
+            dst=pkt.dst,
+            size_bytes=pkt.size_bytes + MAC_OVERHEAD_BYTES,
+            rate=self.params.data_rate,
+            seq=self._seq,
+            packet_id=pkt.packet_id,
+            retry=self._retries > 0,
+        )
+        self._current_frame = frame
+        self._state = _State.TX
+        self.stats.data_frames_sent += 1
+        if self._retries > 0:
+            self.stats.retransmissions += 1
+        self.radio.transmit(frame)
+
+    def on_tx_complete(self, frame: Frame) -> None:
+        if frame.kind is FrameKind.DCF_ACK:
+            return  # receiver side finished sending an ACK
+        if frame is not self._current_frame:
+            return
+        wants_ack = self.params.acks and not frame.is_broadcast
+        if wants_ack:
+            self._state = _State.WAIT_ACK
+            self._ack_timer = self.sim.schedule(
+                self.params.ack_timeout(), self._ack_timed_out
+            )
+        else:
+            self._packet_done(success=True)
+
+    # ------------------------------------------------------------------
+    # ACK handling
+    # ------------------------------------------------------------------
+    def _ack_timed_out(self) -> None:
+        self._ack_timer = None
+        self.stats.ack_timeouts += 1
+        self._retries += 1
+        if self._retries > self.params.retry_limit:
+            self.stats.packets_dropped += 1
+            self._packet_done(success=False)
+            return
+        self._cw = min(2 * self._cw + 1, self.params.cw_max)
+        self._backoff_slots = None
+        self._state = _State.IDLE
+        self._maybe_begin()
+
+    def _packet_done(self, success: bool) -> None:
+        self._current = None
+        self._current_frame = None
+        self._seq += 1
+        self._retries = 0
+        self._cw = self.params.cw_min
+        self._backoff_slots = None
+        self._need_post_backoff = True
+        self._state = _State.IDLE
+        self._maybe_begin()
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def on_frame_received(self, frame: Frame, ok: bool, reception) -> None:
+        if not ok:
+            return
+        if frame.kind is FrameKind.DCF_DATA:
+            if frame.dst in (self.node_id, BROADCAST):
+                self.stats.data_frames_received_ok += 1
+                self.deliver_up(
+                    frame.src, frame.packet_id, frame.size_bytes - MAC_OVERHEAD_BYTES
+                )
+                if self.params.acks and frame.dst == self.node_id:
+                    self._send_ack(frame)
+        elif frame.kind is FrameKind.DCF_ACK:
+            if frame.dst == self.node_id:
+                self._handle_ack(frame)
+
+    def _send_ack(self, data_frame: DcfDataFrame) -> None:
+        ack = DcfAckFrame(
+            src=self.node_id,
+            dst=data_frame.src,
+            size_bytes=14,
+            rate=self.params.ack_rate,
+            acked_seq=data_frame.seq,
+            acked_uid=data_frame.uid,
+        )
+        self.stats.acks_sent += 1
+        self.sim.schedule(self.params.sifs, self._transmit_ack, ack)
+
+    def _transmit_ack(self, ack: DcfAckFrame) -> None:
+        if self.radio.is_transmitting:
+            # Extremely rare (receiver started its own data frame); drop.
+            return
+        self.radio.transmit(ack)
+
+    def _handle_ack(self, ack: DcfAckFrame) -> None:
+        if (
+            self._state is _State.WAIT_ACK
+            and self._current_frame is not None
+            and ack.acked_uid == self._current_frame.uid
+        ):
+            self.stats.acks_received += 1
+            if self._ack_timer is not None:
+                self._ack_timer.cancel()
+                self._ack_timer = None
+            self._packet_done(success=True)

@@ -1,0 +1,168 @@
+"""E-CSMA: CSMA steered by per-receiver success feedback (§6, [4]).
+
+Eisenman & Campbell's E-CSMA keeps carrier sense but replaces the binary
+busy/idle rule with a learned one: the sender bins the channel condition it
+observes at transmit time (here: aggregate in-band interference power,
+i.e. what RSSI sampling gives a real card) and, per receiver, tracks the
+empirical delivery probability in each bin from link-layer ACK feedback. It
+transmits despite a busy channel when the learned P(success | bin) clears a
+threshold, and defers when it does not.
+
+The paper's §6 critique, which this implementation lets us quantify: E-CSMA
+captures channel state only through sender-side signal strength, without the
+*identity* of the current transmitters, so distinct interferers that look
+alike at the sender but differ at the receiver share one estimate — exactly
+the confusion CMAP's conflict map resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.mac.dcf import DcfMac, DcfParams, _State
+from repro.util.units import mw_to_dbm
+
+
+@dataclass
+class EcsmaParams(DcfParams):
+    """DCF parameters plus the E-CSMA learning knobs."""
+
+    #: Interference-power bin edges in dBm ("quiet" is everything below).
+    bin_edges_dbm: tuple = (-95.0, -88.0, -82.0, -76.0, -70.0)
+    #: Transmit when the learned success probability is at least this.
+    success_threshold: float = 0.5
+    #: Optimistic prior: try each bin a few times before trusting stats.
+    prior_successes: float = 1.0
+    prior_attempts: float = 1.0
+    #: Exponential forgetting applied per update (tracks channel drift).
+    decay: float = 0.995
+
+
+class _BinStats:
+    """Decayed success counts for one (receiver, bin) pair."""
+
+    __slots__ = ("attempts", "successes")
+
+    def __init__(self, prior_successes: float, prior_attempts: float):
+        self.successes = prior_successes
+        self.attempts = prior_attempts
+
+    def update(self, ok: bool, decay: float) -> None:
+        self.successes = self.successes * decay + (1.0 if ok else 0.0)
+        self.attempts = self.attempts * decay + 1.0
+
+    @property
+    def probability(self) -> float:
+        return self.successes / self.attempts if self.attempts > 0 else 0.5
+
+
+class EcsmaMac(DcfMac):
+    """DCF whose defer rule is P(success | observed interference bin)."""
+
+    def __init__(self, sim, node_id, radio, rng, params: Optional[EcsmaParams] = None):
+        super().__init__(sim, node_id, radio, rng, params or EcsmaParams())
+        self._stats: Dict[Tuple[int, int], _BinStats] = {}
+        self._tx_bin: Optional[int] = None
+        self.transmitted_through_busy = 0
+        self.deferred_by_stats = 0
+
+    # ------------------------------------------------------------------
+    # Channel-condition binning
+    # ------------------------------------------------------------------
+    def _current_bin(self) -> int:
+        interference_dbm = mw_to_dbm(self.radio.interference_mw())
+        for idx, edge in enumerate(self.params.bin_edges_dbm):
+            if interference_dbm < edge:
+                return idx
+        return len(self.params.bin_edges_dbm)
+
+    def _bin_stats(self, dst: int, bin_idx: int) -> _BinStats:
+        key = (dst, bin_idx)
+        if key not in self._stats:
+            self._stats[key] = _BinStats(
+                self.params.prior_successes, self.params.prior_attempts
+            )
+        return self._stats[key]
+
+    def predicted_success(self, dst: int, bin_idx: Optional[int] = None) -> float:
+        """Learned P(success -> dst | current channel bin)."""
+        if bin_idx is None:
+            bin_idx = self._current_bin()
+        return self._bin_stats(dst, bin_idx).probability
+
+    # ------------------------------------------------------------------
+    # Channel access: busy is advisory, the estimator decides
+    # ------------------------------------------------------------------
+    def _busy_blocks(self) -> bool:
+        """True when carrier is busy *and* the estimator says defer."""
+        if not self.radio.is_channel_busy():
+            return False
+        if self._current is None:
+            return True
+        ok = self.predicted_success(self._current.dst, self._current_bin()) >= (
+            self.params.success_threshold
+        )
+        if ok:
+            self.transmitted_through_busy += 1
+        else:
+            self.deferred_by_stats += 1
+        return not ok
+
+    def _start_difs_when_idle(self) -> None:
+        self._cancel_timers()
+        if self._busy_blocks():
+            return  # normal CSMA deferral; the idle edge restarts us
+        self._difs_event = self.sim.schedule(self.params.difs, self._difs_elapsed)
+
+    def on_channel_busy(self) -> None:
+        """Freeze only when the estimator agrees the busy channel is fatal.
+
+        Plain DCF freezes its DIFS/backoff countdown on every busy edge;
+        E-CSMA keeps counting through interference it has learned to beat
+        (otherwise a neighbour's frame edges would re-serialize the very
+        concurrency the estimator unlocked).
+        """
+        if self._state is not _State.CONTEND:
+            return
+        if self._current is not None:
+            ok = self.predicted_success(
+                self._current.dst, self._current_bin()
+            ) >= self.params.success_threshold
+            if ok:
+                return  # ignore the edge, keep counting down
+        self._cancel_timers()
+
+    def _transmit_current(self) -> None:
+        if self._current is not None:
+            self._tx_bin = self._current_bin()
+        super()._transmit_current()
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def _packet_done(self, success: bool) -> None:
+        if self._current is not None and self._tx_bin is not None:
+            self._bin_stats(self._current.dst, self._tx_bin).update(
+                success, self.params.decay
+            )
+        self._tx_bin = None
+        super()._packet_done(success)
+
+    def _ack_timed_out(self) -> None:
+        # Each failed attempt is negative feedback for its bin.
+        if self._current is not None and self._tx_bin is not None:
+            self._bin_stats(self._current.dst, self._tx_bin).update(
+                False, self.params.decay
+            )
+            self._tx_bin = None
+        super()._ack_timed_out()
+
+
+def ecsma_factory(params: Optional[EcsmaParams] = None):
+    """Factory matching :func:`repro.network.dcf_factory`'s shape."""
+
+    def make(sim, node_id, radio, rng) -> EcsmaMac:
+        return EcsmaMac(sim, node_id, radio, rng, params or EcsmaParams())
+
+    return make

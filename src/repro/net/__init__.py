@@ -1,0 +1,15 @@
+"""Topology, the synthetic 50-node testbed, and link classification."""
+
+from repro.net.topology import FloorPlan, grid_positions, random_positions
+from repro.net.testbed import Testbed, TestbedConfig
+from repro.net.links import LinkTable, LinkStats
+
+__all__ = [
+    "FloorPlan",
+    "grid_positions",
+    "random_positions",
+    "Testbed",
+    "TestbedConfig",
+    "LinkTable",
+    "LinkStats",
+]

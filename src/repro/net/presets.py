@@ -1,0 +1,69 @@
+"""Ready-made testbed configurations beyond the default office floor.
+
+The paper's evaluation lives on one indoor office floor; downstream users
+will want other regimes. Each preset is calibrated only loosely — the tests
+assert the qualitative property named in its docstring, not a census match.
+"""
+
+from __future__ import annotations
+
+from repro.net.testbed import TestbedConfig
+from repro.net.topology import FloorPlan
+
+
+def paper_office() -> TestbedConfig:
+    """The default: calibrated against the paper's §5.1 census."""
+    return TestbedConfig()
+
+
+def dense_office() -> TestbedConfig:
+    """A small, crowded floor: almost every pair in carrier-sense range.
+
+    Exposed terminals are rare here (receivers are near every sender), so
+    CMAP should converge to CSMA behaviour — the paper's "converging to the
+    performance of CSMA when senders and receivers are all close" claim.
+    """
+    return TestbedConfig(
+        num_nodes=30,
+        floor=FloorPlan(90.0, 45.0),
+        p_los=0.7,
+        shadowing_sigma_db=4.0,
+    )
+
+
+def sparse_warehouse() -> TestbedConfig:
+    """A big open space with long LOS links and weak walls.
+
+    Few conflicts, many concurrent-transmission opportunities: the
+    spatial-reuse regime where reactive concurrency shines.
+    """
+    return TestbedConfig(
+        num_nodes=50,
+        floor=FloorPlan(420.0, 210.0),
+        path_loss_exponent=2.8,
+        p_los=0.8,
+        shadowing_sigma_db=4.0,
+    )
+
+
+def obstructed_multiroom() -> TestbedConfig:
+    """Heavy walls: deep shadowing, mostly NLOS links, ragged connectivity.
+
+    The stress case for the conflict map — headers are harder to overhear,
+    so hidden interferers are more common and the backoff works harder.
+    """
+    return TestbedConfig(
+        num_nodes=50,
+        floor=FloorPlan(220.0, 110.0),
+        path_loss_exponent=3.6,
+        p_los=0.25,
+        shadowing_sigma_db=8.0,
+    )
+
+
+ALL_PRESETS = {
+    "paper_office": paper_office,
+    "dense_office": dense_office,
+    "sparse_warehouse": sparse_warehouse,
+    "obstructed_multiroom": obstructed_multiroom,
+}

@@ -1,0 +1,113 @@
+"""The synthetic 50-node indoor testbed.
+
+Bundles node placement, the propagation model, the pairwise RSS matrix, and
+the link table into one reproducible object. Default physical constants are
+calibrated (see ``tests/test_testbed.py``) so the link census is in the same
+regime as the paper's §5.1 characterisation: a majority of connected pairs
+are near-dead, a thin band is intermediate, a solid fraction is perfect, and
+mean degree is in the mid-teens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.links import LinkTable
+from repro.net.topology import FloorPlan, Region, assign_regions, grid_positions
+from repro.phy.fading import LosNlosMixtureFading
+from repro.phy.modulation import ErrorModel, NistErrorModel, Rate, RATE_6M
+from repro.phy.propagation import (
+    LogDistanceShadowing,
+    Position,
+    PropagationModel,
+    RssMatrix,
+)
+from repro.util.rng import RngFactory
+
+
+@dataclass
+class TestbedConfig:
+    """Knobs for generating a testbed instance."""
+
+    #: Not a test class, despite the name (silences pytest collection).
+    __test__ = False
+
+    num_nodes: int = 50
+    floor: FloorPlan = field(default_factory=lambda: FloorPlan(280.0, 140.0))
+    tx_power_dbm: float = 18.0
+    noise_dbm: float = -93.0
+    path_loss_exponent: float = 3.3
+    pl_at_1m_db: float = 46.7
+    shadowing_sigma_db: float = 6.0
+    #: LOS/NLOS fading mixture (see repro.phy.fading).
+    p_los: float = 0.45
+    los_sigma_db: float = 0.5
+    #: Payload + MAC overhead used for link-classification probes.
+    probe_size_bytes: int = 1428
+    rate: Rate = RATE_6M
+
+
+class Testbed:
+    """A generated testbed: positions + channel + link statistics.
+
+    Everything is a deterministic function of ``seed`` so experiments can
+    sample many topologies reproducibly (the paper randomises over 50 link
+    pairs / 10 client sets per experiment).
+    """
+
+    #: Not a test class, despite the name (silences pytest collection).
+    __test__ = False
+
+    def __init__(
+        self,
+        seed: int,
+        config: Optional[TestbedConfig] = None,
+        error_model: Optional[ErrorModel] = None,
+    ):
+        self.config = config or TestbedConfig()
+        self.seed = seed
+        self.rngs = RngFactory(seed)
+        self.error_model = error_model or NistErrorModel()
+
+        self.positions: Dict[int, Position] = grid_positions(
+            self.config.num_nodes,
+            self.config.floor,
+            self.rngs.stream("placement"),
+        )
+        self.propagation: PropagationModel = LogDistanceShadowing(
+            self.rngs,
+            exponent=self.config.path_loss_exponent,
+            pl_at_reference_db=self.config.pl_at_1m_db,
+            shadowing_sigma_db=self.config.shadowing_sigma_db,
+        )
+        self.rss = RssMatrix(
+            self.propagation, self.positions, self.config.tx_power_dbm
+        )
+        self.fading = LosNlosMixtureFading(
+            seed=self.rngs.seed,
+            p_los=self.config.p_los,
+            los_sigma_db=self.config.los_sigma_db,
+        )
+        self.links = LinkTable(
+            sorted(self.positions),
+            self.rss,
+            self.config.noise_dbm,
+            self.error_model,
+            rate=self.config.rate,
+            probe_size_bytes=self.config.probe_size_bytes,
+            fading=self.fading,
+        )
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self.positions)
+
+    # ------------------------------------------------------------------
+    # Regions (paper §5.6 AP experiment)
+    # ------------------------------------------------------------------
+    def regions(self, columns: int = 3, rows: int = 2) -> List[Region]:
+        return self.config.floor.regions(columns, rows)
+
+    def nodes_by_region(self, columns: int = 3, rows: int = 2) -> Dict[int, List[int]]:
+        return assign_regions(self.positions, self.regions(columns, rows))

@@ -1,0 +1,130 @@
+"""Node placement on an office floor.
+
+The paper's testbed is 50 nodes spread over one large office floor
+(Fig. 10). We generate placements with a jittered grid — office testbeds are
+roughly regular because nodes sit in offices — and partition the floor into
+the six "regions" the access-point experiment uses (§5.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.phy.propagation import Position
+
+
+@dataclass(frozen=True)
+class FloorPlan:
+    """Rectangular floor of ``width_m`` x ``height_m`` metres."""
+
+    width_m: float
+    height_m: float
+
+    def regions(self, columns: int = 3, rows: int = 2) -> List["Region"]:
+        """Partition the floor into a columns x rows grid of regions.
+
+        The AP experiment (paper §5.6) divides the testbed into six regions
+        and places one AP per region; 3 x 2 matches a long office floor.
+        """
+        cell_w = self.width_m / columns
+        cell_h = self.height_m / rows
+        out = []
+        for r in range(rows):
+            for c in range(columns):
+                out.append(
+                    Region(
+                        index=r * columns + c,
+                        x_min=c * cell_w,
+                        x_max=(c + 1) * cell_w,
+                        y_min=r * cell_h,
+                        y_max=(r + 1) * cell_h,
+                    )
+                )
+        return out
+
+
+@dataclass(frozen=True)
+class Region:
+    """One rectangular region of the floor."""
+
+    index: int
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    def contains(self, p: Position) -> bool:
+        return self.x_min <= p.x < self.x_max and self.y_min <= p.y < self.y_max
+
+    @property
+    def center(self) -> Position:
+        return Position((self.x_min + self.x_max) / 2, (self.y_min + self.y_max) / 2)
+
+
+def grid_positions(
+    n: int,
+    floor: FloorPlan,
+    rng: np.random.Generator,
+    jitter_fraction: float = 0.35,
+) -> Dict[int, Position]:
+    """Place ``n`` nodes on a jittered grid filling the floor.
+
+    ``jitter_fraction`` is the uniform displacement as a fraction of the cell
+    pitch; 0 gives a perfect grid, values near 0.5 approach uniform noise.
+    """
+    if n <= 0:
+        raise ValueError("need at least one node")
+    aspect = floor.width_m / floor.height_m
+    cols = max(1, int(round(np.sqrt(n * aspect))))
+    rows = max(1, int(np.ceil(n / cols)))
+    pitch_x = floor.width_m / cols
+    pitch_y = floor.height_m / rows
+    positions: Dict[int, Position] = {}
+    idx = 0
+    for r in range(rows):
+        for c in range(cols):
+            if idx >= n:
+                break
+            jx = rng.uniform(-jitter_fraction, jitter_fraction) * pitch_x
+            jy = rng.uniform(-jitter_fraction, jitter_fraction) * pitch_y
+            x = float(np.clip((c + 0.5) * pitch_x + jx, 0.0, floor.width_m))
+            y = float(np.clip((r + 0.5) * pitch_y + jy, 0.0, floor.height_m))
+            positions[idx] = Position(x, y)
+            idx += 1
+    return positions
+
+
+def random_positions(
+    n: int, floor: FloorPlan, rng: np.random.Generator
+) -> Dict[int, Position]:
+    """Place ``n`` nodes uniformly at random on the floor."""
+    return {
+        i: Position(
+            float(rng.uniform(0.0, floor.width_m)),
+            float(rng.uniform(0.0, floor.height_m)),
+        )
+        for i in range(n)
+    }
+
+
+def assign_regions(
+    positions: Dict[int, Position], regions: List[Region]
+) -> Dict[int, List[int]]:
+    """Map region index -> node ids located inside it."""
+    out: Dict[int, List[int]] = {r.index: [] for r in regions}
+    for node_id, pos in positions.items():
+        for region in regions:
+            if region.contains(pos):
+                out[region.index].append(node_id)
+                break
+        else:
+            # Points exactly on the far edge fall into the nearest region.
+            nearest = min(
+                regions,
+                key=lambda r: (r.center.x - pos.x) ** 2 + (r.center.y - pos.y) ** 2,
+            )
+            out[nearest.index].append(node_id)
+    return out

@@ -1,0 +1,86 @@
+"""ASCII rendering of the testbed floor plan (the Fig. 10 analogue).
+
+Draws node positions on a character grid, optionally with the §5.6 region
+boundaries and a highlighted node set (e.g. one experiment's senders and
+receivers), so a reader can sanity-check a scenario's geometry without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.net.testbed import Testbed
+
+
+def render_floor(
+    testbed: Testbed,
+    width: int = 76,
+    show_regions: bool = False,
+    highlight: Optional[Iterable[int]] = None,
+    labels: bool = True,
+) -> str:
+    """Render node positions as an ASCII map.
+
+    Nodes print as their id's last two digits (or ``*`` for highlighted
+    ones when ``labels`` is False); region boundaries as ``|`` and ``-``.
+    """
+    floor = testbed.config.floor
+    height = max(6, int(width * floor.height_m / floor.width_m / 2))
+    # Two characters per node label; halve the effective x resolution.
+    grid = [[" "] * width for _ in range(height)]
+
+    if show_regions:
+        regions = testbed.regions()
+        for region in regions:
+            x0 = int(region.x_min / floor.width_m * (width - 1))
+            x1 = int(region.x_max / floor.width_m * (width - 1))
+            y0 = int(region.y_min / floor.height_m * (height - 1))
+            y1 = int(region.y_max / floor.height_m * (height - 1))
+            for x in range(x0, min(x1 + 1, width)):
+                grid[y0][x] = "-"
+                grid[min(y1, height - 1)][x] = "-"
+            for y in range(y0, min(y1 + 1, height)):
+                grid[y][x0] = "|"
+                grid[y][min(x1, width - 1)] = "|"
+
+    wanted = set(highlight) if highlight is not None else None
+    for node_id, pos in sorted(testbed.positions.items()):
+        x = int(pos.x / floor.width_m * (width - 3))
+        y = int(pos.y / floor.height_m * (height - 1))
+        if wanted is not None and node_id in wanted:
+            label = f"[{node_id % 100}]" if labels else " * "
+        elif labels:
+            label = f"{node_id % 100:2d}"
+        else:
+            label = "."
+        for i, ch in enumerate(label):
+            if x + i < width:
+                grid[y][x + i] = ch
+
+    lines = ["".join(row).rstrip() for row in grid]
+    header = (
+        f"{floor.width_m:.0f} m x {floor.height_m:.0f} m floor, "
+        f"{len(testbed.positions)} nodes"
+    )
+    return header + "\n" + "\n".join(lines)
+
+
+def render_link(testbed: Testbed, a: int, b: int) -> str:
+    """One-line link summary: distance, RSS, PRR, classification."""
+    links = testbed.links
+    pos = testbed.positions
+    d = pos[a].distance_to(pos[b])
+    tags = []
+    if links.potential_tx_link(a, b):
+        tags.append("potential-tx")
+    elif links.in_range(a, b):
+        tags.append("in-range")
+    elif links.out_of_range(a, b):
+        tags.append("out-of-range")
+    if links.strong_signal(a, b):
+        tags.append("strong")
+    return (
+        f"{a:>3} -> {b:<3} {d:6.1f} m  {links.rss(a, b):7.1f} dBm  "
+        f"PRR {links.prr(a, b):5.3f}  [{', '.join(tags) or 'weak'}]"
+    )

@@ -1,0 +1,216 @@
+"""Network assembly and run orchestration.
+
+``Network`` wires a :class:`~repro.net.testbed.Testbed` (positions + channel)
+to radios, MACs, traffic, and a shared delivery sink, then runs the event
+engine for a fixed duration with a warmup period excluded from measurement —
+mirroring the paper's method of measuring the last 60 s of each 100 s run
+(§5.1).
+
+Only the nodes an experiment names are instantiated: idle testbed nodes
+neither transmit nor affect the channel, so leaving them out changes nothing
+but saves event fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cmap_mac import CmapMac
+from repro.core.params import CmapParams
+from repro.mac.base import MacBase
+from repro.mac.dcf import DcfMac, DcfParams
+from repro.net.testbed import Testbed
+from repro.node import Node
+from repro.phy.medium import Medium
+from repro.phy.radio import Radio, RadioConfig
+from repro.sim.engine import Simulator
+from repro.traffic.generators import BatchSource, SaturatedSource, SinkRegistry
+
+MacFactory = Callable[[Simulator, int, Radio, np.random.Generator], MacBase]
+
+
+def cmap_factory(params: Optional[CmapParams] = None) -> MacFactory:
+    """A factory producing CMAP MACs with shared parameters."""
+
+    def make(sim, node_id, radio, rng) -> CmapMac:
+        return CmapMac(sim, node_id, radio, rng, params or CmapParams())
+
+    return make
+
+
+def dcf_factory(
+    carrier_sense: bool = True,
+    acks: bool = True,
+    params: Optional[DcfParams] = None,
+) -> MacFactory:
+    """A factory producing 802.11 DCF MACs.
+
+    ``carrier_sense``/``acks`` override the corresponding fields when no
+    explicit ``params`` is given, matching the paper's three baselines.
+    """
+
+    def make(sim, node_id, radio, rng) -> DcfMac:
+        p = params or DcfParams(carrier_sense=carrier_sense, acks=acks)
+        return DcfMac(sim, node_id, radio, rng, p)
+
+    return make
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one finished run."""
+
+    sink: SinkRegistry
+    measured_duration: float
+    nodes: Dict[int, Node]
+    medium: Medium
+    warmup: float
+    duration: float
+
+    # ------------------------------------------------------------------
+    def flow_mbps(self, src: int, dst: int) -> float:
+        return self.sink.throughput_bps(src, dst, self.measured_duration) / 1e6
+
+    def aggregate_mbps(self) -> float:
+        return self.sink.aggregate_throughput_bps(self.measured_duration) / 1e6
+
+    def concurrency_fraction(self, senders: Sequence[int]) -> float:
+        """Fraction of measured time when ≥ 2 of ``senders`` were on the air.
+
+        Needs the medium's tx log (``Network(track_tx=True)``).
+        """
+        log = self.medium.tx_log
+        if log is None:
+            raise RuntimeError("run without track_tx=True has no tx log")
+        window_start, window_end = self.warmup, self.duration
+        events: List[Tuple[float, int]] = []
+        sender_set = set(senders)
+        for node, start, end in log:
+            if node not in sender_set:
+                continue
+            s = max(start, window_start)
+            e = min(end, window_end)
+            if s < e:
+                events.append((s, +1))
+                events.append((e, -1))
+        if not events:
+            return 0.0
+        events.sort()
+        overlap = 0.0
+        active = 0
+        last_t = window_start
+        for t, delta in events:
+            if active >= 2:
+                overlap += t - last_t
+            active += delta
+            last_t = t
+        span = window_end - window_start
+        return overlap / span if span > 0 else 0.0
+
+    def airtime_fraction(self, sender: int) -> float:
+        """Fraction of the measured window ``sender`` spent transmitting."""
+        log = self.medium.tx_log
+        if log is None:
+            raise RuntimeError("run without track_tx=True has no tx log")
+        busy = 0.0
+        for node, start, end in log:
+            if node != sender:
+                continue
+            s = max(start, self.warmup)
+            e = min(end, self.duration)
+            busy += max(0.0, e - s)
+        span = self.duration - self.warmup
+        return busy / span if span > 0 else 0.0
+
+
+class Network:
+    """One simulation run being assembled."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        run_seed: int = 0,
+        radio_config: Optional[RadioConfig] = None,
+        track_tx: bool = False,
+        tracer=None,
+    ):
+        self.testbed = testbed
+        self.sim = Simulator()
+        self.rngs = testbed.rngs.fork("run", run_seed)
+        self.medium = Medium(self.sim, testbed.rss)
+        if track_tx:
+            self.medium.tx_log = []
+        self.tracer = tracer
+        self.sink = SinkRegistry()
+        self.nodes: Dict[int, Node] = {}
+        self._radio_config = radio_config or RadioConfig(
+            tx_power_dbm=testbed.config.tx_power_dbm,
+            noise_dbm=testbed.config.noise_dbm,
+            fading=testbed.fading,
+            error_model=testbed.error_model,
+        )
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int, mac_factory: MacFactory) -> Node:
+        """Instantiate radio + MAC for one testbed node."""
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id} already added")
+        if node_id not in self.testbed.positions:
+            raise KeyError(f"node {node_id} not in testbed")
+        radio = Radio(
+            self.sim,
+            node_id,
+            self._radio_config,
+            self.rngs.stream("radio", node_id),
+        )
+        self.medium.attach(radio)
+        mac = mac_factory(
+            self.sim, node_id, radio, self.rngs.stream("mac", node_id)
+        )
+        mac.attach_sink(self.sink.sink_for(node_id))
+        if self.tracer is not None:
+            mac.tracer = self.tracer
+        node = Node(node_id, self.testbed.positions[node_id], radio, mac)
+        self.nodes[node_id] = node
+        return node
+
+    def add_saturated_flow(self, src: int, dst: int, payload_bytes: int = 1400) -> None:
+        """Give ``src`` an always-full queue of packets for ``dst``."""
+        source = SaturatedSource(dst, payload_bytes)
+        self.nodes[src].mac.attach_source(source)
+        self.nodes[src].source = source
+
+    def add_batch_flow(
+        self, src: int, dst: int, count: int, payload_bytes: int = 1400
+    ) -> BatchSource:
+        """Give ``src`` a finite batch of packets for ``dst`` (mesh, §5.7)."""
+        source = BatchSource(dst, count, payload_bytes)
+        self.nodes[src].mac.attach_source(source)
+        self.nodes[src].source = source
+        return source
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration: float, warmup: float = 0.0) -> RunResult:
+        """Run for ``duration`` simulated seconds; measure after ``warmup``."""
+        if warmup >= duration:
+            raise ValueError("warmup must be shorter than the run")
+        self.sink.measure_from = warmup
+        self.sink.measure_until = duration
+        for node in self.nodes.values():
+            node.start()
+        self.sim.run(until=duration)
+        return RunResult(
+            sink=self.sink,
+            measured_duration=duration - warmup,
+            nodes=self.nodes,
+            medium=self.medium,
+            warmup=warmup,
+            duration=duration,
+        )

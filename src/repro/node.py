@@ -1,0 +1,24 @@
+"""A node: position + radio + MAC, assembled for one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mac.base import MacBase
+from repro.phy.propagation import Position
+from repro.phy.radio import Radio
+
+
+@dataclass
+class Node:
+    """One wireless node in a running simulation."""
+
+    node_id: int
+    position: Position
+    radio: Radio
+    mac: MacBase
+    source: Optional[object] = None  # pull source attached to the MAC, if any
+
+    def start(self) -> None:
+        self.mac.start()

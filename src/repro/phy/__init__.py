@@ -1,0 +1,81 @@
+"""Physical layer: 802.11a rates, propagation, medium, radios, receptions.
+
+The PHY provides the abstraction CMAP assumes (paper §2.1): headers and
+trailers of virtual packets are independent small frames, so a receiver can
+salvage them from collisions and "stream" them to the MAC in a timely manner.
+"""
+
+from repro.phy.modulation import (
+    Rate,
+    RATES,
+    RATE_6M,
+    RATE_9M,
+    RATE_12M,
+    RATE_18M,
+    RATE_24M,
+    RATE_36M,
+    RATE_48M,
+    RATE_54M,
+    Phy80211a,
+    ErrorModel,
+    NistErrorModel,
+    SinrThresholdErrorModel,
+)
+from repro.phy.propagation import (
+    PropagationModel,
+    FreeSpace,
+    LogDistance,
+    LogDistanceShadowing,
+    Position,
+)
+from repro.phy.frames import (
+    Frame,
+    FrameKind,
+    BROADCAST,
+    DataFrame,
+    VpktHeaderFrame,
+    VpktTrailerFrame,
+    CmapAckFrame,
+    InterfererListFrame,
+    DcfDataFrame,
+    DcfAckFrame,
+)
+from repro.phy.medium import Medium, Transmission
+from repro.phy.radio import Radio, RadioConfig, RadioState
+
+__all__ = [
+    "Rate",
+    "RATES",
+    "RATE_6M",
+    "RATE_9M",
+    "RATE_12M",
+    "RATE_18M",
+    "RATE_24M",
+    "RATE_36M",
+    "RATE_48M",
+    "RATE_54M",
+    "Phy80211a",
+    "ErrorModel",
+    "NistErrorModel",
+    "SinrThresholdErrorModel",
+    "PropagationModel",
+    "FreeSpace",
+    "LogDistance",
+    "LogDistanceShadowing",
+    "Position",
+    "Frame",
+    "FrameKind",
+    "BROADCAST",
+    "DataFrame",
+    "VpktHeaderFrame",
+    "VpktTrailerFrame",
+    "CmapAckFrame",
+    "InterfererListFrame",
+    "DcfDataFrame",
+    "DcfAckFrame",
+    "Medium",
+    "Transmission",
+    "Radio",
+    "RadioConfig",
+    "RadioState",
+]

@@ -1,0 +1,137 @@
+"""The shared wireless medium.
+
+The medium owns the set of in-flight transmissions and fans each one out to
+every attached radio whose received power clears a negligible-energy cutoff.
+Propagation delay at indoor scale (< 1 us over 100 m) is far below MAC
+timescales, so frames arrive at all receivers at the instant transmission
+starts; event priorities guarantee ends process before same-instant starts,
+which back-to-back virtual-packet frames rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.phy.frames import Frame
+from repro.phy.modulation import Phy80211a
+from repro.phy.propagation import RssMatrix
+from repro.sim.engine import Priority, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phy.radio import Radio
+
+
+@dataclass
+class Transmission:
+    """One frame in flight."""
+
+    frame: Frame
+    tx_node: int
+    start: float
+    end: float
+    #: Set by the medium for stats/debugging.
+    seq: int = field(default=0)
+
+    @property
+    def uid(self) -> int:
+        return self.frame.uid
+
+    @property
+    def airtime(self) -> float:
+        return self.end - self.start
+
+
+class Medium:
+    """Connects radios through an RSS matrix.
+
+    Args:
+        sim: the event engine.
+        rss: precomputed pairwise received signal strengths.
+        min_power_dbm: arrivals weaker than this are dropped entirely
+            (≈ 12 dB below the default noise floor — negligible interference).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rss: RssMatrix,
+        min_power_dbm: float = -105.0,
+        phy: type = Phy80211a,
+    ):
+        self.sim = sim
+        self.rss = rss
+        self.min_power_dbm = min_power_dbm
+        self.phy = phy
+        self._radios: Dict[int, "Radio"] = {}
+        self._tx_seq = 0
+        #: Currently in-flight transmissions, keyed by frame uid.
+        self.active: Dict[int, Transmission] = {}
+        #: Total frames ever put on the air (stats).
+        self.total_transmissions = 0
+        #: Optional (node, start, end) log of every transmission, used by
+        #: the concurrency metrics; assign a list to enable.
+        self.tx_log: Optional[List[tuple]] = None
+
+    def attach(self, radio: "Radio") -> None:
+        """Register a radio; it will hear all sufficiently strong frames."""
+        if radio.node_id in self._radios:
+            raise ValueError(f"radio for node {radio.node_id} already attached")
+        self._radios[radio.node_id] = radio
+        radio.medium = self
+
+    def airtime(self, frame: Frame) -> float:
+        """On-air duration of ``frame``."""
+        return self.phy.airtime(frame.size_bytes, frame.rate)
+
+    def transmit(self, radio: "Radio", frame: Frame) -> Transmission:
+        """Put ``frame`` on the air from ``radio``; returns the transmission.
+
+        Fan-out and the transmitter's own end-of-tx callback are scheduled
+        here; receiver-side physics live in :class:`repro.phy.radio.Radio`.
+        """
+        now = self.sim.now
+        airtime = self.airtime(frame)
+        tx = Transmission(frame, radio.node_id, now, now + airtime, self._tx_seq)
+        self._tx_seq += 1
+        self.total_transmissions += 1
+        self.active[tx.uid] = tx
+        if self.tx_log is not None:
+            self.tx_log.append((radio.node_id, now, now + airtime))
+
+        for node_id, rx_radio in self._radios.items():
+            if node_id == radio.node_id:
+                continue
+            rss = self.rss.get(radio.node_id, node_id)
+            if rss is None or rss < self.min_power_dbm:
+                continue
+            self.sim.schedule(
+                0.0,
+                rx_radio.on_frame_start,
+                tx,
+                rss,
+                priority=Priority.FRAME_START,
+            )
+            self.sim.schedule(
+                airtime,
+                rx_radio.on_frame_end,
+                tx,
+                rss,
+                priority=Priority.FRAME_END,
+            )
+
+        self.sim.schedule(
+            airtime, self._finish_transmission, radio, tx, priority=Priority.FRAME_END
+        )
+        return tx
+
+    def _finish_transmission(self, radio: "Radio", tx: Transmission) -> None:
+        self.active.pop(tx.uid, None)
+        radio.on_own_tx_end(tx)
+
+    def active_transmissions(self) -> List[Transmission]:
+        """Snapshot of in-flight transmissions (tests, stats)."""
+        return list(self.active.values())
+
+    def radio(self, node_id: int) -> "Radio":
+        return self._radios[node_id]

@@ -1,0 +1,211 @@
+"""802.11a OFDM rate set, frame airtimes, and SINR -> error models.
+
+The testbed in the paper runs 802.11a (paper §5.1): 6 Mb/s default, with
+12/18 Mb/s used in the variable bit-rate experiment (§5.8, Fig. 20). We model
+the full 8-rate set so rate-aware conflict maps (§3.5) can be exercised.
+
+Error model: per-rate bit error rate as a smooth function of SINR in dB,
+parameterised by the SINR at which a 1400-byte frame has 50 % delivery
+(``sinr50_1400_db``) and a waterfall steepness. Frame success over an
+interference-varying reception is the product over constant-SINR intervals of
+``(1 - ber)^bits`` (see :mod:`repro.phy.reception`). Parameters are spaced
+like 802.11a receiver sensitivities, so higher rates require markedly higher
+SINR — which reproduces the paper's observation that exposed-terminal
+opportunities shrink at higher bit-rates (§5.8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: erfc^-1(2 * ber50) for a 1400-byte (11200-bit) frame at 50 % success:
+#: ber50 = 1 - 0.5**(1/11200) = 6.188e-5; erfcinv(1.2376e-4) = 2.7140.
+_X50_1400B = 2.7140
+
+#: Bits in the reference frame used to define ``sinr50_1400_db``.
+_REF_BITS = 1400 * 8
+
+
+@dataclass(frozen=True)
+class Rate:
+    """One 802.11a OFDM rate.
+
+    Attributes:
+        mbps: nominal PHY rate in Mb/s.
+        bits_per_symbol: coded data bits per 4 us OFDM symbol (N_DBPS).
+        modulation: human-readable modulation/coding label.
+        sinr50_1400_db: SINR (dB) at which a 1400 B frame succeeds 50 %.
+    """
+
+    mbps: int
+    bits_per_symbol: int
+    modulation: str
+    sinr50_1400_db: float
+
+    @property
+    def bps(self) -> float:
+        """Rate in bits per second."""
+        return self.mbps * 1e6
+
+    def __repr__(self) -> str:
+        return f"Rate({self.mbps}M)"
+
+
+RATE_6M = Rate(6, 24, "BPSK 1/2", 5.0)
+RATE_9M = Rate(9, 36, "BPSK 3/4", 6.5)
+RATE_12M = Rate(12, 48, "QPSK 1/2", 8.0)
+RATE_18M = Rate(18, 72, "QPSK 3/4", 10.5)
+RATE_24M = Rate(24, 96, "16QAM 1/2", 13.5)
+RATE_36M = Rate(36, 144, "16QAM 3/4", 17.5)
+RATE_48M = Rate(48, 192, "64QAM 2/3", 21.5)
+RATE_54M = Rate(54, 216, "64QAM 3/4", 23.0)
+
+#: All 802.11a rates, keyed by Mb/s.
+RATES: Dict[int, Rate] = {
+    r.mbps: r
+    for r in (
+        RATE_6M,
+        RATE_9M,
+        RATE_12M,
+        RATE_18M,
+        RATE_24M,
+        RATE_36M,
+        RATE_48M,
+        RATE_54M,
+    )
+}
+
+
+class Phy80211a:
+    """802.11a timing constants and airtime computation."""
+
+    SLOT_TIME = 9e-6
+    SIFS = 16e-6
+    DIFS = 34e-6  # SIFS + 2 * slot
+    #: PLCP preamble (16 us) + SIGNAL field (4 us).
+    PLCP_OVERHEAD = 20e-6
+    SYMBOL_TIME = 4e-6
+    #: SERVICE (16) + tail (6) bits added to the PSDU by the PHY.
+    SERVICE_TAIL_BITS = 22
+
+    @classmethod
+    def airtime(cls, size_bytes: int, rate: Rate) -> float:
+        """Time on air for a PSDU of ``size_bytes`` at ``rate``.
+
+        Follows the 802.11a TXTIME equation: preamble + SIGNAL + data symbols
+        covering service/tail bits and the payload.
+        """
+        bits = cls.SERVICE_TAIL_BITS + 8 * size_bytes
+        symbols = math.ceil(bits / rate.bits_per_symbol)
+        return cls.PLCP_OVERHEAD + symbols * cls.SYMBOL_TIME
+
+
+class ErrorModel:
+    """Interface: map (SINR, rate, bits) to delivery probability."""
+
+    def ber(self, sinr_db: float, rate: Rate) -> float:
+        """Bit error rate at ``sinr_db`` for ``rate``."""
+        raise NotImplementedError
+
+    def chunk_success(self, sinr_db: float, rate: Rate, bits: float) -> float:
+        """Probability that ``bits`` consecutive bits all decode correctly."""
+        ber = self.ber(sinr_db, rate)
+        if ber <= 0.0:
+            return 1.0
+        if ber >= 0.5:
+            # The receiver has effectively lost the symbol stream.
+            return 0.0 if bits > 0 else 1.0
+        # (1-ber)^bits, computed in log space for numerical robustness.
+        return math.exp(bits * math.log1p(-ber))
+
+    def frame_success(self, sinr_db: float, rate: Rate, size_bytes: int) -> float:
+        """Probability an entire frame at constant SINR decodes."""
+        return self.chunk_success(sinr_db, rate, 8.0 * size_bytes)
+
+
+class NistErrorModel(ErrorModel):
+    """Smooth erfc-shaped waterfall calibrated per rate.
+
+    ``ber(s) = 0.5 * erfc(steepness * (s - sinr50) + X50)`` where ``X50`` is
+    the erfc argument giving 50 % success for the reference 1400 B frame. The
+    default steepness of 0.5/dB yields a ~2.5 dB PER waterfall, matching
+    measured 802.11a behaviour closely enough for shape-level reproduction.
+    """
+
+    def __init__(self, steepness_per_db: float = 0.5):
+        if steepness_per_db <= 0:
+            raise ValueError("steepness must be positive")
+        self.steepness_per_db = steepness_per_db
+
+    def ber(self, sinr_db: float, rate: Rate) -> float:
+        x = self.steepness_per_db * (sinr_db - rate.sinr50_1400_db) + _X50_1400B
+        # erfc explodes to 2.0 for very negative x; clamp to the BER ceiling.
+        ber = 0.5 * math.erfc(x)
+        return min(ber, 0.5)
+
+
+class SinrThresholdErrorModel(ErrorModel):
+    """Hard-threshold model: perfect above ``sinr50``, nothing below.
+
+    Useful in unit tests where deterministic delivery simplifies assertions.
+    """
+
+    def ber(self, sinr_db: float, rate: Rate) -> float:
+        return 0.0 if sinr_db >= rate.sinr50_1400_db else 0.5
+
+
+#: Gauss-Hermite quadrature (17 nodes) for averaging over Gaussian fading.
+_GH_NODES, _GH_WEIGHTS = None, None
+
+
+def _gauss_hermite():
+    global _GH_NODES, _GH_WEIGHTS
+    if _GH_NODES is None:
+        import numpy as np
+
+        nodes, weights = np.polynomial.hermite_e.hermegauss(17)
+        _GH_NODES = nodes
+        _GH_WEIGHTS = weights / weights.sum()
+    return _GH_NODES, _GH_WEIGHTS
+
+
+def isolated_prr(
+    rss_dbm: float,
+    noise_dbm: float,
+    rate: Rate,
+    size_bytes: int,
+    error_model: ErrorModel,
+    fading_sigma_db: float = 0.0,
+) -> float:
+    """Analytic packet reception rate of a link with no interference.
+
+    Used by the experiment harness to classify links ("potential transmission
+    link", "in range" -- paper §5.1) without Monte-Carlo runs. With per-frame
+    Gaussian block fading of ``fading_sigma_db``, the PRR is the fading
+    average of the frame success probability (17-node Gauss-Hermite
+    quadrature), matching the in-simulation per-frame fading draws.
+    """
+    from repro.util.units import sinr_db as _sinr  # local import, avoids cycle
+
+    s = _sinr(rss_dbm, -400.0, noise_dbm)
+    if fading_sigma_db <= 0.0:
+        return error_model.frame_success(s, rate, size_bytes)
+    nodes, weights = _gauss_hermite()
+    total = 0.0
+    for x, w in zip(nodes, weights):
+        total += w * error_model.frame_success(
+            s + fading_sigma_db * float(x), rate, size_bytes
+        )
+    return float(total)
+
+
+def expected_links_classification(prr: float) -> Tuple[bool, bool]:
+    """(in_range, potential_tx) flags from a PRR per the paper's thresholds.
+
+    Note the full definition also involves a signal-strength percentile
+    filter, applied in :mod:`repro.net.links` where network-wide statistics
+    are available.
+    """
+    return prr > 0.2, prr > 0.9

@@ -1,0 +1,152 @@
+"""Radio propagation models.
+
+The paper's testbed is one large office floor (Fig. 10). We model it with
+log-distance path loss plus symmetric per-pair log-normal shadowing: walls,
+furniture, and multipath give real indoor links several dB of pair-specific
+gain variation, which is exactly what creates the paper's mix of perfect,
+intermediate, and dead links (§5.1) — and therefore exposed terminals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.util.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class Position:
+    """A node location in metres on the floor plan."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance in metres (floored at 1 cm to avoid log(0))."""
+        d = math.hypot(self.x - other.x, self.y - other.y)
+        return max(d, 0.01)
+
+
+class PropagationModel:
+    """Interface: path loss in dB between two *nodes* (not just positions).
+
+    Models take node ids so per-pair shadowing can be deterministic and
+    symmetric; the paper's interference relationships are assumed symmetric
+    at the granularity CMAP cares about (§3.1 footnote 2).
+    """
+
+    def path_loss_db(self, a: int, pa: Position, b: int, pb: Position) -> float:
+        raise NotImplementedError
+
+    def rss_dbm(
+        self, tx_power_dbm: float, a: int, pa: Position, b: int, pb: Position
+    ) -> float:
+        """Received signal strength at ``b`` for a transmission from ``a``."""
+        return tx_power_dbm - self.path_loss_db(a, pa, b, pb)
+
+
+class FreeSpace(PropagationModel):
+    """Friis free-space loss at 5 GHz (useful for controlled unit tests)."""
+
+    def __init__(self, frequency_hz: float = 5.18e9):
+        c = 299792458.0
+        self._pl_1m_db = 20.0 * math.log10(4.0 * math.pi * frequency_hz / c)
+
+    def path_loss_db(self, a: int, pa: Position, b: int, pb: Position) -> float:
+        d = pa.distance_to(pb)
+        return self._pl_1m_db + 20.0 * math.log10(d)
+
+
+class LogDistance(PropagationModel):
+    """Deterministic log-distance model: PL(d) = PL(d0) + 10 n log10(d/d0)."""
+
+    def __init__(
+        self,
+        exponent: float = 3.3,
+        pl_at_reference_db: float = 46.7,
+        reference_m: float = 1.0,
+    ):
+        if exponent <= 0 or reference_m <= 0:
+            raise ValueError("exponent and reference distance must be positive")
+        self.exponent = exponent
+        self.pl_at_reference_db = pl_at_reference_db
+        self.reference_m = reference_m
+
+    def path_loss_db(self, a: int, pa: Position, b: int, pb: Position) -> float:
+        d = max(pa.distance_to(pb), self.reference_m)
+        return self.pl_at_reference_db + 10.0 * self.exponent * math.log10(
+            d / self.reference_m
+        )
+
+
+class LogDistanceShadowing(LogDistance):
+    """Log-distance plus symmetric, per-pair, time-invariant shadowing.
+
+    Shadowing is a pure function of (seed, unordered node pair): repeatable
+    across runs, identical in both link directions, and independent across
+    pairs. Time-invariance matches the paper's quasi-static indoor channel
+    (interferer-list entries stay valid for seconds at a time).
+    """
+
+    def __init__(
+        self,
+        rngs: RngFactory,
+        exponent: float = 3.3,
+        pl_at_reference_db: float = 46.7,
+        reference_m: float = 1.0,
+        shadowing_sigma_db: float = 6.0,
+    ):
+        super().__init__(exponent, pl_at_reference_db, reference_m)
+        if shadowing_sigma_db < 0:
+            raise ValueError("shadowing sigma must be non-negative")
+        self.rngs = rngs
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self._cache: Dict[Tuple[int, int], float] = {}
+
+    def shadowing_db(self, a: int, b: int) -> float:
+        """The (cached) shadowing term for the unordered pair (a, b)."""
+        key = (a, b) if a <= b else (b, a)
+        if key not in self._cache:
+            self._cache[key] = self.rngs.pair_normal(
+                "shadowing", key[0], key[1], self.shadowing_sigma_db
+            )
+        return self._cache[key]
+
+    def path_loss_db(self, a: int, pa: Position, b: int, pb: Position) -> float:
+        return super().path_loss_db(a, pa, b, pb) + self.shadowing_db(a, b)
+
+
+class RssMatrix:
+    """Precomputed RSS between every node pair at a fixed transmit power.
+
+    The medium queries RSS once per (transmitter, receiver) pair per frame;
+    caching the full matrix makes long runs cheap and guarantees that link
+    classification (done ahead of a run) and in-run delivery see identical
+    channels.
+    """
+
+    def __init__(
+        self,
+        model: PropagationModel,
+        positions: Dict[int, Position],
+        tx_power_dbm: float,
+    ):
+        self.tx_power_dbm = tx_power_dbm
+        self._rss: Dict[Tuple[int, int], float] = {}
+        ids = sorted(positions)
+        for a in ids:
+            for b in ids:
+                if a == b:
+                    continue
+                self._rss[(a, b)] = model.rss_dbm(
+                    tx_power_dbm, a, positions[a], b, positions[b]
+                )
+
+    def rss(self, tx: int, rx: int) -> float:
+        """RSS in dBm at ``rx`` for a frame sent by ``tx``."""
+        return self._rss[(tx, rx)]
+
+    def get(self, tx: int, rx: int, default: Optional[float] = None):
+        return self._rss.get((tx, rx), default)

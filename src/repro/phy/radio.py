@@ -1,0 +1,264 @@
+"""Half-duplex radio with sync-at-start capture and carrier sense.
+
+Reception model:
+
+* A radio idle (not transmitting, not mid-reception) at a frame's start
+  *syncs* to it if the frame's RSS clears the sensitivity floor and its SINR
+  against the currently-summed interference clears the capture threshold
+  (preamble detection).
+* Frames that cannot be synced — arrivals during TX, during another
+  reception, or too weak — contribute interference to whatever reception is
+  in progress.
+* At frame end the reception is scored (see :mod:`repro.phy.reception`) and
+  delivered to the MAC with an ``ok`` flag; corrupt frames are delivered too,
+  mirroring monitor-mode 802.11 hardware (the CMAP prototype runs all nodes
+  promiscuous, paper §4).
+
+Carrier sense is preamble-style (paper footnote 1): the channel is busy iff
+some in-flight frame's RSS is at or above ``cs_threshold_dbm`` or the radio
+itself is transmitting. Busy/idle edges are reported to the MAC for DCF
+backoff freezing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.phy.frames import Frame
+from repro.phy.modulation import ErrorModel, NistErrorModel
+from repro.phy.reception import Reception
+from repro.util.units import dbm_to_mw, linear_to_db
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phy.medium import Medium, Transmission
+    from repro.sim.engine import Simulator
+
+
+class RadioState(Enum):
+    IDLE = "idle"
+    RX = "rx"
+    TX = "tx"
+
+
+@dataclass
+class RadioConfig:
+    """Physical parameters of one radio (defaults model the AR5212 testbed)."""
+
+    tx_power_dbm: float = 18.0
+    noise_dbm: float = -93.0
+    #: Weakest frame the radio will attempt to sync to.
+    sensitivity_dbm: float = -90.0
+    #: Preamble-detect carrier-sense threshold. Real receivers detect (and
+    #: defer to) preambles several dB below the level at which they can
+    #: decode a full-length data frame; that gap — carrier-sense range
+    #: exceeding interference range — is exactly the over-conservatism the
+    #: paper's exposed terminals exploit.
+    cs_threshold_dbm: float = -95.0
+    #: Minimum SINR at frame start required to sync (preamble capture).
+    capture_sinr_db: float = 4.0
+    #: Message-in-message capture: a new frame whose preamble SINR (counting
+    #: the currently-synced frame as interference) clears
+    #: ``capture_sinr_db + mim_extra_db`` restarts reception onto the new
+    #: frame. Commodity Atheros hardware does this and the capture
+    #: literature the paper builds on ([18, 20]) documents it; without it an
+    #: exposed sender could never receive its (strong) ACKs through a
+    #: neighbour's (weak) burst.
+    mim_capture: bool = True
+    mim_extra_db: float = 4.0
+    #: Per-frame small-scale fading model (None = static channel). This is
+    #: what produces intermediate-quality links and the long tail of weak
+    #: ones in the testbed census (§5.1).
+    fading: Optional[object] = None
+    error_model: ErrorModel = field(default_factory=NistErrorModel)
+
+
+@dataclass
+class RadioStats:
+    """Counters a radio accumulates over a run."""
+
+    tx_frames: int = 0
+    tx_airtime: float = 0.0
+    delivered_ok: int = 0
+    delivered_corrupt: int = 0
+    sync_missed_weak: int = 0
+    sync_missed_capture: int = 0
+    sync_missed_busy_rx: int = 0
+    sync_missed_busy_tx: int = 0
+    rx_aborted_by_tx: int = 0
+    rx_mim_captures: int = 0
+
+
+class Radio:
+    """One node's radio front-end."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: int,
+        config: RadioConfig,
+        rng: np.random.Generator,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.rng = rng
+        self.medium: Optional["Medium"] = None
+        self.mac = None  # set by the MAC when it attaches
+        self.stats = RadioStats()
+
+        self._noise_mw = dbm_to_mw(config.noise_dbm)
+        self._state = RadioState.IDLE
+        self._current_tx: Optional["Transmission"] = None
+        self._sync: Optional[Reception] = None
+        #: All in-flight arrivals above the medium cutoff: uid -> (tx, rss_mw).
+        self._arrivals: Dict[int, Tuple["Transmission", float]] = {}
+        #: uids of arrivals at/above the carrier-sense threshold.
+        self._sensed: set = set()
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> RadioState:
+        return self._state
+
+    @property
+    def is_transmitting(self) -> bool:
+        return self._state is RadioState.TX
+
+    def is_channel_busy(self) -> bool:
+        """Preamble-detect carrier sense: TX in progress or a sensed frame."""
+        return self.is_transmitting or bool(self._sensed)
+
+    def interference_mw(self, excluding_uid: Optional[int] = None) -> float:
+        """Aggregate received power from in-flight frames, in milliwatts."""
+        total = 0.0
+        for uid, (_, rss_mw) in self._arrivals.items():
+            if uid != excluding_uid:
+                total += rss_mw
+        return total
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def transmit(self, frame: Frame) -> "Transmission":
+        """Start transmitting ``frame``; half-duplex, so any reception dies."""
+        if self.medium is None:
+            raise RuntimeError("radio not attached to a medium")
+        if self.is_transmitting:
+            raise RuntimeError(
+                f"node {self.node_id} asked to transmit while already transmitting"
+            )
+        if self._sync is not None:
+            # Turning the transmitter on destroys the reception in progress.
+            self._sync = None
+            self.stats.rx_aborted_by_tx += 1
+        self._state = RadioState.TX
+        tx = self.medium.transmit(self, frame)
+        self._current_tx = tx
+        self.stats.tx_frames += 1
+        self.stats.tx_airtime += tx.airtime
+        return tx
+
+    def on_own_tx_end(self, tx: "Transmission") -> None:
+        """Medium callback: our frame finished leaving the antenna."""
+        self._current_tx = None
+        self._state = RadioState.RX if self._sync is not None else RadioState.IDLE
+        if self.mac is not None:
+            self.mac.on_tx_complete(tx.frame)
+
+    # ------------------------------------------------------------------
+    # Receive path (medium callbacks)
+    # ------------------------------------------------------------------
+    def on_frame_start(self, tx: "Transmission", rss_dbm: float) -> None:
+        if self.config.fading is not None:
+            rss_dbm += self.config.fading.draw_db(
+                self.rng, tx.tx_node, self.node_id
+            )
+        rss_mw = dbm_to_mw(rss_dbm)
+        was_busy = self.is_channel_busy()
+        self._arrivals[tx.uid] = (tx, rss_mw)
+        if rss_dbm >= self.config.cs_threshold_dbm:
+            self._sensed.add(tx.uid)
+
+        if self.is_transmitting:
+            # Deaf while transmitting; the frame still adds to the arrival
+            # set so it is counted as interference after our TX ends.
+            self.stats.sync_missed_busy_tx += 1
+        elif self._sync is not None:
+            if self._mim_capture_attempt(tx, rss_dbm, rss_mw):
+                return
+            self._sync.interference_changed(
+                self.sim.now, self.interference_mw(self._sync.frame.uid), tx.uid
+            )
+            self.stats.sync_missed_busy_rx += 1
+        else:
+            self._try_sync(tx, rss_dbm, rss_mw)
+
+        if not was_busy and self.is_channel_busy() and self.mac is not None:
+            self.mac.on_channel_busy()
+
+    def _mim_capture_attempt(
+        self, tx: "Transmission", rss_dbm: float, rss_mw: float
+    ) -> bool:
+        """Try restarting reception onto a much stronger late arrival."""
+        cfg = self.config
+        if not cfg.mim_capture or rss_dbm < cfg.sensitivity_dbm:
+            return False
+        # Everything else on the air — including the currently-synced frame —
+        # counts as interference for the newcomer's preamble.
+        interference = self.interference_mw(tx.uid)
+        preamble_sinr = linear_to_db(rss_mw / (interference + self._noise_mw))
+        if preamble_sinr < cfg.capture_sinr_db + cfg.mim_extra_db:
+            return False
+        self.stats.rx_mim_captures += 1
+        self._sync = Reception(tx, rss_dbm, self.sim.now, tx.end, interference)
+        return True
+
+    def _try_sync(self, tx: "Transmission", rss_dbm: float, rss_mw: float) -> None:
+        if rss_dbm < self.config.sensitivity_dbm:
+            self.stats.sync_missed_weak += 1
+            return
+        interference = self.interference_mw(tx.uid)
+        preamble_sinr = linear_to_db(rss_mw / (interference + self._noise_mw))
+        if preamble_sinr < self.config.capture_sinr_db:
+            self.stats.sync_missed_capture += 1
+            return
+        self._sync = Reception(tx, rss_dbm, self.sim.now, tx.end, interference)
+        self._state = RadioState.RX
+
+    def on_frame_end(self, tx: "Transmission", rss_dbm: float) -> None:
+        self._arrivals.pop(tx.uid, None)
+        was_busy = self.is_channel_busy()
+        self._sensed.discard(tx.uid)
+
+        if self._sync is not None:
+            if self._sync.transmission is tx:
+                self._finalize_reception(rss_dbm)
+            else:
+                self._sync.interference_changed(
+                    self.sim.now, self.interference_mw(self._sync.frame.uid)
+                )
+
+        if was_busy and not self.is_channel_busy() and self.mac is not None:
+            self.mac.on_channel_idle()
+
+    def _finalize_reception(self, rss_dbm: float) -> None:
+        reception = self._sync
+        self._sync = None
+        if not self.is_transmitting:
+            self._state = RadioState.IDLE
+        prob = reception.success_probability(
+            self.config.error_model, self._noise_mw
+        )
+        ok = bool(self.rng.random() < prob)
+        if ok:
+            self.stats.delivered_ok += 1
+        else:
+            self.stats.delivered_corrupt += 1
+        if self.mac is not None:
+            self.mac.on_frame_received(reception.frame, ok, reception)

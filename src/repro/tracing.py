@@ -1,0 +1,127 @@
+"""Structured event tracing for simulation runs.
+
+A :class:`Tracer` collects typed, timestamped records from anywhere in the
+stack (MACs and radios call it when one is installed) without the overhead
+of string formatting on the hot path. Records can be filtered, counted, and
+dumped as text or dicts — the moral equivalent of the prototype's Click
+debug logs, which the paper's authors "carefully scrutinized" (§5.2) to
+attribute losses.
+
+Tracing is opt-in: ``Network(..., tracer=Tracer())`` wires one into every
+node; without it the hooks are no-ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+
+class TraceKind(Enum):
+    """Event taxonomy. One enum per interesting protocol moment."""
+
+    TX_START = "tx_start"
+    RX_OK = "rx_ok"
+    RX_CORRUPT = "rx_corrupt"
+    DEFER = "defer"
+    GO = "go"
+    ACK_SENT = "ack_sent"
+    ACK_RECEIVED = "ack_received"
+    ACK_TIMEOUT = "ack_timeout"
+    WINDOW_TIMEOUT = "window_timeout"
+    BACKOFF_CHANGE = "backoff_change"
+    ILIST_BROADCAST = "ilist_broadcast"
+    DEFER_TABLE_UPDATE = "defer_table_update"
+    RATE_DOWNSHIFT = "rate_downshift"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    node: int
+    kind: TraceKind
+    detail: Tuple = ()
+
+    def __str__(self) -> str:
+        detail = " ".join(str(d) for d in self.detail)
+        return f"{self.time * 1000:10.3f} ms  node {self.node:>3}  {self.kind.value:<18} {detail}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` instances, optionally bounded."""
+
+    def __init__(self, max_records: Optional[int] = None,
+                 kinds: Optional[Iterable[TraceKind]] = None):
+        self.max_records = max_records
+        self._wanted = frozenset(kinds) if kinds is not None else None
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, time: float, node: int, kind: TraceKind, *detail: Any) -> None:
+        """Record one event (cheap no-op when filtered out or full)."""
+        if self._wanted is not None and kind not in self._wanted:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, node, kind, tuple(detail)))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        kind: Optional[TraceKind] = None,
+        node: Optional[int] = None,
+        since: float = 0.0,
+        until: float = float("inf"),
+    ) -> List[TraceRecord]:
+        return [
+            r
+            for r in self.records
+            if (kind is None or r.kind is kind)
+            and (node is None or r.node == node)
+            and since <= r.time <= until
+        ]
+
+    def counts(self) -> Dict[TraceKind, int]:
+        out: Dict[TraceKind, int] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    def counts_by_node(self, kind: TraceKind) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for r in self.records:
+            if r.kind is kind:
+                out[r.node] = out.get(r.node, 0) + 1
+        return out
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable transcript (optionally the first ``limit`` rows)."""
+        rows = self.records if limit is None else self.records[:limit]
+        lines = [str(r) for r in rows]
+        if limit is not None and len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more records")
+        return "\n".join(lines)
+
+
+class NullTracer:
+    """The default: accepts and discards everything, no allocation."""
+
+    def emit(self, time: float, node: int, kind: TraceKind, *detail: Any) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op instance.
+NULL_TRACER = NullTracer()

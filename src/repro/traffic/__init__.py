@@ -1,0 +1,17 @@
+"""Traffic generation and delivery accounting."""
+
+from repro.traffic.generators import (
+    SaturatedSource,
+    CbrSource,
+    BatchSource,
+    SinkRegistry,
+    FlowRecord,
+)
+
+__all__ = [
+    "SaturatedSource",
+    "CbrSource",
+    "BatchSource",
+    "SinkRegistry",
+    "FlowRecord",
+]

@@ -1,0 +1,26 @@
+"""Shared utilities: unit conversions and deterministic RNG streams."""
+
+from repro.util.units import (
+    dbm_to_mw,
+    mw_to_dbm,
+    db_to_linear,
+    linear_to_db,
+    sum_power_dbm,
+    sinr_db,
+    MICROSECONDS,
+    MILLISECONDS,
+)
+from repro.util.rng import RngFactory, stable_hash
+
+__all__ = [
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "db_to_linear",
+    "linear_to_db",
+    "sum_power_dbm",
+    "sinr_db",
+    "MICROSECONDS",
+    "MILLISECONDS",
+    "RngFactory",
+    "stable_hash",
+]

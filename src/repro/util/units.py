@@ -1,0 +1,62 @@
+"""Unit conversions for radio power arithmetic.
+
+All power values in the public API are in dBm unless a name says otherwise;
+all times are in seconds. These helpers keep the dB math in one place so that
+the rest of the code can read like the equations in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+#: Convenience multipliers for expressing times in seconds.
+MICROSECONDS = 1e-6
+MILLISECONDS = 1e-3
+
+#: Floor used when converting a zero/negligible linear power back to dB.
+_MIN_DBM = -400.0
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power in milliwatts to dBm.
+
+    Non-positive powers map to a very low floor rather than raising, because
+    interference sums legitimately become zero when no interferer is active.
+    """
+    if mw <= 0.0:
+        return _MIN_DBM
+    return 10.0 * math.log10(mw)
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a ratio in dB to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear ratio to dB (floored for non-positive input)."""
+    if ratio <= 0.0:
+        return _MIN_DBM
+    return 10.0 * math.log10(ratio)
+
+
+def sum_power_dbm(powers_dbm: Iterable[float]) -> float:
+    """Sum several dBm powers (converting through linear milliwatts)."""
+    total_mw = sum(dbm_to_mw(p) for p in powers_dbm)
+    return mw_to_dbm(total_mw)
+
+
+def sinr_db(signal_dbm: float, interference_dbm: float, noise_dbm: float) -> float:
+    """Signal-to-interference-plus-noise ratio in dB.
+
+    ``interference_dbm`` may be ``-inf``-like (the :data:`_MIN_DBM` floor)
+    when no interferer is active; the noise floor still applies.
+    """
+    denom_mw = dbm_to_mw(interference_dbm) + dbm_to_mw(noise_dbm)
+    return linear_to_db(dbm_to_mw(signal_dbm) / denom_mw)

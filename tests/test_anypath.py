@@ -1,0 +1,162 @@
+"""Tests for the §3.6 anypath (opportunistic routing) extension."""
+
+import pytest
+
+from repro.core.anypath import AnypathTable
+from repro.core.cmap_mac import CmapMac
+from repro.core.conflict_map import InterfererEntry
+from repro.core.params import CmapParams, LatencyProfile
+from repro.mac.base import Packet
+from repro.phy.frames import BROADCAST
+from repro.phy.medium import Medium
+from repro.phy.modulation import SinrThresholdErrorModel
+from repro.phy.propagation import LogDistance, Position, RssMatrix
+from repro.phy.radio import Radio, RadioConfig
+from repro.sim.engine import Simulator
+from repro.traffic.generators import SinkRegistry
+from repro.util.rng import RngFactory
+
+
+class TestAnypathTable:
+    def make(self):
+        return AnypathTable(me=0)
+
+    def test_unknown_pairs_optimistic(self):
+        t = self.make()
+        assert t.delivery_probability([1, 2], [9], now=0.0) == pytest.approx(1.0)
+
+    def test_single_jammed_forwarder(self):
+        t = self.make()
+        t.update_from_rated_list(
+            1, [InterfererEntry(source=0, interferer=9, loss_rate=1.0)], now=0.0
+        )
+        assert t.forwarder_delivery(1, [9], now=0.0) == pytest.approx(0.0)
+        # Forwarder 2 is unknown, so the set still succeeds.
+        assert t.delivery_probability([1, 2], [9], now=0.0) == pytest.approx(1.0)
+
+    def test_all_forwarders_jammed_blocks(self):
+        t = self.make()
+        for f in (1, 2):
+            t.update_from_rated_list(
+                f, [InterfererEntry(source=0, interferer=9, loss_rate=1.0)],
+                now=0.0,
+            )
+        assert t.delivery_probability([1, 2], [9], now=0.0) == pytest.approx(0.0)
+        assert not t.should_transmit([1, 2], [9], now=0.0, threshold=0.5)
+
+    def test_partial_losses_compose(self):
+        t = self.make()
+        t.update_from_rated_list(
+            1, [InterfererEntry(source=0, interferer=9, loss_rate=0.5)], now=0.0
+        )
+        t.update_from_rated_list(
+            2, [InterfererEntry(source=0, interferer=9, loss_rate=0.5)], now=0.0
+        )
+        # P(none receives) = 0.5 * 0.5 -> P(at least one) = 0.75.
+        assert t.delivery_probability([1, 2], [9], now=0.0) == pytest.approx(0.75)
+
+    def test_multiple_interferers_multiply(self):
+        t = self.make()
+        t.update_from_rated_list(
+            1, [InterfererEntry(0, 8, loss_rate=0.5),
+                InterfererEntry(0, 9, loss_rate=0.5)], now=0.0
+        )
+        assert t.forwarder_delivery(1, [8, 9], now=0.0) == pytest.approx(0.25)
+
+    def test_entries_about_other_sources_ignored(self):
+        t = self.make()
+        absorbed = t.update_from_rated_list(
+            1, [InterfererEntry(source=5, interferer=9, loss_rate=1.0)], now=0.0
+        )
+        assert absorbed == 0
+        assert t.forwarder_delivery(1, [9], now=0.0) == 1.0
+
+    def test_entries_expire(self):
+        t = AnypathTable(me=0, entry_timeout=1.0)
+        t.update_from_rated_list(
+            1, [InterfererEntry(0, 9, loss_rate=1.0)], now=0.0
+        )
+        assert t.forwarder_delivery(1, [9], now=5.0) == 1.0
+
+    def test_no_forwarders_means_no_transmission(self):
+        assert AnypathTable(me=0).delivery_probability([], [9], now=0.0) == 0.0
+
+    def test_sender_and_forwarder_excluded_from_interferers(self):
+        t = self.make()
+        t.update_from_rated_list(1, [InterfererEntry(0, 1, loss_rate=1.0)], 0.0)
+        # The forwarder itself in the ongoing list doesn't jam itself.
+        assert t.forwarder_delivery(1, [0, 1], now=0.0) == 1.0
+
+
+class TestAnypathMacIntegration:
+    def _net(self):
+        positions = {
+            0: Position(0, 0),       # anypath source
+            1: Position(20, 0),      # forwarder A
+            2: Position(0, 20),      # forwarder B
+            9: Position(50, -30),    # interferer (audible to the source)
+            10: Position(70, -30),
+        }
+        sim = Simulator()
+        rss = RssMatrix(LogDistance(exponent=3.3), positions, 18.0)
+        medium = Medium(sim, rss)
+        cfg = RadioConfig(error_model=SinrThresholdErrorModel(), fading=None)
+        rngs = RngFactory(21)
+        sink = SinkRegistry()
+        params = CmapParams(
+            nvpkt=4, nwindow=3,
+            latency=LatencyProfile.hardware(),
+            t_ackwait=0.5e-3, t_deferwait=0.5e-3,
+            anypath_broadcast=True, ilist_report_rates=True,
+            ilist_period=0.05,
+        )
+        macs = {}
+        for node_id in positions:
+            radio = Radio(sim, node_id, cfg, rngs.stream("radio", node_id))
+            medium.attach(radio)
+            mac = CmapMac(sim, node_id, radio, rngs.stream("mac", node_id), params)
+            mac.attach_sink(sink.sink_for(node_id))
+            macs[node_id] = mac
+        return sim, macs, sink
+
+    def test_transmits_while_one_forwarder_clear(self):
+        sim, macs, sink = self._net()
+        macs[0].set_forwarders([1, 2])
+        # Loss evidence: forwarder 1 is jammed by node 9, forwarder 2 fine.
+        macs[0].anypath.update_from_rated_list(
+            1, [InterfererEntry(0, 9, loss_rate=1.0)], now=0.0
+        )
+        from repro.traffic.generators import SaturatedSource
+
+        macs[9].attach_source(SaturatedSource(dst=10))
+        macs[9].start()
+        macs[10].start()
+        sim.run(until=2e-3)  # node 9's burst header is out
+        for _ in range(4):
+            macs[0].enqueue(Packet(dst=BROADCAST))
+        for n in (0, 1, 2):
+            macs[n].start()
+        sim.run(until=0.2)
+        # Went ahead despite 9's ongoing burst: forwarder 2 suffices.
+        assert macs[0].cstats.go_decisions >= 1
+        assert sink.flows[(0, 2)].delivered_unique == 4
+
+    def test_defers_when_every_forwarder_jammed(self):
+        sim, macs, sink = self._net()
+        macs[0].set_forwarders([1, 2])
+        for f in (1, 2):
+            macs[0].anypath.update_from_rated_list(
+                f, [InterfererEntry(0, 9, loss_rate=1.0)], now=0.0
+            )
+        from repro.traffic.generators import SaturatedSource
+
+        macs[9].attach_source(SaturatedSource(dst=10))
+        macs[9].start()
+        macs[10].start()
+        sim.run(until=2e-3)
+        for _ in range(4):
+            macs[0].enqueue(Packet(dst=BROADCAST))
+        for n in (0, 1, 2):
+            macs[n].start()
+        sim.run(until=0.05)
+        assert macs[0].cstats.defer_decisions >= 1

@@ -1,0 +1,272 @@
+"""Tests for the windowed ACK/retransmission protocol (paper §3.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.arq import ArqSender, ReceiverWindow
+from repro.mac.base import Packet
+
+
+def sender(nvpkt=4, nwindow=3, span=24, reliable=True):
+    return ArqSender(dst=1, nvpkt=nvpkt, nwindow=nwindow, window_span=span,
+                     reliable=reliable)
+
+
+def packets(n):
+    return [Packet(dst=1) for _ in range(n)]
+
+
+class TestBuildVpkt:
+    def test_assigns_sequential_seqs(self):
+        s = sender()
+        rec = s.build_vpkt(packets(4), now=0.0)
+        assert rec.seqs == [0, 1, 2, 3]
+
+    def test_seqs_continue_across_vpkts(self):
+        s = sender()
+        s.build_vpkt(packets(4), 0.0)
+        rec2 = s.build_vpkt(packets(2), 1.0)
+        assert rec2.seqs == [4, 5]
+
+    def test_empty_vpkt_rejected(self):
+        with pytest.raises(ValueError):
+            sender().build_vpkt([], 0.0)
+
+    def test_too_many_fresh_rejected(self):
+        with pytest.raises(ValueError):
+            sender(nvpkt=2).build_vpkt(packets(3), 0.0)
+
+    def test_outstanding_grows(self):
+        s = sender()
+        s.build_vpkt(packets(4), 0.0)
+        s.build_vpkt(packets(4), 1.0)
+        assert s.outstanding_vpkts == 2
+
+    def test_window_full_at_nwindow(self):
+        s = sender(nwindow=2)
+        s.build_vpkt(packets(4), 0.0)
+        assert not s.window_full()
+        s.build_vpkt(packets(4), 1.0)
+        assert s.window_full()
+
+    def test_unreliable_never_fills_window(self):
+        s = sender(nwindow=1, reliable=False)
+        s.build_vpkt(packets(4), 0.0)
+        s.build_vpkt(packets(4), 1.0)
+        assert not s.window_full()
+        assert s.outstanding_vpkts == 0
+
+
+class TestAckProcessing:
+    def test_full_ack_clears_vpkt(self):
+        s = sender()
+        s.build_vpkt(packets(4), 0.0)
+        acked, requeued = s.process_ack(3, frozenset({0, 1, 2, 3}), 24)
+        assert (acked, requeued) == (4, 0)
+        assert s.outstanding_vpkts == 0
+
+    def test_partial_ack_requeues_missing(self):
+        s = sender()
+        s.build_vpkt(packets(4), 0.0)
+        acked, requeued = s.process_ack(3, frozenset({0, 2}), 24)
+        assert (acked, requeued) == (2, 2)
+        assert s.has_retx_pending()
+
+    def test_retransmissions_fill_next_vpkt_first(self):
+        s = sender()
+        s.build_vpkt(packets(4), 0.0)
+        s.process_ack(3, frozenset({0, 1}), 24)
+        rec = s.build_vpkt(packets(2), 1.0)
+        assert rec.seqs == [2, 3, 4, 5]  # retx of 2,3 then fresh 4,5
+        assert s.packets_retx == 2
+
+    def test_fresh_slots_accounts_for_retx_queue(self):
+        s = sender(nvpkt=4)
+        s.build_vpkt(packets(4), 0.0)
+        s.process_ack(3, frozenset(), 24)  # all 4 lost
+        assert s.fresh_slots() == 0
+
+    def test_ack_ignores_seqs_not_yet_covered(self):
+        s = sender()
+        s.build_vpkt(packets(4), 0.0)  # seqs 0-3
+        s.build_vpkt(packets(4), 1.0)  # seqs 4-7
+        acked, requeued = s.process_ack(3, frozenset({0, 1, 2, 3}), 24)
+        assert (acked, requeued) == (4, 0)
+        assert s.outstanding_vpkts == 1  # second vpkt untouched
+
+    def test_cumulative_ack_covers_multiple_vpkts(self):
+        s = sender()
+        s.build_vpkt(packets(4), 0.0)
+        s.build_vpkt(packets(4), 1.0)
+        acked, requeued = s.process_ack(7, frozenset(range(8)), 24)
+        assert (acked, requeued) == (8, 0)
+        assert s.outstanding_vpkts == 0
+
+    def test_retransmitted_packet_keeps_its_seq(self):
+        s = sender()
+        rec1 = s.build_vpkt(packets(4), 0.0)
+        pid = rec1.packets[1].packet.packet_id
+        s.process_ack(3, frozenset({0, 2, 3}), 24)
+        rec2 = s.build_vpkt([], 1.0)
+        assert rec2.seqs == [1]
+        assert rec2.packets[0].packet.packet_id == pid
+        assert rec2.packets[0].transmissions == 2
+
+
+class TestWindowTimeout:
+    def test_flush_requeues_everything(self):
+        s = sender(nwindow=2)
+        s.build_vpkt(packets(4), 0.0)
+        s.build_vpkt(packets(4), 1.0)
+        n = s.flush_window()
+        assert n == 8
+        assert s.outstanding_vpkts == 0
+        assert s.window_timeouts == 1
+
+    def test_flush_orders_by_seq(self):
+        s = sender(nwindow=2, nvpkt=2)
+        s.build_vpkt(packets(2), 0.0)
+        s.build_vpkt(packets(2), 1.0)
+        s.flush_window()
+        rec = s.build_vpkt([], 2.0)
+        assert rec.seqs == [0, 1]  # oldest first ("in sequence")
+
+
+class TestReceiverWindow:
+    def make(self):
+        return ReceiverWindow(src=0, window_span=24, nwindow=3)
+
+    def test_ack_payload_reports_received(self):
+        rx = self.make()
+        rx.on_header(1, first_seq=0, num_packets=4, now=0.0, expected_end=0.1)
+        for seq in (0, 1, 3):
+            rx.on_data(1, seq)
+        rx.on_trailer(1, 0, 4, now=0.1)
+        max_seq, received, loss = rx.ack_payload()
+        assert max_seq == 3
+        assert received == frozenset({0, 1, 3})
+        assert loss == pytest.approx(0.25)
+
+    def test_loss_rate_over_window_of_vpkts(self):
+        rx = self.make()
+        # vpkt 1: all 4 received; vpkt 2: 2 of 4.
+        rx.on_header(1, 0, 4, 0.0, 0.1)
+        for seq in range(4):
+            rx.on_data(1, seq)
+        rx.on_trailer(1, 0, 4, 0.1)
+        rx.on_header(2, 4, 4, 0.2, 0.3)
+        rx.on_data(2, 4)
+        rx.on_data(2, 5)
+        rx.on_trailer(2, 4, 4, 0.3)
+        assert rx.loss_rate() == pytest.approx(2 / 8)
+
+    def test_loss_window_bounded_by_nwindow(self):
+        rx = ReceiverWindow(src=0, window_span=24, nwindow=2)
+        # Three vpkts: first is all-lost but falls out of the window.
+        rx.on_header(1, 0, 4, 0.0, 0.1)
+        rx.on_trailer(1, 0, 4, 0.1)
+        for v, base in ((2, 4), (3, 8)):
+            rx.on_header(v, base, 4, 0.2 * v, 0.2 * v + 0.1)
+            for seq in range(base, base + 4):
+                rx.on_data(v, seq)
+            rx.on_trailer(v, base, 4, 0.2 * v + 0.1)
+        assert rx.loss_rate() == 0.0
+
+    def test_trailer_without_header_still_closes(self):
+        rx = self.make()
+        rx.on_data(5, 0)
+        rec = rx.on_trailer(5, first_seq=0, num_packets=4, now=0.1)
+        assert rec.num_packets == 4
+        assert rx.loss_rate() == pytest.approx(0.75)
+
+    def test_header_trailer_stats(self):
+        rx = self.make()
+        rx.on_header(1, 0, 4, 0.0, 0.1)
+        rx.on_trailer(1, 0, 4, 0.1)
+        rx.on_trailer(2, 4, 4, 0.3)  # header lost
+        assert rx.vpkts_header_ok == {1}
+        assert rx.vpkts_trailer_ok == {1, 2}
+        assert rx.either_header_or_trailer() == {1, 2}
+
+    def test_no_packets_no_loss(self):
+        assert self.make().loss_rate() == 0.0
+
+    def test_received_set_windowed(self):
+        rx = ReceiverWindow(src=0, window_span=4, nwindow=2)
+        for vid, base in ((1, 0), (2, 4), (3, 8)):
+            rx.on_header(vid, base, 4, 0.0, 0.1)
+            for seq in range(base, base + 4):
+                rx.on_data(vid, seq)
+            rx.on_trailer(vid, base, 4, 0.1)
+        max_seq, received, _ = rx.ack_payload()
+        assert max_seq == 11
+        assert received == frozenset({8, 9, 10, 11})
+
+
+class TestEndToEndArqExchange:
+    """Sender and receiver state machines driven directly (no radio)."""
+
+    def test_lossless_exchange(self):
+        s = sender(nvpkt=4, nwindow=3, span=24)
+        rx = ReceiverWindow(src=0, window_span=24, nwindow=3)
+        for round_no in range(3):
+            rec = s.build_vpkt(packets(4), float(round_no))
+            rx.on_header(rec.vpkt_id, rec.seqs[0], 4, 0.0, 0.1)
+            for seq in rec.seqs:
+                rx.on_data(rec.vpkt_id, seq)
+            rx.on_trailer(rec.vpkt_id, rec.seqs[0], 4, 0.1)
+            max_seq, received, loss = rx.ack_payload()
+            s.process_ack(max_seq, received, 24)
+        assert s.outstanding_vpkts == 0
+        assert s.packets_acked == 12
+
+    def test_lossy_exchange_recovers_all_packets(self):
+        s = sender(nvpkt=4, nwindow=8, span=64)
+        rx = ReceiverWindow(src=0, window_span=64, nwindow=8)
+        delivered = set()
+        injected = 0
+        drop = {1, 6, 9}  # seqs lost on their first transmission
+        for round_no in range(10):
+            fresh = packets(min(4, s.fresh_slots())) if round_no < 3 else []
+            injected += len(fresh)
+            if not fresh and not s.has_retx_pending():
+                break
+            rec = s.build_vpkt(fresh, float(round_no))
+            rx.on_header(rec.vpkt_id, rec.seqs[0], len(rec.seqs), 0.0, 0.1)
+            for sp in rec.packets:
+                if sp.seq in drop and sp.transmissions == 1:
+                    continue
+                rx.on_data(rec.vpkt_id, sp.seq)
+                delivered.add(sp.seq)
+            rx.on_trailer(rec.vpkt_id, rec.seqs[0], len(rec.seqs), 0.1)
+            max_seq, received, _ = rx.ack_payload()
+            s.process_ack(max_seq, received, 64)
+        # Every injected packet was eventually delivered despite the drops,
+        # and nothing is left outstanding.
+        assert delivered == set(range(injected))
+        assert s.outstanding_vpkts == 0
+        assert not s.has_retx_pending()
+
+
+@given(
+    received=st.sets(st.integers(0, 7)),
+)
+def test_property_ack_conservation(received):
+    """Every covered packet is either acked or requeued, never both/neither."""
+    s = sender(nvpkt=4, nwindow=4, span=64)
+    s.build_vpkt(packets(4), 0.0)
+    s.build_vpkt(packets(4), 1.0)
+    acked, requeued = s.process_ack(7, frozenset(received), 64)
+    assert acked + requeued == 8
+    assert acked == len(received & set(range(8)))
+
+
+@given(st.integers(min_value=-1, max_value=30))
+def test_property_max_seq_partial_coverage(max_seq):
+    s = sender(nvpkt=4, nwindow=4, span=64)
+    for i in range(3):
+        s.build_vpkt(packets(4), float(i))
+    acked, requeued = s.process_ack(max_seq, frozenset(range(max(0, max_seq + 1))), 64)
+    covered = min(12, max_seq + 1)
+    assert acked == max(0, covered)
+    assert requeued == 0

@@ -1,0 +1,58 @@
+"""Tests for receiver-side stale virtual-packet expiry."""
+
+import pytest
+
+from repro.core.arq import ReceiverWindow
+
+
+def make():
+    return ReceiverWindow(src=0, window_span=24, nwindow=4)
+
+
+class TestExpireStale:
+    def test_lost_trailer_vpkt_counts_as_loss_after_expiry(self):
+        rx = make()
+        rx.on_header(1, first_seq=0, num_packets=4, now=0.0, expected_end=0.1)
+        rx.on_data(1, 0, now=0.05)
+        # Trailer never arrives; much later the record is expired.
+        expired = rx.expire_stale(now=2.0)
+        assert expired == 1
+        # 3 of 4 packets lost in that burst.
+        assert rx.loss_rate() == pytest.approx(0.75)
+
+    def test_in_progress_vpkt_not_expired(self):
+        rx = make()
+        rx.on_header(1, 0, 4, now=0.0, expected_end=5.0)
+        assert rx.expire_stale(now=1.0) == 0
+
+    def test_expiry_triggered_by_next_header(self):
+        rx = make()
+        rx.on_header(1, 0, 4, now=0.0, expected_end=0.1)
+        rx.on_data(1, 0, now=0.05)
+        # A new burst arrives much later: the stale record closes.
+        rx.on_header(2, 4, 4, now=3.0, expected_end=3.1)
+        assert rx.loss_rate() == pytest.approx(0.75)
+
+    def test_headerless_record_uses_creation_time(self):
+        rx = make()
+        rx.on_data(9, 0, now=0.0)  # header lost, trailer will be lost too
+        assert rx.expire_stale(now=0.5) == 0
+        assert rx.expire_stale(now=2.0) == 1
+
+    def test_expired_record_not_double_counted_by_trailer(self):
+        rx = make()
+        rx.on_header(1, 0, 4, now=0.0, expected_end=0.1)
+        rx.expire_stale(now=2.0)
+        outcomes_after_expiry = len(rx._vpkt_outcomes)
+        # A very late trailer for the same vpkt id creates a fresh record;
+        # the original outcome is not mutated.
+        rx.on_trailer(1, 0, 4, now=2.5)
+        assert len(rx._vpkt_outcomes) == outcomes_after_expiry + 1
+
+    def test_memory_bounded_under_trailer_loss(self):
+        rx = make()
+        for i in range(100):
+            t = float(i)
+            rx.on_header(i, 4 * i, 4, now=t, expected_end=t + 0.1)
+            rx.expire_stale(now=t)
+        assert len(rx._open) < 10

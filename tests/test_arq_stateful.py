@@ -1,0 +1,133 @@
+"""Stateful property test: the windowed ARQ under arbitrary loss patterns.
+
+Hypothesis drives a sender/receiver pair through random interleavings of
+virtual-packet exchanges, per-frame drops (data, header, trailer, ACK), and
+window timeouts, then checks the protocol's global invariants:
+
+* no packet is ever acked at the sender without being received;
+* the sender never exceeds its window;
+* after loss stops and enough clean rounds run, everything outstanding
+  drains (eventual delivery).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.arq import ArqSender, ReceiverWindow
+from repro.mac.base import Packet
+
+NVPKT = 4
+NWINDOW = 3
+SPAN = 2 * NVPKT * NWINDOW
+
+
+class ArqProtocol(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.sender = ArqSender(dst=1, nvpkt=NVPKT, nwindow=NWINDOW,
+                                window_span=SPAN)
+        self.rx = ReceiverWindow(src=0, window_span=SPAN, nwindow=NWINDOW)
+        self.clock = 0.0
+        self.received_at_rx = set()
+        self.acked_at_sender = set()
+        self.injected = 0
+
+    def _tick(self):
+        self.clock += 0.1
+        return self.clock
+
+    # ------------------------------------------------------------------
+    @rule(
+        fresh=st.integers(min_value=0, max_value=NVPKT),
+        drop_seqs=st.sets(st.integers(0, NVPKT - 1)),
+        drop_header=st.booleans(),
+        drop_trailer=st.booleans(),
+        drop_ack=st.booleans(),
+    )
+    def exchange(self, fresh, drop_seqs, drop_header, drop_trailer, drop_ack):
+        """One virtual-packet round trip with selective losses."""
+        if self.sender.window_full():
+            return
+        n_fresh = min(fresh, self.sender.fresh_slots())
+        packets = [Packet(dst=1) for _ in range(n_fresh)]
+        if not packets and not self.sender.has_retx_pending():
+            return
+        now = self._tick()
+        record = self.sender.build_vpkt(packets, now)
+        self.injected += n_fresh
+        first = record.seqs[0]
+        count = len(record.seqs)
+        if not drop_header:
+            self.rx.on_header(record.vpkt_id, first, count, now, now + 0.05)
+        for idx, sp in enumerate(record.packets):
+            if idx in drop_seqs:
+                continue
+            self.rx.on_data(record.vpkt_id, sp.seq, now)
+            self.received_at_rx.add(sp.seq)
+        if drop_trailer:
+            return  # no close, no ACK this round
+        self.rx.on_trailer(record.vpkt_id, first, count, now)
+        if drop_ack:
+            return
+        max_seq, received, _ = self.rx.ack_payload()
+        before = self.sender.packets_acked
+        self.sender.process_ack(max_seq, received, SPAN)
+        # Track which seqs are newly acked via the sender counter delta.
+        self.acked_at_sender |= set(received)
+        assert self.sender.packets_acked >= before
+
+    @rule()
+    def window_timeout(self):
+        if self.sender.outstanding_vpkts > 0:
+            self.sender.flush_window()
+
+    @rule()
+    def drain(self):
+        """Clean rounds until the sender has nothing left in flight."""
+        for _ in range(4 * NWINDOW):
+            if (
+                not self.sender.has_retx_pending()
+                and self.sender.outstanding_vpkts == 0
+            ):
+                break
+            if self.sender.window_full():
+                self.sender.flush_window()
+            if not self.sender.has_retx_pending():
+                # Outstanding but nothing to resend: force the timeout path.
+                self.sender.flush_window()
+                continue
+            now = self._tick()
+            record = self.sender.build_vpkt([], now)
+            first, count = record.seqs[0], len(record.seqs)
+            self.rx.on_header(record.vpkt_id, first, count, now, now + 0.05)
+            for sp in record.packets:
+                self.rx.on_data(record.vpkt_id, sp.seq, now)
+                self.received_at_rx.add(sp.seq)
+            self.rx.on_trailer(record.vpkt_id, first, count, now)
+            max_seq, received, _ = self.rx.ack_payload()
+            self.sender.process_ack(max_seq, received, SPAN)
+            self.acked_at_sender |= set(received)
+        assert self.sender.outstanding_vpkts == 0
+        assert not self.sender.has_retx_pending()
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def window_never_exceeded(self):
+        assert self.sender.outstanding_vpkts <= NWINDOW
+
+    @invariant()
+    def no_phantom_acks(self):
+        """The receiver never advertises a sequence it did not receive."""
+        assert self.acked_at_sender <= self.received_at_rx
+
+
+TestArqProtocol = ArqProtocol.TestCase
+TestArqProtocol.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

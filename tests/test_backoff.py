@@ -1,0 +1,119 @@
+"""Tests for the loss-rate-based backoff policy (paper §3.4, Fig. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.backoff import LossBackoff
+
+
+def make(cw_start=5e-3, cw_max=320e-3, thresh=0.5):
+    return LossBackoff(cw_start, cw_max, thresh)
+
+
+class TestFig7Pseudocode:
+    def test_starts_at_zero(self):
+        assert make().cw == 0.0
+
+    def test_low_loss_keeps_zero(self):
+        b = make()
+        b.update(0.1)
+        assert b.cw == 0.0
+
+    def test_loss_at_threshold_does_not_trigger(self):
+        # Fig. 7: the test is strictly greater than l_backoff.
+        b = make()
+        b.update(0.5)
+        assert b.cw == 0.0
+
+    def test_first_high_loss_sets_cw_start(self):
+        b = make()
+        b.update(0.9)
+        assert b.cw == 5e-3
+
+    def test_consecutive_high_loss_doubles(self):
+        b = make()
+        for _ in range(3):
+            b.update(0.9)
+        assert b.cw == pytest.approx(20e-3)
+
+    def test_capped_at_cw_max(self):
+        b = make()
+        for _ in range(50):
+            b.update(1.0)
+        assert b.cw == pytest.approx(320e-3)
+
+    def test_low_loss_resets_to_zero(self):
+        b = make()
+        b.update(0.9)
+        b.update(0.9)
+        b.update(0.1)
+        assert b.cw == 0.0
+
+    def test_recovery_then_loss_restarts_at_cw_start(self):
+        b = make()
+        for _ in range(4):
+            b.update(0.9)
+        b.update(0.0)
+        b.update(0.9)
+        assert b.cw == 5e-3
+
+    def test_counters(self):
+        b = make()
+        b.update(0.9)
+        b.update(0.2)
+        assert b.increments == 1 and b.resets == 1
+
+
+class TestDrawWait:
+    def test_zero_cw_zero_wait(self):
+        b = make()
+        assert b.draw_wait(np.random.default_rng(0)) == 0.0
+
+    def test_wait_within_bounds(self):
+        b = make()
+        for _ in range(5):
+            b.update(0.9)
+        rng = np.random.default_rng(0)
+        draws = [b.draw_wait(rng) for _ in range(200)]
+        assert all(0.0 <= d <= b.cw for d in draws)
+        assert max(draws) > b.cw * 0.5  # actually spans the range
+
+
+class TestValidation:
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            LossBackoff(1e-3, 1e-2, 1.5)
+
+    def test_bad_cw_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            LossBackoff(2e-3, 1e-3, 0.5)
+
+    def test_negative_cw_rejected(self):
+        with pytest.raises(ValueError):
+            LossBackoff(-1e-3, 1e-3, 0.5)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1), max_size=60))
+def test_property_cw_always_in_valid_set(reports):
+    """CW is always 0 or cw_start * 2^k, within [0, cw_max]."""
+    b = make()
+    valid = {0.0}
+    cw = 5e-3
+    while cw < 320e-3:
+        valid.add(cw)
+        cw *= 2
+    valid.add(320e-3)
+    for r in reports:
+        b.update(r)
+        assert any(abs(b.cw - v) < 1e-12 for v in valid)
+
+
+@given(st.lists(st.floats(min_value=0.51, max_value=1.0), min_size=1, max_size=20))
+def test_property_cw_monotone_under_sustained_loss(reports):
+    b = make()
+    prev = -1.0
+    for r in reports:
+        b.update(r)
+        assert b.cw >= prev
+        prev = b.cw

@@ -1,0 +1,228 @@
+"""Tests for the conflict-map data structures (paper §3.1–3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.conflict_map import (
+    ANY,
+    DeferTable,
+    InterfererEntry,
+    InterfererList,
+    OngoingList,
+)
+
+
+class TestOngoingList:
+    def test_header_creates_entry_until_end(self):
+        ol = OngoingList()
+        ol.note_header(1, 2, end_time=5.0)
+        assert len(ol.active(4.0)) == 1
+        assert ol.active(5.0) == []
+
+    def test_trailer_ends_entry_early(self):
+        ol = OngoingList()
+        ol.note_header(1, 2, end_time=5.0)
+        ol.note_trailer(1, 2, now=3.0)
+        assert ol.active(3.5) == []
+
+    def test_busy_with_matches_src_and_dst(self):
+        ol = OngoingList()
+        ol.note_header(1, 2, end_time=5.0)
+        assert ol.busy_with(1, 2.0) is not None
+        assert ol.busy_with(2, 2.0) is not None
+        assert ol.busy_with(3, 2.0) is None
+
+    def test_new_header_refreshes_pair(self):
+        ol = OngoingList()
+        ol.note_header(1, 2, end_time=5.0)
+        ol.note_header(1, 2, end_time=9.0)
+        assert ol.active(7.0)[0].end_time == 9.0
+
+    def test_latest_end(self):
+        ol = OngoingList()
+        ol.note_header(1, 2, end_time=5.0)
+        ol.note_header(3, 4, end_time=8.0)
+        assert ol.latest_end(1.0) == 8.0
+        assert ol.latest_end(9.0) == 9.0  # no entries -> now
+
+    def test_rate_recorded(self):
+        ol = OngoingList()
+        ol.note_header(1, 2, end_time=5.0, rate_mbps=18)
+        assert ol.active(1.0)[0].rate_mbps == 18
+
+
+class TestInterfererList:
+    def make(self, **kw):
+        defaults = dict(l_interf=0.5, min_samples=8, window_s=10.0,
+                        entry_timeout=5.0)
+        defaults.update(kw)
+        return InterfererList(**defaults)
+
+    def test_high_conditional_loss_creates_entry(self):
+        il = self.make()
+        for i in range(4):
+            il.record_vpkt(float(i), source=1, interferer=9, lost=3, total=4)
+        entries = il.entries(4.0)
+        assert [(e.source, e.interferer) for e in entries] == [(1, 9)]
+        # The entry carries the measured conditional loss rate (§3.6).
+        assert entries[0].loss_rate == pytest.approx(0.75)
+
+    def test_below_threshold_no_entry(self):
+        il = self.make()
+        for i in range(10):
+            il.record_vpkt(float(i), 1, 9, lost=1, total=4)  # 25 % loss
+        assert il.entries(10.0) == []
+
+    def test_min_samples_guard(self):
+        il = self.make(min_samples=16)
+        il.record_vpkt(0.0, 1, 9, lost=4, total=4)  # 100 % but only 4 samples
+        assert il.entries(1.0) == []
+
+    def test_exactly_threshold_not_enough(self):
+        # Paper: l_interf must be *exceeded* (loss 0.5 -> concurrent is fine).
+        il = self.make()
+        for i in range(4):
+            il.record_vpkt(float(i), 1, 9, lost=2, total=4)
+        assert il.entries(4.0) == []
+
+    def test_entry_expires(self):
+        il = self.make(entry_timeout=2.0)
+        for i in range(4):
+            il.record_vpkt(0.1 * i, 1, 9, lost=4, total=4)
+        assert il.entries(1.0)
+        assert il.entries(10.0) == []
+
+    def test_sliding_window_forgets_old_losses(self):
+        il = self.make(window_s=2.0)
+        for i in range(4):
+            il.record_vpkt(0.1 * i, 1, 9, lost=4, total=4)
+        # Much later, clean coexistence: stats beyond the window vanish.
+        for i in range(8):
+            il.record_vpkt(10.0 + 0.1 * i, 1, 9, lost=0, total=4)
+        rate, samples = il.conditional_loss_rate(11.0, 1, 9)
+        assert rate == 0.0
+
+    def test_zero_total_ignored(self):
+        il = self.make()
+        il.record_vpkt(0.0, 1, 9, lost=0, total=0)
+        assert il.conditional_loss_rate(0.0, 1, 9) == (0.0, 0)
+
+    def test_pairs_tracked_independently(self):
+        il = self.make()
+        for i in range(4):
+            il.record_vpkt(float(i), 1, 9, lost=4, total=4)
+            il.record_vpkt(float(i), 1, 7, lost=0, total=4)
+        entries = il.entries(4.0)
+        assert InterfererEntry(1, 9) in entries
+        assert all(e.interferer != 7 for e in entries)
+
+    def test_rate_aware_keys(self):
+        il = self.make(rate_aware=True)
+        for i in range(4):
+            il.record_vpkt(float(i), 1, 9, lost=4, total=4,
+                           source_rate_mbps=18, interferer_rate_mbps=6)
+        entries = il.entries(4.0)
+        assert entries[0].source_rate_mbps == 18
+
+
+class TestDeferTableRules:
+    """The §3.1 update rules, using the paper's Fig. 4 example:
+
+    receiver v observed (u, x) -- x's transmissions hurt u -> v.
+    """
+
+    def test_rule1_at_source_u(self):
+        table = DeferTable()
+        added = table.update_from_interferer_list(
+            me=10, reporter=20, entries=[InterfererEntry(source=10, interferer=30)],
+            now=0.0,
+        )
+        assert added == 1
+        # u must defer sending to v while x -> anything is ongoing.
+        assert table.should_defer(0.0, my_dst=20, ongoing_src=30, ongoing_dst=99)
+        # ... but not when sending to some other node z.
+        assert not table.should_defer(0.0, my_dst=55, ongoing_src=30, ongoing_dst=99)
+
+    def test_rule2_at_interferer_x(self):
+        table = DeferTable()
+        added = table.update_from_interferer_list(
+            me=30, reporter=20, entries=[InterfererEntry(source=10, interferer=30)],
+            now=0.0,
+        )
+        assert added == 1
+        # x must defer to the specific transmission u -> v for any dst.
+        assert table.should_defer(0.0, my_dst=77, ongoing_src=10, ongoing_dst=20)
+        # ... but not to u transmitting to another node z.
+        assert not table.should_defer(0.0, my_dst=77, ongoing_src=10, ongoing_dst=55)
+
+    def test_unrelated_node_learns_nothing(self):
+        table = DeferTable()
+        added = table.update_from_interferer_list(
+            me=99, reporter=20, entries=[InterfererEntry(10, 30)], now=0.0
+        )
+        assert added == 0
+        assert len(table) == 0
+
+    def test_both_rules_when_node_is_source_and_interferer(self):
+        table = DeferTable()
+        entries = [InterfererEntry(source=10, interferer=30),
+                   InterfererEntry(source=30, interferer=10)]
+        added = table.update_from_interferer_list(10, 20, entries, 0.0)
+        assert added == 2
+
+    def test_entry_expiry(self):
+        table = DeferTable(entry_timeout=1.0)
+        table.update_from_interferer_list(10, 20, [InterfererEntry(10, 30)], 0.0)
+        assert table.should_defer(0.5, 20, 30, 99)
+        assert not table.should_defer(5.0, 20, 30, 99)
+
+    def test_refresh_extends_lifetime(self):
+        table = DeferTable(entry_timeout=1.0)
+        table.update_from_interferer_list(10, 20, [InterfererEntry(10, 30)], 0.0)
+        table.update_from_interferer_list(10, 20, [InterfererEntry(10, 30)], 0.9)
+        assert table.should_defer(1.5, 20, 30, 99)
+
+    def test_rate_aware_entries_scoped_to_rates(self):
+        table = DeferTable(rate_aware=True)
+        entries = [InterfererEntry(10, 30, source_rate_mbps=18,
+                                   interferer_rate_mbps=6)]
+        table.update_from_interferer_list(10, 20, entries, 0.0)
+        # Conflict was observed at 18 Mb/s; a 6 Mb/s transmission (more
+        # robust) is not forced to defer.
+        assert table.should_defer(0.0, 20, 30, 99, my_rate_mbps=18,
+                                  their_rate_mbps=6)
+        assert not table.should_defer(0.0, 20, 30, 99, my_rate_mbps=6,
+                                      their_rate_mbps=6)
+
+    def test_entries_listing(self):
+        table = DeferTable()
+        table.update_from_interferer_list(10, 20, [InterfererEntry(10, 30)], 0.0)
+        assert len(table.entries(0.0)) == 1
+
+
+@given(
+    me=st.integers(0, 20),
+    reporter=st.integers(0, 20),
+    src=st.integers(0, 20),
+    interferer=st.integers(0, 20),
+)
+def test_property_rules_only_fire_for_me(me, reporter, src, interferer):
+    table = DeferTable()
+    added = table.update_from_interferer_list(
+        me, reporter, [InterfererEntry(src, interferer)], now=0.0
+    )
+    expected = (1 if src == me else 0) + (1 if interferer == me else 0)
+    assert added == expected
+
+
+@given(st.data())
+def test_property_defer_requires_matching_tx_src(data):
+    """No defer pattern can match an ongoing tx whose sender is unknown."""
+    table = DeferTable()
+    table.update_from_interferer_list(
+        1, 2, [InterfererEntry(source=1, interferer=3)], now=0.0
+    )
+    other_src = data.draw(st.integers(4, 100))
+    dst = data.draw(st.integers(0, 100))
+    assert not table.should_defer(0.0, my_dst=2, ongoing_src=other_src,
+                                  ongoing_dst=dst)

@@ -1,0 +1,109 @@
+"""DCF edge cases: queue dynamics, mixed traffic, parameter validation."""
+
+import pytest
+
+from repro.mac.base import Packet
+from repro.mac.dcf import DcfMac, DcfParams
+from repro.phy.frames import BROADCAST
+from repro.phy.medium import Medium
+from repro.phy.modulation import Phy80211a, RATES, SinrThresholdErrorModel
+from repro.phy.propagation import LogDistance, Position, RssMatrix
+from repro.phy.radio import Radio, RadioConfig
+from repro.sim.engine import Simulator
+from repro.traffic.generators import SinkRegistry
+from repro.util.rng import RngFactory
+
+
+def build(positions, params=None):
+    sim = Simulator()
+    rss = RssMatrix(LogDistance(exponent=3.3), positions, 18.0)
+    medium = Medium(sim, rss)
+    cfg = RadioConfig(error_model=SinrThresholdErrorModel(), fading=None)
+    rngs = RngFactory(55)
+    sink = SinkRegistry()
+    macs = {}
+    for nid in positions:
+        radio = Radio(sim, nid, cfg, rngs.stream("radio", nid))
+        medium.attach(radio)
+        mac = DcfMac(sim, nid, radio, rngs.stream("mac", nid),
+                     params or DcfParams())
+        mac.attach_sink(sink.sink_for(nid))
+        macs[nid] = mac
+    return sim, medium, macs, sink
+
+
+class TestQueueDynamics:
+    def test_packet_enqueued_after_start_is_sent(self):
+        sim, medium, macs, sink = build({0: Position(0, 0), 1: Position(20, 0)})
+        macs[0].start()
+        macs[1].start()
+        sim.run(until=0.01)  # idle, nothing to send
+        macs[0].enqueue(Packet(dst=1))
+        sim.run(until=0.05)
+        assert sink.flows[(0, 1)].delivered_unique == 1
+
+    def test_burst_of_enqueues_all_delivered_in_order_free_channel(self):
+        sim, medium, macs, sink = build({0: Position(0, 0), 1: Position(20, 0)})
+        for _ in range(10):
+            macs[0].enqueue(Packet(dst=1))
+        macs[0].start()
+        macs[1].start()
+        sim.run(until=0.5)
+        assert sink.flows[(0, 1)].delivered_unique == 10
+
+    def test_mixed_unicast_and_broadcast(self):
+        sim, medium, macs, sink = build(
+            {0: Position(0, 0), 1: Position(20, 0), 2: Position(0, 20)}
+        )
+        macs[0].enqueue(Packet(dst=1))
+        macs[0].enqueue(Packet(dst=BROADCAST))
+        macs[0].enqueue(Packet(dst=2))
+        for m in macs.values():
+            m.start()
+        sim.run(until=0.2)
+        assert sink.flows[(0, 1)].delivered_unique == 2  # unicast + bcast copy
+        assert sink.flows[(0, 2)].delivered_unique == 2
+
+    def test_per_destination_interleaving(self):
+        sim, medium, macs, sink = build(
+            {0: Position(0, 0), 1: Position(20, 0), 2: Position(0, 20)}
+        )
+        for _ in range(3):
+            macs[0].enqueue(Packet(dst=1))
+            macs[0].enqueue(Packet(dst=2))
+        for m in macs.values():
+            m.start()
+        sim.run(until=0.5)
+        assert sink.flows[(0, 1)].delivered_unique == 3
+        assert sink.flows[(0, 2)].delivered_unique == 3
+
+
+class TestHigherRates:
+    @pytest.mark.parametrize("mbps", [12, 24, 54])
+    def test_close_link_works_at_rate(self, mbps):
+        params = DcfParams(data_rate=RATES[mbps])
+        sim, medium, macs, sink = build(
+            {0: Position(0, 0), 1: Position(10, 0)}, params
+        )
+        macs[0].enqueue(Packet(dst=1))
+        macs[0].start()
+        macs[1].start()
+        sim.run(until=0.1)
+        assert sink.flows[(0, 1)].delivered_unique == 1
+
+    def test_rate_changes_airtime_proportionally(self):
+        air6 = Phy80211a.airtime(1428, RATES[6])
+        air24 = Phy80211a.airtime(1428, RATES[24])
+        # Payload symbols scale 4x (PLCP constant).
+        assert (air6 - 20e-6) / (air24 - 20e-6) == pytest.approx(4.0, rel=0.02)
+
+
+class TestAckTimeoutValue:
+    def test_timeout_covers_sifs_plus_ack(self):
+        p = DcfParams()
+        assert p.ack_timeout() > p.sifs + Phy80211a.airtime(14, p.ack_rate)
+
+    def test_timeout_scales_with_ack_rate(self):
+        slow = DcfParams(ack_rate=RATES[6]).ack_timeout()
+        fast = DcfParams(ack_rate=RATES[24]).ack_timeout()
+        assert slow > fast

@@ -1,0 +1,89 @@
+"""Property tests: defer-table rules against a reference implementation."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.conflict_map import ANY, DeferTable, InterfererEntry
+
+
+def reference_should_defer(received_lists, me, my_dst, ongoing_src, ongoing_dst):
+    """Straight-line restatement of §3.1/§3.2 for differential testing.
+
+    ``received_lists`` is [(reporter, [(source, interferer), ...]), ...].
+    """
+    for reporter, entries in received_lists:
+        for source, interferer in entries:
+            # Rule 1 entry (reporter : interferer -> *) exists at `me` when
+            # source == me; it matches if my_dst == reporter and
+            # ongoing_src == interferer.
+            if source == me and my_dst == reporter and ongoing_src == interferer:
+                return True
+            # Rule 2 entry (* : source -> reporter) exists at `me` when
+            # interferer == me; it matches the exact ongoing transmission.
+            if (
+                interferer == me
+                and ongoing_src == source
+                and ongoing_dst == reporter
+            ):
+                return True
+    return False
+
+
+small_ids = st.integers(0, 6)
+
+
+@given(
+    received=st.lists(
+        st.tuples(
+            small_ids,
+            st.lists(st.tuples(small_ids, small_ids), max_size=4),
+        ),
+        max_size=4,
+    ),
+    me=small_ids,
+    my_dst=small_ids,
+    ongoing_src=small_ids,
+    ongoing_dst=small_ids,
+)
+def test_property_matches_reference_semantics(
+    received, me, my_dst, ongoing_src, ongoing_dst
+):
+    table = DeferTable()
+    for reporter, entries in received:
+        table.update_from_interferer_list(
+            me, reporter,
+            [InterfererEntry(s, i) for s, i in entries],
+            now=0.0,
+        )
+    expected = reference_should_defer(
+        received, me, my_dst, ongoing_src, ongoing_dst
+    )
+    actual = table.should_defer(0.0, my_dst, ongoing_src, ongoing_dst)
+    assert actual == expected
+
+
+@given(
+    entries=st.lists(st.tuples(small_ids, small_ids), min_size=1, max_size=6),
+    me=small_ids,
+    reporter=small_ids,
+)
+def test_property_update_is_idempotent(entries, me, reporter):
+    items = [InterfererEntry(s, i) for s, i in entries]
+    t1 = DeferTable()
+    t1.update_from_interferer_list(me, reporter, items, 0.0)
+    size_once = len(t1)
+    t1.update_from_interferer_list(me, reporter, items, 0.0)
+    assert len(t1) == size_once
+
+
+@given(
+    entries=st.lists(st.tuples(small_ids, small_ids), max_size=6),
+    me=small_ids,
+    reporter=small_ids,
+    timeout=st.floats(0.1, 5.0),
+)
+def test_property_everything_expires(entries, me, reporter, timeout):
+    table = DeferTable(entry_timeout=timeout)
+    table.update_from_interferer_list(
+        me, reporter, [InterfererEntry(s, i) for s, i in entries], now=0.0
+    )
+    assert table.entries(timeout + 0.2) == []

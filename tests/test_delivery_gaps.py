@@ -1,0 +1,63 @@
+"""Tests for the delivery-gap (smoothness) statistics in FlowRecord."""
+
+import pytest
+
+from repro.traffic.generators import SinkRegistry
+
+
+class TestDeliveryGaps:
+    def test_gaps_recorded_inside_window(self):
+        sink = SinkRegistry(measure_from=0.0)
+        for i, t in enumerate((1.0, 1.1, 1.3, 1.6)):
+            sink.record(0, 1, i, 1400, t)
+        flow = sink.flows[(0, 1)]
+        assert flow.delivery_gaps == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_warmup_deliveries_excluded(self):
+        sink = SinkRegistry(measure_from=2.0)
+        sink.record(0, 1, 1, 1400, 1.0)   # warmup
+        sink.record(0, 1, 2, 1400, 2.5)
+        sink.record(0, 1, 3, 1400, 2.7)
+        flow = sink.flows[(0, 1)]
+        # Only the gap between the two measured deliveries counts.
+        assert flow.delivery_gaps == pytest.approx([0.2])
+
+    def test_duplicates_do_not_create_gaps(self):
+        sink = SinkRegistry()
+        sink.record(0, 1, 1, 1400, 1.0)
+        sink.record(0, 1, 1, 1400, 1.5)  # dup
+        sink.record(0, 1, 2, 1400, 2.0)
+        assert sink.flows[(0, 1)].delivery_gaps == pytest.approx([1.0])
+
+    def test_gap_percentile(self):
+        sink = SinkRegistry()
+        for i, t in enumerate((0.0, 0.1, 0.2, 0.3, 1.3)):
+            sink.record(0, 1, i, 1400, t)
+        flow = sink.flows[(0, 1)]
+        assert flow.gap_percentile(50) == pytest.approx(0.1)
+        assert flow.gap_percentile(99) == pytest.approx(1.0)
+
+    def test_empty_flow_percentile_zero(self):
+        sink = SinkRegistry()
+        sink.record(0, 1, 1, 1400, 1.0)
+        assert sink.flows[(0, 1)].gap_percentile(50) == 0.0
+
+    def test_cmap_burstier_than_dcf(self):
+        """CMAP delivers 32-packet bursts: its p99 gap dwarfs DCF's."""
+        from repro.net.testbed import Testbed, TestbedConfig
+        from repro.net.topology import FloorPlan
+        from repro.network import Network, cmap_factory, dcf_factory
+
+        tb = Testbed(seed=1, config=TestbedConfig(num_nodes=6, floor=FloorPlan(50, 25)))
+
+        def p99(factory):
+            net = Network(tb, run_seed=0)
+            net.add_node(0, factory)
+            net.add_node(1, factory)
+            net.add_saturated_flow(0, 1)
+            res = net.run(duration=2.0, warmup=0.5)
+            return res.sink.flows[(0, 1)].gap_percentile(99)
+
+        # CMAP's inter-burst pauses (ACK turnaround + TX turnaround) show up
+        # in the gap tail; DCF's per-packet cadence keeps p99 near p50.
+        assert p99(cmap_factory()) > 2 * p99(dcf_factory())

@@ -1,0 +1,78 @@
+"""Unit tests for frame definitions."""
+
+from repro.phy.frames import (
+    BROADCAST,
+    CMAP_HEADER_TRAILER_BYTES,
+    CmapAckFrame,
+    DataFrame,
+    DcfAckFrame,
+    DcfDataFrame,
+    Frame,
+    FrameKind,
+    InterfererListFrame,
+    MAC_OVERHEAD_BYTES,
+    VpktHeaderFrame,
+    VpktTrailerFrame,
+)
+from repro.phy.modulation import RATE_6M, RATE_12M
+
+
+class TestFrameBasics:
+    def test_uids_are_unique(self):
+        frames = [Frame(src=0, dst=1, size_bytes=100) for _ in range(10)]
+        assert len({f.uid for f in frames}) == 10
+
+    def test_broadcast_flag(self):
+        assert Frame(src=0, dst=BROADCAST, size_bytes=10).is_broadcast
+        assert not Frame(src=0, dst=3, size_bytes=10).is_broadcast
+
+    def test_default_rate(self):
+        assert Frame(src=0, dst=1, size_bytes=10).rate is RATE_6M
+
+
+class TestCmapFrames:
+    def test_header_size_fixed_per_fig3(self):
+        h = VpktHeaderFrame(src=0, dst=1, size_bytes=0, vpkt_id=1,
+                            burst_duration=0.06, num_packets=32, first_seq=0)
+        assert h.size_bytes == CMAP_HEADER_TRAILER_BYTES + MAC_OVERHEAD_BYTES
+        assert h.kind is FrameKind.VPKT_HEADER
+
+    def test_trailer_kind_and_size(self):
+        t = VpktTrailerFrame(src=0, dst=1, size_bytes=0, vpkt_id=1,
+                             num_packets=32, first_seq=0)
+        assert t.kind is FrameKind.VPKT_TRAILER
+        assert t.size_bytes == CMAP_HEADER_TRAILER_BYTES + MAC_OVERHEAD_BYTES
+
+    def test_data_frame_kind(self):
+        d = DataFrame(src=0, dst=1, size_bytes=1428, seq=5, packet_id=9, vpkt_id=2)
+        assert d.kind is FrameKind.DATA
+        assert d.seq == 5
+
+    def test_ack_defaults(self):
+        a = CmapAckFrame(src=1, dst=0, size_bytes=0, max_seq=31,
+                         received_seqs=frozenset(range(32)), loss_rate=0.0)
+        assert a.kind is FrameKind.CMAP_ACK
+        assert a.size_bytes > 0
+        assert 31 in a.received_seqs
+
+    def test_interferer_list_size_grows_with_entries(self):
+        f0 = InterfererListFrame(src=0, dst=BROADCAST, size_bytes=0, entries=())
+        f2 = InterfererListFrame(src=0, dst=BROADCAST, size_bytes=0,
+                                 entries=((1, 2), (3, 4)))
+        assert f2.size_bytes > f0.size_bytes
+
+    def test_rate_override(self):
+        h = VpktHeaderFrame(src=0, dst=1, size_bytes=0, rate=RATE_12M)
+        assert h.rate is RATE_12M
+
+
+class TestDcfFrames:
+    def test_data_kind(self):
+        d = DcfDataFrame(src=0, dst=1, size_bytes=1428, seq=3, packet_id=4)
+        assert d.kind is FrameKind.DCF_DATA
+        assert not d.retry
+
+    def test_ack_is_14_bytes(self):
+        a = DcfAckFrame(src=1, dst=0, size_bytes=14, acked_seq=3, acked_uid=77)
+        assert a.size_bytes == 14
+        assert a.kind is FrameKind.DCF_ACK

@@ -1,0 +1,95 @@
+"""Unit tests for link measurement and classification (paper §5.1)."""
+
+import pytest
+
+from repro.net.links import LinkTable
+from repro.phy.modulation import NistErrorModel
+from repro.phy.propagation import LogDistance, Position, RssMatrix
+
+
+def make_table(positions, tx_power=18.0, **kwargs):
+    rss = RssMatrix(LogDistance(exponent=3.3), positions, tx_power)
+    return LinkTable(sorted(positions), rss, -93.0, NistErrorModel(), **kwargs)
+
+
+@pytest.fixture
+def line_table():
+    # A line of nodes at increasing distance: 0 at origin, others at
+    # 10/40/80/200 m -> strong / good / marginal / dead links from node 0.
+    positions = {
+        0: Position(0, 0),
+        1: Position(10, 0),
+        2: Position(40, 0),
+        3: Position(80, 0),
+        4: Position(200, 0),
+    }
+    return make_table(positions)
+
+
+class TestClassification:
+    def test_nearby_pair_is_potential_tx(self, line_table):
+        assert line_table.potential_tx_link(0, 1)
+        assert line_table.in_range(0, 1)
+
+    def test_far_pair_is_out_of_range(self, line_table):
+        assert line_table.out_of_range(0, 4)
+        assert not line_table.in_range(0, 4)
+
+    def test_prr_decreases_with_distance(self, line_table):
+        prrs = [line_table.prr(0, i) for i in (1, 2, 3, 4)]
+        assert prrs == sorted(prrs, reverse=True)
+
+    def test_rss_matches_matrix(self, line_table):
+        assert line_table.rss(0, 1) > line_table.rss(0, 2)
+
+    def test_strong_weak_partition(self, line_table):
+        # Every link is exactly one of strong or weak.
+        for a in line_table.node_ids:
+            for b in line_table.node_ids:
+                if a != b:
+                    assert line_table.strong_signal(a, b) != line_table.weak_signal(a, b)
+
+    def test_symmetric_model_symmetric_predicates(self, line_table):
+        assert line_table.in_range(0, 1) == line_table.in_range(1, 0)
+        assert line_table.potential_tx_link(0, 2) == line_table.potential_tx_link(2, 0)
+
+    def test_has_connectivity(self, line_table):
+        assert line_table.has_connectivity(0, 1)
+        assert not line_table.has_connectivity(0, 4)
+
+
+class TestPercentiles:
+    def test_p90_above_p10(self, line_table):
+        assert line_table.signal_p90_dbm > line_table.signal_p10_dbm
+
+    def test_strongest_link_is_strong(self, line_table):
+        # The closest pair must clear the 90th percentile.
+        assert line_table.strong_signal(0, 1)
+
+
+class TestCensus:
+    def test_fractions_sum_to_one(self, line_table):
+        c = line_table.census()
+        assert c.frac_prr_below_01 + c.frac_prr_mid + c.frac_prr_perfect == pytest.approx(1.0)
+
+    def test_counts_directed_pairs(self, line_table):
+        c = line_table.census()
+        assert 0 < c.connected_pairs <= 20  # 5*4 directed pairs
+
+    def test_degrees_nonnegative(self, line_table):
+        c = line_table.census()
+        assert c.mean_degree >= 0 and c.median_degree >= 0
+
+
+class TestStatsAccess:
+    def test_stats_object(self, line_table):
+        ls = line_table.stats(0, 1)
+        assert ls.src == 0 and ls.dst == 1
+        assert ls.prr == line_table.prr(0, 1)
+
+    def test_all_links_count(self, line_table):
+        assert len(list(line_table.all_links())) == 20
+
+    def test_missing_pair_raises(self, line_table):
+        with pytest.raises(KeyError):
+            line_table.stats(0, 99)

@@ -1,0 +1,155 @@
+"""Unit tests for 802.11a rates, airtime, and error models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.modulation import (
+    NistErrorModel,
+    Phy80211a,
+    RATE_6M,
+    RATE_12M,
+    RATE_18M,
+    RATE_54M,
+    RATES,
+    SinrThresholdErrorModel,
+    isolated_prr,
+)
+
+
+class TestRates:
+    def test_rate_set_complete(self):
+        assert sorted(RATES) == [6, 9, 12, 18, 24, 36, 48, 54]
+
+    def test_bits_per_symbol_match_80211a(self):
+        # N_DBPS = rate_mbps * symbol_time(4us) / 1us-per-bit
+        for mbps, rate in RATES.items():
+            assert rate.bits_per_symbol == mbps * 4
+
+    def test_higher_rates_need_higher_sinr(self):
+        thresholds = [RATES[m].sinr50_1400_db for m in sorted(RATES)]
+        assert thresholds == sorted(thresholds)
+
+    def test_bps(self):
+        assert RATE_6M.bps == 6e6
+
+
+class TestAirtime:
+    def test_1400b_at_6mbps(self):
+        # 22 + 11424 bits over 24 bits/symbol = 477 symbols + 20us PLCP.
+        t = Phy80211a.airtime(1428, RATE_6M)
+        symbols = math.ceil((22 + 1428 * 8) / 24)
+        assert t == pytest.approx(20e-6 + symbols * 4e-6)
+
+    def test_airtime_scales_down_with_rate(self):
+        t6 = Phy80211a.airtime(1428, RATE_6M)
+        t12 = Phy80211a.airtime(1428, RATE_12M)
+        t18 = Phy80211a.airtime(1428, RATE_18M)
+        assert t6 > t12 > t18
+        # Payload time roughly halves 6 -> 12.
+        assert (t6 - 20e-6) / (t12 - 20e-6) == pytest.approx(2.0, rel=0.01)
+
+    def test_ack_airtime(self):
+        # 14-byte ACK at 6 Mb/s: 20us + ceil(134/24)=6 symbols = 44us.
+        assert Phy80211a.airtime(14, RATE_6M) == pytest.approx(44e-6)
+
+    def test_zero_payload_still_has_plcp(self):
+        assert Phy80211a.airtime(0, RATE_6M) >= Phy80211a.PLCP_OVERHEAD
+
+    def test_difs_is_sifs_plus_two_slots(self):
+        assert Phy80211a.DIFS == pytest.approx(
+            Phy80211a.SIFS + 2 * Phy80211a.SLOT_TIME
+        )
+
+
+class TestNistErrorModel:
+    def setup_method(self):
+        self.em = NistErrorModel()
+
+    def test_ber_decreases_with_sinr(self):
+        bers = [self.em.ber(s, RATE_6M) for s in (-10, 0, 5, 10, 20)]
+        assert bers == sorted(bers, reverse=True)
+
+    def test_ber_capped_at_half(self):
+        assert self.em.ber(-100.0, RATE_6M) == 0.5
+
+    def test_frame_success_at_calibration_point(self):
+        # By construction: 1400 B frame at sinr50 succeeds ~50 %.
+        p = self.em.frame_success(RATE_6M.sinr50_1400_db, RATE_6M, 1400)
+        assert p == pytest.approx(0.5, abs=0.02)
+
+    def test_short_frames_more_robust(self):
+        s = RATE_6M.sinr50_1400_db
+        assert self.em.frame_success(s, RATE_6M, 52) > self.em.frame_success(
+            s, RATE_6M, 1400
+        )
+
+    def test_high_sinr_perfect(self):
+        assert self.em.frame_success(40.0, RATE_6M, 1400) == pytest.approx(1.0)
+
+    def test_low_sinr_zero(self):
+        assert self.em.frame_success(-20.0, RATE_6M, 1400) == pytest.approx(0.0)
+
+    def test_chunk_success_zero_bits_is_one(self):
+        assert self.em.chunk_success(-50.0, RATE_6M, 0.0) == 1.0
+
+    def test_invalid_steepness_rejected(self):
+        with pytest.raises(ValueError):
+            NistErrorModel(steepness_per_db=0.0)
+
+    def test_rate54_needs_much_more_sinr_than_rate6(self):
+        s = RATE_6M.sinr50_1400_db + 2
+        assert self.em.frame_success(s, RATE_6M, 1400) > 0.9
+        assert self.em.frame_success(s, RATE_54M, 1400) < 0.01
+
+
+class TestThresholdErrorModel:
+    def test_hard_threshold(self):
+        em = SinrThresholdErrorModel()
+        assert em.frame_success(RATE_6M.sinr50_1400_db, RATE_6M, 1400) == 1.0
+        assert em.frame_success(RATE_6M.sinr50_1400_db - 0.1, RATE_6M, 1400) == 0.0
+
+
+class TestIsolatedPrr:
+    def test_strong_link_is_perfect(self):
+        assert isolated_prr(-60, -93, RATE_6M, 1428, NistErrorModel()) == pytest.approx(1.0)
+
+    def test_fading_degrades_strong_link_slightly(self):
+        p0 = isolated_prr(-85, -93, RATE_6M, 1428, NistErrorModel(), 0.0)
+        p3 = isolated_prr(-85, -93, RATE_6M, 1428, NistErrorModel(), 3.0)
+        assert 0 < p3 < p0 <= 1.0
+
+    def test_fading_helps_dead_link(self):
+        p0 = isolated_prr(-89.5, -93, RATE_6M, 1428, NistErrorModel(), 0.0)
+        p4 = isolated_prr(-89.5, -93, RATE_6M, 1428, NistErrorModel(), 4.0)
+        assert p4 > p0
+
+
+@given(
+    st.floats(min_value=-30, max_value=40, allow_nan=False),
+    st.sampled_from(sorted(RATES)),
+    st.integers(min_value=1, max_value=2000),
+)
+def test_property_frame_success_is_probability(sinr, mbps, size):
+    p = NistErrorModel().frame_success(sinr, RATES[mbps], size)
+    assert 0.0 <= p <= 1.0
+
+
+@given(
+    st.floats(min_value=-30, max_value=40, allow_nan=False),
+    st.sampled_from(sorted(RATES)),
+)
+def test_property_success_monotone_in_size(sinr, mbps):
+    em = NistErrorModel()
+    p_small = em.frame_success(sinr, RATES[mbps], 100)
+    p_large = em.frame_success(sinr, RATES[mbps], 1400)
+    assert p_small >= p_large - 1e-12
+
+
+@given(st.floats(min_value=-30, max_value=39, allow_nan=False))
+def test_property_success_monotone_in_sinr(sinr):
+    em = NistErrorModel()
+    assert em.frame_success(sinr + 1.0, RATE_6M, 1400) >= em.frame_success(
+        sinr, RATE_6M, 1400
+    )

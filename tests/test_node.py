@@ -1,0 +1,25 @@
+"""Tests for the Node assembly dataclass."""
+
+from repro.net.testbed import Testbed, TestbedConfig
+from repro.net.topology import FloorPlan
+from repro.network import Network, dcf_factory
+
+
+class TestNode:
+    def test_node_fields_wired(self):
+        tb = Testbed(seed=1, config=TestbedConfig(num_nodes=4, floor=FloorPlan(40, 20)))
+        net = Network(tb)
+        node = net.add_node(0, dcf_factory())
+        assert node.node_id == 0
+        assert node.position == tb.positions[0]
+        assert node.radio.node_id == 0
+        assert node.mac.radio is node.radio
+        assert node.mac.node_id == 0
+
+    def test_start_is_idempotent_enough(self):
+        tb = Testbed(seed=1, config=TestbedConfig(num_nodes=4, floor=FloorPlan(40, 20)))
+        net = Network(tb)
+        node = net.add_node(0, dcf_factory())
+        node.start()
+        node.start()  # second start must not raise
+        assert node.mac._started

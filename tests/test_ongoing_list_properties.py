@@ -1,0 +1,77 @@
+"""Property tests for the ongoing-transmission list (§3.2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.conflict_map import OngoingList
+
+
+@given(
+    events=st.lists(
+        st.tuples(
+            st.integers(0, 5),                  # src
+            st.integers(0, 5),                  # dst
+            st.floats(0.0, 10.0),               # announce time
+            st.floats(0.001, 0.2),              # duration
+            st.booleans(),                      # trailer heard at some point
+        ),
+        max_size=40,
+    ),
+    probe=st.floats(0.0, 12.0),
+)
+def test_property_active_entries_never_expired(events, probe):
+    """Whatever the interleaving, active() never returns an expired entry."""
+    ol = OngoingList()
+    for src, dst, t, dur, trailer in sorted(events, key=lambda e: e[2]):
+        ol.note_header(src, dst, t + dur)
+        if trailer:
+            ol.note_trailer(src, dst, t + dur / 2)
+    for entry in ol.active(probe):
+        assert entry.end_time > probe
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4), st.floats(0, 5),
+                  st.floats(0.001, 0.5)),
+        max_size=30,
+    )
+)
+def test_property_one_entry_per_pair(events):
+    """The list keys on (src, dst): re-announcements replace, not append."""
+    ol = OngoingList()
+    for src, dst, t, dur in events:
+        ol.note_header(src, dst, t + dur)
+    entries = ol.active(0.0)
+    pairs = [(e.src, e.dst) for e in entries]
+    assert len(pairs) == len(set(pairs))
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4), st.floats(0.001, 5)),
+        min_size=1,
+        max_size=30,
+    ),
+    st.floats(0.0, 6.0),
+)
+def test_property_latest_end_bounds_all_entries(events, now):
+    ol = OngoingList()
+    for src, dst, end in events:
+        ol.note_header(src, dst, end)
+    latest = ol.latest_end(now)
+    assert latest >= now
+    for e in ol.active(now):
+        assert e.end_time <= latest
+
+
+@given(
+    src=st.integers(0, 4),
+    dst=st.integers(0, 4),
+    end=st.floats(0.5, 5.0),
+    query=st.integers(0, 6),
+)
+def test_property_busy_with_matches_exactly_participants(src, dst, end, query):
+    ol = OngoingList()
+    ol.note_header(src, dst, end)
+    hit = ol.busy_with(query, 0.1)
+    assert (hit is not None) == (query in (src, dst))

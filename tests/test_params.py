@@ -1,0 +1,81 @@
+"""Tests for CMAP parameters and the latency profile (§4.1–4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import CmapParams, LatencyProfile
+from repro.phy.modulation import Phy80211a, RATES
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        p = CmapParams()
+        assert p.nvpkt == 32
+        assert p.nwindow == 8
+        assert p.t_ackwait == pytest.approx(5e-3)
+        assert p.t_deferwait == pytest.approx(5e-3)
+        assert p.cw_start == pytest.approx(5e-3)
+        assert p.cw_max == pytest.approx(320e-3)
+        assert p.l_interf == 0.5
+        assert p.l_backoff == 0.5
+
+    def test_extensions_off_by_default(self):
+        p = CmapParams()
+        assert not p.per_destination_queues
+        assert not p.rate_aware_map
+        assert not p.two_hop_ilist
+        assert not p.replicate_ht_in_data
+        assert not p.piggyback_ilist
+
+
+class TestDerivedQuantities:
+    def test_data_frame_airtime(self):
+        p = CmapParams()
+        assert p.data_frame_airtime(1400) == pytest.approx(
+            Phy80211a.airtime(1428, p.data_rate)
+        )
+
+    def test_vpkt_airtime_composition(self):
+        p = CmapParams()
+        expected = 2 * p.header_trailer_airtime() + 32 * p.data_frame_airtime(1400)
+        assert p.vpkt_airtime() == pytest.approx(expected)
+        # ~61 ms at 6 Mb/s with 32 x 1400 B.
+        assert 0.055 < p.vpkt_airtime() < 0.068
+
+    def test_window_timeout_bounds(self):
+        p = CmapParams()
+        tau_min, tau_max = p.window_timeout_bounds()
+        assert tau_max == pytest.approx(8 * p.vpkt_airtime())
+        assert tau_min == pytest.approx(tau_max / 2)
+
+    def test_ack_window_span_covers_two_windows(self):
+        p = CmapParams()
+        assert p.ack_window_span() == 2 * 8 * 32
+
+    def test_higher_rate_shorter_vpkt(self):
+        p6 = CmapParams()
+        p18 = CmapParams(data_rate=RATES[18])
+        assert p18.vpkt_airtime() < p6.vpkt_airtime()
+
+
+class TestLatencyProfile:
+    def test_hardware_profile_is_sifs(self):
+        prof = LatencyProfile.hardware()
+        rng = np.random.default_rng(0)
+        assert prof.ack_turnaround(rng) == Phy80211a.SIFS
+
+    def test_soft_mac_range_matches_measurements(self):
+        """§4.1: 0.5-2 ms for ~90 % of packets, 2-5 ms for the rest."""
+        prof = LatencyProfile.paper_soft_mac()
+        rng = np.random.default_rng(0)
+        draws = np.array([prof.ack_turnaround(rng) for _ in range(4000)])
+        assert draws.min() >= 0.5e-3
+        assert draws.max() <= 5e-3
+        slow = (draws > 2e-3).mean()
+        assert slow == pytest.approx(0.1, abs=0.03)
+
+    def test_draws_below_t_ackwait(self):
+        # The 5 ms t_ackwait was chosen to cover this latency.
+        prof = LatencyProfile.paper_soft_mac()
+        rng = np.random.default_rng(1)
+        assert all(prof.ack_turnaround(rng) <= 5e-3 for _ in range(1000))

@@ -1,0 +1,62 @@
+"""Tests for the testbed presets: each regime has its advertised character."""
+
+import pytest
+
+from repro.net.presets import (
+    ALL_PRESETS,
+    dense_office,
+    obstructed_multiroom,
+    paper_office,
+    sparse_warehouse,
+)
+from repro.net.testbed import Testbed
+
+
+@pytest.fixture(scope="module")
+def testbeds():
+    return {name: Testbed(seed=2, config=make()) for name, make in ALL_PRESETS.items()}
+
+
+class TestPresetConstruction:
+    def test_all_presets_build(self, testbeds):
+        assert set(testbeds) == set(ALL_PRESETS)
+        for tb in testbeds.values():
+            assert len(tb.node_ids) >= 30
+
+    def test_paper_office_is_default(self):
+        assert paper_office() == Testbed(seed=1).config
+
+
+class TestPresetCharacter:
+    def test_dense_office_highly_connected(self, testbeds):
+        census = testbeds["dense_office"].links.census()
+        n = len(testbeds["dense_office"].node_ids)
+        # Nearly everyone in decode range of nearly everyone.
+        assert census.mean_degree > 0.7 * (n - 1)
+
+    def test_sparse_warehouse_long_reach(self, testbeds):
+        # Lower exponent + LOS: degree high despite 4x the default area.
+        census = testbeds["sparse_warehouse"].links.census()
+        assert census.mean_degree > 15
+
+    def test_obstructed_multiroom_ragged(self, testbeds):
+        dflt = Testbed(seed=2).links.census()
+        rough = testbeds["obstructed_multiroom"].links.census()
+        assert rough.mean_degree < dflt.mean_degree
+        assert rough.frac_prr_perfect < dflt.frac_prr_perfect + 0.05
+
+    def test_dense_office_has_fewer_exposed_configs(self, testbeds):
+        """CMAP's own claim: dense deployments converge to CSMA because
+        exposed-terminal geometry stops existing."""
+        from repro.experiments.scenarios import (
+            ScenarioError,
+            find_exposed_terminal_configs,
+        )
+
+        def count(tb):
+            try:
+                return len(find_exposed_terminal_configs(tb, 50))
+            except ScenarioError:
+                return 0
+
+        assert count(testbeds["dense_office"]) <= count(testbeds["paper_office"])

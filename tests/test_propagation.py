@@ -1,0 +1,129 @@
+"""Unit tests for propagation models and the RSS matrix."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.propagation import (
+    FreeSpace,
+    LogDistance,
+    LogDistanceShadowing,
+    Position,
+    RssMatrix,
+)
+from repro.util.rng import RngFactory
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_floor(self):
+        p = Position(1, 1)
+        assert p.distance_to(p) == pytest.approx(0.01)
+
+
+class TestFreeSpace:
+    def test_friis_at_1m_5ghz(self):
+        # FSPL at 1 m, 5.18 GHz ~ 46.7 dB.
+        fs = FreeSpace()
+        pl = fs.path_loss_db(0, Position(0, 0), 1, Position(1, 0))
+        assert pl == pytest.approx(46.7, abs=0.3)
+
+    def test_20db_per_decade(self):
+        fs = FreeSpace()
+        pl1 = fs.path_loss_db(0, Position(0, 0), 1, Position(10, 0))
+        pl2 = fs.path_loss_db(0, Position(0, 0), 1, Position(100, 0))
+        assert pl2 - pl1 == pytest.approx(20.0, abs=0.01)
+
+
+class TestLogDistance:
+    def test_exponent_slope(self):
+        m = LogDistance(exponent=3.3)
+        pl1 = m.path_loss_db(0, Position(0, 0), 1, Position(10, 0))
+        pl2 = m.path_loss_db(0, Position(0, 0), 1, Position(100, 0))
+        assert pl2 - pl1 == pytest.approx(33.0, abs=0.01)
+
+    def test_reference_loss(self):
+        m = LogDistance(exponent=3.0, pl_at_reference_db=40.0)
+        assert m.path_loss_db(0, Position(0, 0), 1, Position(1, 0)) == pytest.approx(40.0)
+
+    def test_below_reference_clamped(self):
+        m = LogDistance(pl_at_reference_db=40.0)
+        pl = m.path_loss_db(0, Position(0, 0), 1, Position(0.1, 0))
+        assert pl == pytest.approx(40.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistance(exponent=0)
+        with pytest.raises(ValueError):
+            LogDistance(reference_m=0)
+
+    def test_rss(self):
+        m = LogDistance(exponent=3.0, pl_at_reference_db=40.0)
+        rss = m.rss_dbm(18.0, 0, Position(0, 0), 1, Position(10, 0))
+        assert rss == pytest.approx(18.0 - 70.0)
+
+
+class TestShadowing:
+    def _model(self, sigma=6.0):
+        return LogDistanceShadowing(RngFactory(5), shadowing_sigma_db=sigma)
+
+    def test_symmetric(self):
+        m = self._model()
+        a, b = Position(0, 0), Position(20, 5)
+        assert m.path_loss_db(1, a, 2, b) == m.path_loss_db(2, b, 1, a)
+
+    def test_deterministic_across_instances(self):
+        a, b = Position(0, 0), Position(20, 5)
+        m1, m2 = self._model(), self._model()
+        assert m1.path_loss_db(1, a, 2, b) == m2.path_loss_db(1, a, 2, b)
+
+    def test_zero_sigma_equals_plain_log_distance(self):
+        m = self._model(sigma=0.0)
+        base = LogDistance()
+        a, b = Position(0, 0), Position(20, 5)
+        assert m.path_loss_db(1, a, 2, b) == pytest.approx(
+            base.path_loss_db(1, a, 2, b)
+        )
+
+    def test_different_pairs_get_different_shadowing(self):
+        m = self._model()
+        values = {m.shadowing_db(a, b) for a, b in [(1, 2), (1, 3), (2, 3), (1, 4)]}
+        assert len(values) == 4
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistanceShadowing(RngFactory(1), shadowing_sigma_db=-1)
+
+
+class TestRssMatrix:
+    def test_matrix_contains_all_directed_pairs(self):
+        positions = {i: Position(i * 10.0, 0) for i in range(4)}
+        m = RssMatrix(LogDistance(), positions, tx_power_dbm=18.0)
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert m.rss(a, b) < 18.0
+
+    def test_missing_pair_get_default(self):
+        positions = {0: Position(0, 0), 1: Position(5, 0)}
+        m = RssMatrix(LogDistance(), positions, 18.0)
+        assert m.get(0, 7) is None
+        assert m.get(0, 7, -999.0) == -999.0
+
+    def test_symmetric_for_symmetric_model(self):
+        positions = {0: Position(0, 0), 1: Position(25, 3)}
+        m = RssMatrix(LogDistanceShadowing(RngFactory(2)), positions, 18.0)
+        assert m.rss(0, 1) == pytest.approx(m.rss(1, 0))
+
+
+@given(
+    st.floats(min_value=1, max_value=500),
+    st.floats(min_value=1.5, max_value=5.0),
+)
+def test_property_path_loss_increases_with_distance(d, exponent):
+    m = LogDistance(exponent=exponent)
+    p0 = Position(0, 0)
+    pl_near = m.path_loss_db(0, p0, 1, Position(d, 0))
+    pl_far = m.path_loss_db(0, p0, 1, Position(d * 2, 0))
+    assert pl_far > pl_near

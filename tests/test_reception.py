@@ -1,0 +1,128 @@
+"""Unit tests for interval-based reception scoring."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.frames import Frame
+from repro.phy.medium import Transmission
+from repro.phy.modulation import (
+    NistErrorModel,
+    RATE_6M,
+    SinrThresholdErrorModel,
+)
+from repro.phy.reception import Reception
+from repro.util.units import dbm_to_mw
+
+NOISE_MW = dbm_to_mw(-93.0)
+HARD = SinrThresholdErrorModel()  # threshold at RATE_6M.sinr50_1400_db = 5 dB
+
+
+def make_reception(rss_dbm=-70.0, start=0.0, dur=1e-3, interference_mw=0.0):
+    frame = Frame(src=0, dst=1, size_bytes=1400)
+    tx = Transmission(frame, 0, start, start + dur)
+    return Reception(tx, rss_dbm, start, start + dur, interference_mw)
+
+
+class TestCleanReception:
+    def test_strong_clean_frame_succeeds(self):
+        r = make_reception(rss_dbm=-70.0)
+        assert r.success_probability(HARD, NOISE_MW) == 1.0
+        assert not r.interfered
+
+    def test_weak_clean_frame_fails(self):
+        # -92 dBm over -93 noise: SINR ~1 dB < 5 dB threshold.
+        r = make_reception(rss_dbm=-92.0)
+        assert r.success_probability(HARD, NOISE_MW) == 0.0
+
+    def test_zero_duration_frame_trivially_succeeds(self):
+        r = make_reception(dur=0.0)
+        assert r.success_probability(HARD, NOISE_MW) == 1.0
+
+
+class TestInterferenceIntervals:
+    def test_interference_for_whole_frame_kills_it(self):
+        # Interferer as strong as the signal: SINR ~0 dB.
+        r = make_reception(rss_dbm=-70.0, interference_mw=dbm_to_mw(-70.0))
+        assert r.success_probability(HARD, NOISE_MW) == 0.0
+        assert r.interfered
+
+    def test_interference_in_middle_kills_hard_model(self):
+        r = make_reception(rss_dbm=-70.0, dur=1e-3)
+        r.interference_changed(0.4e-3, dbm_to_mw(-70.0))
+        r.interference_changed(0.6e-3, 0.0)
+        assert r.success_probability(HARD, NOISE_MW) == 0.0
+
+    def test_interference_after_frame_start_only_counts_overlap(self):
+        # Soft model: a brief overlap hurts less than a full overlap.
+        em = NistErrorModel()
+        r_short = make_reception(rss_dbm=-80.0, dur=1e-3)
+        r_short.interference_changed(0.9e-3, dbm_to_mw(-82.0))
+        r_long = make_reception(rss_dbm=-80.0, dur=1e-3,
+                                interference_mw=dbm_to_mw(-82.0))
+        p_short = r_short.success_probability(em, NOISE_MW)
+        p_long = r_long.success_probability(em, NOISE_MW)
+        assert p_short > p_long
+
+    def test_interference_cleared_before_end(self):
+        em = NistErrorModel()
+        r = make_reception(rss_dbm=-80.0, dur=1e-3,
+                           interference_mw=dbm_to_mw(-82.0))
+        r.interference_changed(0.1e-3, 0.0)
+        p_mostly_clean = r.success_probability(em, NOISE_MW)
+        r2 = make_reception(rss_dbm=-80.0, dur=1e-3,
+                            interference_mw=dbm_to_mw(-82.0))
+        assert p_mostly_clean > r2.success_probability(em, NOISE_MW)
+
+    def test_same_instant_changes_coalesce(self):
+        r = make_reception(dur=1e-3)
+        r.interference_changed(0.5e-3, 1e-9)
+        r.interference_changed(0.5e-3, 2e-9)
+        # Only one change-point at 0.5 ms, with the latest value.
+        assert len(r._changes) == 2
+        assert r._changes[-1] == (0.5e-3, 2e-9)
+
+    def test_interferer_uids_recorded(self):
+        r = make_reception(dur=1e-3)
+        r.interference_changed(0.2e-3, 1e-9, interferer_uid=42)
+        assert 42 in r.interferer_uids
+
+    def test_min_sinr_reflects_peak_interference(self):
+        r = make_reception(rss_dbm=-70.0, dur=1e-3)
+        clean_sinr = r.min_sinr_db(NOISE_MW)
+        r.interference_changed(0.5e-3, dbm_to_mw(-75.0))
+        assert r.min_sinr_db(NOISE_MW) < clean_sinr
+
+
+class TestProbabilisticScoring:
+    def test_success_probability_bounded(self):
+        em = NistErrorModel()
+        for rss in (-95, -90, -85, -80, -60):
+            r = make_reception(rss_dbm=rss)
+            p = r.success_probability(em, NOISE_MW)
+            assert 0.0 <= p <= 1.0
+
+    def test_stronger_signal_higher_probability(self):
+        em = NistErrorModel()
+        p_weak = make_reception(rss_dbm=-88.0).success_probability(em, NOISE_MW)
+        p_strong = make_reception(rss_dbm=-84.0).success_probability(em, NOISE_MW)
+        assert p_strong > p_weak
+
+
+@given(
+    rss=st.floats(min_value=-95, max_value=-50),
+    interf_dbm=st.floats(min_value=-110, max_value=-50),
+    frac=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_partial_interference_bounded_by_extremes(rss, interf_dbm, frac):
+    """P(clean) >= P(partial interference) >= P(full interference)."""
+    em = NistErrorModel()
+    dur = 1e-3
+    clean = make_reception(rss_dbm=rss, dur=dur)
+    partial = make_reception(rss_dbm=rss, dur=dur)
+    if frac > 0:
+        partial.interference_changed(dur * (1 - frac), dbm_to_mw(interf_dbm))
+    full = make_reception(rss_dbm=rss, dur=dur, interference_mw=dbm_to_mw(interf_dbm))
+    p_clean = clean.success_probability(em, NOISE_MW)
+    p_partial = partial.success_probability(em, NOISE_MW)
+    p_full = full.success_probability(em, NOISE_MW)
+    assert p_clean + 1e-12 >= p_partial >= p_full - 1e-12

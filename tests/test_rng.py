@@ -1,0 +1,86 @@
+"""Unit tests for deterministic RNG streams."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.util.rng import RngFactory, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(1, "a", 2.5) == stable_hash(1, "a", 2.5)
+
+    def test_order_sensitive(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_type_sensitive(self):
+        assert stable_hash(1) != stable_hash("1")
+
+
+class TestRngFactory:
+    def test_same_key_same_stream_object(self):
+        rngs = RngFactory(7)
+        assert rngs.stream("x") is rngs.stream("x")
+
+    def test_different_keys_different_sequences(self):
+        rngs = RngFactory(7)
+        a = rngs.stream("a").random(8)
+        b = rngs.stream("b").random(8)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_factories(self):
+        a = RngFactory(7).stream("traffic", 3).random(8)
+        b = RngFactory(7).stream("traffic", 3).random(8)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(7).stream("x").random(8)
+        b = RngFactory(8).stream("x").random(8)
+        assert not np.allclose(a, b)
+
+    def test_fork_is_deterministic_and_independent(self):
+        base = RngFactory(7)
+        f1 = base.fork("run", 1)
+        f2 = RngFactory(7).fork("run", 1)
+        assert np.allclose(f1.stream("x").random(4), f2.stream("x").random(4))
+        assert f1.seed != base.seed
+
+
+class TestPairNormal:
+    def test_symmetric_in_node_order(self):
+        rngs = RngFactory(3)
+        assert rngs.pair_normal("shadow", 4, 9, 6.0) == rngs.pair_normal(
+            "shadow", 9, 4, 6.0
+        )
+
+    def test_deterministic(self):
+        a = RngFactory(3).pair_normal("shadow", 1, 2, 6.0)
+        b = RngFactory(3).pair_normal("shadow", 1, 2, 6.0)
+        assert a == b
+
+    def test_different_pairs_differ(self):
+        rngs = RngFactory(3)
+        vals = {rngs.pair_normal("shadow", a, b, 6.0) for a, b in
+                [(1, 2), (1, 3), (2, 3), (4, 5)]}
+        assert len(vals) == 4
+
+    def test_zero_sigma_gives_zero(self):
+        assert RngFactory(3).pair_normal("s", 1, 2, 0.0) == 0.0
+
+    def test_distribution_roughly_normal(self):
+        rngs = RngFactory(11)
+        draws = [rngs.pair_normal("s", i, i + 1000, 6.0) for i in range(500)]
+        mean = np.mean(draws)
+        std = np.std(draws)
+        assert abs(mean) < 1.0
+        assert 5.0 < std < 7.0
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(0, 1000), st.integers(0, 1000))
+def test_property_pair_normal_symmetry(seed, a, b):
+    rngs = RngFactory(seed)
+    assert rngs.pair_normal("x", a, b, 3.0) == rngs.pair_normal("x", b, a, 3.0)

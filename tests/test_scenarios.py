@@ -1,0 +1,117 @@
+"""Tests for scenario selection (Fig. 11 constraints, §5.6–5.7)."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    ScenarioError,
+    find_ap_topology,
+    find_exposed_terminal_configs,
+    find_hidden_interferer_triples,
+    find_hidden_terminal_configs,
+    find_inrange_configs,
+    find_mesh_topologies,
+)
+from repro.net.testbed import Testbed
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed(seed=1)
+
+
+class TestExposedConfigs:
+    def test_constraints_hold(self, testbed):
+        links = testbed.links
+        for cfg in find_exposed_terminal_configs(testbed, 8):
+            assert links.in_range(cfg.s1, cfg.s2)
+            assert links.potential_tx_link(cfg.s1, cfg.r1)
+            assert links.potential_tx_link(cfg.s2, cfg.r2)
+            assert links.strong_signal(cfg.s1, cfg.r1)
+            assert links.strong_signal(cfg.s2, cfg.r2)
+            assert links.weak_signal(cfg.s1, cfg.r2)
+            assert links.weak_signal(cfg.s2, cfg.r1)
+            assert len(set(cfg.nodes)) == 4
+
+    def test_deterministic_sampling(self, testbed):
+        a = find_exposed_terminal_configs(testbed, 5, seed=3)
+        b = find_exposed_terminal_configs(testbed, 5, seed=3)
+        assert a == b
+
+    def test_different_seed_differs(self, testbed):
+        a = find_exposed_terminal_configs(testbed, 5, seed=3)
+        b = find_exposed_terminal_configs(testbed, 5, seed=4)
+        assert a != b
+
+
+class TestInrangeConfigs:
+    def test_constraints_hold(self, testbed):
+        links = testbed.links
+        for cfg in find_inrange_configs(testbed, 8):
+            assert links.in_range(cfg.s1, cfg.s2)
+            assert links.potential_tx_link(cfg.s1, cfg.r1)
+            assert links.potential_tx_link(cfg.s2, cfg.r2)
+
+
+class TestHiddenConfigs:
+    def test_constraints_hold(self, testbed):
+        links = testbed.links
+        for cfg in find_hidden_terminal_configs(testbed, 6):
+            assert links.out_of_range(cfg.s1, cfg.s2)
+            for s in (cfg.s1, cfg.s2):
+                for r in (cfg.r1, cfg.r2):
+                    assert links.potential_tx_link(s, r)
+
+
+class TestInterfererTriples:
+    def test_distinct_roles(self, testbed):
+        for t in find_hidden_interferer_triples(testbed, 20):
+            assert t.interferer not in (t.sender, t.receiver)
+            assert t.interferer_receiver != t.interferer
+            assert testbed.links.potential_tx_link(t.sender, t.receiver)
+
+    def test_count_respected(self, testbed):
+        assert len(find_hidden_interferer_triples(testbed, 15)) == 15
+
+
+class TestApTopology:
+    def test_aps_mutually_out_of_range(self, testbed):
+        topo = find_ap_topology(testbed, 4)
+        for i, a in enumerate(topo.aps):
+            for b in topo.aps[i + 1:]:
+                assert testbed.links.out_of_range(a, b)
+
+    def test_one_flow_per_cell(self, testbed):
+        topo = find_ap_topology(testbed, 3)
+        assert len(topo.flows) == 3
+        # Each flow touches its AP.
+        for (s, r), ap in zip(topo.flows, topo.aps):
+            assert ap in (s, r)
+            assert testbed.links.potential_tx_link(s, r)
+
+    def test_trial_seed_varies_clients(self, testbed):
+        topos = {find_ap_topology(testbed, 3, trial_seed=i).flows for i in range(6)}
+        assert len(topos) > 1
+
+    def test_too_many_aps_rejected(self, testbed):
+        with pytest.raises(ScenarioError):
+            find_ap_topology(testbed, 7)
+
+    def test_nodes_deduplicated(self, testbed):
+        topo = find_ap_topology(testbed, 4)
+        assert len(topo.nodes) == len(set(topo.nodes))
+
+
+class TestMeshTopologies:
+    def test_structure(self, testbed):
+        for topo in find_mesh_topologies(testbed, 3):
+            assert len(topo.forwarders) == 3
+            assert len(topo.leaves) == 3
+            assert len(set(topo.nodes)) == 7
+            for a in topo.forwarders:
+                assert testbed.links.potential_tx_link(topo.source, a)
+            for a, b in zip(topo.forwarders, topo.leaves):
+                assert testbed.links.potential_tx_link(a, b)
+
+    def test_fanout_parameter(self, testbed):
+        topo = find_mesh_topologies(testbed, 1, fanout=2)[0]
+        assert len(topo.forwarders) == 2

@@ -1,0 +1,67 @@
+"""Tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.experiments.runners import ExperimentScale
+from repro.experiments.sweeps import (
+    SweepPoint,
+    render_sweep,
+    sweep_testbed_parameters,
+)
+
+
+class TestSweepPoint:
+    def test_gain(self):
+        p = SweepPoint({"x": 1}, cmap_median=10.0, cs_on_median=5.0,
+                       configs_found=3)
+        assert p.gain == 2.0
+
+    def test_gain_nan_when_baseline_zero(self):
+        import math
+
+        p = SweepPoint({"x": 1}, 1.0, 0.0, 0)
+        assert math.isnan(p.gain)
+
+
+class TestRender:
+    def test_table_contains_values_and_errors(self):
+        points = [
+            SweepPoint({"p_los": 0.3}, 9.0, 5.0, 4),
+            SweepPoint({"p_los": 0.0}, 0.0, 0.0, 0, error="no configs"),
+        ]
+        text = render_sweep(points)
+        assert "1.80x" in text
+        assert "no configs" in text
+
+    def test_empty(self):
+        assert "empty" in render_sweep([])
+
+
+class TestSweepExecution:
+    def test_single_point_sweep_runs(self):
+        scale = ExperimentScale(configs=1, duration=3.0, warmup=1.0)
+        points = sweep_testbed_parameters(
+            {"path_loss_exponent": [3.3]}, scale=scale, seed=1
+        )
+        assert len(points) == 1
+        p = points[0]
+        assert p.error is None
+        assert p.configs_found == 1
+        assert p.cmap_median > 0 and p.cs_on_median > 0
+
+    def test_impossible_world_reports_error(self):
+        # Absurd path loss: no links at all -> ScenarioError captured.
+        scale = ExperimentScale(configs=1, duration=3.0, warmup=1.0)
+        points = sweep_testbed_parameters(
+            {"path_loss_exponent": [8.0]}, scale=scale, seed=1
+        )
+        assert points[0].error is not None
+
+    def test_grid_is_cartesian_product(self):
+        scale = ExperimentScale(configs=1, duration=2.0, warmup=0.5)
+        points = sweep_testbed_parameters(
+            {"path_loss_exponent": [3.2, 3.4], "p_los": [0.4]},
+            scale=scale, seed=1,
+        )
+        assert len(points) == 2
+        assert {p.overrides["path_loss_exponent"] for p in points} == {3.2, 3.4}

@@ -1,0 +1,70 @@
+"""Tests for the synthetic 50-node testbed, incl. the §5.1 census bands."""
+
+import pytest
+
+from repro.net.testbed import Testbed, TestbedConfig
+from repro.net.topology import FloorPlan
+
+
+class TestDeterminism:
+    def test_same_seed_same_testbed(self):
+        a, b = Testbed(seed=3), Testbed(seed=3)
+        assert a.positions == b.positions
+        assert a.rss.rss(0, 1) == b.rss.rss(0, 1)
+        assert a.links.prr(0, 1) == b.links.prr(0, 1)
+
+    def test_different_seeds_differ(self):
+        a, b = Testbed(seed=3), Testbed(seed=4)
+        assert a.positions != b.positions
+
+
+class TestDefaults:
+    def test_fifty_nodes(self):
+        assert len(Testbed(seed=1).node_ids) == 50
+
+    def test_six_regions_cover_nodes(self):
+        tb = Testbed(seed=1)
+        by_region = tb.nodes_by_region()
+        assert len(by_region) == 6
+        assert sum(len(v) for v in by_region.values()) == 50
+
+
+class TestCensusCalibration:
+    """The default testbed must be in the paper's §5.1 regime.
+
+    Paper: ~2162 connected pairs (of 2450 directed), 68 % PRR < 0.1, 12 %
+    intermediate, 20 % perfect, mean degree 15.2, median 17. Our static
+    SINR channel has a wider gray region (documented in EXPERIMENTS.md);
+    the bands below assert the same qualitative regime: a clear bimodal
+    structure, ~1/5 perfect links, and mean degree in the mid-teens.
+    """
+
+    @pytest.fixture(scope="class")
+    def census(self):
+        return Testbed(seed=1).links.census()
+
+    def test_connected_pair_count(self, census):
+        assert 600 <= census.connected_pairs <= 2450
+
+    def test_perfect_fraction_near_paper(self, census):
+        assert 0.10 <= census.frac_prr_perfect <= 0.35
+
+    def test_gray_plus_dead_majority(self, census):
+        assert census.frac_prr_below_01 + census.frac_prr_mid >= 0.6
+
+    def test_mean_degree_mid_teens(self, census):
+        assert 10 <= census.mean_degree <= 22
+
+    def test_median_degree(self, census):
+        assert 10 <= census.median_degree <= 22
+
+
+class TestCustomConfig:
+    def test_small_testbed(self):
+        cfg = TestbedConfig(num_nodes=10, floor=FloorPlan(80, 40))
+        tb = Testbed(seed=2, config=cfg)
+        assert len(tb.node_ids) == 10
+
+    def test_regions_parameterizable(self):
+        tb = Testbed(seed=2)
+        assert len(tb.regions(columns=2, rows=2)) == 4

@@ -1,0 +1,72 @@
+"""Tests for the airtime timeline renderer."""
+
+import pytest
+
+from repro.analysis.timeline import TimelineRenderer
+
+
+LOG = [
+    (0, 0.0, 0.4),
+    (1, 0.5, 0.9),
+    (0, 1.0, 1.4),
+    (1, 1.5, 1.9),
+]
+
+
+class TestRendering:
+    def test_rows_per_node(self):
+        text = TimelineRenderer(LOG, 0.0, 2.0).render(width=20)
+        lines = text.splitlines()
+        assert lines[0].startswith("node 0 |")
+        assert lines[1].startswith("node 1 |")
+        assert "ms window" in lines[-1]
+
+    def test_busy_cells_marked(self):
+        text = TimelineRenderer(LOG, 0.0, 2.0).render(width=20)
+        row0 = text.splitlines()[0]
+        # Node 0 transmits in [0, 0.4] -> first ~4 of 20 buckets busy.
+        cells = row0.split("|")[1]
+        assert cells[0] == "#" and cells[1] == "#"
+        assert cells[10] == "#"  # [1.0, 1.4]
+        assert cells[5] == "."
+
+    def test_window_clipping(self):
+        r = TimelineRenderer(LOG, 0.45, 0.95)
+        stats = r.stats()
+        assert 0 not in stats.busy_fraction  # node 0 inactive in the window
+        assert stats.busy_fraction[1] == pytest.approx(0.8, abs=0.05)
+
+    def test_node_filter(self):
+        text = TimelineRenderer(LOG, 0.0, 2.0).render(nodes=[1], width=10)
+        assert "node 0" not in text
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineRenderer(LOG, 1.0, 1.0)
+
+
+class TestStats:
+    def test_busy_fractions(self):
+        stats = TimelineRenderer(LOG, 0.0, 2.0).stats()
+        assert stats.busy_fraction[0] == pytest.approx(0.4)
+        assert stats.busy_fraction[1] == pytest.approx(0.4)
+
+    def test_no_overlap_in_alternating_log(self):
+        stats = TimelineRenderer(LOG, 0.0, 2.0).stats()
+        assert stats.overlap_fraction == 0.0
+
+    def test_overlap_detected(self):
+        log = [(0, 0.0, 1.0), (1, 0.5, 1.5)]
+        stats = TimelineRenderer(log, 0.0, 2.0).stats()
+        assert stats.overlap_fraction == pytest.approx(0.25)
+
+
+class TestAlternation:
+    def test_alternating_senders(self):
+        r = TimelineRenderer(LOG, 0.0, 2.0)
+        assert r.alternation_count(0, 1) == 3
+
+    def test_capture_monopoly(self):
+        log = [(0, float(i), i + 0.5) for i in range(5)]
+        r = TimelineRenderer(log, 0.0, 6.0)
+        assert r.alternation_count(0, 1) == 0

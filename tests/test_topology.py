@@ -1,0 +1,86 @@
+"""Unit tests for floor plans, placement, and regions."""
+
+import numpy as np
+import pytest
+
+from repro.net.topology import (
+    FloorPlan,
+    assign_regions,
+    grid_positions,
+    random_positions,
+)
+from repro.phy.propagation import Position
+
+
+class TestFloorPlan:
+    def test_regions_tile_the_floor(self):
+        floor = FloorPlan(120, 60)
+        regions = floor.regions(3, 2)
+        assert len(regions) == 6
+        total_area = sum(
+            (r.x_max - r.x_min) * (r.y_max - r.y_min) for r in regions
+        )
+        assert total_area == pytest.approx(120 * 60)
+
+    def test_region_indices_unique(self):
+        regions = FloorPlan(120, 60).regions(3, 2)
+        assert sorted(r.index for r in regions) == list(range(6))
+
+    def test_region_contains_center(self):
+        for r in FloorPlan(100, 50).regions(2, 2):
+            assert r.contains(r.center)
+
+
+class TestGridPositions:
+    def test_count_and_bounds(self):
+        floor = FloorPlan(100, 50)
+        pos = grid_positions(50, floor, np.random.default_rng(0))
+        assert len(pos) == 50
+        for p in pos.values():
+            assert 0 <= p.x <= 100 and 0 <= p.y <= 50
+
+    def test_deterministic_under_same_rng_seed(self):
+        floor = FloorPlan(100, 50)
+        a = grid_positions(10, floor, np.random.default_rng(3))
+        b = grid_positions(10, floor, np.random.default_rng(3))
+        assert all(a[i] == b[i] for i in a)
+
+    def test_zero_jitter_is_regular(self):
+        floor = FloorPlan(100, 100)
+        pos = grid_positions(4, floor, np.random.default_rng(0), jitter_fraction=0.0)
+        xs = sorted({round(p.x, 6) for p in pos.values()})
+        assert len(xs) == 2  # 2x2 grid
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            grid_positions(0, FloorPlan(10, 10), np.random.default_rng(0))
+
+    def test_positions_spread_out(self):
+        floor = FloorPlan(200, 100)
+        pos = grid_positions(50, floor, np.random.default_rng(0))
+        xs = [p.x for p in pos.values()]
+        assert max(xs) - min(xs) > 100  # fills most of the floor
+
+
+class TestRandomPositions:
+    def test_count_and_bounds(self):
+        pos = random_positions(20, FloorPlan(80, 40), np.random.default_rng(1))
+        assert len(pos) == 20
+        assert all(0 <= p.x <= 80 and 0 <= p.y <= 40 for p in pos.values())
+
+
+class TestAssignRegions:
+    def test_every_node_assigned_exactly_once(self):
+        floor = FloorPlan(120, 60)
+        regions = floor.regions(3, 2)
+        pos = grid_positions(30, floor, np.random.default_rng(0))
+        by_region = assign_regions(pos, regions)
+        all_nodes = sorted(n for nodes in by_region.values() for n in nodes)
+        assert all_nodes == sorted(pos)
+
+    def test_edge_point_assigned(self):
+        floor = FloorPlan(10, 10)
+        regions = floor.regions(2, 1)
+        pos = {0: Position(10.0, 10.0)}  # exactly on the far corner
+        by_region = assign_regions(pos, regions)
+        assert sum(len(v) for v in by_region.values()) == 1

@@ -1,0 +1,90 @@
+"""Tests for the structured tracer and its MAC integration."""
+
+import pytest
+
+from repro.net.testbed import Testbed, TestbedConfig
+from repro.net.topology import FloorPlan
+from repro.network import Network, cmap_factory
+from repro.tracing import NULL_TRACER, NullTracer, TraceKind, TraceRecord, Tracer
+
+
+class TestTracerCore:
+    def test_emit_and_len(self):
+        t = Tracer()
+        t.emit(1.0, 3, TraceKind.GO, 7)
+        assert len(t) == 1
+        assert t.records[0].detail == (7,)
+
+    def test_kind_filtering_at_emit(self):
+        t = Tracer(kinds=[TraceKind.DEFER])
+        t.emit(1.0, 3, TraceKind.GO)
+        t.emit(1.0, 3, TraceKind.DEFER)
+        assert len(t) == 1
+        assert t.records[0].kind is TraceKind.DEFER
+
+    def test_bounded_capacity(self):
+        t = Tracer(max_records=2)
+        for i in range(5):
+            t.emit(float(i), 0, TraceKind.GO)
+        assert len(t) == 2
+        assert t.dropped == 3
+
+    def test_filter_query(self):
+        t = Tracer()
+        t.emit(1.0, 0, TraceKind.GO)
+        t.emit(2.0, 1, TraceKind.GO)
+        t.emit(3.0, 0, TraceKind.DEFER)
+        assert len(t.filter(kind=TraceKind.GO)) == 2
+        assert len(t.filter(node=0)) == 2
+        assert len(t.filter(since=1.5, until=2.5)) == 1
+
+    def test_counts(self):
+        t = Tracer()
+        t.emit(1.0, 0, TraceKind.GO)
+        t.emit(2.0, 0, TraceKind.GO)
+        t.emit(3.0, 1, TraceKind.DEFER)
+        assert t.counts() == {TraceKind.GO: 2, TraceKind.DEFER: 1}
+        assert t.counts_by_node(TraceKind.GO) == {0: 2}
+
+    def test_dump_limit(self):
+        t = Tracer()
+        for i in range(5):
+            t.emit(float(i), 0, TraceKind.GO)
+        text = t.dump(limit=2)
+        assert "3 more records" in text
+
+    def test_record_str(self):
+        r = TraceRecord(0.0015, 7, TraceKind.ACK_TIMEOUT, (3,))
+        s = str(r)
+        assert "1.500 ms" in s and "node   7" in s and "ack_timeout" in s
+
+    def test_null_tracer_is_silent(self):
+        n = NullTracer()
+        n.emit(1.0, 0, TraceKind.GO)
+        assert len(n) == 0
+        assert len(NULL_TRACER) == 0
+
+
+class TestMacIntegration:
+    def test_cmap_run_emits_protocol_events(self):
+        testbed = Testbed(
+            seed=1, config=TestbedConfig(num_nodes=8, floor=FloorPlan(60, 30))
+        )
+        tracer = Tracer()
+        net = Network(testbed, run_seed=0, tracer=tracer)
+        net.add_node(0, cmap_factory())
+        net.add_node(1, cmap_factory())
+        net.add_saturated_flow(0, 1)
+        net.run(duration=0.5, warmup=0.1)
+        counts = tracer.counts()
+        assert counts.get(TraceKind.GO, 0) >= 1
+        assert counts.get(TraceKind.ACK_RECEIVED, 0) >= 1
+        assert counts.get(TraceKind.ACK_SENT, 0) >= 1
+
+    def test_untraced_run_has_no_overhead_object(self):
+        testbed = Testbed(
+            seed=1, config=TestbedConfig(num_nodes=8, floor=FloorPlan(60, 30))
+        )
+        net = Network(testbed, run_seed=0)
+        node = net.add_node(0, cmap_factory())
+        assert isinstance(node.mac.tracer, NullTracer)

@@ -1,0 +1,94 @@
+"""Unit tests for dB/power arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    db_to_linear,
+    dbm_to_mw,
+    linear_to_db,
+    mw_to_dbm,
+    sinr_db,
+    sum_power_dbm,
+)
+
+
+class TestConversions:
+    def test_zero_dbm_is_one_mw(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert dbm_to_mw(30.0) == pytest.approx(1000.0)
+
+    def test_mw_to_dbm_roundtrip(self):
+        assert mw_to_dbm(dbm_to_mw(-72.5)) == pytest.approx(-72.5)
+
+    def test_nonpositive_mw_floors(self):
+        assert mw_to_dbm(0.0) <= -300
+        assert mw_to_dbm(-1.0) <= -300
+
+    def test_db_linear_roundtrip(self):
+        assert linear_to_db(db_to_linear(13.0)) == pytest.approx(13.0)
+
+    def test_linear_to_db_nonpositive_floors(self):
+        assert linear_to_db(0.0) <= -300
+
+
+class TestSumPower:
+    def test_two_equal_powers_add_3db(self):
+        assert sum_power_dbm([-60.0, -60.0]) == pytest.approx(-57.0, abs=0.02)
+
+    def test_dominant_power_wins(self):
+        assert sum_power_dbm([-50.0, -90.0]) == pytest.approx(-50.0, abs=0.01)
+
+    def test_empty_sum_is_floor(self):
+        assert sum_power_dbm([]) <= -300
+
+
+class TestSinr:
+    def test_noise_limited(self):
+        # signal -80, no interference, noise -93 => SINR 13 dB
+        assert sinr_db(-80.0, -400.0, -93.0) == pytest.approx(13.0, abs=0.01)
+
+    def test_interference_limited(self):
+        # interference 20 dB above noise dominates
+        s = sinr_db(-70.0, -73.0, -93.0)
+        assert s == pytest.approx(3.0, abs=0.1)
+
+    def test_equal_interference_and_noise(self):
+        # Denominator doubles when interference equals noise: 13 - 3.01 dB.
+        s = sinr_db(-80.0, -93.0, -93.0)
+        assert s == pytest.approx(13.0 - 3.01, abs=0.05)
+
+
+@given(st.floats(min_value=-150, max_value=50, allow_nan=False))
+def test_property_dbm_mw_roundtrip(dbm):
+    assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+
+@given(
+    st.lists(st.floats(min_value=-120, max_value=0, allow_nan=False), min_size=1, max_size=10)
+)
+def test_property_sum_at_least_max(powers):
+    total = sum_power_dbm(powers)
+    assert total >= max(powers) - 1e-9
+
+
+@given(
+    st.floats(min_value=-120, max_value=0),
+    st.floats(min_value=-120, max_value=0),
+    st.floats(min_value=-100, max_value=-80),
+)
+def test_property_sinr_monotone_in_signal(sig, interf, noise):
+    assert sinr_db(sig + 1.0, interf, noise) > sinr_db(sig, interf, noise)
+
+
+@given(
+    st.floats(min_value=-120, max_value=0),
+    st.floats(min_value=-120, max_value=0),
+    st.floats(min_value=-100, max_value=-80),
+)
+def test_property_sinr_antitone_in_interference(sig, interf, noise):
+    assert sinr_db(sig, interf + 1.0, noise) < sinr_db(sig, interf, noise)

@@ -1,0 +1,63 @@
+"""Substrate validation: in-sim delivery must match the analytic channel."""
+
+import math
+
+import pytest
+
+from repro.net.testbed import Testbed
+from repro.phy.validation import (
+    max_validation_error,
+    measure_link_prr,
+    validate_testbed,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed(seed=1)
+
+
+class TestSingleLink:
+    def test_perfect_link_measures_perfect(self, testbed):
+        links = testbed.links
+        pair = next(
+            (ls.src, ls.dst) for ls in links.all_links() if ls.prr > 0.999
+        )
+        v = measure_link_prr(testbed, *pair, frames=150)
+        assert v.measured_prr > 0.97
+
+    def test_dead_link_measures_dead(self, testbed):
+        links = testbed.links
+        pair = next(
+            (ls.src, ls.dst)
+            for ls in links.all_links()
+            if 0 < ls.prr < 0.01
+        )
+        v = measure_link_prr(testbed, *pair, frames=150)
+        assert v.measured_prr < 0.1
+
+    def test_gray_link_within_binomial_noise(self, testbed):
+        links = testbed.links
+        ls = min(links.all_links(), key=lambda l: abs(l.prr - 0.5))
+        v = measure_link_prr(testbed, ls.src, ls.dst, frames=600)
+        # 4 sigma of a binomial proportion at n=600.
+        sigma = math.sqrt(ls.prr * (1 - ls.prr) / 600)
+        assert v.error < max(4 * sigma, 0.08)
+
+
+class TestTestbedSweep:
+    def test_gray_region_links_agree(self, testbed):
+        validations = validate_testbed(testbed, num_links=8, frames=400)
+        assert len(validations) == 8
+        worst = max_validation_error(validations)
+        # Binomial noise at n=400 is ~0.025 sigma at PRR 0.5; allow 4 sigma
+        # plus quadrature error headroom.
+        assert worst < 0.12, [
+            (v.src, v.dst, round(v.analytic_prr, 3), round(v.measured_prr, 3))
+            for v in validations
+        ]
+
+    def test_mean_error_small(self, testbed):
+        validations = validate_testbed(testbed, num_links=8, frames=400)
+        mean_err = sum(v.error for v in validations) / len(validations)
+        assert mean_err < 0.05
