@@ -7,26 +7,25 @@ terminal gain from ~2x to ~1.5x. We sweep N_window in {1, 2, 4, 8}.
 
 from conftest import run_once
 
-from repro.core.params import CmapParams
 from repro.experiments.report import render_pair_cdf
 from repro.experiments.runners import run_pair_cdf_experiment
 from repro.experiments.scenarios import find_exposed_terminal_configs
-from repro.network import cmap_factory
+from repro.experiments.spec import MacSpec
 
 
-def _sweep(testbed, scale):
+def _sweep(testbed, scale, backend):
     configs = find_exposed_terminal_configs(testbed, scale.configs)
     protocols = {
-        f"cmap_w{w}": cmap_factory(CmapParams(nwindow=w)) for w in (1, 2, 4, 8)
+        f"cmap_w{w}": MacSpec.of("cmap", nwindow=w) for w in (1, 2, 4, 8)
     }
     return run_pair_cdf_experiment(
         "ablation_window", testbed, configs, protocols, scale,
-        track_cmap_concurrency=False,
+        track_cmap_concurrency=False, backend=backend,
     )
 
 
-def test_ablation_window_size(benchmark, testbed, scale):
-    result = run_once(benchmark, _sweep, testbed, scale)
+def test_ablation_window_size(benchmark, testbed, scale, backend):
+    result = run_once(benchmark, _sweep, testbed, scale, backend)
     print()
     print(render_pair_cdf(result, "Ablation — send window size (exposed pairs)"))
     medians = {name: result.median(name) for name in result.totals}

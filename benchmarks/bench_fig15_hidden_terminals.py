@@ -11,8 +11,9 @@ from repro.experiments.report import render_pair_cdf
 from repro.experiments.runners import run_hidden_terminals
 
 
-def test_fig15_hidden_terminals(benchmark, testbed, scale):
-    result = run_once(benchmark, run_hidden_terminals, testbed, scale)
+def test_fig15_hidden_terminals(benchmark, testbed, scale, backend):
+    result = run_once(benchmark, run_hidden_terminals, testbed, scale,
+                      backend=backend)
     print()
     print(render_pair_cdf(result, "Fig. 15 — hidden terminals"))
     benchmark.extra_info["cmap_median"] = round(result.median("cmap"), 2)

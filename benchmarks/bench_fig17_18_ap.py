@@ -16,14 +16,14 @@ from repro.experiments.runners import run_ap_topology
 _cache = {}
 
 
-def _ap_result(testbed, scale):
+def _ap_result(testbed, scale, backend):
     if "result" not in _cache:
-        _cache["result"] = run_ap_topology(testbed, scale)
+        _cache["result"] = run_ap_topology(testbed, scale, backend=backend)
     return _cache["result"]
 
 
-def test_fig17_ap_aggregate(benchmark, testbed, scale):
-    result = run_once(benchmark, _ap_result, testbed, scale)
+def test_fig17_ap_aggregate(benchmark, testbed, scale, backend):
+    result = run_once(benchmark, _ap_result, testbed, scale, backend)
     print()
     print(render_ap(result))
     gains = {}
@@ -37,8 +37,8 @@ def test_fig17_ap_aggregate(benchmark, testbed, scale):
     assert positive >= len(gains) - 1
 
 
-def test_fig18_ap_per_sender(benchmark, testbed, scale):
-    result = run_once(benchmark, _ap_result, testbed, scale)
+def test_fig18_ap_per_sender(benchmark, testbed, scale, backend):
+    result = run_once(benchmark, _ap_result, testbed, scale, backend)
     cmap_med = Cdf(result.per_sender["cmap"]).median
     cs_med = Cdf(result.per_sender["cs_on"]).median
     print()

@@ -12,8 +12,9 @@ from repro.experiments.report import render_ht_density
 from repro.experiments.runners import run_header_trailer_density
 
 
-def test_fig19_ht_density(benchmark, testbed, scale):
-    result = run_once(benchmark, run_header_trailer_density, testbed, scale)
+def test_fig19_ht_density(benchmark, testbed, scale, backend):
+    result = run_once(benchmark, run_header_trailer_density, testbed, scale,
+                      backend=backend)
     print()
     print(render_ht_density(result))
     medians = {

@@ -11,8 +11,9 @@ from repro.experiments.report import render_bitrate_sweep
 from repro.experiments.runners import run_bitrate_sweep
 
 
-def test_fig20_bitrate_sweep(benchmark, testbed, scale):
-    result = run_once(benchmark, run_bitrate_sweep, testbed, scale)
+def test_fig20_bitrate_sweep(benchmark, testbed, scale, backend):
+    result = run_once(benchmark, run_bitrate_sweep, testbed, scale,
+                      backend=backend)
     print()
     print(render_bitrate_sweep(result))
     gains = {

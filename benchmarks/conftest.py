@@ -4,6 +4,11 @@ Scale control: set ``REPRO_SCALE=quick`` (minutes) or ``REPRO_SCALE=paper``
 (paper-equivalent sample sizes, hours) — the default is a small scale that
 still preserves each figure's qualitative shape.
 
+Parallelism: set ``REPRO_JOBS=N`` to fan each figure's independent trials
+out over N worker processes through the shared experiment executor. Results
+are bit-identical to serial, so the printed tables (and shape assertions)
+do not change — only wall time does.
+
 Every benchmark prints the same rows/series its paper figure reports; run
 with ``pytest benchmarks/ --benchmark-only -s`` to see them, and compare
 against the paper-vs-measured record in EXPERIMENTS.md.
@@ -13,6 +18,7 @@ import os
 
 import pytest
 
+from repro.experiments.executor import make_backend
 from repro.experiments.runners import ExperimentScale
 from repro.net.testbed import Testbed
 
@@ -44,6 +50,12 @@ def testbed():
 @pytest.fixture(scope="session")
 def scale():
     return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def backend():
+    """Trial-execution backend: serial unless REPRO_JOBS=N asks for a pool."""
+    return make_backend(int(os.environ.get("REPRO_JOBS", "1")))
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -18,8 +18,15 @@ Quickstart::
     result = net.run(duration=10.0, warmup=4.0)
     print(result.flow_mbps(0, 1), result.flow_mbps(2, 3))
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every figure.
+Experiments are declared rather than hand-rolled: a
+:class:`~repro.experiments.spec.TrialSpec` describes one run as plain data,
+an :class:`~repro.experiments.spec.ExperimentSpec` bundles trials with a
+pure reduction, and ``repro.experiments.executor`` materializes them
+serially or across a process pool (``python -m repro.cli fig12 --jobs 8``)
+with bit-identical results either way.
+
+See DESIGN.md for the system inventory and the spec/executor architecture,
+and EXPERIMENTS.md for the paper-vs-measured record of every figure.
 """
 
 from repro.core.params import CmapParams, LatencyProfile
@@ -33,7 +40,14 @@ from repro.mac.iamac import IaMac, iamac_factory
 from repro.mac.base import Packet
 from repro.net.testbed import Testbed, TestbedConfig
 from repro.net import presets
-from repro.network import Network, RunResult, cmap_factory, dcf_factory
+from repro.network import (
+    Network,
+    RunResult,
+    build_mac_factory,
+    cmap_factory,
+    dcf_factory,
+    register_mac_builder,
+)
 from repro.sim.engine import Simulator
 from repro.tracing import Tracer, TraceKind
 
@@ -61,8 +75,10 @@ __all__ = [
     "presets",
     "Network",
     "RunResult",
+    "build_mac_factory",
     "cmap_factory",
     "dcf_factory",
+    "register_mac_builder",
     "Simulator",
     "Tracer",
     "TraceKind",

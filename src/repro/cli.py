@@ -4,12 +4,17 @@ Usage::
 
     python -m repro.cli fig12 --scale smoke
     python -m repro.cli fig17 --scale quick --seed 3
+    python -m repro.cli fig12 --scale paper --jobs 8 --out fig12.json
+    python -m repro.cli fig12 --scale paper --jobs 8 --out fig12.json --resume
     python -m repro.cli census
     python -m repro.cli map --regions
     python -m repro.cli all --scale smoke
 
 Figures print the same rows/series the paper reports (see EXPERIMENTS.md
-for the side-by-side record). ``--scale`` trades fidelity for wall time.
+for the side-by-side record). ``--scale`` trades fidelity for wall time;
+``--jobs N`` fans independent trials out over N worker processes (results
+are bit-identical to serial); ``--out``/``--resume`` persist completed
+trials to JSON so an interrupted sweep picks up where it left off.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import time
 from typing import Callable, Dict
 
 from repro.experiments import report
+from repro.experiments.executor import ResultStore, make_backend
 from repro.experiments.runners import (
     ExperimentScale,
     run_ap_topology,
@@ -47,47 +53,66 @@ def _scale(name: str) -> ExperimentScale:
     return presets[name]()
 
 
-def _figures() -> Dict[str, Callable[[Testbed, ExperimentScale], str]]:
-    """Figure id -> callable producing the printed report."""
+def _figures() -> Dict[str, Callable]:
+    """Figure id -> callable producing the printed report.
 
-    def calibration(tb, scale):
-        return report.render_calibration(run_single_link_calibration(tb, scale))
+    Every callable takes (testbed, scale, backend, store); the backend and
+    store thread straight through to the shared trial executor.
+    """
 
-    def fig12(tb, scale):
-        return report.render_pair_cdf(
-            run_exposed_terminals(tb, scale), "Fig. 12 — exposed terminals"
+    def calibration(tb, scale, backend, store):
+        return report.render_calibration(
+            run_single_link_calibration(tb, scale, backend=backend, store=store)
         )
 
-    def fig13(tb, scale):
+    def fig12(tb, scale, backend, store):
         return report.render_pair_cdf(
-            run_inrange_senders(tb, scale), "Fig. 13 — senders in range"
+            run_exposed_terminals(tb, scale, backend=backend, store=store),
+            "Fig. 12 — exposed terminals",
         )
 
-    def fig14(tb, scale):
+    def fig13(tb, scale, backend, store):
+        return report.render_pair_cdf(
+            run_inrange_senders(tb, scale, backend=backend, store=store),
+            "Fig. 13 — senders in range",
+        )
+
+    def fig14(tb, scale, backend, store):
         return report.render_hidden_interferer(
-            run_hidden_interferer_scatter(tb, scale)
+            run_hidden_interferer_scatter(tb, scale, backend=backend, store=store)
         )
 
-    def fig15(tb, scale):
+    def fig15(tb, scale, backend, store):
         return report.render_pair_cdf(
-            run_hidden_terminals(tb, scale), "Fig. 15 — hidden terminals"
+            run_hidden_terminals(tb, scale, backend=backend, store=store),
+            "Fig. 15 — hidden terminals",
         )
 
-    def fig16(tb, scale):
-        return report.render_ht_cdf(run_header_trailer_cdf(tb, scale))
+    def fig16(tb, scale, backend, store):
+        return report.render_ht_cdf(
+            run_header_trailer_cdf(tb, scale, backend=backend, store=store)
+        )
 
-    def fig17(tb, scale):
-        return report.render_ap(run_ap_topology(tb, scale))
+    def fig17(tb, scale, backend, store):
+        return report.render_ap(
+            run_ap_topology(tb, scale, backend=backend, store=store)
+        )
 
-    def fig19(tb, scale):
-        return report.render_ht_density(run_header_trailer_density(tb, scale))
+    def fig19(tb, scale, backend, store):
+        return report.render_ht_density(
+            run_header_trailer_density(tb, scale, backend=backend, store=store)
+        )
 
-    def fig20(tb, scale):
-        return report.render_bitrate_sweep(run_bitrate_sweep(tb, scale))
+    def fig20(tb, scale, backend, store):
+        return report.render_bitrate_sweep(
+            run_bitrate_sweep(tb, scale, backend=backend, store=store)
+        )
 
-    def mesh(tb, scale):
+    def mesh(tb, scale, backend, store):
         return report.render_mesh(
-            run_mesh_dissemination(tb, scale, include_extensions=True)
+            run_mesh_dissemination(
+                tb, scale, include_extensions=True, backend=backend, store=store
+            )
         )
 
     return {
@@ -120,6 +145,13 @@ def main(argv=None) -> int:
                         help="smoke | quick | paper (default smoke)")
     parser.add_argument("--seed", type=int, default=1,
                         help="testbed seed (default 1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for trial execution "
+                             "(default 1 = serial; output is identical)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="persist per-trial results to this JSON file")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --out: skip trials already in the file")
     parser.add_argument("--regions", action="store_true",
                         help="with 'map': draw the §5.6 region boundaries")
     args = parser.parse_args(argv)
@@ -143,12 +175,32 @@ def main(argv=None) -> int:
         print(render_floor(testbed, show_regions=args.regions))
         return 0
 
+    if args.resume and not args.out:
+        raise SystemExit("--resume requires --out")
+
     scale = _scale(args.scale)
+    backend = make_backend(args.jobs)
+    store = None
+    if args.out:
+        import os
+
+        if not args.resume and os.path.exists(args.out):
+            raise SystemExit(
+                f"{args.out} exists; pass --resume to continue it or remove it"
+            )
+        try:
+            store = ResultStore(args.out, testbed_seed=args.seed)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        if args.resume and len(store):
+            print(f"[resuming from {args.out}: {len(store)} trials cached]")
+
     targets = sorted(figures) if args.target == "all" else [args.target]
     for name in targets:
         t0 = time.time()
-        print(f"=== {name} (scale={args.scale}, seed={args.seed}) ===")
-        print(figures[name](testbed, scale))
+        print(f"=== {name} (scale={args.scale}, seed={args.seed}, "
+              f"jobs={args.jobs}) ===")
+        print(figures[name](testbed, scale, backend, store))
         print(f"[{time.time() - t0:.1f}s]\n")
     return 0
 

@@ -1,0 +1,298 @@
+"""Generic experiment executor: materialize TrialSpecs through a backend.
+
+``run_experiment(spec, testbed)`` is the single entry point every figure
+runner goes through. It materializes each :class:`~repro.experiments.spec.
+TrialSpec` into a :class:`~repro.network.Network` run, collects
+:class:`~repro.experiments.spec.TrialResult`s, and applies the spec's pure
+reduction. Backends plug in how trials execute:
+
+* :class:`SerialBackend` — in-process, in spec order. Bit-identical to the
+  pre-spec hand-rolled runners (every RNG stream is a stateless function of
+  (testbed seed, run seed), so execution order cannot perturb results).
+* :class:`ProcessPoolBackend` — multiprocessing fan-out. Trials share
+  nothing but the read-only testbed (shipped once per worker), so this is
+  an embarrassingly parallel map with deterministic output.
+
+:class:`ResultStore` adds JSON persistence: completed trials are saved under
+(trial_id, fingerprint) and skipped on resume.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.spec import ExperimentSpec, TrialResult, TrialSpec
+from repro.net.testbed import Testbed
+from repro.network import Network, RunResult
+
+
+# ----------------------------------------------------------------------
+# Metric registry
+# ----------------------------------------------------------------------
+#: metric name -> fn(net, result, spec) -> JSON-serializable value.
+#: Metrics run inside the executing worker, right after the simulation,
+#: because they need live MAC/medium state that never leaves the process.
+METRICS: Dict[str, Callable[[Network, RunResult, TrialSpec], Any]] = {}
+
+
+def register_metric(name: str):
+    def deco(fn):
+        METRICS[name] = fn
+        return fn
+
+    return deco
+
+
+@register_metric("concurrency")
+def _metric_concurrency(net: Network, result: RunResult, spec: TrialSpec) -> float:
+    """Fraction of measured time with >= 2 senders on the air (needs
+    ``track_tx``)."""
+    return result.concurrency_fraction(spec.senders)
+
+
+@register_metric("ht_rates")
+def _metric_ht_rates(net: Network, result: RunResult, spec: TrialSpec) -> List[float]:
+    """Per-receiver P(header or trailer) for each measured CMAP flow."""
+    rates = []
+    for s, r in spec.measured_flows:
+        smac = net.nodes[s].mac
+        rmac = net.nodes[r].mac
+        sent = smac.cstats.vpkts_sent_to.get(r, 0)
+        if sent > 0:
+            rates.append(rmac.header_or_trailer_rate(s, sent))
+    return rates
+
+
+@register_metric("ht_stats")
+def _metric_ht_stats(net: Network, result: RunResult, spec: TrialSpec) -> List[List[float]]:
+    """Per-flow [P(header), P(header or trailer)] pairs (Fig. 16)."""
+    out = []
+    for s, r in spec.measured_flows:
+        smac = net.nodes[s].mac
+        rmac = net.nodes[r].mac
+        sent = smac.cstats.vpkts_sent_to.get(r, 0)
+        if sent > 0:
+            out.append([rmac.header_rate(s, sent),
+                        rmac.header_or_trailer_rate(s, sent)])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Trial materialization
+# ----------------------------------------------------------------------
+def run_trial(testbed: Testbed, spec: TrialSpec) -> TrialResult:
+    """Assemble, run, and measure one trial. Pure in (testbed, spec)."""
+    net = Network(testbed, run_seed=spec.run_seed, track_tx=spec.track_tx)
+    factory = spec.mac.build()
+    for node in spec.nodes:
+        net.add_node(node, factory)
+    for s, d in spec.flows:
+        net.add_saturated_flow(s, d, payload_bytes=spec.payload_bytes)
+    result = net.run(duration=spec.duration, warmup=spec.warmup)
+    flow_mbps = {f: result.flow_mbps(*f) for f in spec.measured_flows}
+    metrics = {}
+    for name in spec.metrics:
+        if name not in METRICS:
+            raise KeyError(f"unknown metric {name!r}; registered: "
+                           f"{sorted(METRICS)}")
+        metrics[name] = METRICS[name](net, result, spec)
+    return TrialResult(spec.trial_id, flow_mbps, metrics, spec.fingerprint())
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class SerialBackend:
+    """Run trials one after another in the calling process.
+
+    Backend protocol: ``run(testbed, trials, on_result=None)`` returns the
+    results in ``trials`` order; ``on_result`` is invoked with each result
+    as soon as it exists, which is what lets the executor persist completed
+    trials while the rest of a figure is still running.
+    """
+
+    def run(
+        self,
+        testbed: Testbed,
+        trials: Sequence[TrialSpec],
+        on_result=None,
+    ) -> List[TrialResult]:
+        results = []
+        for t in trials:
+            res = run_trial(testbed, t)
+            if on_result is not None:
+                on_result(res)
+            results.append(res)
+        return results
+
+
+_WORKER_TESTBED: Optional[Testbed] = None
+
+
+def _pool_init(testbed: Testbed) -> None:
+    global _WORKER_TESTBED
+    _WORKER_TESTBED = testbed
+
+
+def _pool_run(spec: TrialSpec) -> TrialResult:
+    assert _WORKER_TESTBED is not None, "worker pool not initialized"
+    return run_trial(_WORKER_TESTBED, spec)
+
+
+class ProcessPoolBackend:
+    """Fan trials out over a multiprocessing pool.
+
+    The testbed is shipped to each worker once (pool initializer); trial
+    specs stream over the pipe per task. Output order follows input order,
+    and every trial is a pure function of (testbed, spec), so results are
+    bit-identical to :class:`SerialBackend`.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, start_method: Optional[str] = None):
+        self.jobs = jobs or os.cpu_count() or 1
+        self.start_method = start_method
+
+    def run(
+        self,
+        testbed: Testbed,
+        trials: Sequence[TrialSpec],
+        on_result=None,
+    ) -> List[TrialResult]:
+        trials = list(trials)
+        if not trials or self.jobs <= 1:
+            return SerialBackend().run(testbed, trials, on_result=on_result)
+        ctx = multiprocessing.get_context(self.start_method)
+        results = []
+        with ctx.Pool(
+            processes=min(self.jobs, len(trials)),
+            initializer=_pool_init,
+            initargs=(testbed,),
+        ) as pool:
+            for res in pool.imap(_pool_run, trials, chunksize=1):
+                if on_result is not None:
+                    on_result(res)
+                results.append(res)
+        return results
+
+
+def make_backend(jobs: Optional[int]) -> "SerialBackend | ProcessPoolBackend":
+    """``jobs`` <= 1 (or None) -> serial; otherwise an N-process pool."""
+    if jobs is None or jobs <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(jobs)
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+class ResultStore:
+    """JSON persistence of trial results, keyed by (trial_id, fingerprint).
+
+    A store is bound to one testbed seed; resuming against a different
+    testbed raises rather than silently mixing incompatible results. Writes
+    are atomic (temp file + rename) so an interrupted sweep never corrupts
+    earlier results.
+    """
+
+    def __init__(self, path: str, testbed_seed: Optional[int] = None):
+        self.path = path
+        self.testbed_seed = testbed_seed
+        self._results: Dict[str, TrialResult] = {}
+        if os.path.exists(path):
+            self._load()
+
+    def _load(self) -> None:
+        with open(self.path) as f:
+            obj = json.load(f)
+        stored_seed = obj.get("testbed_seed")
+        if (self.testbed_seed is not None and stored_seed is not None
+                and stored_seed != self.testbed_seed):
+            raise ValueError(
+                f"result store {self.path} was produced with testbed seed "
+                f"{stored_seed}, not {self.testbed_seed}"
+            )
+        if stored_seed is not None:
+            self.testbed_seed = stored_seed
+        for entry in obj.get("trials", []):
+            res = TrialResult.from_json(entry)
+            self._results[res.trial_id] = res
+
+    def get(self, spec: TrialSpec) -> Optional[TrialResult]:
+        cached = self._results.get(spec.trial_id)
+        if cached is not None and cached.fingerprint == spec.fingerprint():
+            return cached
+        return None
+
+    def put(self, result: TrialResult) -> None:
+        self._results[result.trial_id] = result
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def save(self) -> None:
+        payload = {
+            "testbed_seed": self.testbed_seed,
+            "trials": [r.to_json() for r in self._results.values()],
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_experiment(
+    spec: ExperimentSpec,
+    testbed: Testbed,
+    backend: Optional[object] = None,
+    store: Optional[ResultStore] = None,
+) -> Any:
+    """Execute ``spec``'s trials through ``backend`` and reduce the results.
+
+    With a ``store``, trials whose (id, fingerprint) already exist are
+    skipped and their cached results reused; fresh results are persisted
+    one by one as they complete, so an interrupted run resumes from the
+    last finished trial rather than the last finished figure.
+    """
+    backend = backend or SerialBackend()
+    if store is not None:
+        # Bind the store to the testbed actually being executed against —
+        # cached trial results are meaningless under any other testbed.
+        actual_seed = getattr(testbed, "seed", None)
+        if store.testbed_seed is None:
+            store.testbed_seed = actual_seed
+        elif actual_seed is not None and store.testbed_seed != actual_seed:
+            raise ValueError(
+                f"result store {store.path} holds trials for testbed seed "
+                f"{store.testbed_seed}, but this run uses seed {actual_seed}"
+            )
+    cached: Dict[str, TrialResult] = {}
+    pending: List[TrialSpec] = []
+    for trial in spec.trials:
+        hit = store.get(trial) if store is not None else None
+        if hit is not None:
+            cached[trial.trial_id] = hit
+        else:
+            pending.append(trial)
+    on_result = None
+    if store is not None:
+        def on_result(res: TrialResult) -> None:
+            store.put(res)
+            store.save()
+    fresh = backend.run(testbed, pending, on_result=on_result) if pending else []
+    by_id = dict(cached)
+    by_id.update({r.trial_id: r for r in fresh})
+    ordered = [by_id[t.trial_id] for t in spec.trials]
+    return spec.reduce(ordered)

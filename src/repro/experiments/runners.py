@@ -1,9 +1,13 @@
-"""Per-figure experiment runners (paper §5).
+"""Per-figure experiment builders and runners (paper §5).
 
-Each ``run_*`` function regenerates the data behind one table or figure and
-returns a plain dataclass of series; ``benchmarks/`` wraps them with printing
-and pytest-benchmark timing, and ``repro.experiments.report`` renders them as
-text tables shaped like the paper's figures.
+Each figure is expressed declaratively: a ``build_*`` function turns a
+testbed + :class:`ExperimentScale` into an
+:class:`~repro.experiments.spec.ExperimentSpec` — a flat list of independent
+:class:`~repro.experiments.spec.TrialSpec`s plus a pure reduction to the
+figure's result dataclass. The matching ``run_*`` function executes the spec
+through :func:`repro.experiments.executor.run_experiment`, which accepts a
+pluggable backend (serial or process-pool) and an optional
+:class:`~repro.experiments.executor.ResultStore` for persistence/resume.
 
 All runners accept an :class:`ExperimentScale`; the default is a reduced
 scale that preserves the papers' *shapes* in seconds-to-minutes of wall time.
@@ -13,11 +17,11 @@ CDF, 500 triples, 10 trials per N, 100 s runs).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.params import CmapParams, LatencyProfile
-from repro.mac.dcf import DcfParams
+from repro.experiments.executor import ResultStore, run_experiment
 from repro.experiments.scenarios import (
     ApTopology,
     InterfererTriple,
@@ -30,9 +34,15 @@ from repro.experiments.scenarios import (
     find_inrange_configs,
     find_mesh_topologies,
 )
+from repro.experiments.spec import (
+    ExperimentSpec,
+    MacSpec,
+    TrialResult,
+    TrialSpec,
+    coerce_mac,
+)
 from repro.net.testbed import Testbed
-from repro.network import MacFactory, Network, cmap_factory, dcf_factory
-from repro.phy.modulation import RATES, Rate, RATE_6M
+from repro.phy.frames import BROADCAST
 
 
 @dataclass
@@ -78,41 +88,6 @@ class ExperimentScale:
         )
 
 
-#: The protocol line-up used across figures, keyed by the paper's labels.
-def protocol_factories(
-    cmap_params: Optional[CmapParams] = None,
-    data_rate: Rate = RATE_6M,
-) -> Dict[str, MacFactory]:
-    def dcf(cs: bool, acks: bool) -> MacFactory:
-        return dcf_factory(params=DcfParams(
-            carrier_sense=cs, acks=acks, data_rate=data_rate))
-
-    params = cmap_params or CmapParams(data_rate=data_rate)
-    return {
-        "cs_on": dcf(True, True),
-        "cs_off_acks": dcf(False, True),
-        "cs_off_noacks": dcf(False, False),
-        "cmap": cmap_factory(params),
-    }
-
-
-def _run_pair(
-    testbed: Testbed,
-    config: PairConfig,
-    factory: MacFactory,
-    scale: ExperimentScale,
-    run_seed: int,
-    track_tx: bool = False,
-) -> "Network":
-    net = Network(testbed, run_seed=run_seed, track_tx=track_tx)
-    for n in config.nodes:
-        net.add_node(n, factory)
-    for s, r in config.flows:
-        net.add_saturated_flow(s, r)
-    net.result = net.run(duration=scale.duration, warmup=scale.warmup)
-    return net
-
-
 # ======================================================================
 # §4.2: single-link calibration
 # ======================================================================
@@ -125,11 +100,11 @@ class CalibrationResult:
     pair: Tuple[int, int]
 
 
-def run_single_link_calibration(
+def build_single_link_calibration(
     testbed: Testbed,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
-) -> CalibrationResult:
+) -> ExperimentSpec:
     scale = scale or ExperimentScale()
     links = testbed.links
     pair = None
@@ -142,18 +117,35 @@ def run_single_link_calibration(
             break
     if pair is None:
         raise RuntimeError("testbed has no strong potential transmission link")
-    results = {}
-    for name, factory in (
-        ("cmap", cmap_factory()),
-        ("dcf", dcf_factory(True, True)),
-    ):
-        net = Network(testbed, run_seed=seed)
-        for n in pair:
-            net.add_node(n, factory)
-        net.add_saturated_flow(*pair)
-        res = net.run(duration=scale.duration, warmup=scale.warmup)
-        results[name] = res.flow_mbps(*pair)
-    return CalibrationResult(results["cmap"], results["dcf"], pair)
+    trials = [
+        TrialSpec(
+            trial_id=f"calibration/{name}",
+            nodes=pair,
+            flows=(pair,),
+            mac=MacSpec.of(protocol),
+            run_seed=seed,
+            duration=scale.duration,
+            warmup=scale.warmup,
+        )
+        for name, protocol in (("cmap", "cmap"), ("dcf", "dcf"))
+    ]
+
+    def reduce(results: List[TrialResult]) -> CalibrationResult:
+        cmap_res, dcf_res = results
+        return CalibrationResult(cmap_res.mbps(*pair), dcf_res.mbps(*pair), pair)
+
+    return ExperimentSpec("calibration", trials, reduce)
+
+
+def run_single_link_calibration(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    backend=None,
+    store: Optional[ResultStore] = None,
+) -> CalibrationResult:
+    spec = build_single_link_calibration(testbed, scale, seed)
+    return run_experiment(spec, testbed, backend=backend, store=store)
 
 
 # ======================================================================
@@ -182,44 +174,113 @@ class PairCdfResult:
         return self.median(protocol) / base if base > 0 else float("inf")
 
 
-def _pair_cdf_experiment(
+def _pair_cdf_trials(
     figure: str,
-    testbed: Testbed,
     configs: List[PairConfig],
-    protocols: Dict[str, MacFactory],
+    protocols: Dict[str, MacSpec],
     scale: ExperimentScale,
-    track_cmap_concurrency: bool = True,
-) -> PairCdfResult:
-    totals: Dict[str, List[float]] = {name: [] for name in protocols}
-    per_flow: Dict[str, List[Tuple[float, float]]] = {name: [] for name in protocols}
-    concurrency: List[float] = []
+    track_cmap_concurrency: bool,
+) -> List[TrialSpec]:
+    trials: List[TrialSpec] = []
     for idx, config in enumerate(configs):
-        for name, factory in protocols.items():
+        for name, mac in protocols.items():
             track = track_cmap_concurrency and name.startswith("cmap")
-            net = _run_pair(testbed, config, factory, scale, run_seed=idx,
-                            track_tx=track)
-            res = net.result
-            f1 = res.flow_mbps(config.s1, config.r1)
-            f2 = res.flow_mbps(config.s2, config.r2)
+            trials.append(
+                TrialSpec(
+                    trial_id=f"{figure}/{idx}/{name}",
+                    nodes=config.nodes,
+                    flows=config.flows,
+                    mac=mac,
+                    run_seed=idx,
+                    duration=scale.duration,
+                    warmup=scale.warmup,
+                    track_tx=track,
+                    metrics=("concurrency",) if track else (),
+                )
+            )
+    return trials
+
+
+def _reduce_pair_cdf(
+    figure: str,
+    configs: List[PairConfig],
+    protocol_names: Sequence[str],
+    results: List[TrialResult],
+) -> PairCdfResult:
+    totals: Dict[str, List[float]] = {name: [] for name in protocol_names}
+    per_flow: Dict[str, List[Tuple[float, float]]] = {
+        name: [] for name in protocol_names
+    }
+    concurrency: List[float] = []
+    it = iter(results)
+    for config in configs:
+        for name in protocol_names:
+            res = next(it)
+            f1 = res.mbps(config.s1, config.r1)
+            f2 = res.mbps(config.s2, config.r2)
             totals[name].append(f1 + f2)
             per_flow[name].append((f1, f2))
-            if track:
-                concurrency.append(res.concurrency_fraction(config.senders))
+            if "concurrency" in res.metrics:
+                concurrency.append(res.metrics["concurrency"])
     return PairCdfResult(figure, configs, totals, per_flow, concurrency)
+
+
+def build_pair_cdf_experiment(
+    figure: str,
+    configs: List[PairConfig],
+    protocols: Dict[str, object],
+    scale: ExperimentScale,
+    track_cmap_concurrency: bool = True,
+) -> ExperimentSpec:
+    """Build the generic two-pair CDF experiment (also used by ablations).
+
+    ``protocols`` values may be :class:`MacSpec`s, registered protocol names,
+    or raw :data:`MacFactory` callables (serial-backend only).
+    """
+    macs = {name: coerce_mac(m) for name, m in protocols.items()}
+    trials = _pair_cdf_trials(figure, configs, macs, scale, track_cmap_concurrency)
+
+    def reduce(results: List[TrialResult]) -> PairCdfResult:
+        return _reduce_pair_cdf(figure, configs, list(macs), results)
+
+    return ExperimentSpec(figure, trials, reduce)
 
 
 def run_pair_cdf_experiment(
     figure: str,
     testbed: Testbed,
     configs: List[PairConfig],
-    protocols: Dict[str, MacFactory],
+    protocols: Dict[str, object],
     scale: ExperimentScale,
     track_cmap_concurrency: bool = True,
+    backend=None,
+    store: Optional[ResultStore] = None,
 ) -> PairCdfResult:
     """Public entry for custom two-pair CDF experiments (ablations)."""
-    return _pair_cdf_experiment(
-        figure, testbed, configs, protocols, scale, track_cmap_concurrency
+    spec = build_pair_cdf_experiment(
+        figure, configs, protocols, scale, track_cmap_concurrency
     )
+    return run_experiment(spec, testbed, backend=backend, store=store)
+
+
+def build_exposed_terminals(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    include_win1: bool = True,
+) -> ExperimentSpec:
+    """Fig. 12: exposed terminals. Curves: CS+acks, CS-off+no-acks, CMAP,
+    and CMAP with a window of one virtual packet (the §5.2 ablation)."""
+    scale = scale or ExperimentScale()
+    configs = find_exposed_terminal_configs(testbed, scale.configs, seed)
+    protocols = {
+        "cs_on": MacSpec.of("dcf", carrier_sense=True, acks=True),
+        "cs_off_noacks": MacSpec.of("dcf", carrier_sense=False, acks=False),
+        "cmap": MacSpec.of("cmap"),
+    }
+    if include_win1:
+        protocols["cmap_win1"] = MacSpec.of("cmap", nwindow=1)
+    return build_pair_cdf_experiment("fig12", configs, protocols, scale)
 
 
 def run_exposed_terminals(
@@ -227,52 +288,66 @@ def run_exposed_terminals(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     include_win1: bool = True,
+    backend=None,
+    store: Optional[ResultStore] = None,
 ) -> PairCdfResult:
-    """Fig. 12: exposed terminals. Curves: CS+acks, CS-off+no-acks, CMAP,
-    and CMAP with a window of one virtual packet (the §5.2 ablation)."""
+    spec = build_exposed_terminals(testbed, scale, seed, include_win1)
+    return run_experiment(spec, testbed, backend=backend, store=store)
+
+
+def build_inrange_senders(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Fig. 13: two senders in range of each other, cross links free."""
     scale = scale or ExperimentScale()
-    configs = find_exposed_terminal_configs(testbed, scale.configs, seed)
+    configs = find_inrange_configs(testbed, scale.configs, seed)
     protocols = {
-        "cs_on": dcf_factory(True, True),
-        "cs_off_noacks": dcf_factory(False, False),
-        "cmap": cmap_factory(),
+        "cs_on": MacSpec.of("dcf", carrier_sense=True, acks=True),
+        "cs_off_acks": MacSpec.of("dcf", carrier_sense=False, acks=True),
+        "cs_off_noacks": MacSpec.of("dcf", carrier_sense=False, acks=False),
+        "cmap": MacSpec.of("cmap"),
     }
-    if include_win1:
-        protocols["cmap_win1"] = cmap_factory(CmapParams(nwindow=1))
-    return _pair_cdf_experiment("fig12", testbed, configs, protocols, scale)
+    return build_pair_cdf_experiment("fig13", configs, protocols, scale)
 
 
 def run_inrange_senders(
     testbed: Testbed,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
+    backend=None,
+    store: Optional[ResultStore] = None,
 ) -> PairCdfResult:
-    """Fig. 13: two senders in range of each other, cross links free."""
+    spec = build_inrange_senders(testbed, scale, seed)
+    return run_experiment(spec, testbed, backend=backend, store=store)
+
+
+def build_hidden_terminals(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Fig. 15: senders out of range, receivers hear both senders."""
     scale = scale or ExperimentScale()
-    configs = find_inrange_configs(testbed, scale.configs, seed)
+    configs = find_hidden_terminal_configs(testbed, scale.configs, seed)
     protocols = {
-        "cs_on": dcf_factory(True, True),
-        "cs_off_acks": dcf_factory(False, True),
-        "cs_off_noacks": dcf_factory(False, False),
-        "cmap": cmap_factory(),
+        "cs_on": MacSpec.of("dcf", carrier_sense=True, acks=True),
+        "cs_off_acks": MacSpec.of("dcf", carrier_sense=False, acks=True),
+        "cmap": MacSpec.of("cmap"),
     }
-    return _pair_cdf_experiment("fig13", testbed, configs, protocols, scale)
+    return build_pair_cdf_experiment("fig15", configs, protocols, scale)
 
 
 def run_hidden_terminals(
     testbed: Testbed,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
+    backend=None,
+    store: Optional[ResultStore] = None,
 ) -> PairCdfResult:
-    """Fig. 15: senders out of range, receivers hear both senders."""
-    scale = scale or ExperimentScale()
-    configs = find_hidden_terminal_configs(testbed, scale.configs, seed)
-    protocols = {
-        "cs_on": dcf_factory(True, True),
-        "cs_off_acks": dcf_factory(False, True),
-        "cmap": cmap_factory(),
-    }
-    return _pair_cdf_experiment("fig15", testbed, configs, protocols, scale)
+    spec = build_hidden_terminals(testbed, scale, seed)
+    return run_experiment(spec, testbed, backend=backend, store=store)
 
 
 @dataclass
@@ -283,12 +358,12 @@ class BitrateSweepResult:
     by_rate: Dict[int, PairCdfResult]
 
 
-def run_bitrate_sweep(
+def build_bitrate_sweep(
     testbed: Testbed,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     rates: Sequence[int] = (6, 12, 18),
-) -> BitrateSweepResult:
+) -> ExperimentSpec:
     """Fig. 20: repeat the exposed-terminal experiment at higher bit-rates.
 
     Control frames (headers, trailers, ACKs, interferer lists) stay at the
@@ -296,19 +371,44 @@ def run_bitrate_sweep(
     """
     scale = scale or ExperimentScale()
     configs = find_exposed_terminal_configs(testbed, scale.configs, seed)
-    out: Dict[int, PairCdfResult] = {}
+    groups: List[Tuple[int, Dict[str, MacSpec], List[TrialSpec]]] = []
     for mbps in rates:
-        rate = RATES[mbps]
         protocols = {
-            "cs_on": dcf_factory(
-                params=DcfParams(carrier_sense=True, acks=True, data_rate=rate)
-            ),
-            "cmap": cmap_factory(CmapParams(data_rate=rate, control_rate=RATE_6M)),
+            "cs_on": MacSpec.of("dcf", carrier_sense=True, acks=True,
+                                data_rate=mbps),
+            "cmap": MacSpec.of("cmap", data_rate=mbps, control_rate=6),
         }
-        out[mbps] = _pair_cdf_experiment(
-            f"fig20@{mbps}", testbed, configs, protocols, scale
+        trials = _pair_cdf_trials(
+            f"fig20@{mbps}", configs, protocols, scale,
+            track_cmap_concurrency=True,
         )
-    return BitrateSweepResult(out)
+        groups.append((mbps, protocols, trials))
+
+    def reduce(results: List[TrialResult]) -> BitrateSweepResult:
+        out: Dict[int, PairCdfResult] = {}
+        pos = 0
+        for mbps, protocols, trials in groups:
+            chunk = results[pos:pos + len(trials)]
+            pos += len(trials)
+            out[mbps] = _reduce_pair_cdf(
+                f"fig20@{mbps}", configs, list(protocols), chunk
+            )
+        return BitrateSweepResult(out)
+
+    all_trials = [t for _, _, trials in groups for t in trials]
+    return ExperimentSpec("fig20", all_trials, reduce)
+
+
+def run_bitrate_sweep(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    rates: Sequence[int] = (6, 12, 18),
+    backend=None,
+    store: Optional[ResultStore] = None,
+) -> BitrateSweepResult:
+    spec = build_bitrate_sweep(testbed, scale, seed, rates)
+    return run_experiment(spec, testbed, backend=backend, store=store)
 
 
 # ======================================================================
@@ -322,6 +422,8 @@ class ScatterPoint:
     min_prr: float  # min(PRR(I->R), PRR(I->S))
     isolated_mbps: float
     interfered_mbps: float
+    #: p = max(pr + ps - 1, 0), set via :meth:`set_hear_probability`.
+    _p: float = 0.0
 
     @property
     def normalized_throughput(self) -> float:
@@ -349,49 +451,78 @@ class HiddenInterfererResult:
     expected_cmap_throughput: float
 
 
+def build_hidden_interferer_scatter(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> ExperimentSpec:
+    scale = scale or ExperimentScale()
+    triples = find_hidden_interferer_triples(testbed, scale.triples, seed)
+    blast = MacSpec.of("dcf", carrier_sense=False, acks=False)  # §5.4 footnote
+    trials: List[TrialSpec] = []
+    for idx, t in enumerate(triples):
+        # Baseline: S -> R alone.
+        trials.append(
+            TrialSpec(
+                trial_id=f"fig14/{idx}/isolated",
+                nodes=(t.sender, t.receiver),
+                flows=((t.sender, t.receiver),),
+                mac=blast,
+                run_seed=idx,
+                duration=scale.duration / 2,
+                warmup=scale.warmup / 2,
+            )
+        )
+        # With the interferer blasting continuously.
+        trials.append(
+            TrialSpec(
+                trial_id=f"fig14/{idx}/interfered",
+                nodes=tuple({t.sender, t.receiver, t.interferer,
+                             t.interferer_receiver}),
+                flows=((t.sender, t.receiver),
+                       (t.interferer, t.interferer_receiver)),
+                mac=blast,
+                run_seed=idx,
+                duration=scale.duration / 2,
+                warmup=scale.warmup / 2,
+            )
+        )
+
+    links = testbed.links
+
+    def reduce(results: List[TrialResult]) -> HiddenInterfererResult:
+        points: List[ScatterPoint] = []
+        for idx, t in enumerate(triples):
+            isolated = results[2 * idx].mbps(t.sender, t.receiver)
+            interfered = results[2 * idx + 1].mbps(t.sender, t.receiver)
+            pr = links.prr(t.interferer, t.receiver)
+            ps = links.prr(t.interferer, t.sender)
+            point = ScatterPoint(t, min(pr, ps), isolated, interfered)
+            point.set_hear_probability(pr, ps)
+            points.append(point)
+        usable = [p for p in points if p.isolated_mbps > 0.1]
+        bottom_left = sum(
+            1 for p in usable if p.normalized_throughput < 0.5 and p.min_prr < 0.5
+        )
+        expected = sum(
+            p.hear_probability + (1 - p.hear_probability) * p.normalized_throughput
+            for p in usable
+        )
+        n = max(1, len(usable))
+        return HiddenInterfererResult(points, bottom_left / n, expected / n)
+
+    return ExperimentSpec("fig14", trials, reduce)
+
+
 def run_hidden_interferer_scatter(
     testbed: Testbed,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
+    backend=None,
+    store: Optional[ResultStore] = None,
 ) -> HiddenInterfererResult:
-    scale = scale or ExperimentScale()
-    triples = find_hidden_interferer_triples(testbed, scale.triples, seed)
-    links = testbed.links
-    blast = dcf_factory(False, False)  # CS and ACKs disabled (§5.4 footnote)
-    points: List[ScatterPoint] = []
-    for idx, t in enumerate(triples):
-        # Baseline: S -> R alone.
-        net = Network(testbed, run_seed=idx)
-        for n in (t.sender, t.receiver):
-            net.add_node(n, blast)
-        net.add_saturated_flow(t.sender, t.receiver)
-        res = net.run(duration=scale.duration / 2, warmup=scale.warmup / 2)
-        isolated = res.flow_mbps(t.sender, t.receiver)
-        # With the interferer blasting continuously.
-        net = Network(testbed, run_seed=idx)
-        for n in {t.sender, t.receiver, t.interferer, t.interferer_receiver}:
-            net.add_node(n, blast)
-        net.add_saturated_flow(t.sender, t.receiver)
-        net.add_saturated_flow(t.interferer, t.interferer_receiver)
-        res = net.run(duration=scale.duration / 2, warmup=scale.warmup / 2)
-        interfered = res.flow_mbps(t.sender, t.receiver)
-
-        pr = links.prr(t.interferer, t.receiver)
-        ps = links.prr(t.interferer, t.sender)
-        point = ScatterPoint(t, min(pr, ps), isolated, interfered)
-        point.set_hear_probability(pr, ps)
-        points.append(point)
-
-    usable = [p for p in points if p.isolated_mbps > 0.1]
-    bottom_left = sum(
-        1 for p in usable if p.normalized_throughput < 0.5 and p.min_prr < 0.5
-    )
-    expected = sum(
-        p.hear_probability + (1 - p.hear_probability) * p.normalized_throughput
-        for p in usable
-    )
-    n = max(1, len(usable))
-    return HiddenInterfererResult(points, bottom_left / n, expected / n)
+    spec = build_hidden_interferer_scatter(testbed, scale, seed)
+    return run_experiment(spec, testbed, backend=backend, store=store)
 
 
 # ======================================================================
@@ -409,54 +540,70 @@ class ApResult:
     ht_rates: Dict[int, List[float]]
 
 
+def build_ap_topology(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    n_values: Sequence[int] = (3, 4, 5, 6),
+    protocols: Optional[Dict[str, object]] = None,
+) -> ExperimentSpec:
+    scale = scale or ExperimentScale()
+    if protocols is None:
+        protocols = {
+            "cs_on": MacSpec.of("dcf", carrier_sense=True, acks=True),
+            "cs_off": MacSpec.of("dcf", carrier_sense=False, acks=True),
+            "cmap": MacSpec.of("cmap"),
+        }
+    macs = {name: coerce_mac(m) for name, m in protocols.items()}
+    plan: List[Tuple[int, int, ApTopology]] = []
+    trials: List[TrialSpec] = []
+    for n in n_values:
+        for trial in range(scale.trials_per_n):
+            topo = find_ap_topology(testbed, n, trial_seed=trial)
+            plan.append((n, trial, topo))
+            for name, mac in macs.items():
+                trials.append(
+                    TrialSpec(
+                        trial_id=f"fig17/n{n}/t{trial}/{name}",
+                        nodes=topo.nodes,
+                        flows=topo.flows,
+                        mac=mac,
+                        run_seed=1000 * n + trial,
+                        metrics=("ht_rates",) if name == "cmap" else (),
+                        duration=scale.duration,
+                        warmup=scale.warmup,
+                    )
+                )
+
+    def reduce(results: List[TrialResult]) -> ApResult:
+        aggregate: Dict[int, Dict[str, List[float]]] = {}
+        per_sender: Dict[str, List[float]] = {name: [] for name in macs}
+        ht_rates: Dict[int, List[float]] = {}
+        it = iter(results)
+        for n, trial, topo in plan:
+            aggregate.setdefault(n, {name: [] for name in macs})
+            ht_rates.setdefault(n, [])
+            for name in macs:
+                res = next(it)
+                flows = [res.mbps(s, r) for s, r in topo.flows]
+                aggregate[n][name].append(sum(flows))
+                per_sender[name].extend(flows)
+                if "ht_rates" in res.metrics:
+                    ht_rates[n].extend(res.metrics["ht_rates"])
+        return ApResult(aggregate, per_sender, ht_rates)
+
+    return ExperimentSpec("fig17", trials, reduce)
+
+
 def run_ap_topology(
     testbed: Testbed,
     scale: Optional[ExperimentScale] = None,
     n_values: Sequence[int] = (3, 4, 5, 6),
-    protocols: Optional[Dict[str, MacFactory]] = None,
+    protocols: Optional[Dict[str, object]] = None,
+    backend=None,
+    store: Optional[ResultStore] = None,
 ) -> ApResult:
-    scale = scale or ExperimentScale()
-    if protocols is None:
-        protocols = {
-            "cs_on": dcf_factory(True, True),
-            "cs_off": dcf_factory(False, True),
-            "cmap": cmap_factory(),
-        }
-    aggregate: Dict[int, Dict[str, List[float]]] = {}
-    per_sender: Dict[str, List[float]] = {name: [] for name in protocols}
-    ht_rates: Dict[int, List[float]] = {}
-    for n in n_values:
-        aggregate[n] = {name: [] for name in protocols}
-        ht_rates[n] = []
-        for trial in range(scale.trials_per_n):
-            topo = find_ap_topology(testbed, n, trial_seed=trial)
-            for name, factory in protocols.items():
-                net = Network(testbed, run_seed=1000 * n + trial)
-                for node in topo.nodes:
-                    net.add_node(node, factory)
-                for s, r in topo.flows:
-                    net.add_saturated_flow(s, r)
-                res = net.run(duration=scale.duration, warmup=scale.warmup)
-                flows = [res.flow_mbps(s, r) for s, r in topo.flows]
-                aggregate[n][name].append(sum(flows))
-                per_sender[name].extend(flows)
-                if name == "cmap":
-                    ht_rates[n].extend(
-                        _collect_ht_rates(net, topo.flows)
-                    )
-    return ApResult(aggregate, per_sender, ht_rates)
-
-
-def _collect_ht_rates(net: Network, flows: Sequence[Tuple[int, int]]) -> List[float]:
-    """Per-receiver P(header or trailer) for each flow of a CMAP run."""
-    rates = []
-    for s, r in flows:
-        smac = net.nodes[s].mac
-        rmac = net.nodes[r].mac
-        sent = smac.cstats.vpkts_sent_to.get(r, 0)
-        if sent > 0:
-            rates.append(rmac.header_or_trailer_rate(s, sent))
-    return rates
+    spec = build_ap_topology(testbed, scale, n_values, protocols)
+    return run_experiment(spec, testbed, backend=backend, store=store)
 
 
 # ======================================================================
@@ -472,38 +619,61 @@ class HeaderTrailerCdfResult:
     outofrange_either: List[float]
 
 
-def run_header_trailer_cdf(
+def build_header_trailer_cdf(
     testbed: Testbed,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
-) -> HeaderTrailerCdfResult:
+) -> ExperimentSpec:
     """Fig. 16: computed from CMAP runs of the §5.3 (senders in range) and
     §5.5 (senders out of range) experiments."""
     scale = scale or ExperimentScale()
-    out = {"inrange": ([], []), "outofrange": ([], [])}
+    trials: List[TrialSpec] = []
+    labels: List[str] = []
     for label, finder in (
         ("inrange", find_inrange_configs),
         ("outofrange", find_hidden_terminal_configs),
     ):
         configs = finder(testbed, scale.configs, seed)
         for idx, config in enumerate(configs):
-            net = _run_pair(
-                testbed, config, cmap_factory(), scale, run_seed=idx
+            labels.append(label)
+            trials.append(
+                TrialSpec(
+                    trial_id=f"fig16/{label}/{idx}",
+                    nodes=config.nodes,
+                    flows=config.flows,
+                    mac=MacSpec.of("cmap"),
+                    run_seed=idx,
+                    duration=scale.duration,
+                    warmup=scale.warmup,
+                    metrics=("ht_stats",),
+                )
             )
-            for s, r in config.flows:
-                smac = net.nodes[s].mac
-                rmac = net.nodes[r].mac
-                sent = smac.cstats.vpkts_sent_to.get(r, 0)
-                if sent <= 0:
-                    continue
-                out[label][0].append(rmac.header_rate(s, sent))
-                out[label][1].append(rmac.header_or_trailer_rate(s, sent))
-    return HeaderTrailerCdfResult(
-        inrange_header=out["inrange"][0],
-        inrange_either=out["inrange"][1],
-        outofrange_header=out["outofrange"][0],
-        outofrange_either=out["outofrange"][1],
-    )
+
+    def reduce(results: List[TrialResult]) -> HeaderTrailerCdfResult:
+        out = {"inrange": ([], []), "outofrange": ([], [])}
+        for label, res in zip(labels, results):
+            for header, either in res.metrics["ht_stats"]:
+                out[label][0].append(header)
+                out[label][1].append(either)
+        return HeaderTrailerCdfResult(
+            inrange_header=out["inrange"][0],
+            inrange_either=out["inrange"][1],
+            outofrange_header=out["outofrange"][0],
+            outofrange_either=out["outofrange"][1],
+        )
+
+    return ExperimentSpec("fig16", trials, reduce)
+
+
+def run_header_trailer_cdf(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    backend=None,
+    store: Optional[ResultStore] = None,
+) -> HeaderTrailerCdfResult:
+    spec = build_header_trailer_cdf(testbed, scale, seed)
+    return run_experiment(spec, testbed, backend=backend, store=store)
 
 
 @dataclass
@@ -514,27 +684,25 @@ class HtDensityResult:
     rates_by_n: Dict[int, List[float]]
 
 
-def run_header_trailer_density(
+def build_header_trailer_density(
     testbed: Testbed,
     scale: Optional[ExperimentScale] = None,
     n_values: Sequence[int] = (2, 3, 4, 5, 6, 7),
     seed: int = 0,
-) -> HtDensityResult:
+) -> ExperimentSpec:
     """Fig. 19: N concurrent saturated CMAP flows on random potential
     transmission links; collect P(header or trailer) at each receiver."""
-    import itertools as _it
-
     scale = scale or ExperimentScale()
     links = testbed.links
     tx_links = [
         (a, b)
-        for a, b in _it.permutations(links.node_ids, 2)
+        for a, b in itertools.permutations(links.node_ids, 2)
         if links.potential_tx_link(a, b)
     ]
     rng = testbed.rngs.fork("htdensity", seed).stream("sample")
-    rates_by_n: Dict[int, List[float]] = {}
+    trials: List[TrialSpec] = []
+    trial_n: List[int] = []
     for n in n_values:
-        rates_by_n[n] = []
         for trial in range(scale.ht_configs_per_n):
             # Sample n disjoint flows.
             flows: List[Tuple[int, int]] = []
@@ -549,14 +717,39 @@ def run_header_trailer_density(
                 used.update((s, r))
             if len(flows) < n:
                 continue
-            net = Network(testbed, run_seed=100 * n + trial)
-            for node in used:
-                net.add_node(node, cmap_factory())
-            for s, r in flows:
-                net.add_saturated_flow(s, r)
-            net.run(duration=scale.duration, warmup=scale.warmup)
-            rates_by_n[n].extend(_collect_ht_rates(net, flows))
-    return HtDensityResult(rates_by_n)
+            trial_n.append(n)
+            trials.append(
+                TrialSpec(
+                    trial_id=f"fig19/n{n}/t{trial}",
+                    nodes=tuple(used),
+                    flows=tuple(flows),
+                    mac=MacSpec.of("cmap"),
+                    run_seed=100 * n + trial,
+                    duration=scale.duration,
+                    warmup=scale.warmup,
+                    metrics=("ht_rates",),
+                )
+            )
+
+    def reduce(results: List[TrialResult]) -> HtDensityResult:
+        rates_by_n: Dict[int, List[float]] = {n: [] for n in n_values}
+        for n, res in zip(trial_n, results):
+            rates_by_n[n].extend(res.metrics["ht_rates"])
+        return HtDensityResult(rates_by_n)
+
+    return ExperimentSpec("fig19", trials, reduce)
+
+
+def run_header_trailer_density(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    n_values: Sequence[int] = (2, 3, 4, 5, 6, 7),
+    seed: int = 0,
+    backend=None,
+    store: Optional[ResultStore] = None,
+) -> HtDensityResult:
+    spec = build_header_trailer_density(testbed, scale, n_values, seed)
+    return run_experiment(spec, testbed, backend=backend, store=store)
 
 
 # ======================================================================
@@ -578,13 +771,13 @@ class MeshResult:
         return self.mean(protocol) / base if base > 0 else float("inf")
 
 
-def run_mesh_dissemination(
+def build_mesh_dissemination(
     testbed: Testbed,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     fanout: int = 3,
     include_extensions: bool = False,
-) -> MeshResult:
+) -> ExperimentSpec:
     """§5.7: S broadcasts a batch to the A_i (phase 1), then the A_i forward
     to their B_i concurrently (phase 2). Per-leaf throughput is the min of
     its two hops; the aggregate sums over leaves (the paper reports CMAP
@@ -592,39 +785,70 @@ def run_mesh_dissemination(
     terminals among the A_i -> B_i transfers)."""
     scale = scale or ExperimentScale()
     topologies = find_mesh_topologies(testbed, scale.mesh_topologies, fanout, seed)
-    protocols: Dict[str, MacFactory] = {
-        "cs_on": dcf_factory(True, True),
-        "cmap": cmap_factory(),
+    protocols: Dict[str, MacSpec] = {
+        "cs_on": MacSpec.of("dcf", carrier_sense=True, acks=True),
+        "cmap": MacSpec.of("cmap"),
     }
     if include_extensions:
         # §5.6's robustness fix + ACK-piggybacked interferer lists: helps
         # most on conflict-heavy topologies where deaf senders miss headers.
-        protocols["cmap_ext"] = cmap_factory(
-            CmapParams(replicate_ht_in_data=True, piggyback_ilist=True)
+        protocols["cmap_ext"] = MacSpec.of(
+            "cmap", replicate_ht_in_data=True, piggyback_ilist=True
         )
-    aggregate: Dict[str, List[float]] = {name: [] for name in protocols}
+    trials: List[TrialSpec] = []
     for idx, topo in enumerate(topologies):
-        for name, factory in protocols.items():
+        for name, mac in protocols.items():
             # Phase 1: single broadcast sender; per-forwarder goodput.
-            net1 = Network(testbed, run_seed=2 * idx)
-            for node in topo.nodes:
-                net1.add_node(node, factory)
-            from repro.phy.frames import BROADCAST
-
-            net1.add_saturated_flow(topo.source, BROADCAST)
-            res1 = net1.run(duration=scale.duration / 2, warmup=scale.warmup / 2)
-            phase1 = {
-                a: res1.flow_mbps(topo.source, a) for a in topo.forwarders
-            }
+            trials.append(
+                TrialSpec(
+                    trial_id=f"mesh/{idx}/{name}/phase1",
+                    nodes=topo.nodes,
+                    flows=((topo.source, BROADCAST),),
+                    measure=tuple((topo.source, a) for a in topo.forwarders),
+                    mac=mac,
+                    run_seed=2 * idx,
+                    duration=scale.duration / 2,
+                    warmup=scale.warmup / 2,
+                )
+            )
             # Phase 2: concurrent forwarder -> leaf transfers.
-            net2 = Network(testbed, run_seed=2 * idx + 1)
-            for node in topo.nodes:
-                net2.add_node(node, factory)
-            for a, b in zip(topo.forwarders, topo.leaves):
-                net2.add_saturated_flow(a, b)
-            res2 = net2.run(duration=scale.duration / 2, warmup=scale.warmup / 2)
-            total = 0.0
-            for a, b in zip(topo.forwarders, topo.leaves):
-                total += min(phase1[a], res2.flow_mbps(a, b))
-            aggregate[name].append(total)
-    return MeshResult(aggregate)
+            trials.append(
+                TrialSpec(
+                    trial_id=f"mesh/{idx}/{name}/phase2",
+                    nodes=topo.nodes,
+                    flows=tuple(zip(topo.forwarders, topo.leaves)),
+                    mac=mac,
+                    run_seed=2 * idx + 1,
+                    duration=scale.duration / 2,
+                    warmup=scale.warmup / 2,
+                )
+            )
+
+    def reduce(results: List[TrialResult]) -> MeshResult:
+        aggregate: Dict[str, List[float]] = {name: [] for name in protocols}
+        it = iter(results)
+        for idx, topo in enumerate(topologies):
+            for name in protocols:
+                phase1 = next(it)
+                phase2 = next(it)
+                total = 0.0
+                for a, b in zip(topo.forwarders, topo.leaves):
+                    total += min(phase1.mbps(topo.source, a), phase2.mbps(a, b))
+                aggregate[name].append(total)
+        return MeshResult(aggregate)
+
+    return ExperimentSpec("mesh", trials, reduce)
+
+
+def run_mesh_dissemination(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    fanout: int = 3,
+    include_extensions: bool = False,
+    backend=None,
+    store: Optional[ResultStore] = None,
+) -> MeshResult:
+    spec = build_mesh_dissemination(testbed, scale, seed, fanout,
+                                    include_extensions)
+    return run_experiment(spec, testbed, backend=backend, store=store)

@@ -1,0 +1,213 @@
+"""Declarative experiment specifications.
+
+The experiment layer is split into three pieces:
+
+* **what to run** — :class:`TrialSpec`: one simulation run described by plain
+  data (nodes, flows, a registry-keyed MAC, seed, duration, metrics). Specs
+  are picklable, so any executor backend can materialize them, including
+  process pools.
+* **what it produced** — :class:`TrialResult`: per-flow throughputs plus any
+  declared metric values, all JSON-serializable so results can be persisted
+  and resumed.
+* **what it means** — :class:`ExperimentSpec`: a named list of trials plus a
+  pure ``reduce`` step that folds ordered trial results into the figure
+  dataclass the paper's tables are rendered from.
+
+``repro.experiments.executor`` consumes these; ``repro.experiments.runners``
+builds one :class:`ExperimentSpec` per paper figure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.network import MAC_BUILDERS, MacFactory, build_mac_factory
+from repro.util.rng import stable_hash
+
+Flow = Tuple[int, int]
+
+#: Registry key for MAC specs wrapping a raw (non-picklable) callable.
+INLINE_PROTOCOL = "<inline>"
+
+#: Monotonic serial for inline wraps: unlike ``id()``, never reused within a
+#: process, so two wraps can never collide in a ResultStore.
+_inline_serial = itertools.count()
+
+
+@dataclass(frozen=True)
+class MacSpec:
+    """A MAC protocol referenced by registry name + constructor params.
+
+    ``params`` values are passed to the registered builder; rate knobs
+    (``data_rate``/``control_rate``/``ack_rate``) may be plain Mb/s ints.
+    ``inline`` is an escape hatch wrapping an existing :data:`MacFactory`
+    callable — usable with the serial backend only (closures don't pickle).
+    """
+
+    protocol: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    inline: Optional[MacFactory] = field(default=None, compare=False)
+
+    @classmethod
+    def of(cls, protocol: str, **params) -> "MacSpec":
+        return cls(protocol, tuple(sorted(params.items())))
+
+    @classmethod
+    def wrap(cls, factory: MacFactory) -> "MacSpec":
+        # The params a closure captured are invisible here, so every wrap
+        # gets a fresh serial number: two inline experiments can never share
+        # a fingerprint, and a ResultStore can never serve one's cached
+        # results to the other. The flip side is that inline specs never
+        # resume — use a registry-keyed MacSpec for persistent sweeps.
+        label = getattr(factory, "__qualname__", repr(factory))
+        return cls(
+            INLINE_PROTOCOL,
+            (("factory", label), ("serial", next(_inline_serial))),
+            inline=factory,
+        )
+
+    def __getstate__(self):
+        # Closures don't pickle; registry-keyed specs survive the trip and
+        # inline ones fail loudly in build() on the far side.
+        return {"protocol": self.protocol, "params": self.params, "inline": None}
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
+    def build(self) -> MacFactory:
+        if self.inline is not None:
+            return self.inline
+        if self.protocol == INLINE_PROTOCOL:
+            raise ValueError(
+                "inline MacSpec lost its factory (e.g. crossed a process "
+                "boundary); use a registry-keyed MacSpec instead"
+            )
+        return build_mac_factory(self.protocol, dict(self.params))
+
+
+def coerce_mac(mac) -> MacSpec:
+    """Accept a MacSpec, a registered protocol name, or a raw factory."""
+    if isinstance(mac, MacSpec):
+        return mac
+    if isinstance(mac, str):
+        if mac not in MAC_BUILDERS:
+            raise KeyError(f"unknown MAC protocol {mac!r}")
+        return MacSpec.of(mac)
+    if callable(mac):
+        return MacSpec.wrap(mac)
+    raise TypeError(f"cannot interpret {mac!r} as a MAC spec")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent simulation run, described declaratively.
+
+    Fields mirror what the hand-rolled runners used to assemble imperatively:
+    which testbed nodes to instantiate (in order), which saturated flows to
+    attach, which MAC to build, the run seed, and the run length. ``measure``
+    lists the (src, dst) pairs whose throughput the reducer needs when they
+    differ from ``flows`` (e.g. broadcast fan-out measured per receiver).
+    ``metrics`` names extra per-trial measurements from the executor's
+    metric registry; they are computed inside the worker so results stay
+    plain data.
+    """
+
+    trial_id: str
+    nodes: Tuple[int, ...]
+    flows: Tuple[Flow, ...]
+    mac: MacSpec
+    run_seed: int
+    duration: float
+    warmup: float
+    measure: Optional[Tuple[Flow, ...]] = None
+    track_tx: bool = False
+    metrics: Tuple[str, ...] = ()
+    payload_bytes: int = 1400
+
+    @property
+    def measured_flows(self) -> Tuple[Flow, ...]:
+        return self.flows if self.measure is None else self.measure
+
+    @property
+    def senders(self) -> Tuple[int, ...]:
+        return tuple(s for s, _ in self.flows)
+
+    def fingerprint(self) -> str:
+        """A process-stable digest of everything that shapes the result.
+
+        Persistence keys cached trial results by (trial_id, fingerprint) so a
+        resumed run never reuses a result produced under different settings.
+        """
+        return format(
+            stable_hash(
+                self.nodes,
+                self.flows,
+                self.measured_flows,
+                self.mac.protocol,
+                self.mac.params,
+                self.run_seed,
+                self.duration,
+                self.warmup,
+                self.track_tx,
+                self.metrics,
+                self.payload_bytes,
+            ),
+            "016x",
+        )
+
+
+@dataclass
+class TrialResult:
+    """Plain-data outcome of one trial: flow throughputs + metric values."""
+
+    trial_id: str
+    flow_mbps: Dict[Flow, float]
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    fingerprint: str = ""
+
+    def mbps(self, src: int, dst: int) -> float:
+        return self.flow_mbps[(src, dst)]
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (for ResultStore persistence)
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "trial_id": self.trial_id,
+            "fingerprint": self.fingerprint,
+            "flow_mbps": [[s, d, v] for (s, d), v in self.flow_mbps.items()],
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "TrialResult":
+        return cls(
+            trial_id=obj["trial_id"],
+            flow_mbps={(s, d): v for s, d, v in obj["flow_mbps"]},
+            metrics=obj.get("metrics", {}),
+            fingerprint=obj.get("fingerprint", ""),
+        )
+
+
+@dataclass
+class ExperimentSpec:
+    """A named set of trials plus the pure reduction to a figure result.
+
+    ``reduce`` receives the :class:`TrialResult` list in ``trials`` order —
+    executor backends may run trials in any order or skip cached ones, but
+    the reduction always sees them positionally aligned with the spec.
+    """
+
+    name: str
+    trials: List[TrialSpec]
+    reduce: Callable[[List[TrialResult]], Any]
+
+    def __post_init__(self):
+        seen: set = set()
+        for t in self.trials:
+            if t.trial_id in seen:
+                raise ValueError(f"duplicate trial id {t.trial_id!r}")
+            seen.add(t.trial_id)

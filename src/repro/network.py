@@ -25,6 +25,7 @@ from repro.mac.dcf import DcfMac, DcfParams
 from repro.net.testbed import Testbed
 from repro.node import Node
 from repro.phy.medium import Medium
+from repro.phy.modulation import RATES
 from repro.phy.radio import Radio, RadioConfig
 from repro.sim.engine import Simulator
 from repro.traffic.generators import BatchSource, SaturatedSource, SinkRegistry
@@ -57,6 +58,53 @@ def dcf_factory(
         return DcfMac(sim, node_id, radio, rng, p)
 
     return make
+
+
+# ----------------------------------------------------------------------
+# String-keyed MAC builder registry
+# ----------------------------------------------------------------------
+#: protocol name -> builder(**params) -> MacFactory. String keys keep trial
+#: specs picklable (for process-pool executors) and CLI-addressable.
+MAC_BUILDERS: Dict[str, Callable[..., MacFactory]] = {}
+
+
+def register_mac_builder(name: str):
+    """Decorator registering a ``builder(**params) -> MacFactory``."""
+
+    def deco(builder: Callable[..., MacFactory]) -> Callable[..., MacFactory]:
+        MAC_BUILDERS[name] = builder
+        return builder
+
+    return deco
+
+
+def _convert_rates(params: dict) -> dict:
+    """Allow rate knobs to be given as plain Mb/s ints (JSON-friendly)."""
+    out = dict(params)
+    for key in ("data_rate", "control_rate", "ack_rate"):
+        if isinstance(out.get(key), int):
+            out[key] = RATES[out[key]]
+    return out
+
+
+@register_mac_builder("cmap")
+def build_cmap_mac(**params) -> MacFactory:
+    return cmap_factory(CmapParams(**_convert_rates(params)))
+
+
+@register_mac_builder("dcf")
+def build_dcf_mac(**params) -> MacFactory:
+    return dcf_factory(params=DcfParams(**_convert_rates(params)))
+
+
+def build_mac_factory(protocol: str, params: Optional[dict] = None) -> MacFactory:
+    """Resolve a registered protocol name + params into a MacFactory."""
+    if protocol not in MAC_BUILDERS:
+        raise KeyError(
+            f"unknown MAC protocol {protocol!r}; registered: "
+            f"{sorted(MAC_BUILDERS)}"
+        )
+    return MAC_BUILDERS[protocol](**(params or {}))
 
 
 @dataclass

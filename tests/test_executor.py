@@ -1,0 +1,298 @@
+"""Executor, spec, and persistence tests.
+
+The load-bearing guarantees:
+
+* the declarative spec + serial executor reproduce the pre-refactor runners
+  bit-for-bit (golden floats captured from the hand-rolled implementations
+  at smoke scale, testbed seed 1);
+* the process-pool backend is bit-identical to serial;
+* specs re-materialize stably (same ids, seeds, fingerprints), which is what
+  makes persistence/resume sound.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments.executor import (
+    ProcessPoolBackend,
+    ResultStore,
+    SerialBackend,
+    make_backend,
+    run_experiment,
+    run_trial,
+)
+from repro.experiments.runners import (
+    ExperimentScale,
+    ScatterPoint,
+    build_exposed_terminals,
+    build_hidden_terminals,
+    build_inrange_senders,
+    run_exposed_terminals,
+    run_hidden_terminals,
+    run_inrange_senders,
+)
+from repro.experiments.scenarios import InterfererTriple
+from repro.experiments.spec import ExperimentSpec, MacSpec, TrialSpec, coerce_mac
+from repro.net.testbed import Testbed
+from repro.network import build_mac_factory
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed(seed=1)
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return ExperimentScale.smoke()
+
+
+# Golden outputs of the pre-spec hand-rolled runners (testbed seed 1,
+# ExperimentScale.smoke()). The refactor must not move a single bit.
+GOLDEN_FIG12_TOTALS = {
+    "cs_on": [4.7904, 5.7824, 5.2128],
+    "cs_off_noacks": [5.3504000000000005, 10.8896, 9.0816],
+    "cmap": [5.2672, 10.8704, 8.9824],
+    "cmap_win1": [4.144, 9.5168, 6.2784],
+}
+GOLDEN_FIG12_CONC = [
+    0.20485622971853207, 0.3437460583736443, 0.9025309282763259,
+    0.793616902784254, 0.8847614202965389, 0.6150589333251846,
+]
+GOLDEN_FIG13_TOTALS = {
+    "cs_on": [5.4239999999999995, 5.1776, 5.0048],
+    "cs_off_acks": [5.1744, 1.6128, 5.014399999999999],
+    "cs_off_noacks": [5.5264, 0.2624, 6.4512],
+    "cmap": [5.513599999999999, 3.0208, 5.7088],
+}
+GOLDEN_FIG15_TOTALS = {
+    "cs_on": [4.7456000000000005, 2.4032, 5.0944],
+    "cs_off_acks": [4.912, 1.2288000000000001, 1.1456],
+    "cmap": [5.4719999999999995, 3.4976000000000003, 2.6879999999999997],
+}
+
+
+class CountingBackend:
+    """Serial backend that records how many trials it actually ran."""
+
+    def __init__(self):
+        self.executed = 0
+
+    def run(self, testbed, trials, on_result=None):
+        self.executed += len(trials)
+        return SerialBackend().run(testbed, trials, on_result=on_result)
+
+
+class DyingBackend:
+    """Serial backend that crashes after ``survive`` completed trials."""
+
+    def __init__(self, survive):
+        self.survive = survive
+
+    def run(self, testbed, trials, on_result=None):
+        results = []
+        for trial in trials:
+            if len(results) >= self.survive:
+                raise RuntimeError("simulated crash mid-sweep")
+            res = run_trial(testbed, trial)
+            if on_result is not None:
+                on_result(res)
+            results.append(res)
+        return results
+
+
+class TestGoldenEquivalence:
+    """Serial spec execution == pre-refactor hand-rolled runners."""
+
+    def test_fig12_bit_identical(self, testbed, smoke):
+        r = run_exposed_terminals(testbed, smoke)
+        assert r.totals == GOLDEN_FIG12_TOTALS
+        assert r.cmap_concurrency == GOLDEN_FIG12_CONC
+
+    def test_fig13_bit_identical(self, testbed, smoke):
+        r = run_inrange_senders(testbed, smoke)
+        assert r.totals == GOLDEN_FIG13_TOTALS
+
+    def test_fig15_bit_identical(self, testbed, smoke):
+        r = run_hidden_terminals(testbed, smoke)
+        assert r.totals == GOLDEN_FIG15_TOTALS
+
+
+class TestProcessPool:
+    def test_fig12_pool_matches_serial_goldens(self, testbed, smoke):
+        r = run_exposed_terminals(testbed, smoke,
+                                  backend=ProcessPoolBackend(jobs=2))
+        assert r.totals == GOLDEN_FIG12_TOTALS
+        assert r.cmap_concurrency == GOLDEN_FIG12_CONC
+
+    def test_fig13_pool_matches_serial_goldens(self, testbed, smoke):
+        r = run_inrange_senders(testbed, smoke,
+                                backend=ProcessPoolBackend(jobs=2))
+        assert r.totals == GOLDEN_FIG13_TOTALS
+
+    def test_make_backend(self):
+        assert isinstance(make_backend(None), SerialBackend)
+        assert isinstance(make_backend(1), SerialBackend)
+        pool = make_backend(4)
+        assert isinstance(pool, ProcessPoolBackend)
+        assert pool.jobs == 4
+
+
+class TestSpecStability:
+    """Re-materializing a spec must yield identical trials — the property
+    persistence/resume relies on."""
+
+    def test_trials_stable_across_rebuilds(self, testbed, smoke):
+        a = build_exposed_terminals(testbed, smoke)
+        b = build_exposed_terminals(testbed, smoke)
+        assert [t.trial_id for t in a.trials] == [t.trial_id for t in b.trials]
+        assert [t.run_seed for t in a.trials] == [t.run_seed for t in b.trials]
+        assert [t.fingerprint() for t in a.trials] == [
+            t.fingerprint() for t in b.trials
+        ]
+        assert a.trials == b.trials
+
+    def test_fingerprint_sensitive_to_settings(self, testbed, smoke):
+        spec = build_hidden_terminals(testbed, smoke)
+        trial = spec.trials[0]
+        longer = TrialSpec(
+            trial_id=trial.trial_id,
+            nodes=trial.nodes,
+            flows=trial.flows,
+            mac=trial.mac,
+            run_seed=trial.run_seed,
+            duration=trial.duration * 2,
+            warmup=trial.warmup,
+        )
+        assert longer.fingerprint() != trial.fingerprint()
+
+    def test_trialspec_pickles(self, testbed, smoke):
+        spec = build_inrange_senders(testbed, smoke)
+        for trial in spec.trials:
+            clone = pickle.loads(pickle.dumps(trial))
+            assert clone == trial
+            assert clone.fingerprint() == trial.fingerprint()
+
+    def test_duplicate_trial_ids_rejected(self):
+        t = TrialSpec("dup", (0, 1), ((0, 1),), MacSpec.of("cmap"), 0, 4.0, 1.0)
+        with pytest.raises(ValueError):
+            ExperimentSpec("x", [t, t], lambda results: results)
+
+
+class TestResultStore:
+    def test_resume_skips_completed_trials(self, testbed, smoke, tmp_path):
+        path = str(tmp_path / "results.json")
+        store = ResultStore(path, testbed_seed=1)
+        first = CountingBackend()
+        r1 = run_inrange_senders(testbed, smoke, backend=first, store=store)
+        assert first.executed == len(build_inrange_senders(testbed, smoke).trials)
+
+        resumed = ResultStore(path, testbed_seed=1)
+        second = CountingBackend()
+        r2 = run_inrange_senders(testbed, smoke, backend=second, store=resumed)
+        assert second.executed == 0
+        assert r2.totals == r1.totals
+        assert r2.per_flow == r1.per_flow
+        assert r2.cmap_concurrency == r1.cmap_concurrency
+
+    def test_fingerprint_mismatch_reruns(self, testbed, tmp_path):
+        path = str(tmp_path / "results.json")
+        tiny = ExperimentScale(configs=1, duration=4.0, warmup=1.5)
+        store = ResultStore(path, testbed_seed=1)
+        run_inrange_senders(testbed, tiny, backend=CountingBackend(), store=store)
+
+        longer = ExperimentScale(configs=1, duration=5.0, warmup=1.5)
+        backend = CountingBackend()
+        run_inrange_senders(testbed, longer, backend=backend,
+                            store=ResultStore(path, testbed_seed=1))
+        assert backend.executed == len(
+            build_inrange_senders(testbed, longer).trials
+        )
+
+    def test_interrupted_run_keeps_completed_trials(self, testbed, tmp_path):
+        path = str(tmp_path / "results.json")
+        tiny = ExperimentScale(configs=2, duration=4.0, warmup=1.5)
+        total = len(build_inrange_senders(testbed, tiny).trials)
+        survive = 3
+        with pytest.raises(RuntimeError):
+            run_inrange_senders(testbed, tiny, backend=DyingBackend(survive),
+                                store=ResultStore(path, testbed_seed=1))
+        # The crash must not lose the trials that finished before it.
+        assert len(ResultStore(path, testbed_seed=1)) == survive
+
+        backend = CountingBackend()
+        run_inrange_senders(testbed, tiny, backend=backend,
+                            store=ResultStore(path, testbed_seed=1))
+        assert backend.executed == total - survive
+
+    def test_seed_mismatch_rejected(self, testbed, tmp_path):
+        path = str(tmp_path / "results.json")
+        tiny = ExperimentScale(configs=1, duration=4.0, warmup=1.5)
+        store = ResultStore(path, testbed_seed=1)
+        run_inrange_senders(testbed, tiny, store=store)
+        with pytest.raises(ValueError):
+            ResultStore(path, testbed_seed=2)
+
+    def test_store_binds_to_executed_testbed(self, testbed, tmp_path):
+        # Even a store created without a seed must reject a foreign testbed
+        # once it has been used (the executor binds it to testbed.seed).
+        path = str(tmp_path / "results.json")
+        tiny = ExperimentScale(configs=1, duration=4.0, warmup=1.5)
+        store = ResultStore(path)
+        run_inrange_senders(testbed, tiny, store=store)
+        assert store.testbed_seed == testbed.seed
+        other = Testbed(seed=2)
+        with pytest.raises(ValueError):
+            run_inrange_senders(other, tiny, store=store)
+
+
+class TestMacRegistry:
+    def test_known_protocols(self):
+        assert callable(build_mac_factory("cmap"))
+        assert callable(build_mac_factory("dcf", {"carrier_sense": False}))
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError):
+            build_mac_factory("aloha")
+
+    def test_rate_ints_resolve(self, testbed):
+        spec = TrialSpec(
+            "rates", (0, 1), ((0, 1),),
+            MacSpec.of("cmap", data_rate=12, control_rate=6),
+            run_seed=0, duration=3.0, warmup=1.0,
+        )
+        result = run_trial(testbed, spec)
+        assert result.mbps(0, 1) >= 0.0
+
+    def test_coerce_raw_factory_is_serial_only(self):
+        from repro.network import cmap_factory
+
+        mac = coerce_mac(cmap_factory())
+        assert mac.inline is not None
+        assert callable(mac.build())
+        stripped = pickle.loads(pickle.dumps(mac))
+        with pytest.raises(ValueError):
+            stripped.build()
+
+    def test_inline_wraps_never_share_fingerprints(self):
+        # Sequentially created closures can reuse id()s after GC; the wrap
+        # serial must keep their fingerprints distinct so a ResultStore can
+        # never serve one inline experiment's results to another.
+        from repro.network import cmap_factory
+
+        def trial_for(mac):
+            return TrialSpec("x", (0, 1), ((0, 1),), mac, 0, 4.0, 1.0)
+
+        fingerprints = set()
+        for _ in range(4):
+            fingerprints.add(trial_for(coerce_mac(cmap_factory())).fingerprint())
+        assert len(fingerprints) == 4
+
+
+class TestScatterPointDefault:
+    def test_hear_probability_defaults_to_zero(self):
+        point = ScatterPoint(InterfererTriple(0, 1, 2, 3), 0.5, 1.0, 0.5)
+        assert point.hear_probability == 0.0  # no AttributeError before set
+        point.set_hear_probability(0.9, 0.8)
+        assert point.hear_probability == pytest.approx(0.7)
