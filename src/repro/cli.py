@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli census
     python -m repro.cli map --regions
     python -m repro.cli all --scale smoke
+    python -m repro.cli bench --scale smoke
+    python -m repro.cli bench --scale smoke --figures fig12,fig13 --out-dir bench
 
 Figures print the same rows/series the paper reports (see EXPERIMENTS.md
 for the side-by-side record). ``--scale`` trades fidelity for wall time;
@@ -20,12 +22,14 @@ trials to JSON so an interrupted sweep picks up where it left off.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict
 
+from repro import perf
 from repro.experiments import report
-from repro.experiments.executor import ResultStore, make_backend
+from repro.experiments.executor import ResultStore, SerialBackend, make_backend
 from repro.experiments.runners import (
     ExperimentScale,
     run_ap_topology,
@@ -130,6 +134,61 @@ def _figures() -> Dict[str, Callable]:
     }
 
 
+def run_bench(args, figures) -> int:
+    """Time figure regenerations and emit a BENCH_*.json trajectory point.
+
+    The benchmark always uses the serial backend: worker processes would
+    execute their events where the recorder cannot see them. Testbed
+    construction (including link classification) happens before timing, so
+    the reported events/sec reflects the event core rather than setup cost.
+    """
+    env_jobs = os.environ.get("REPRO_JOBS")
+    if (args.jobs and args.jobs > 1) or (env_jobs and env_jobs != "1"):
+        print("[bench ignores --jobs/REPRO_JOBS: worker processes execute "
+              "their events where the recorder cannot see them; running "
+              "serial]")
+    testbed = Testbed(seed=args.seed)
+    scale = _scale(args.scale)
+    backend = SerialBackend()
+    names = [f.strip() for f in args.figures.split(",") if f.strip()]
+    for name in names:
+        if name not in figures:
+            raise SystemExit(f"unknown figure {name!r}; pick from {sorted(figures)}")
+
+    results = []
+    for name in names:
+        print(f"=== bench {name} (scale={args.scale}, seed={args.seed}, "
+              f"best of {args.repeat}) ===")
+        bench = perf.bench_figure(
+            name,
+            lambda n=name: figures[n](testbed, scale, backend, None),
+            repeat=args.repeat,
+        )
+        print(f"  {bench.wall_seconds:.2f}s wall, {bench.events} events, "
+              f"{bench.events_per_sec:.0f} events/s, "
+              f"{bench.trials} trials ({bench.trials_per_sec:.2f}/s)")
+        results.append(bench)
+
+    baseline = perf.load_bench_file(args.baseline)
+    comparison = perf.bench_payload(results, args.scale, args.seed, baseline)
+    if args.write_baseline:
+        # A baseline must be a clean measurement: no embedded previous
+        # baseline, no speedup-vs-itself keys.
+        clean = perf.bench_payload(results, args.scale, args.seed)
+        path = perf.write_bench_file(
+            clean, os.path.dirname(args.baseline) or ".",
+            os.path.basename(args.baseline),
+        )
+    else:
+        path = perf.write_bench_file(comparison, args.out_dir)
+    print()
+    print(perf.format_bench_table(results, comparison.get("speedup_events_per_sec")))
+    if baseline is None and not args.write_baseline:
+        print(f"[no baseline at {args.baseline}; speedup column omitted]")
+    print(f"[wrote {path}]")
+    return 0
+
+
 def main(argv=None) -> int:
     figures = _figures()
     parser = argparse.ArgumentParser(
@@ -138,8 +197,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=sorted(figures) + ["census", "map", "all"],
-        help="figure to regenerate, or census/map/all",
+        choices=sorted(figures) + ["census", "map", "all", "bench"],
+        help="figure to regenerate, census/map/all, or bench",
     )
     parser.add_argument("--scale", default="smoke",
                         help="smoke | quick | paper (default smoke)")
@@ -154,7 +213,25 @@ def main(argv=None) -> int:
                         help="with --out: skip trials already in the file")
     parser.add_argument("--regions", action="store_true",
                         help="with 'map': draw the §5.6 region boundaries")
+    parser.add_argument("--figures", default="fig12",
+                        help="with 'bench': comma-separated figures to time "
+                             "(default fig12)")
+    parser.add_argument("--out-dir", default=".",
+                        help="with 'bench': directory for the emitted "
+                             "BENCH_*.json (default cwd)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="with 'bench': time each figure N times and "
+                             "report the fastest (default 1)")
+    parser.add_argument("--baseline", default=perf.DEFAULT_BASELINE,
+                        help="with 'bench': baseline BENCH file to compare "
+                             f"against (default {perf.DEFAULT_BASELINE})")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="with 'bench': (over)write the baseline file "
+                             "instead of a timestamped BENCH file")
     args = parser.parse_args(argv)
+
+    if args.target == "bench":
+        return run_bench(args, figures)
 
     testbed = Testbed(seed=args.seed)
 
@@ -182,8 +259,6 @@ def main(argv=None) -> int:
     backend = make_backend(args.jobs)
     store = None
     if args.out:
-        import os
-
         if not args.resume and os.path.exists(args.out):
             raise SystemExit(
                 f"{args.out} exists; pass --resume to continue it or remove it"

@@ -51,4 +51,6 @@ class LossBackoff:
         """A backoff duration uniform in [0, CW] (0 when CW is 0)."""
         if self.cw <= 0.0:
             return 0.0
-        return float(rng.uniform(0.0, self.cw))
+        # Bit-identical to rng.uniform(0.0, cw); see LatencyModel notes.
+        cw = self.cw
+        return float(0.0 + (cw - 0.0) * rng.random())

@@ -230,8 +230,9 @@ class CmapMac(MacBase):
             self.tracer.emit(self.sim.now, self.node_id, TraceKind.DEFER,
                              earliest_retry)
             jitter_lo, jitter_hi = self.params.deferwait_jitter
+            # Bit-identical decomposition of rng.uniform(lo, hi).
             wait = self.params.t_deferwait * float(
-                self.rng.uniform(jitter_lo, jitter_hi)
+                jitter_lo + (jitter_hi - jitter_lo) * self.rng.random()
             )
             self._state = _State.DEFER
             delay = max(0.0, earliest_retry - self.sim.now) + wait
@@ -450,7 +451,7 @@ class CmapMac(MacBase):
         if staged:
             payload = staged[0].size_bytes
         tau_min, tau_max = self.params.window_timeout_bounds(payload_bytes=payload)
-        tau = float(self.rng.uniform(tau_min, tau_max))
+        tau = float(tau_min + (tau_max - tau_min) * self.rng.random())
         self._window_timers[dst] = self.sim.schedule(
             tau, self._window_timeout, dst
         )
@@ -543,7 +544,7 @@ class CmapMac(MacBase):
         self._attribute_losses(frame.src, start, now, lost, expected, frame.rate.mbps)
         if frame.dst == self.node_id:
             delay = self.params.latency.ack_turnaround(self.rng)
-            self.sim.schedule(delay, self._send_ack, frame.src)
+            self.sim.schedule_call(delay, self._send_ack, (frame.src,))
 
     def _attribute_losses(
         self, src: int, start: float, end: float,

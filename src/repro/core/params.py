@@ -43,7 +43,9 @@ class LatencyProfile:
             lo, hi = self.slow_range
         else:
             lo, hi = self.fast_range
-        return float(rng.uniform(lo, hi))
+        # lo + (hi - lo) * random() is what Generator.uniform(lo, hi)
+        # computes internally — same stream, same bits, ~3x faster.
+        return float(lo + (hi - lo) * rng.random())
 
     def tx_turnaround(self, rng: np.random.Generator) -> float:
         """Sender-side MAC->PHY latency before a burst leaves the antenna.

@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """An application-layer packet handed to a MAC for delivery."""
 

@@ -79,6 +79,9 @@ class DcfMac(MacBase):
         self._ack_timer = None
         #: Post-TX backoff applies even after success (standard DCF).
         self._need_post_backoff = False
+        #: ack_timeout() is a pure function of the (fixed) params; computing
+        #: the ACK airtime once per MAC instead of once per data frame.
+        self._ack_timeout = self.params.ack_timeout()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -143,11 +146,14 @@ class DcfMac(MacBase):
             self._start_difs_when_idle()
 
     def _cancel_timers(self) -> None:
-        for ev_name in ("_difs_event", "_slot_event"):
-            ev = getattr(self, ev_name)
-            if ev is not None:
-                ev.cancel()
-                setattr(self, ev_name, None)
+        ev = self._difs_event
+        if ev is not None:
+            ev.cancel()
+            self._difs_event = None
+        ev = self._slot_event
+        if ev is not None:
+            ev.cancel()
+            self._slot_event = None
 
     # ------------------------------------------------------------------
     # Transmission
@@ -186,7 +192,7 @@ class DcfMac(MacBase):
         if wants_ack:
             self._state = _State.WAIT_ACK
             self._ack_timer = self.sim.schedule(
-                self.params.ack_timeout(), self._ack_timed_out
+                self._ack_timeout, self._ack_timed_out
             )
         else:
             self._packet_done(success=True)
@@ -246,7 +252,7 @@ class DcfMac(MacBase):
             acked_uid=data_frame.uid,
         )
         self.stats.acks_sent += 1
-        self.sim.schedule(self.params.sifs, self._transmit_ack, ack)
+        self.sim.schedule_call(self.params.sifs, self._transmit_ack, (ack,))
 
     def _transmit_ack(self, ack: DcfAckFrame) -> None:
         if self.radio.is_transmitting:

@@ -13,11 +13,13 @@ but saves event fan-out.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import perf
 from repro.core.cmap_mac import CmapMac
 from repro.core.params import CmapParams
 from repro.mac.base import MacBase
@@ -253,7 +255,18 @@ class Network:
         self.sink.measure_until = duration
         for node in self.nodes.values():
             node.start()
-        self.sim.run(until=duration)
+        recorder = perf.active_recorder()
+        if recorder is None:
+            self.sim.run(until=duration)
+        else:
+            events_before = self.sim.events_processed
+            t0 = time.perf_counter()
+            self.sim.run(until=duration)
+            recorder.add(
+                self.sim.events_processed - events_before,
+                duration,
+                time.perf_counter() - t0,
+            )
         return RunResult(
             sink=self.sink,
             measured_duration=duration - warmup,

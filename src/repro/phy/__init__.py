@@ -40,6 +40,12 @@ from repro.phy.frames import (
     DcfDataFrame,
     DcfAckFrame,
 )
+from repro.phy.fading import (
+    FadingModel,
+    GaussianBlockFading,
+    LosNlosMixtureFading,
+    NoFading,
+)
 from repro.phy.medium import Medium, Transmission
 from repro.phy.radio import Radio, RadioConfig, RadioState
 
@@ -73,6 +79,10 @@ __all__ = [
     "InterfererListFrame",
     "DcfDataFrame",
     "DcfAckFrame",
+    "FadingModel",
+    "NoFading",
+    "GaussianBlockFading",
+    "LosNlosMixtureFading",
     "Medium",
     "Transmission",
     "Radio",

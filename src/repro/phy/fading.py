@@ -49,6 +49,17 @@ class FadingModel:
         """One fade realisation (dB, added to mean RSS) for a frame a->b."""
         raise NotImplementedError
 
+    def pair_sampler(self, a: int, b: int, rng: np.random.Generator):
+        """A zero-arg ``sampler() -> fade_db`` closure for the pair's frames.
+
+        Radios cache one sampler per transmitter so the per-frame hot path
+        skips re-resolving the pair's fading class (and the generator's
+        method) on every arrival. The default wraps :meth:`draw_db`;
+        subclasses specialise. Samplers MUST consume ``rng`` exactly as
+        ``draw_db`` does, so cached and uncached paths stay bit-identical.
+        """
+        return lambda: self.draw_db(rng, a, b)
+
     def mean_prr(
         self,
         rss_dbm: float,
@@ -69,6 +80,9 @@ class NoFading(FadingModel):
     def draw_db(self, rng: np.random.Generator, a: int, b: int) -> float:
         return 0.0
 
+    def pair_sampler(self, a: int, b: int, rng: np.random.Generator):
+        return lambda: 0.0
+
     def mean_prr(self, rss_dbm, noise_dbm, rate, size_bytes, error_model, a, b):
         s = _sinr_db(rss_dbm, -400.0, noise_dbm)
         return error_model.frame_success(s, rate, size_bytes)
@@ -87,6 +101,16 @@ class GaussianBlockFading(FadingModel):
         if self.sigma_db == 0.0:
             return 0.0
         return float(rng.normal(0.0, self.sigma_db))
+
+    def pair_sampler(self, a: int, b: int, rng: np.random.Generator):
+        if self.sigma_db == 0.0:
+            return lambda: 0.0
+        sigma = self.sigma_db
+        std_normal = rng.standard_normal
+        # 0.0 + sigma * standard_normal() is what Generator.normal(0.0,
+        # sigma) computes internally — same stream, same bits, less argument
+        # processing.
+        return lambda: float(0.0 + sigma * std_normal())
 
     def mean_prr(self, rss_dbm, noise_dbm, rate, size_bytes, error_model, a, b):
         s = _sinr_db(rss_dbm, -400.0, noise_dbm)
@@ -141,6 +165,29 @@ class LosNlosMixtureFading(FadingModel):
         if gain <= 0.0:
             return _FADE_FLOOR_DB
         return max(_FADE_FLOOR_DB, 10.0 * math.log10(gain))
+
+    def pair_sampler(self, a: int, b: int, rng: np.random.Generator):
+        """Pair-specialised sampler: the LOS/NLOS class is quenched, so it
+        is resolved once here instead of on every frame arrival."""
+        if self.is_los(a, b):
+            if self.los_sigma_db == 0.0:
+                return lambda: 0.0
+            sigma = self.los_sigma_db
+            std_normal = rng.standard_normal
+            # Bit-identical to rng.normal(0.0, sigma); see GaussianBlockFading.
+            return lambda: float(0.0 + sigma * std_normal())
+        log10 = math.log10
+        # Generator.exponential(1.0) is 1.0 * standard_exponential(): the
+        # same stream and the same bits.
+        std_exp = rng.standard_exponential
+
+        def _nlos() -> float:
+            gain = float(std_exp())
+            if gain <= 0.0:
+                return _FADE_FLOOR_DB
+            return max(_FADE_FLOOR_DB, 10.0 * log10(gain))
+
+        return _nlos
 
     def mean_prr(self, rss_dbm, noise_dbm, rate, size_bytes, error_model, a, b):
         s = _sinr_db(rss_dbm, -400.0, noise_dbm)

@@ -46,7 +46,7 @@ class FrameKind(Enum):
     DCF_ACK = "dcf_ack"
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """Base class for everything that goes on the air.
 
@@ -67,7 +67,7 @@ class Frame:
         return self.dst == BROADCAST
 
 
-@dataclass
+@dataclass(slots=True)
 class DataFrame(Frame):
     """One CMAP data packet inside a virtual packet.
 
@@ -84,7 +84,7 @@ class DataFrame(Frame):
         self.kind = FrameKind.DATA
 
 
-@dataclass
+@dataclass(slots=True)
 class VpktHeaderFrame(Frame):
     """Virtual-packet header: announces an imminent burst.
 
@@ -103,7 +103,7 @@ class VpktHeaderFrame(Frame):
         self.size_bytes = CMAP_HEADER_TRAILER_BYTES + MAC_OVERHEAD_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class VpktTrailerFrame(Frame):
     """Virtual-packet trailer: marks the end of a burst.
 
@@ -120,7 +120,7 @@ class VpktTrailerFrame(Frame):
         self.size_bytes = CMAP_HEADER_TRAILER_BYTES + MAC_OVERHEAD_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class CmapAckFrame(Frame):
     """Cumulative windowed ACK (paper §3.3).
 
@@ -160,7 +160,7 @@ class InterfererListFrame(Frame):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class DcfDataFrame(Frame):
     """A conventional 802.11 data frame (baseline MACs)."""
 
@@ -172,7 +172,7 @@ class DcfDataFrame(Frame):
         self.kind = FrameKind.DCF_DATA
 
 
-@dataclass
+@dataclass(slots=True)
 class DcfAckFrame(Frame):
     """A conventional 802.11 ACK."""
 

@@ -6,40 +6,74 @@ Propagation delay at indoor scale (< 1 us over 100 m) is far below MAC
 timescales, so frames arrive at all receivers at the instant transmission
 starts; event priorities guarantee ends process before same-instant starts,
 which back-to-back virtual-packet frames rely on.
+
+Hot-path layout: per-transmitter fan-out tables — ``(radio, rss_dbm,
+rss_mw)`` for every receiver above ``min_power_dbm`` — are precomputed once
+when the radio set freezes (first transmission; any later ``attach``
+invalidates them), replacing the per-frame all-radios loop, RSS-matrix
+lookups, and dBm→mW conversions. Each frame schedules exactly two heap
+events: one delivering ``on_frame_start`` to every receiver in table order,
+one delivering every ``on_frame_end`` plus the transmitter's own completion.
+Batching is order-preserving — the per-receiver callbacks of one frame edge
+held consecutive sequence numbers at a single ``(time, priority)`` point, so
+no foreign event could ever interleave — and the batch credits
+``events_processed`` so the perf metric stays comparable (see
+:meth:`repro.sim.engine.Simulator.credit_events`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.phy.frames import Frame
 from repro.phy.modulation import Phy80211a
 from repro.phy.propagation import RssMatrix
-from repro.sim.engine import Priority, Simulator
+from repro.sim.engine import Simulator
+from repro.util.units import dbm_to_mw
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.phy.radio import Radio
 
 
-@dataclass
 class Transmission:
-    """One frame in flight."""
+    """One frame in flight (hand-rolled slots class; one per frame on air)."""
 
-    frame: Frame
-    tx_node: int
-    start: float
-    end: float
-    #: Set by the medium for stats/debugging.
-    seq: int = field(default=0)
+    __slots__ = ("frame", "tx_node", "start", "end", "seq", "uid")
 
-    @property
-    def uid(self) -> int:
-        return self.frame.uid
+    def __init__(
+        self,
+        frame: Frame,
+        tx_node: int,
+        start: float,
+        end: float,
+        seq: int = 0,
+    ):
+        self.frame = frame
+        self.tx_node = tx_node
+        self.start = start
+        self.end = end
+        #: Set by the medium for stats/debugging.
+        self.seq = seq
+        #: Copy of ``frame.uid`` (a real field — saves a hop on the hot path).
+        self.uid = frame.uid
 
     @property
     def airtime(self) -> float:
         return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Transmission(uid={self.uid}, tx_node={self.tx_node}, "
+            f"start={self.start:.9f}, end={self.end:.9f})"
+        )
+
+
+#: Per-transmitter fan-out: two parallel tables over the same receivers —
+#: (on_frame_start, rss_dbm, rss_mw) entries and (on_frame_end, rss_dbm)
+#: entries, in attach order.
+StartEntry = Tuple[Callable, float, float]
+EndEntry = Tuple[Callable, float]
+Fanout = Tuple[Tuple[StartEntry, ...], Tuple[EndEntry, ...]]
 
 
 class Medium:
@@ -50,6 +84,8 @@ class Medium:
         rss: precomputed pairwise received signal strengths.
         min_power_dbm: arrivals weaker than this are dropped entirely
             (≈ 12 dB below the default noise floor — negligible interference).
+            Changing it (or ``rss``) after the first transmission has no
+            effect on the frozen fan-out tables; reconfigure before running.
     """
 
     def __init__(
@@ -65,6 +101,10 @@ class Medium:
         self.phy = phy
         self._radios: Dict[int, "Radio"] = {}
         self._tx_seq = 0
+        #: Frozen per-transmitter receiver tables; rebuilt after any attach.
+        self._fanout: Optional[Dict[int, Fanout]] = None
+        #: Airtime memo keyed by the values that determine it.
+        self._airtimes: Dict[Tuple[int, int, int], float] = {}
         #: Currently in-flight transmissions, keyed by frame uid.
         self.active: Dict[int, Transmission] = {}
         #: Total frames ever put on the air (stats).
@@ -79,10 +119,42 @@ class Medium:
             raise ValueError(f"radio for node {radio.node_id} already attached")
         self._radios[radio.node_id] = radio
         radio.medium = self
+        self._fanout = None  # radio set changed; rebuild at next transmit
 
     def airtime(self, frame: Frame) -> float:
         """On-air duration of ``frame``."""
-        return self.phy.airtime(frame.size_bytes, frame.rate)
+        rate = frame.rate
+        key = (frame.size_bytes, rate.mbps, rate.bits_per_symbol)
+        cached = self._airtimes.get(key)
+        if cached is None:
+            cached = self._airtimes[key] = self.phy.airtime(
+                frame.size_bytes, rate
+            )
+        return cached
+
+    def _build_fanout(self) -> Dict[int, Fanout]:
+        """Precompute, for every transmitter, its above-cutoff receivers.
+
+        Tables preserve attach order, so receiver callbacks run in exactly
+        the order the per-frame all-radios loop produced.
+        """
+        get_rss = self.rss.get
+        cutoff = self.min_power_dbm
+        tables: Dict[int, Fanout] = {}
+        for tx_id in self._radios:
+            starts: List[StartEntry] = []
+            ends: List[EndEntry] = []
+            for node_id, rx_radio in self._radios.items():
+                if node_id == tx_id:
+                    continue
+                rss = get_rss(tx_id, node_id)
+                if rss is None or rss < cutoff:
+                    continue
+                starts.append((rx_radio.on_frame_start, rss, dbm_to_mw(rss)))
+                ends.append((rx_radio.on_frame_end, rss))
+            tables[tx_id] = (tuple(starts), tuple(ends))
+        self._fanout = tables
+        return tables
 
     def transmit(self, radio: "Radio", frame: Frame) -> Transmission:
         """Put ``frame`` on the air from ``radio``; returns the transmission.
@@ -90,7 +162,8 @@ class Medium:
         Fan-out and the transmitter's own end-of-tx callback are scheduled
         here; receiver-side physics live in :class:`repro.phy.radio.Radio`.
         """
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         airtime = self.airtime(frame)
         tx = Transmission(frame, radio.node_id, now, now + airtime, self._tx_seq)
         self._tx_seq += 1
@@ -99,35 +172,53 @@ class Medium:
         if self.tx_log is not None:
             self.tx_log.append((radio.node_id, now, now + airtime))
 
-        for node_id, rx_radio in self._radios.items():
-            if node_id == radio.node_id:
-                continue
-            rss = self.rss.get(radio.node_id, node_id)
-            if rss is None or rss < self.min_power_dbm:
-                continue
-            self.sim.schedule(
-                0.0,
-                rx_radio.on_frame_start,
-                tx,
-                rss,
-                priority=Priority.FRAME_START,
-            )
-            self.sim.schedule(
-                airtime,
-                rx_radio.on_frame_end,
-                tx,
-                rss,
-                priority=Priority.FRAME_END,
-            )
-
-        self.sim.schedule(
-            airtime, self._finish_transmission, radio, tx, priority=Priority.FRAME_END
+        fanout = self._fanout
+        if fanout is None:
+            fanout = self._build_fanout()
+        starts, ends = fanout[radio.node_id]
+        start_fn = None
+        if starts:
+            if not sim.pending_at_now():
+                # No event is pending at this instant, so nothing could have
+                # run between this transmit and its start batch: deliver the
+                # starts inline instead of round-tripping through the heap.
+                # Safe because start callbacks never schedule events, create
+                # frames, or touch state outside their own radio/MAC (the
+                # same invariant the batched start event relies on). The
+                # begin/end pair enforces the scheduling part loudly: the
+                # armed engine guard rejects any same-instant
+                # sub-FRAME_START schedule until sim-time advances
+                # (including by the transmitting MAC after transmit()
+                # returns), and the heap-depth check rejects future-time
+                # schedules from inside the callbacks.
+                token = sim.begin_inline_fanout()
+                for on_start, rss_dbm, rss_mw in starts:
+                    on_start(tx, rss_dbm, rss_mw)
+                sim.end_inline_fanout(token, len(starts))
+            else:
+                start_fn = self._deliver_starts
+        sim.schedule_fanout(
+            airtime,
+            start_fn,
+            (tx, starts),
+            self._deliver_ends,
+            (radio, tx, ends),
         )
         return tx
 
-    def _finish_transmission(self, radio: "Radio", tx: Transmission) -> None:
+    def _deliver_starts(self, tx: Transmission, starts: Tuple[StartEntry, ...]) -> None:
+        for on_start, rss_dbm, rss_mw in starts:
+            on_start(tx, rss_dbm, rss_mw)
+        self.sim.credit_events(len(starts) - 1)
+
+    def _deliver_ends(
+        self, radio: "Radio", tx: Transmission, ends: Tuple[EndEntry, ...]
+    ) -> None:
+        for on_end, rss_dbm in ends:
+            on_end(tx, rss_dbm)
         self.active.pop(tx.uid, None)
         radio.on_own_tx_end(tx)
+        self.sim.credit_events(len(ends))
 
     def active_transmissions(self) -> List[Transmission]:
         """Snapshot of in-flight transmissions (tests, stats)."""

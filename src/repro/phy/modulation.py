@@ -124,6 +124,15 @@ class ErrorModel:
         """Probability an entire frame at constant SINR decodes."""
         return self.chunk_success(sinr_db, rate, 8.0 * size_bytes)
 
+    def chunk_fn(self, rate: Rate):
+        """A ``fn(sinr_db, bits) -> p`` closure specialised to ``rate``.
+
+        The reception scorer caches one closure per (model, rate) so the
+        per-interval hot path skips re-resolving rate parameters. Must be
+        bit-identical to :meth:`chunk_success`; the default simply wraps it.
+        """
+        return lambda sinr_db, bits: self.chunk_success(sinr_db, rate, bits)
+
 
 class NistErrorModel(ErrorModel):
     """Smooth erfc-shaped waterfall calibrated per rate.
@@ -144,6 +153,37 @@ class NistErrorModel(ErrorModel):
         # erfc explodes to 2.0 for very negative x; clamp to the BER ceiling.
         ber = 0.5 * math.erfc(x)
         return min(ber, 0.5)
+
+    def chunk_success(self, sinr_db: float, rate: Rate, bits: float) -> float:
+        """Fused ``ber`` + chunk scoring (hot path).
+
+        Bit-identical to ``ErrorModel.chunk_success(self.ber(...))``: the
+        same erfc/clamp arithmetic, the same branch outcomes, one call.
+        """
+        x = self.steepness_per_db * (sinr_db - rate.sinr50_1400_db) + _X50_1400B
+        ber = 0.5 * math.erfc(x)
+        if ber >= 0.5:
+            return 0.0 if bits > 0 else 1.0
+        if ber <= 0.0:
+            return 1.0
+        return math.exp(bits * math.log1p(-ber))
+
+    def chunk_fn(self, rate: Rate):
+        """Rate-specialised fused chunk scorer (same arithmetic, bound
+        constants, no per-call attribute resolution)."""
+        steepness = self.steepness_per_db
+        sinr50 = rate.sinr50_1400_db
+        erfc, log1p, exp = math.erfc, math.log1p, math.exp
+
+        def _chunk(sinr_db: float, bits: float) -> float:
+            ber = 0.5 * erfc(steepness * (sinr_db - sinr50) + _X50_1400B)
+            if ber >= 0.5:
+                return 0.0 if bits > 0 else 1.0
+            if ber <= 0.0:
+                return 1.0
+            return exp(bits * log1p(-ber))
+
+        return _chunk
 
 
 class SinrThresholdErrorModel(ErrorModel):

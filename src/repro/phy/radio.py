@@ -18,20 +18,28 @@ Carrier sense is preamble-style (paper footnote 1): the channel is busy iff
 some in-flight frame's RSS is at or above ``cs_threshold_dbm`` or the radio
 itself is transmitting. Busy/idle edges are reported to the MAC for DCF
 backoff freezing.
+
+Aggregate interference is cached behind an arrivals-version counter: any
+mutation of the arrival set bumps the version, and a stale cache is rebuilt
+with the exact insertion-order summation loop (never incremental adds or
+subtracts), so float rounding — and the golden-float experiment outputs —
+cannot drift.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional, Tuple, TYPE_CHECKING
+from math import log10 as _log10
+from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 
+from repro.phy.fading import FadingModel
 from repro.phy.frames import Frame
 from repro.phy.modulation import ErrorModel, NistErrorModel
 from repro.phy.reception import Reception
-from repro.util.units import dbm_to_mw, linear_to_db
+from repro.util.units import dbm_to_mw
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.phy.medium import Medium, Transmission
@@ -72,7 +80,7 @@ class RadioConfig:
     #: Per-frame small-scale fading model (None = static channel). This is
     #: what produces intermediate-quality links and the long tail of weak
     #: ones in the testbed census (§5.1).
-    fading: Optional[object] = None
+    fading: Optional[FadingModel] = None
     error_model: ErrorModel = field(default_factory=NistErrorModel)
 
 
@@ -114,10 +122,19 @@ class Radio:
         self._state = RadioState.IDLE
         self._current_tx: Optional["Transmission"] = None
         self._sync: Optional[Reception] = None
-        #: All in-flight arrivals above the medium cutoff: uid -> (tx, rss_mw).
-        self._arrivals: Dict[int, Tuple["Transmission", float]] = {}
+        #: In-flight arrivals above the medium cutoff: uid -> rss_mw.
+        self._arrivals: Dict[int, float] = {}
         #: uids of arrivals at/above the carrier-sense threshold.
         self._sensed: set = set()
+        #: Bumped on every arrival-set mutation; stale caches are discarded.
+        self._arrivals_version = 0
+        #: excluding_uid -> aggregate mW, valid only at _cache_version.
+        self._interference_cache: Dict[Optional[int], float] = {}
+        self._cache_version = -1
+        #: tx_node -> pair-specialised fade sampler (see FadingModel); the
+        #: model the samplers came from, so a swapped model resets them.
+        self._fade_samplers: Dict[int, Callable] = {}
+        self._sampler_model: Optional[FadingModel] = None
 
     # ------------------------------------------------------------------
     # State queries
@@ -132,14 +149,36 @@ class Radio:
 
     def is_channel_busy(self) -> bool:
         """Preamble-detect carrier sense: TX in progress or a sensed frame."""
-        return self.is_transmitting or bool(self._sensed)
+        return self._state is RadioState.TX or bool(self._sensed)
 
     def interference_mw(self, excluding_uid: Optional[int] = None) -> float:
-        """Aggregate received power from in-flight frames, in milliwatts."""
+        """Aggregate received power from in-flight frames, in milliwatts.
+
+        Cached per ``(arrivals version, excluding_uid)``. A miss re-sums the
+        arrival set in insertion order — the identical loop the uncached
+        implementation ran — so the cached value is bit-identical to a fresh
+        computation.
+        """
+        arrivals = self._arrivals
+        n = len(arrivals)
+        if n == 0:
+            return 0.0
+        if n == 1:
+            # Degenerate re-sum: one term or none (no cache bookkeeping).
+            for uid, rss_mw in arrivals.items():
+                return 0.0 if uid == excluding_uid else 0.0 + rss_mw
+        version = self._arrivals_version
+        cache = self._interference_cache
+        if self._cache_version != version:
+            cache.clear()
+            self._cache_version = version
+        elif excluding_uid in cache:
+            return cache[excluding_uid]
         total = 0.0
-        for uid, (_, rss_mw) in self._arrivals.items():
+        for uid, rss_mw in arrivals.items():
             if uid != excluding_uid:
                 total += rss_mw
+        cache[excluding_uid] = total
         return total
 
     # ------------------------------------------------------------------
@@ -149,7 +188,7 @@ class Radio:
         """Start transmitting ``frame``; half-duplex, so any reception dies."""
         if self.medium is None:
             raise RuntimeError("radio not attached to a medium")
-        if self.is_transmitting:
+        if self._state is RadioState.TX:
             raise RuntimeError(
                 f"node {self.node_id} asked to transmit while already transmitting"
             )
@@ -174,83 +213,142 @@ class Radio:
     # ------------------------------------------------------------------
     # Receive path (medium callbacks)
     # ------------------------------------------------------------------
-    def on_frame_start(self, tx: "Transmission", rss_dbm: float) -> None:
-        if self.config.fading is not None:
-            rss_dbm += self.config.fading.draw_db(
-                self.rng, tx.tx_node, self.node_id
-            )
-        rss_mw = dbm_to_mw(rss_dbm)
-        was_busy = self.is_channel_busy()
-        self._arrivals[tx.uid] = (tx, rss_mw)
-        if rss_dbm >= self.config.cs_threshold_dbm:
-            self._sensed.add(tx.uid)
+    def on_frame_start(
+        self,
+        tx: "Transmission",
+        rss_dbm: float,
+        rss_mw: Optional[float] = None,
+    ) -> None:
+        """Medium callback: a frame's first bit arrived.
 
-        if self.is_transmitting:
+        ``rss_mw`` is the fan-out table's precomputed conversion of
+        ``rss_dbm``; with fading active the faded RSS is converted here
+        instead.
+        """
+        config = self.config
+        fading = config.fading
+        if fading is not None:
+            if fading is not self._sampler_model:
+                self._fade_samplers = {}
+                self._sampler_model = fading
+            tx_node = tx.tx_node
+            sampler = self._fade_samplers.get(tx_node)
+            if sampler is None:
+                sampler = self._fade_samplers[tx_node] = fading.pair_sampler(
+                    tx_node, self.node_id, self.rng
+                )
+            rss_dbm = rss_dbm + sampler()
+            rss_mw = 10.0 ** (rss_dbm / 10.0)  # == dbm_to_mw(rss_dbm)
+        elif rss_mw is None:
+            rss_mw = 10.0 ** (rss_dbm / 10.0)
+        uid = tx.uid
+        sensed = self._sensed
+        state = self._state
+        was_busy = state is RadioState.TX or bool(sensed)
+        sync = self._sync
+
+        # Pre-insertion aggregate for the branches that need "everything
+        # but the new frame": summed before insertion == summed after,
+        # excluding the new (last-inserted) uid — identical terms,
+        # identical order.
+        prior = None
+        if state is not RadioState.TX:
+            if sync is not None:
+                if config.mim_capture and rss_dbm >= config.sensitivity_dbm:
+                    prior = self.interference_mw()  # MIM precheck passed
+            elif rss_dbm >= config.sensitivity_dbm:
+                prior = self.interference_mw()  # idle-radio sync attempt
+
+        # The single arrival-insertion point (version bump invalidates the
+        # interference cache; keep the three statements together).
+        self._arrivals[uid] = rss_mw
+        self._arrivals_version += 1
+        if rss_dbm >= config.cs_threshold_dbm:
+            sensed.add(uid)
+
+        if state is RadioState.TX:
             # Deaf while transmitting; the frame still adds to the arrival
-            # set so it is counted as interference after our TX ends.
+            # set so it is counted as interference after our TX ends. The
+            # channel was already busy (own TX), so no busy edge can fire.
             self.stats.sync_missed_busy_tx += 1
-        elif self._sync is not None:
-            if self._mim_capture_attempt(tx, rss_dbm, rss_mw):
+            return
+        if sync is not None:
+            if prior is not None and self._mim_capture_attempt(
+                tx, rss_dbm, rss_mw, prior
+            ):
                 return
-            self._sync.interference_changed(
-                self.sim.now, self.interference_mw(self._sync.frame.uid), tx.uid
+            sync.interference_changed(
+                self.sim.now,
+                self.interference_mw(sync.transmission.frame.uid),
+                uid,
             )
             self.stats.sync_missed_busy_rx += 1
+        elif rss_dbm < config.sensitivity_dbm:
+            self.stats.sync_missed_weak += 1
         else:
-            self._try_sync(tx, rss_dbm, rss_mw)
+            # Inline sync attempt (the hot idle-radio path).
+            ratio = rss_mw / (prior + self._noise_mw)
+            preamble_sinr = 10.0 * _log10(ratio) if ratio > 0.0 else -400.0
+            if preamble_sinr < config.capture_sinr_db:
+                self.stats.sync_missed_capture += 1
+            else:
+                self._sync = Reception(
+                    tx, rss_dbm, self.sim.now, tx.end, prior
+                )
+                self._state = RadioState.RX
 
-        if not was_busy and self.is_channel_busy() and self.mac is not None:
+        if not was_busy and sensed and self.mac is not None:
             self.mac.on_channel_busy()
 
     def _mim_capture_attempt(
-        self, tx: "Transmission", rss_dbm: float, rss_mw: float
+        self, tx: "Transmission", rss_dbm: float, rss_mw: float, interference: float
     ) -> bool:
-        """Try restarting reception onto a much stronger late arrival."""
+        """Try restarting reception onto a much stronger late arrival.
+
+        ``interference`` is everything else on the air — including the
+        currently-synced frame — which counts against the newcomer's
+        preamble (the caller already has the sum in hand; it also performed
+        the mim_capture/sensitivity precheck).
+        """
         cfg = self.config
-        if not cfg.mim_capture or rss_dbm < cfg.sensitivity_dbm:
-            return False
-        # Everything else on the air — including the currently-synced frame —
-        # counts as interference for the newcomer's preamble.
-        interference = self.interference_mw(tx.uid)
-        preamble_sinr = linear_to_db(rss_mw / (interference + self._noise_mw))
+        ratio = rss_mw / (interference + self._noise_mw)
+        # Inlined linear_to_db (identical arithmetic and floor).
+        preamble_sinr = 10.0 * _log10(ratio) if ratio > 0.0 else -400.0
         if preamble_sinr < cfg.capture_sinr_db + cfg.mim_extra_db:
             return False
         self.stats.rx_mim_captures += 1
         self._sync = Reception(tx, rss_dbm, self.sim.now, tx.end, interference)
         return True
 
-    def _try_sync(self, tx: "Transmission", rss_dbm: float, rss_mw: float) -> None:
-        if rss_dbm < self.config.sensitivity_dbm:
-            self.stats.sync_missed_weak += 1
-            return
-        interference = self.interference_mw(tx.uid)
-        preamble_sinr = linear_to_db(rss_mw / (interference + self._noise_mw))
-        if preamble_sinr < self.config.capture_sinr_db:
-            self.stats.sync_missed_capture += 1
-            return
-        self._sync = Reception(tx, rss_dbm, self.sim.now, tx.end, interference)
-        self._state = RadioState.RX
-
     def on_frame_end(self, tx: "Transmission", rss_dbm: float) -> None:
-        self._arrivals.pop(tx.uid, None)
-        was_busy = self.is_channel_busy()
-        self._sensed.discard(tx.uid)
+        uid = tx.uid
+        if self._arrivals.pop(uid, None) is not None:
+            self._arrivals_version += 1
+        sensed = self._sensed
+        was_busy = self._state is RadioState.TX or bool(sensed)
+        sensed.discard(uid)
 
-        if self._sync is not None:
-            if self._sync.transmission is tx:
+        sync = self._sync
+        if sync is not None:
+            if sync.transmission is tx:
                 self._finalize_reception(rss_dbm)
             else:
-                self._sync.interference_changed(
-                    self.sim.now, self.interference_mw(self._sync.frame.uid)
+                sync.interference_changed(
+                    self.sim.now,
+                    self.interference_mw(sync.transmission.frame.uid),
                 )
 
-        if was_busy and not self.is_channel_busy() and self.mac is not None:
+        if (
+            was_busy
+            and self.mac is not None
+            and not (sensed or self._state is RadioState.TX)
+        ):
             self.mac.on_channel_idle()
 
     def _finalize_reception(self, rss_dbm: float) -> None:
         reception = self._sync
         self._sync = None
-        if not self.is_transmitting:
+        if self._state is not RadioState.TX:
             self._state = RadioState.IDLE
         prob = reception.success_probability(
             self.config.error_model, self._noise_mw
@@ -261,4 +359,4 @@ class Radio:
         else:
             self.stats.delivered_corrupt += 1
         if self.mac is not None:
-            self.mac.on_frame_received(reception.frame, ok, reception)
+            self.mac.on_frame_received(reception.transmission.frame, ok, reception)

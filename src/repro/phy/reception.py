@@ -8,17 +8,28 @@ product is the delivery probability. This interval model is what makes
 *partial* collisions behave correctly: a data frame clobbered halfway through
 dies, while the short header/trailer frames around it usually survive —
 the enabling observation of the conflict map (paper Fig. 5).
+
+Scoring memoises per-chunk results on the error model, keyed by the exact
+``(signal/(interference+noise) ratio, rate, bits)`` triple, so repeated
+identical-interference intervals skip the ``linear_to_db``/``chunk_success``
+transcendentals. The memo maps equal inputs to the value the direct
+computation produces, so scores are bit-identical with or without it.
 """
 
 from __future__ import annotations
 
+from math import log10 as _log10
 from typing import List, Optional, Tuple, TYPE_CHECKING
 
-from repro.util.units import dbm_to_mw, linear_to_db
+from repro.util.units import linear_to_db
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.phy.medium import Transmission
     from repro.phy.modulation import ErrorModel
+
+#: Per-error-model chunk memo entries before the memo is reset. Fading makes
+#: keys near-unique, so the bound mostly caps memory on static channels.
+_CHUNK_MEMO_MAX = 4096
 
 
 class Reception:
@@ -47,7 +58,7 @@ class Reception:
         self.rss_dbm = rss_dbm
         self.start = start
         self.end = end
-        self._signal_mw = dbm_to_mw(rss_dbm)
+        self._signal_mw = 10.0 ** (rss_dbm / 10.0)  # == dbm_to_mw(rss_dbm)
         #: (time, interference_mw) change-points; first entry is the start.
         self._changes: List[Tuple[float, float]] = [
             (start, initial_interference_mw)
@@ -69,40 +80,71 @@ class Reception:
             self.interfered = True
         if interferer_uid is not None:
             self.interferer_uids.add(interferer_uid)
-        last_t, last_i = self._changes[-1]
-        if now == last_t:
+        changes = self._changes
+        if now == changes[-1][0]:
             # Coalesce same-instant changes (e.g. two frames ending together).
-            self._changes[-1] = (now, interference_mw)
+            changes[-1] = (now, interference_mw)
         else:
-            self._changes.append((now, interference_mw))
+            changes.append((now, interference_mw))
 
     def success_probability(self, error_model: "ErrorModel", noise_mw: float) -> float:
         """Delivery probability over the recorded interference history."""
-        frame = self.frame
+        frame = self.transmission.frame
         total_bits = 8.0 * frame.size_bytes
         duration = self.end - self.start
         if duration <= 0.0:
             return 1.0
         bits_per_second = total_bits / duration
+        rate = frame.rate
+        # Per-(model, rate) scorer cache: a rate-specialised chunk closure
+        # plus the interval memo. Both are pure value caches, so scores are
+        # bit-identical with or without them.
+        by_rate = error_model.__dict__.get("_chunk_cache")
+        if by_rate is None:
+            by_rate = error_model._chunk_cache = {}
+        # Keyed by id(rate): cheaper than hashing the Rate dataclass, and
+        # safe because the entry holds a reference that pins the id.
+        entry = by_rate.get(id(rate))
+        if entry is None:
+            entry = by_rate[id(rate)] = (error_model.chunk_fn(rate), {}, rate)
+        chunk, memo = entry[0], entry[1]
+        signal_mw = self._signal_mw
+        changes = self._changes
+        n = len(changes)
+        if n == 1:
+            # Overwhelmingly common: constant interference over the whole
+            # frame — one chunk, no memo machinery. The inlined dB
+            # conversion matches linear_to_db (including the <= 0 floor).
+            ratio = signal_mw / (changes[0][1] + noise_mw)
+            sinr = 10.0 * _log10(ratio) if ratio > 0.0 else -400.0
+            return chunk(sinr, bits_per_second * duration)
         prob = 1.0
-        for idx, (t, interference_mw) in enumerate(self._changes):
-            t_next = (
-                self._changes[idx + 1][0] if idx + 1 < len(self._changes) else self.end
-            )
+        for idx in range(n):
+            t, interference_mw = changes[idx]
+            t_next = changes[idx + 1][0] if idx + 1 < n else self.end
             seg = t_next - t
             if seg <= 0.0:
                 continue
-            sinr = linear_to_db(self._signal_mw / (interference_mw + noise_mw))
-            prob *= error_model.chunk_success(
-                sinr, frame.rate, bits_per_second * seg
-            )
+            ratio = signal_mw / (interference_mw + noise_mw)
+            bits = bits_per_second * seg
+            key = (ratio, bits)
+            p = memo.get(key)
+            if p is None:
+                sinr = 10.0 * _log10(ratio) if ratio > 0.0 else -400.0
+                p = chunk(sinr, bits)
+                if len(memo) >= _CHUNK_MEMO_MAX:
+                    memo.clear()
+                memo[key] = p
+            prob *= p
             if prob == 0.0:
                 break
         return prob
 
     def min_sinr_db(self, noise_mw: float) -> float:
-        """Worst-case SINR seen during the reception (for stats/tests)."""
-        worst = min(i for _, i in self._changes)
-        best_interf = max(i for _, i in self._changes)
-        del worst  # documented intent: use max interference => min SINR
-        return linear_to_db(self._signal_mw / (best_interf + noise_mw))
+        """Worst-case SINR seen during the reception (for stats/tests).
+
+        Minimum SINR corresponds to the *maximum* interference level any
+        recorded interval saw.
+        """
+        peak_interference = max(i for _, i in self._changes)
+        return linear_to_db(self._signal_mw / (peak_interference + noise_mw))

@@ -5,6 +5,24 @@ or relative simulated time and may cancel the returned :class:`Event`. Ties
 are broken by an explicit priority, then by scheduling order, which gives the
 deterministic "end-of-frame before start-of-frame" semantics the radio model
 relies on for back-to-back virtual-packet frames.
+
+Hot-path notes (every CMAP figure is millions of events, so this file is
+deliberately tuned):
+
+* The heap stores ``(time, priority, seq, event, fn, args)`` tuples so
+  ``heapq`` compares at C speed without calling back into Python; ``seq``
+  is unique, so comparison never reaches the trailing elements.
+* :meth:`Simulator.schedule_call` skips the :class:`Event` allocation for
+  callbacks that are never cancelled (the medium's per-frame fan-out), while
+  :meth:`schedule` still returns a cancellable handle.
+* ``schedule`` builds and pushes its entry directly instead of delegating to
+  ``schedule_at``, and ``run`` inlines the pop loop instead of calling
+  ``step`` per event.
+* A live-event counter makes :meth:`pending_count` O(1): pushes increment
+  it, and exactly one of ``Event.cancel`` or event execution decrements it.
+
+None of this changes scheduling order: the heap key is the same
+``(time, priority, seq)`` triple as before, assigned in the same order.
 """
 
 from __future__ import annotations
@@ -12,7 +30,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from enum import IntEnum
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class Priority(IntEnum):
@@ -32,7 +50,7 @@ class Priority(IntEnum):
 class Event:
     """A scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -41,6 +59,7 @@ class Event:
         seq: int,
         fn: Callable[..., None],
         args: tuple,
+        sim: Optional["Simulator"] = None,
     ):
         self.time = time
         self.priority = priority
@@ -48,21 +67,33 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: Back-reference for O(1) live-event accounting; cleared when the
+        #: event fires or is cancelled so neither path double-counts.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
+        sim = self._sim
+        if sim is not None:
+            sim._live -= 1
+            self._sim = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
         return f"Event(t={self.time:.9f}, prio={self.priority}, {state}, fn={self.fn!r})"
+
+
+#: Heap entry layout: (time, priority, seq, event-or-None, fn, args). The
+#: event slot is None for uncancellable schedule_call entries.
+_Entry = Tuple[float, int, int, Optional[Event], Callable[..., None], tuple]
+
+#: Plain-int copies of the fan-out priorities (avoids enum attribute lookups
+#: on the per-frame path; compare equal to their Priority counterparts).
+_PRIO_START = int(Priority.FRAME_START)
+_PRIO_END = int(Priority.FRAME_END)
 
 
 class Simulator:
@@ -79,9 +110,16 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[_Entry] = []
         self._seq = itertools.count()
+        self._next_seq = self._seq.__next__
         self._events_processed = 0
+        self._live = 0
+        #: While sim-time equals this value, scheduling at the current
+        #: instant with priority below FRAME_START raises: the medium has
+        #: already delivered this instant's frame-start batch inline, and
+        #: such an event would have run before it in the heap layout.
+        self._inline_guard_time = -1.0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -96,7 +134,18 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args, priority=priority)
+        time = self.now + delay
+        if time == self._inline_guard_time and priority < Priority.FRAME_START:
+            raise RuntimeError(
+                "same-instant event scheduled below FRAME_START priority "
+                "after an inline fan-out delivery at this instant; this "
+                "would break deterministic event ordering"
+            )
+        seq = self._next_seq()
+        event = Event(time, priority, seq, fn, args, self)
+        heapq.heappush(self._heap, (time, priority, seq, event, fn, args))
+        self._live += 1
+        return event
 
     def schedule_at(
         self,
@@ -110,22 +159,94 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
-        event = Event(time, priority, next(self._seq), fn, args)
-        heapq.heappush(self._heap, event)
+        if time == self._inline_guard_time and priority < Priority.FRAME_START:
+            raise RuntimeError(
+                "same-instant event scheduled below FRAME_START priority "
+                "after an inline fan-out delivery at this instant; this "
+                "would break deterministic event ordering"
+            )
+        seq = self._next_seq()
+        event = Event(time, priority, seq, fn, args, self)
+        heapq.heappush(self._heap, (time, priority, seq, event, fn, args))
+        self._live += 1
         return event
+
+    def schedule_call(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        args: tuple = (),
+        priority: int = Priority.NORMAL,
+    ) -> None:
+        """Fast-path schedule with no cancellation handle.
+
+        Identical ordering semantics to :meth:`schedule`, but no
+        :class:`Event` is allocated, so the callback cannot be cancelled.
+        Used by the medium's per-frame fan-out, which never cancels.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        time = self.now + delay
+        if time == self._inline_guard_time and priority < Priority.FRAME_START:
+            raise RuntimeError(
+                "same-instant event scheduled below FRAME_START priority "
+                "after an inline fan-out delivery at this instant; this "
+                "would break deterministic event ordering"
+            )
+        seq = self._next_seq()
+        heapq.heappush(
+            self._heap, (time, priority, seq, None, fn, args)
+        )
+        self._live += 1
+
+    def schedule_fanout(
+        self,
+        end_delay: float,
+        start_fn: Optional[Callable[..., None]],
+        start_args: tuple,
+        end_fn: Callable[..., None],
+        end_args: tuple,
+    ) -> None:
+        """Schedule one frame's two fan-out events in a single call.
+
+        ``start_fn(*start_args)`` runs now at FRAME_START priority (skipped
+        when ``start_fn`` is None — a frame with no receivers), and
+        ``end_fn(*end_args)`` runs ``end_delay`` seconds later at FRAME_END
+        priority. Sequence numbers are assigned start-then-end, exactly as
+        two consecutive ``schedule`` calls would. Neither event is
+        cancellable.
+        """
+        now = self.now
+        next_seq = self._next_seq
+        heap = self._heap
+        push = heapq.heappush
+        if start_fn is not None:
+            push(heap, (now, _PRIO_START, next_seq(), None, start_fn, start_args))
+            self._live += 2
+        else:
+            self._live += 1
+        push(
+            heap,
+            (now + end_delay, _PRIO_END, next_seq(), None, end_fn, end_args),
+        )
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the single next pending event. Returns False when drained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            event = entry[3]
+            if event is not None:
+                if event.cancelled:
+                    continue
+                event._sim = None
+            self.now = entry[0]
             self._events_processed += 1
-            event.fn(*event.args)
+            self._live -= 1
+            entry[4](*entry[5])
             return True
         return False
 
@@ -136,31 +257,114 @@ class Simulator:
         even if the queue drained earlier, so measurement windows are
         well-defined.
         """
+        heap = self._heap
+        pop = heapq.heappop
+        # The per-event counter increments are batched into a local and
+        # written back on exit; callbacks that credit batched deliveries
+        # add to the attribute directly, which commutes with the write-back.
+        n = 0
         if until is None:
-            while self.step():
-                pass
+            try:
+                while heap:
+                    entry = pop(heap)
+                    event = entry[3]
+                    if event is not None:
+                        if event.cancelled:
+                            continue
+                        event._sim = None
+                    self.now = entry[0]
+                    n += 1
+                    self._live -= 1
+                    entry[4](*entry[5])
+            finally:
+                self._events_processed += n
             return
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if head.time > until:
-                break
-            self.step()
+        try:
+            while heap:
+                entry = heap[0]
+                event = entry[3]
+                if event is not None and event.cancelled:
+                    pop(heap)
+                    continue
+                t = entry[0]
+                if t > until:
+                    break
+                pop(heap)
+                if event is not None:
+                    event._sim = None
+                self.now = t
+                n += 1
+                self._live -= 1
+                entry[4](*entry[5])
+        finally:
+            self._events_processed += n
         self.now = max(self.now, until)
+
+    def begin_inline_fanout(self) -> int:
+        """Open an inline same-instant fan-out delivery; returns a token.
+
+        Arms the ordering guard — until sim-time advances, any schedule at
+        this instant with priority below FRAME_START raises instead of
+        silently diverging from the heap layout (where it would have run
+        before the batch) — and snapshots the raw heap depth, which grows
+        by exactly one per ``schedule*`` call and never shrinks outside the
+        run loop, so :meth:`end_inline_fanout` can detect scheduling from
+        inside the delivered callbacks.
+        """
+        self._inline_guard_time = self.now
+        return len(self._heap)
+
+    def end_inline_fanout(self, token: int, delivered: int) -> None:
+        """Close an inline delivery: enforce the no-scheduling invariant
+        for the delivered callbacks and credit their logical events."""
+        if len(self._heap) != token:
+            raise RuntimeError(
+                "a frame-start callback scheduled an event during inline "
+                "fan-out delivery; this breaks deterministic event "
+                "ordering — react from frame-end or MAC timers instead"
+            )
+        self._events_processed += delivered
+
+    def pending_at_now(self) -> bool:
+        """True when any queued entry could still run at the current instant.
+
+        Conservative: cancelled entries count (they only make the caller
+        fall back to the scheduled path). This is the guard the medium uses
+        to decide whether a same-instant fan-out batch may run inline.
+        """
+        heap = self._heap
+        return bool(heap) and heap[0][0] <= self.now
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            event = heap[0][3]
+            if event is not None and event.cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
+        return None
 
     @property
     def events_processed(self) -> int:
-        """Total events executed so far (for tests and profiling)."""
+        """Total logical events executed so far (for tests and profiling).
+
+        Batched fan-out events (see :meth:`credit_events`) count once per
+        delivered callback, so the number — and the events/sec the perf
+        harness derives from it — is comparable across scheduling layouts.
+        """
         return self._events_processed
 
+    def credit_events(self, n: int) -> None:
+        """Count ``n`` extra logical events inside a batched event.
+
+        The medium delivers one frame edge to all receivers from a single
+        heap event; crediting the batch keeps ``events_processed`` equal to
+        the per-receiver-event layout it replaced.
+        """
+        self._events_processed += n
+
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live

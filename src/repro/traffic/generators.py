@@ -33,7 +33,7 @@ class SaturatedSource:
 
     def next_packet(self) -> Packet:
         self.generated += 1
-        return Packet(dst=self.dst, size_bytes=self.payload_bytes)
+        return Packet(self.dst, self.payload_bytes)
 
 
 class BatchSource:
@@ -136,14 +136,13 @@ class SinkRegistry:
 
     def sink_for(self, node_id: int):
         """The callback to attach to ``node_id``'s MAC."""
-
-        def _sink(src: int, dst: int, packet_id: int, size: int, now: float) -> None:
-            self.record(src, dst, packet_id, size, now)
-
-        return _sink
+        return self.record
 
     def record(self, src: int, dst: int, packet_id: int, size: int, now: float) -> None:
-        flow = self.flows.setdefault((src, dst), FlowRecord(src, dst))
+        flow_key = (src, dst)
+        flow = self.flows.get(flow_key)
+        if flow is None:
+            flow = self.flows[flow_key] = FlowRecord(src, dst)
         key = (src, dst, packet_id)
         if key in self._seen:
             flow.delivered_dupes += 1

@@ -106,6 +106,36 @@ class TestCancellation:
         ev1.cancel()
         assert sim.pending_count() == 1
 
+    def test_pending_count_constant_time_under_cancels(self):
+        """pending_count is a live counter: correct through heavy cancel
+        traffic, double-cancels, and cancels of already-fired events."""
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        assert sim.pending_count() == 100
+        for ev in events[::2]:
+            ev.cancel()
+        assert sim.pending_count() == 50
+        for ev in events[::2]:
+            ev.cancel()  # double-cancel must not double-decrement
+        assert sim.pending_count() == 50
+        sim.run()
+        assert sim.pending_count() == 0
+        for ev in events:
+            ev.cancel()  # cancel-after-fire must not go negative
+        assert sim.pending_count() == 0
+        assert sim.events_processed == 50
+
+    def test_pending_count_counts_mid_run_schedules(self):
+        sim = Simulator()
+
+        def first():
+            sim.schedule(1.0, lambda: None)
+            assert sim.pending_count() == 1
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert sim.pending_count() == 0
+
 
 class TestRunUntil:
     def test_run_until_stops_before_later_events(self):
@@ -166,6 +196,74 @@ class TestStep:
         sim.schedule(2.0, out.append, "b")
         assert sim.step() is True
         assert out == ["a"]
+
+
+class TestFastPaths:
+    def test_schedule_call_runs_in_order(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_call(2.0, out.append, ("b",))
+        sim.schedule(1.0, out.append, "a")
+        sim.schedule_call(3.0, out.append, ("c",))
+        sim.run()
+        assert out == ["a", "b", "c"]
+        assert sim.events_processed == 3
+
+    def test_schedule_call_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_call(-0.5, lambda: None)
+
+    def test_schedule_fanout_orders_start_now_end_later(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_fanout(
+            1.0, out.append, ("start",), out.append, ("end",)
+        )
+        sim.schedule(0.5, out.append, "mid")
+        sim.run()
+        assert out == ["start", "mid", "end"]
+        assert sim.pending_count() == 0
+
+    def test_schedule_fanout_end_priority_beats_same_time_normal(self):
+        # A frame end at time T must run before a NORMAL event at T.
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, "normal")
+        sim.schedule_fanout(1.0, None, (), out.append, ("end",))
+        sim.run()
+        assert out == ["end", "normal"]
+
+    def test_schedule_fanout_without_start(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_fanout(2.0, None, (), out.append, ("end",))
+        assert sim.pending_count() == 1
+        sim.run()
+        assert out == ["end"]
+
+    def test_pending_at_now(self):
+        sim = Simulator()
+        assert sim.pending_at_now() is False
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending_at_now() is False  # strictly later
+        seen = []
+
+        def probe():
+            # Inside the event: it has been popped, nothing else queued now.
+            seen.append(sim.pending_at_now())
+            sim.schedule(0.0, lambda: None)
+            seen.append(sim.pending_at_now())
+
+        sim.schedule(2.0, probe)
+        sim.run()
+        assert seen == [False, True]
+
+    def test_credit_events_augments_logical_count(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.credit_events(4))
+        sim.run()
+        # 1 heap event + 4 credited batched deliveries.
+        assert sim.events_processed == 5
 
 
 @given(

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.phy.fading import (
+    FadingModel,
     GaussianBlockFading,
     LosNlosMixtureFading,
     NoFading,
@@ -112,3 +113,53 @@ class TestLosNlosMixture:
         for p_los in (0.0, 1.0):
             f = LosNlosMixtureFading(seed=5, p_los=p_los)
             assert f.mean_prr(-100, -93, RATE_6M, 1428, EM, 0, 1) < 0.01
+
+
+class TestPairSamplers:
+    """pair_sampler must consume the generator exactly like draw_db."""
+
+    def test_bit_identical_to_draw_db(self):
+        models = [
+            NoFading(),
+            GaussianBlockFading(0.0),
+            GaussianBlockFading(3.0),
+            LosNlosMixtureFading(seed=5, p_los=0.5),
+            LosNlosMixtureFading(seed=5, p_los=0.5, los_sigma_db=0.0),
+        ]
+        for model in models:
+            for a, b in [(0, 1), (2, 7), (3, 3)]:
+                r_ref = np.random.default_rng(42)
+                r_smp = np.random.default_rng(42)
+                sampler = model.pair_sampler(a, b, r_smp)
+                for _ in range(400):
+                    assert model.draw_db(r_ref, a, b) == sampler(), (model, a, b)
+                # Streams must be in lockstep afterwards too.
+                assert r_ref.random() == r_smp.random()
+
+    def test_base_class_fallback_wraps_draw_db(self):
+        class Halved(FadingModel):
+            def draw_db(self, rng, a, b):
+                return float(rng.normal(0.0, 1.0)) / 2.0
+
+        r_ref = np.random.default_rng(9)
+        r_smp = np.random.default_rng(9)
+        model = Halved()
+        sampler = model.pair_sampler(1, 2, r_smp)
+        for _ in range(100):
+            assert model.draw_db(r_ref, 1, 2) == sampler()
+
+
+class TestPublicTyping:
+    def test_fading_model_exported_from_phy(self):
+        import repro.phy as phy
+
+        assert phy.FadingModel is FadingModel
+        for name in ("NoFading", "GaussianBlockFading", "LosNlosMixtureFading"):
+            assert name in phy.__all__
+            assert issubclass(getattr(phy, name), phy.FadingModel)
+
+    def test_radio_config_fading_accepts_models(self):
+        from repro.phy.radio import RadioConfig
+
+        cfg = RadioConfig(fading=NoFading())
+        assert isinstance(cfg.fading, FadingModel)

@@ -1,0 +1,104 @@
+"""The radio's interference cache must be invisible: bit-identical to a
+fresh insertion-order re-sum of the arrival set, under any sequence of
+arrivals, departures, and repeated queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.frames import Frame
+from repro.phy.medium import Transmission
+from repro.phy.radio import Radio, RadioConfig
+from repro.sim.engine import Simulator
+
+
+def make_radio():
+    cfg = RadioConfig(fading=None)
+    return Radio(Simulator(), node_id=0, config=cfg, rng=np.random.default_rng(7))
+
+
+def fresh_insertion_order_sum(radio, excluding_uid=None):
+    """The reference: the exact loop the uncached implementation ran."""
+    total = 0.0
+    for uid, rss_mw in radio._arrivals.items():
+        if uid != excluding_uid:
+            total += rss_mw
+    return total
+
+
+def make_tx(uid_frame_src, rss_dbm):
+    frame = Frame(src=uid_frame_src, dst=0, size_bytes=100)
+    return Transmission(frame, uid_frame_src, 0.0, 1.0)
+
+
+class TestCacheBitIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove", "query"]),
+                st.integers(min_value=0, max_value=7),
+                st.floats(min_value=-104.0, max_value=-40.0),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_cached_equals_fresh_resum(self, ops):
+        radio = make_radio()
+        live = {}  # src -> Transmission
+        for op, src, rss in ops:
+            if op == "add" and src not in live:
+                tx = make_tx(src, rss)
+                live[src] = tx
+                radio.on_frame_start(tx, rss)
+            elif op == "remove" and src in live:
+                tx = live.pop(src)
+                radio.on_frame_end(tx, rss)
+            # After every mutation (and on explicit query ops), the cached
+            # aggregate must equal a fresh insertion-order re-sum for every
+            # exclusion that can occur: each live uid, a foreign uid, None.
+            exclusions = [None, -1] + [t.uid for t in live.values()]
+            for excl in exclusions:
+                expected = fresh_insertion_order_sum(radio, excl)
+                got = radio.interference_mw(excl)
+                assert got == expected  # bit-identical, not approx
+                # And the cache itself must serve the same bits again.
+                assert radio.interference_mw(excl) == expected
+
+    def test_cache_invalidated_by_arrival(self):
+        radio = make_radio()
+        a = make_tx(1, -60.0)
+        radio.on_frame_start(a, -60.0)
+        first = radio.interference_mw()
+        b = make_tx(2, -70.0)
+        radio.on_frame_start(b, -70.0)
+        second = radio.interference_mw()
+        assert second > first
+        assert second == fresh_insertion_order_sum(radio)
+
+    def test_cache_invalidated_by_departure(self):
+        radio = make_radio()
+        a, b = make_tx(1, -60.0), make_tx(2, -70.0)
+        radio.on_frame_start(a, -60.0)
+        radio.on_frame_start(b, -70.0)
+        before = radio.interference_mw()
+        radio.on_frame_end(b, -70.0)
+        after = radio.interference_mw()
+        assert after < before
+        assert after == fresh_insertion_order_sum(radio)
+
+    def test_exclusion_distinct_from_total(self):
+        radio = make_radio()
+        a, b = make_tx(1, -60.0), make_tx(2, -70.0)
+        radio.on_frame_start(a, -60.0)
+        radio.on_frame_start(b, -70.0)
+        assert radio.interference_mw(a.uid) == fresh_insertion_order_sum(
+            radio, a.uid
+        )
+        assert radio.interference_mw(a.uid) != radio.interference_mw()
+
+    def test_empty_arrivals_zero(self):
+        radio = make_radio()
+        assert radio.interference_mw() == 0.0
+        assert radio.interference_mw(123) == 0.0

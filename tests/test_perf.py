@@ -1,0 +1,132 @@
+"""Tests for the perf instrumentation subsystem (repro/perf.py)."""
+
+import json
+import os
+
+import pytest
+
+from repro import perf
+from repro.net.testbed import Testbed, TestbedConfig
+from repro.net.topology import FloorPlan
+from repro.network import Network, cmap_factory
+
+
+class TestPerfRecorder:
+    def test_accumulates_samples(self):
+        rec = perf.PerfRecorder()
+        rec.add(100, 2.0, 0.5)
+        rec.add(50, 1.0, 0.25)
+        assert rec.runs == 2
+        assert rec.events == 150
+        assert rec.sim_seconds == 3.0
+        assert rec.run_wall_seconds == 0.75
+
+    def test_recording_installs_and_restores(self):
+        assert perf.active_recorder() is None
+        with perf.recording() as rec:
+            assert perf.active_recorder() is rec
+            with perf.recording() as inner:
+                assert perf.active_recorder() is inner
+            assert perf.active_recorder() is rec
+        assert perf.active_recorder() is None
+
+    def test_network_run_reports_into_active_recorder(self):
+        testbed = Testbed(
+            seed=3, config=TestbedConfig(num_nodes=6, floor=FloorPlan(60, 30))
+        )
+        with perf.recording() as rec:
+            net = Network(testbed)
+            net.add_node(0, cmap_factory())
+            net.add_node(1, cmap_factory())
+            net.add_saturated_flow(0, 1)
+            net.run(duration=0.5, warmup=0.1)
+            assert rec.runs == 1
+            assert rec.events == net.sim.events_processed
+            assert rec.sim_seconds == 0.5
+            assert rec.run_wall_seconds > 0.0
+
+    def test_instrumentation_is_observational(self):
+        """A recorded run delivers the same bytes as an unrecorded one."""
+        testbed = Testbed(
+            seed=3, config=TestbedConfig(num_nodes=6, floor=FloorPlan(60, 30))
+        )
+
+        def run_once():
+            net = Network(testbed, run_seed=2)
+            net.add_node(0, cmap_factory())
+            net.add_node(1, cmap_factory())
+            net.add_saturated_flow(0, 1)
+            res = net.run(duration=0.6, warmup=0.2)
+            return res.flow_mbps(0, 1), net.sim.events_processed
+
+        plain = run_once()
+        with perf.recording():
+            recorded = run_once()
+        assert plain == recorded
+
+
+class TestBenchFigure:
+    def test_times_and_summarizes(self):
+        def fake_figure():
+            rec = perf.active_recorder()
+            rec.add(1000, 2.0, 0.01)
+            rec.add(500, 1.0, 0.01)
+
+        bench = perf.bench_figure("figX", fake_figure)
+        assert bench.figure == "figX"
+        assert bench.events == 1500
+        assert bench.trials == 2
+        assert bench.sim_seconds == 3.0
+        assert bench.wall_seconds > 0
+        assert bench.events_per_sec == bench.events / bench.wall_seconds
+
+    def test_repeat_keeps_fastest(self):
+        calls = []
+
+        def fake_figure():
+            calls.append(1)
+            perf.active_recorder().add(10, 1.0, 0.001)
+
+        bench = perf.bench_figure("figY", fake_figure, repeat=3)
+        assert len(calls) == 3
+        assert bench.events == 10  # one repeat's worth, not the sum
+
+
+class TestBenchFiles:
+    def test_payload_and_roundtrip(self, tmp_path):
+        rec = perf.PerfRecorder()
+        rec.add(4000, 8.0, 1.0)
+        bench = perf.summarize_recorder("fig12", rec, 2.0)
+        payload = perf.bench_payload([bench], "smoke", seed=1)
+        assert payload["schema"] == perf.BENCH_SCHEMA
+        assert payload["figures"]["fig12"]["events"] == 4000
+        assert "speedup_events_per_sec" not in payload
+
+        path = perf.write_bench_file(payload, str(tmp_path))
+        assert os.path.basename(path).startswith("BENCH_smoke_")
+        assert perf.load_bench_file(path) == json.loads(json.dumps(payload))
+
+    def test_speedup_against_baseline(self, tmp_path):
+        old = perf.PerfRecorder()
+        old.add(1000, 1.0, 1.0)
+        baseline = perf.bench_payload(
+            [perf.summarize_recorder("fig12", old, 1.0)], "smoke", seed=1
+        )
+        new = perf.PerfRecorder()
+        new.add(1000, 1.0, 0.5)
+        payload = perf.bench_payload(
+            [perf.summarize_recorder("fig12", new, 0.5)],
+            "smoke", seed=1, baseline=baseline,
+        )
+        assert payload["speedup_events_per_sec"]["fig12"] == pytest.approx(2.0)
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert perf.load_bench_file(str(tmp_path / "nope.json")) is None
+
+    def test_format_table(self):
+        rec = perf.PerfRecorder()
+        rec.add(100, 1.0, 0.1)
+        bench = perf.summarize_recorder("fig13", rec, 0.2)
+        table = perf.format_bench_table([bench], {"fig13": 1.5})
+        assert "fig13" in table
+        assert "1.50x" in table

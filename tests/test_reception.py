@@ -92,6 +92,25 @@ class TestInterferenceIntervals:
         r.interference_changed(0.5e-3, dbm_to_mw(-75.0))
         assert r.min_sinr_db(NOISE_MW) < clean_sinr
 
+    def test_min_sinr_is_max_interference_sinr(self):
+        """The documented semantics: min SINR == SINR at *peak* aggregate
+        interference, even after the interference clears."""
+        from repro.util.units import linear_to_db
+
+        r = make_reception(rss_dbm=-70.0, dur=1e-3)
+        peak = dbm_to_mw(-75.0)
+        r.interference_changed(0.3e-3, peak)
+        r.interference_changed(0.6e-3, 0.0)  # cleared before frame end
+        expected = linear_to_db(dbm_to_mw(-70.0) / (peak + NOISE_MW))
+        assert r.min_sinr_db(NOISE_MW) == expected
+
+    def test_min_sinr_clean_frame_uses_zero_interference(self):
+        from repro.util.units import linear_to_db
+
+        r = make_reception(rss_dbm=-70.0, dur=1e-3)
+        expected = linear_to_db(dbm_to_mw(-70.0) / NOISE_MW)
+        assert r.min_sinr_db(NOISE_MW) == expected
+
 
 class TestProbabilisticScoring:
     def test_success_probability_bounded(self):
