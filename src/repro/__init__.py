@@ -40,6 +40,13 @@ from repro.mac.iamac import IaMac, iamac_factory
 from repro.mac.base import Packet
 from repro.net.testbed import Testbed, TestbedConfig
 from repro.net import presets
+from repro.net.mobility import (
+    MobilityController,
+    RandomWaypoint,
+    RegionHop,
+    build_mobility_model,
+    register_mobility_model,
+)
 from repro.network import (
     Network,
     RunResult,
@@ -73,6 +80,11 @@ __all__ = [
     "Testbed",
     "TestbedConfig",
     "presets",
+    "MobilityController",
+    "RandomWaypoint",
+    "RegionHop",
+    "build_mobility_model",
+    "register_mobility_model",
     "Network",
     "RunResult",
     "build_mac_factory",

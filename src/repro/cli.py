@@ -9,8 +9,10 @@ Usage::
     python -m repro.cli census
     python -m repro.cli map --regions
     python -m repro.cli all --scale smoke
+    python -m repro.cli mobility --scale smoke
+    python -m repro.cli churn --scale smoke
     python -m repro.cli bench --scale smoke
-    python -m repro.cli bench --scale smoke --figures fig12,fig13 --out-dir bench
+    python -m repro.cli bench --scale smoke --figures fig12,mobility --out-dir bench
 
 Figures print the same rows/series the paper reports (see EXPERIMENTS.md
 for the side-by-side record). ``--scale`` trades fidelity for wall time;
@@ -34,6 +36,7 @@ from repro.experiments.runners import (
     ExperimentScale,
     run_ap_topology,
     run_bitrate_sweep,
+    run_churn_sweep,
     run_exposed_terminals,
     run_header_trailer_cdf,
     run_header_trailer_density,
@@ -41,6 +44,7 @@ from repro.experiments.runners import (
     run_hidden_terminals,
     run_inrange_senders,
     run_mesh_dissemination,
+    run_mobility_sweep,
     run_single_link_calibration,
 )
 from repro.net.testbed import Testbed
@@ -119,6 +123,16 @@ def _figures() -> Dict[str, Callable]:
             )
         )
 
+    def mobility(tb, scale, backend, store):
+        return report.render_mobility(
+            run_mobility_sweep(tb, scale, backend=backend, store=store)
+        )
+
+    def churn(tb, scale, backend, store):
+        return report.render_churn(
+            run_churn_sweep(tb, scale, backend=backend, store=store)
+        )
+
     return {
         "calibration": calibration,
         "fig12": fig12,
@@ -131,6 +145,8 @@ def _figures() -> Dict[str, Callable]:
         "fig19": fig19,
         "fig20": fig20,
         "mesh": mesh,
+        "mobility": mobility,
+        "churn": churn,
     }
 
 

@@ -98,6 +98,7 @@ class CmapMac(MacBase):
         )
         self._state = _State.IDLE
         self._timer = None
+        self._ilist_timer = None
         self._window_timers: Dict[int, object] = {}
         self._burst_frames: Deque[Frame] = deque()
         self._burst_dst: Optional[int] = None
@@ -139,8 +140,21 @@ class CmapMac(MacBase):
     def start(self) -> None:
         super().start()
         offset = float(self.rng.uniform(0.0, self.params.ilist_period))
-        self.sim.schedule(offset, self._ilist_tick)
+        self._ilist_timer = self.sim.schedule(offset, self._ilist_tick)
         self._wake()
+
+    def stop(self) -> None:
+        """Cease operation (churn): cancel every pending timer."""
+        super().stop()
+        for timer in (self._timer, self._ilist_timer):
+            if timer is not None:
+                timer.cancel()
+        self._timer = None
+        self._ilist_timer = None
+        for timer in self._window_timers.values():
+            timer.cancel()
+        self._window_timers.clear()
+        self._state = _State.IDLE
 
     def on_queue_refill(self) -> None:
         if self._state is _State.IDLE:
@@ -406,6 +420,8 @@ class CmapMac(MacBase):
         self._timer = self.sim.schedule(self.params.t_ackwait, self._ack_wait_expired)
 
     def on_tx_complete(self, frame: Frame) -> None:
+        if not self._started:
+            return  # stopped (churned out) while the frame was in flight
         if self._state is _State.BURST and frame.kind in (
             FrameKind.VPKT_HEADER,
             FrameKind.DATA,
@@ -581,6 +597,8 @@ class CmapMac(MacBase):
     # ACK transmission (receiver) and processing (sender)
     # ------------------------------------------------------------------
     def _send_ack(self, data_src: int) -> None:
+        if not self._started:
+            return  # stopped (churned out) during the ACK turnaround
         if self.radio.is_transmitting:
             self.cstats.acks_dropped_busy += 1
             return
@@ -642,7 +660,14 @@ class CmapMac(MacBase):
     def _ilist_tick(self) -> None:
         period = self.params.ilist_period
         jitter = float(self.rng.uniform(0.0, 0.1 * period))
-        self.sim.schedule(period + jitter, self._ilist_tick)
+        self._ilist_timer = self.sim.schedule(period + jitter, self._ilist_tick)
+        # Aging (section 3.4 adaptation): drop loss statistics for pairs not
+        # observed within the staleness horizon, so a conflict that geometry
+        # changes dissolved cannot linger as stale evidence, and re-forms
+        # from fresh measurements only. Behaviour-neutral in a static world:
+        # pruned pairs had zero in-window samples, which every consumer
+        # already treated as absent.
+        self.interferer_list.prune(self.sim.now, self.params.map_staleness_horizon)
         if self.params.ilist_report_rates:
             entries = self.interferer_list.rated_entries(self.sim.now)
         else:
@@ -696,7 +721,7 @@ class CmapMac(MacBase):
             self.sim.schedule(delay, self._transmit_relay, relay)
 
     def _transmit_relay(self, relay: InterfererListFrame) -> None:
-        if self.radio.is_transmitting or self._state is _State.BURST:
+        if not self._started or self.radio.is_transmitting or self._state is _State.BURST:
             return
         self.radio.transmit(relay)
 

@@ -54,8 +54,20 @@ class OngoingList:
         self._entries[(src, dst)] = OngoingEntry(src, dst, end_time, rate_mbps)
 
     def note_trailer(self, src: int, dst: int, now: float) -> None:
-        """A trailer means the burst just finished."""
+        """A trailer means the burst just finished.
+
+        ``now`` drives an opportunistic expiry sweep: any entry whose
+        announced end has passed is dropped here rather than lingering until
+        the next :meth:`active` call — in a dynamic world a node can move
+        out of range of *everyone* it was tracking, and trailers are the
+        steadiest heartbeat the receiver still gets. Behaviour-neutral for
+        decisions: :meth:`active` never returned expired entries anyway.
+        """
         self._entries.pop((src, dst), None)
+        if self._entries:
+            dead = [k for k, e in self._entries.items() if e.end_time <= now]
+            for k in dead:
+                del self._entries[k]
 
     def active(self, now: float) -> List[OngoingEntry]:
         """Live entries; expired ones are dropped as a side effect."""
@@ -95,14 +107,19 @@ class InterfererEntry:
 class _PairLossStats:
     """Sliding-window loss statistics for one (source, interferer) pair."""
 
-    __slots__ = ("samples",)
+    __slots__ = ("samples", "last_time")
 
     def __init__(self) -> None:
         #: (time, lost_packets, total_packets) per observed virtual packet.
         self.samples: Deque[Tuple[float, int, int]] = deque()
+        #: When the pair was last observed — survives window expiry of the
+        #: samples themselves, so staleness pruning is judged against the
+        #: horizon alone.
+        self.last_time: float = float("-inf")
 
     def record(self, now: float, lost: int, total: int) -> None:
         self.samples.append((now, lost, total))
+        self.last_time = now
 
     def expire(self, now: float, horizon: float) -> None:
         while self.samples and self.samples[0][0] < now - horizon:
@@ -212,6 +229,35 @@ class InterfererList:
                 source, interferer = key
                 out.append(InterfererEntry(source, interferer, loss_rate=rate))
         return out
+
+    def prune(self, now: float, staleness_horizon: float) -> int:
+        """Drop loss statistics for pairs silent past ``staleness_horizon``.
+
+        The sliding ``window_s`` already excludes old samples from the loss
+        *rate*; this removes the bookkeeping itself, so a pair whose
+        geometry changed (interferer walked away, node churned out) ages out
+        of memory entirely instead of accumulating forever. A pair re-forms
+        from scratch when fresh overlapping bursts are observed again
+        (section 3.4 adaptation). Returns the number of pairs dropped.
+
+        Behaviour-neutral where it matters: a pruned pair had no in-window
+        samples, so :meth:`rated_entries` already ignored it, and its active
+        entry (if any) is dropped with it — :meth:`entries` must never fall
+        back to the evidence-free loss rate for a pair whose statistics the
+        horizon discarded.
+        """
+        # Never prune inside the loss window: the rate must keep seeing every
+        # sample it would have seen, whatever horizon the caller picked.
+        cutoff = now - max(staleness_horizon, self.window_s)
+        dead = [
+            key
+            for key, stats in self._stats.items()
+            if stats.last_time < cutoff
+        ]
+        for key in dead:
+            del self._stats[key]
+            self._active.pop(key, None)
+        return len(dead)
 
     def conditional_loss_rate(
         self, now: float, source: int, interferer: int,

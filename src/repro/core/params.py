@@ -107,6 +107,13 @@ class CmapParams:
     #: channel conditions", §3.1).
     ilist_entry_timeout: float = 10.0
     defer_entry_timeout: float = 10.0
+    #: Staleness horizon for the conflict map's raw loss statistics: a
+    #: (source, interferer) pair with no observation this recent is dropped
+    #: from the bookkeeping entirely (not just aged out of the loss window),
+    #: so maps track a changing geometry — mobile or churning nodes — with
+    #: bounded memory and re-learn dissolved conflicts from scratch (§3.4).
+    #: Clamped to at least ``interf_window_s``.
+    map_staleness_horizon: float = 30.0
 
     # --- latency model (§4.1) ---
     latency: LatencyProfile = field(default_factory=LatencyProfile.paper_soft_mac)

@@ -84,14 +84,61 @@ def _metric_ht_stats(net: Network, result: RunResult, spec: TrialSpec) -> List[L
 # ----------------------------------------------------------------------
 # Trial materialization
 # ----------------------------------------------------------------------
+def _join_node(net: Network, node: int, factory, flows, payload_bytes: int) -> None:
+    """Churn join: (re)instantiate a node mid-run with its flows."""
+    if node in net.nodes:
+        return  # already present (overlapping schedules compose as no-ops)
+    net.add_node(node, factory)
+    for s, d in flows:
+        net.add_saturated_flow(s, d, payload_bytes=payload_bytes)
+
+
+def _leave_node(net: Network, node: int) -> None:
+    """Churn leave: stop and detach a node mid-run."""
+    if node in net.nodes:
+        net.remove_node(node)
+
+
 def run_trial(testbed: Testbed, spec: TrialSpec) -> TrialResult:
-    """Assemble, run, and measure one trial. Pure in (testbed, spec)."""
+    """Assemble, run, and measure one trial. Pure in (testbed, spec).
+
+    Dynamic-world extensions: ``spec.churn`` events are scheduled before the
+    run (a node whose first event is "join" starts absent and brings its
+    flows along when it enters); ``spec.mobility`` builds the registered
+    model over the testbed floor and plays it through a
+    :class:`~repro.net.mobility.MobilityController`. Both are deterministic
+    functions of (testbed, spec), so backends stay interchangeable.
+    """
     net = Network(testbed, run_seed=spec.run_seed, track_tx=spec.track_tx)
     factory = spec.mac.build()
+    first_op: Dict[int, str] = {}
+    for t, op, node in sorted(spec.churn, key=lambda e: e[0]):
+        if op not in ("join", "leave"):
+            raise ValueError(f"unknown churn op {op!r} (want 'join'/'leave')")
+        first_op.setdefault(node, op)
+    initially_absent = {n for n, op in first_op.items() if op == "join"}
     for node in spec.nodes:
-        net.add_node(node, factory)
+        if node not in initially_absent:
+            net.add_node(node, factory)
     for s, d in spec.flows:
-        net.add_saturated_flow(s, d, payload_bytes=spec.payload_bytes)
+        if s not in initially_absent:
+            net.add_saturated_flow(s, d, payload_bytes=spec.payload_bytes)
+    for t, op, node in spec.churn:
+        if op == "join":
+            flows = tuple(f for f in spec.flows if f[0] == node)
+            net.sim.schedule(
+                t, _join_node, net, node, factory, flows, spec.payload_bytes
+            )
+        else:
+            net.sim.schedule(t, _leave_node, net, node)
+    if spec.mobility is not None:
+        from repro.net.mobility import MobilityController
+
+        controller = MobilityController(net)
+        model = spec.mobility.build(testbed.config.floor)
+        for node in spec.mobility.nodes:
+            controller.attach(node, model)
+        controller.start()
     result = net.run(duration=spec.duration, warmup=spec.warmup)
     flow_mbps = {f: result.flow_mbps(*f) for f in spec.measured_flows}
     metrics = {}

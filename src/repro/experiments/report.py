@@ -14,11 +14,14 @@ from repro.experiments.runners import (
     ApResult,
     BitrateSweepResult,
     CalibrationResult,
+    ChurnSweepResult,
     HeaderTrailerCdfResult,
     HiddenInterfererResult,
     HtDensityResult,
     MeshResult,
+    MobilitySweepResult,
     PairCdfResult,
+    sample_median,
 )
 
 
@@ -127,6 +130,50 @@ def render_mesh(result: MeshResult) -> str:
         lines.append(f"  {name:<8} mean aggregate {mean:.2f} Mb/s over {len(vals)} topologies")
     lines.append(f"  gain: {result.gain():.2f}x")
     return "\n".join(lines)
+
+
+def _sweep_table(
+    axis_label: str, axis_values, totals, title: str, unit: str
+) -> str:
+    protocols = list(next(iter(totals.values())).keys()) if totals else []
+    lines = [title]
+    header = f"  {axis_label:<10}" + "".join(f"{p:>10}" for p in protocols)
+    if "cmap" in protocols and "cs_on" in protocols:
+        header += "   cmap/cs_on"
+    lines.append(header + f"   (median {unit})")
+    for v in axis_values:
+        medians = {}
+        row = f"  {v:<10}"
+        for p in protocols:
+            medians[p] = sample_median(totals[v][p])
+            row += f"{medians[p]:>10.2f}"
+        if "cmap" in medians and "cs_on" in medians:
+            gain = medians["cmap"] / medians["cs_on"] if medians["cs_on"] else 0.0
+            row += f"{gain:>12.2f}x"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_mobility(result: MobilitySweepResult) -> str:
+    return _sweep_table(
+        "m/s",
+        result.speeds,
+        result.totals,
+        "mobility sweep — total two-pair throughput vs walk speed "
+        "(dynamic world; 0 = static control)",
+        "Mb/s",
+    )
+
+
+def render_churn(result: ChurnSweepResult) -> str:
+    return _sweep_table(
+        "period s",
+        result.periods,
+        result.totals,
+        "churn sweep — aggregate throughput vs sender join/leave period "
+        "(dynamic world; 0 = static control)",
+        "Mb/s",
+    )
 
 
 def render_bitrate_sweep(result: BitrateSweepResult) -> str:

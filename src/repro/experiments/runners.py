@@ -28,15 +28,19 @@ from repro.experiments.scenarios import (
     MeshTopology,
     PairConfig,
     find_ap_topology,
+    find_disjoint_flows,
     find_exposed_terminal_configs,
     find_hidden_interferer_triples,
     find_hidden_terminal_configs,
     find_inrange_configs,
     find_mesh_topologies,
+    find_mobility_configs,
 )
 from repro.experiments.spec import (
+    ChurnEvent,
     ExperimentSpec,
     MacSpec,
+    MobilitySpec,
     TrialResult,
     TrialSpec,
     coerce_mac,
@@ -86,6 +90,12 @@ class ExperimentScale:
             mesh_topologies=2,
             ht_configs_per_n=2,
         )
+
+
+def sample_median(vals: Sequence[float]) -> float:
+    """Upper median — the convention every result class here uses; 0 if empty."""
+    s = sorted(vals)
+    return s[len(s) // 2] if s else 0.0
 
 
 # ======================================================================
@@ -165,8 +175,7 @@ class PairCdfResult:
     cmap_concurrency: List[float] = field(default_factory=list)
 
     def median(self, protocol: str) -> float:
-        vals = sorted(self.totals[protocol])
-        return vals[len(vals) // 2]
+        return sample_median(self.totals[protocol])
 
     def gain_over(self, protocol: str, baseline: str) -> float:
         """Ratio of medians — the paper's headline "2x over CSMA"."""
@@ -408,6 +417,203 @@ def run_bitrate_sweep(
     store: Optional[ResultStore] = None,
 ) -> BitrateSweepResult:
     spec = build_bitrate_sweep(testbed, scale, seed, rates)
+    return run_experiment(spec, testbed, backend=backend, store=store)
+
+
+# ======================================================================
+# Dynamic world: mobility and churn sweeps (§3.4 adaptation)
+# ======================================================================
+@dataclass
+class MobilitySweepResult:
+    """CMAP vs DCF as one sender walks: total throughput by walk speed."""
+
+    speeds: Tuple[float, ...]
+    #: speed (m/s) -> protocol -> total throughput per configuration.
+    totals: Dict[float, Dict[str, List[float]]]
+    configs: List[PairConfig] = field(default_factory=list)
+
+    def median(self, speed: float, protocol: str) -> float:
+        return sample_median(self.totals[speed][protocol])
+
+
+def build_mobility_sweep(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    speeds: Sequence[float] = (0.0, 0.5, 1.5, 3.0),
+) -> ExperimentSpec:
+    """Sweep walk speed: sender 2 of each pair config random-waypoints
+    across the floor while both flows stay saturated.
+
+    At 0 m/s this is a plain static two-pair run; as speed grows the
+    conflict relations churn faster than the map's measurement window and
+    the adaptation machinery (entry timeouts, staleness pruning) is what
+    keeps CMAP's verdicts current. DCF, whose carrier sense needs no
+    learning, is the control.
+    """
+    scale = scale or ExperimentScale()
+    configs = find_mobility_configs(testbed, scale.configs, seed)
+    protocols = {
+        "cs_on": MacSpec.of("dcf", carrier_sense=True, acks=True),
+        "cmap": MacSpec.of("cmap"),
+    }
+    trials: List[TrialSpec] = []
+    for speed in speeds:
+        for idx, config in enumerate(configs):
+            mobility = None
+            if speed > 0:
+                mobility = MobilitySpec.of(
+                    "random_waypoint",
+                    nodes=(config.s2,),
+                    speed_mps=speed,
+                    step_interval=0.25,
+                )
+            for name, mac in protocols.items():
+                trials.append(
+                    TrialSpec(
+                        trial_id=f"mobility/v{speed}/{idx}/{name}",
+                        nodes=config.nodes,
+                        flows=config.flows,
+                        mac=mac,
+                        run_seed=idx,
+                        duration=scale.duration,
+                        warmup=scale.warmup,
+                        mobility=mobility,
+                    )
+                )
+
+    def reduce(results: List[TrialResult]) -> MobilitySweepResult:
+        totals: Dict[float, Dict[str, List[float]]] = {
+            s: {name: [] for name in protocols} for s in speeds
+        }
+        it = iter(results)
+        for speed in speeds:
+            for config in configs:
+                for name in protocols:
+                    res = next(it)
+                    totals[speed][name].append(
+                        res.mbps(config.s1, config.r1)
+                        + res.mbps(config.s2, config.r2)
+                    )
+        return MobilitySweepResult(tuple(speeds), totals, configs)
+
+    return ExperimentSpec("mobility", trials, reduce)
+
+
+def run_mobility_sweep(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    speeds: Sequence[float] = (0.0, 0.5, 1.5, 3.0),
+    backend=None,
+    store: Optional[ResultStore] = None,
+) -> MobilitySweepResult:
+    spec = build_mobility_sweep(testbed, scale, seed, speeds)
+    return run_experiment(spec, testbed, backend=backend, store=store)
+
+
+@dataclass
+class ChurnSweepResult:
+    """CMAP vs DCF as senders join/leave: total throughput by churn period."""
+
+    periods: Tuple[float, ...]
+    #: toggle period in seconds (0 = no churn) -> protocol -> totals.
+    totals: Dict[float, Dict[str, List[float]]]
+
+    def median(self, period: float, protocol: str) -> float:
+        return sample_median(self.totals[period][protocol])
+
+
+def _churn_events(
+    node: int, warmup: float, duration: float, period: float
+) -> Tuple[ChurnEvent, ...]:
+    """Alternate leave/join for ``node`` every ``period`` seconds.
+
+    The first departure lands half a period into the measurement window so
+    even a period comparable to the window produces real churn.
+    """
+    events: List[ChurnEvent] = []
+    t = warmup + period / 2.0
+    op = "leave"
+    while t < duration:
+        events.append((t, op, node))
+        op = "join" if op == "leave" else "leave"
+        t += period
+    return tuple(events)
+
+
+def build_churn_sweep(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    periods: Sequence[float] = (0.0, 4.0, 2.0),
+    flows_n: int = 3,
+) -> ExperimentSpec:
+    """Sweep membership churn: one sender of an ``flows_n``-flow set toggles
+    out of and back into the network every ``period`` seconds.
+
+    Each departure dissolves every conflict involving the churner; each
+    return must be re-learned from fresh loss measurements. Shorter periods
+    stress the map's staleness machinery harder. Period 0 is the static
+    control.
+    """
+    scale = scale or ExperimentScale()
+    flow_sets = find_disjoint_flows(testbed, flows_n, scale.configs, seed)
+    protocols = {
+        "cs_on": MacSpec.of("dcf", carrier_sense=True, acks=True),
+        "cmap": MacSpec.of("cmap"),
+    }
+    trials: List[TrialSpec] = []
+    for period in periods:
+        for idx, flows in enumerate(flow_sets):
+            churner = flows[0][0]  # first flow's sender toggles
+            churn = (
+                _churn_events(churner, scale.warmup, scale.duration, period)
+                if period > 0
+                else ()
+            )
+            nodes = tuple(dict.fromkeys(n for f in flows for n in f))
+            for name, mac in protocols.items():
+                trials.append(
+                    TrialSpec(
+                        trial_id=f"churn/p{period}/{idx}/{name}",
+                        nodes=nodes,
+                        flows=flows,
+                        mac=mac,
+                        run_seed=idx,
+                        duration=scale.duration,
+                        warmup=scale.warmup,
+                        churn=churn,
+                    )
+                )
+
+    def reduce(results: List[TrialResult]) -> ChurnSweepResult:
+        totals: Dict[float, Dict[str, List[float]]] = {
+            p: {name: [] for name in protocols} for p in periods
+        }
+        it = iter(results)
+        for period in periods:
+            for flows in flow_sets:
+                for name in protocols:
+                    res = next(it)
+                    totals[period][name].append(
+                        sum(res.mbps(s, r) for s, r in flows)
+                    )
+        return ChurnSweepResult(tuple(periods), totals)
+
+    return ExperimentSpec("churn", trials, reduce)
+
+
+def run_churn_sweep(
+    testbed: Testbed,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    periods: Sequence[float] = (0.0, 4.0, 2.0),
+    flows_n: int = 3,
+    backend=None,
+    store: Optional[ResultStore] = None,
+) -> ChurnSweepResult:
+    spec = build_churn_sweep(testbed, scale, seed, periods, flows_n)
     return run_experiment(spec, testbed, backend=backend, store=store)
 
 

@@ -260,6 +260,75 @@ def find_hidden_interferer_triples(
 
 
 # ----------------------------------------------------------------------
+# Dynamic world: mobility and churn scenarios
+# ----------------------------------------------------------------------
+def find_mobility_configs(
+    testbed: Testbed,
+    count: int,
+    seed: int = 0,
+    max_candidates: int = 200_000,
+) -> List[PairConfig]:
+    """Two-pair configurations for the mobility sweep.
+
+    The *initial* geometry uses the Fig. 11(b) constraints (senders in
+    range, both pairs potential transmission links) — the regime where the
+    conflict map's verdicts matter most — sampled from a dedicated RNG fork
+    so mobility experiments don't perturb (or depend on) the Fig. 13 draw.
+    One sender then walks, carrying the configuration through conflicting
+    and conflict-free geometries; the link census only describes time zero.
+    """
+    links = testbed.links
+    tx_links = _potential_tx_links(links)
+    out: List[PairConfig] = []
+    for (s1, r1), (s2, r2) in itertools.permutations(tx_links, 2):
+        if len({s1, r1, s2, r2}) != 4:
+            continue
+        if links.in_range(s1, s2):
+            out.append(PairConfig(s1, r1, s2, r2))
+            if len(out) >= max_candidates:
+                break
+    rng = testbed.rngs.fork("scenario", "mobility", seed).stream("sample")
+    return _sample(out, count, rng)
+
+
+def find_disjoint_flows(
+    testbed: Testbed,
+    n: int,
+    count: int,
+    seed: int = 0,
+) -> List[Tuple[Tuple[int, int], ...]]:
+    """Sample ``count`` sets of ``n`` node-disjoint potential-tx flows.
+
+    The churn sweep's substrate: enough concurrent flows that one sender
+    joining/leaving visibly re-shapes everyone else's conflict relations.
+    """
+    links = testbed.links
+    tx_links = _potential_tx_links(links)
+    if not tx_links:
+        raise ScenarioError("testbed has no potential transmission links")
+    rng = testbed.rngs.fork("scenario", "churn", seed).stream("sample")
+    out: List[Tuple[Tuple[int, int], ...]] = []
+    attempts = 0
+    while len(out) < count and attempts < 200 * count:
+        attempts += 1
+        flows: List[Tuple[int, int]] = []
+        used: set = set()
+        inner = 0
+        while len(flows) < n and inner < 2000:
+            inner += 1
+            s, r = tx_links[int(rng.integers(0, len(tx_links)))]
+            if s in used or r in used:
+                continue
+            flows.append((s, r))
+            used.update((s, r))
+        if len(flows) == n:
+            out.append(tuple(flows))
+    if len(out) < count:
+        raise ScenarioError("could not sample enough disjoint flow sets")
+    return out
+
+
+# ----------------------------------------------------------------------
 # §5.6: access-point topology
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

@@ -88,6 +88,37 @@ class MacSpec:
         return build_mac_factory(self.protocol, dict(self.params))
 
 
+@dataclass(frozen=True)
+class MobilitySpec:
+    """A mobility model referenced by registry name + params, as plain data.
+
+    ``nodes`` are the walkers; every other node stays put. ``params`` go to
+    the registered builder (see :data:`repro.net.mobility.MOBILITY_MODELS`),
+    which also receives the testbed's floor plan. Registry keys keep trial
+    specs picklable, exactly like :class:`MacSpec`.
+    """
+
+    model: str
+    nodes: Tuple[int, ...]
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, model: str, nodes, **params) -> "MobilitySpec":
+        return cls(model, tuple(nodes), tuple(sorted(params.items())))
+
+    def build(self, floor):
+        from repro.net.mobility import build_mobility_model
+
+        return build_mobility_model(self.model, floor, dict(self.params))
+
+
+#: One churn event: (sim time, "join" | "leave", node id). A node whose
+#: *first* event is "join" is left out of the initial network and enters at
+#: that time (with its flows); "leave" stops and detaches it. Events are
+#: plain data so specs pickle and fingerprint.
+ChurnEvent = Tuple[float, str, int]
+
+
 def coerce_mac(mac) -> MacSpec:
     """Accept a MacSpec, a registered protocol name, or a raw factory."""
     if isinstance(mac, MacSpec):
@@ -126,6 +157,10 @@ class TrialSpec:
     track_tx: bool = False
     metrics: Tuple[str, ...] = ()
     payload_bytes: int = 1400
+    #: Optional time-varying world: walkers + their model (None = static).
+    mobility: Optional[MobilitySpec] = None
+    #: Scheduled join/leave events (empty = fixed membership).
+    churn: Tuple[ChurnEvent, ...] = ()
 
     @property
     def measured_flows(self) -> Tuple[Flow, ...]:
@@ -154,6 +189,8 @@ class TrialSpec:
                 self.track_tx,
                 self.metrics,
                 self.payload_bytes,
+                repr(self.mobility),
+                self.churn,
             ),
             "016x",
         )

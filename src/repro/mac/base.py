@@ -128,6 +128,15 @@ class MacBase:
         """Begin operation; idempotent."""
         self._started = True
 
+    def stop(self) -> None:
+        """Cease operation (node churned out); idempotent.
+
+        Subclasses cancel their timers on top of this. Un-cancellable
+        callbacks already in the heap (``schedule_call`` ACKs, relays) must
+        check ``self._started`` before transmitting.
+        """
+        self._started = False
+
     def on_queue_refill(self) -> None:
         """Called when new traffic appears while running."""
 

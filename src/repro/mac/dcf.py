@@ -90,6 +90,14 @@ class DcfMac(MacBase):
         super().start()
         self._maybe_begin()
 
+    def stop(self) -> None:
+        super().stop()
+        self._cancel_timers()
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+        self._state = _State.IDLE
+
     def on_queue_refill(self) -> None:
         self._maybe_begin()
 
@@ -160,6 +168,8 @@ class DcfMac(MacBase):
     # ------------------------------------------------------------------
     def _transmit_current(self) -> None:
         self._slot_event = None
+        if not self._started:
+            return  # stopped (churned out) between scheduling and firing
         if self._current is None:  # pragma: no cover - defensive
             self._state = _State.IDLE
             return
@@ -184,6 +194,10 @@ class DcfMac(MacBase):
         self.radio.transmit(frame)
 
     def on_tx_complete(self, frame: Frame) -> None:
+        if not self._started:
+            # Stopped (churned out) while this frame was in flight: its end
+            # edge still arrives by design, but must not arm new timers.
+            return
         if frame.kind is FrameKind.DCF_ACK:
             return  # receiver side finished sending an ACK
         if frame is not self._current_frame:
@@ -255,8 +269,8 @@ class DcfMac(MacBase):
         self.sim.schedule_call(self.params.sifs, self._transmit_ack, (ack,))
 
     def _transmit_ack(self, ack: DcfAckFrame) -> None:
-        if self.radio.is_transmitting:
-            # Extremely rare (receiver started its own data frame); drop.
+        if not self._started or self.radio.is_transmitting:
+            # Stopped (churned out) or extremely rare receiver-busy; drop.
             return
         self.radio.transmit(ack)
 

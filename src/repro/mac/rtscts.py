@@ -77,6 +77,13 @@ class RtsCtsMac(DcfMac):
         self.stats_cts_timeouts = 0
         self.stats_nav_set = 0
 
+    def stop(self) -> None:
+        super().stop()
+        if self._cts_timer is not None:
+            self._cts_timer.cancel()
+            self._cts_timer = None
+        self._awaiting_cts_for = None
+
     # ------------------------------------------------------------------
     # Virtual carrier sense
     # ------------------------------------------------------------------
@@ -133,6 +140,8 @@ class RtsCtsMac(DcfMac):
         self.radio.transmit(rts)
 
     def on_tx_complete(self, frame: Frame) -> None:
+        if not self._started:
+            return  # stopped (churned out) while the frame was in flight
         if isinstance(frame, RtsFrame):
             self._cts_timer = self.sim.schedule(
                 self.params.cts_timeout(), self._cts_timed_out
@@ -185,7 +194,7 @@ class RtsCtsMac(DcfMac):
         self.sim.schedule(self.params.sifs, self._transmit_control, cts)
 
     def _transmit_control(self, frame: Frame) -> None:
-        if not self.radio.is_transmitting:
+        if self._started and not self.radio.is_transmitting:
             self.radio.transmit(frame)
 
     def _cts_received(self, cts: CtsFrame) -> None:
@@ -199,7 +208,7 @@ class RtsCtsMac(DcfMac):
         self.sim.schedule(self.params.sifs, self._transmit_reserved_data)
 
     def _transmit_reserved_data(self) -> None:
-        if self._current is None or self.radio.is_transmitting:
+        if not self._started or self._current is None or self.radio.is_transmitting:
             return
         super()._transmit_current()
 

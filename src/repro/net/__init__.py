@@ -1,8 +1,17 @@
-"""Topology, the synthetic 50-node testbed, and link classification."""
+"""Topology, the synthetic 50-node testbed, link classification, mobility."""
 
 from repro.net.topology import FloorPlan, grid_positions, random_positions
 from repro.net.testbed import Testbed, TestbedConfig
 from repro.net.links import LinkTable, LinkStats
+from repro.net.mobility import (
+    MobilityController,
+    MobilityModel,
+    RandomWaypoint,
+    RegionHop,
+    StaticModel,
+    build_mobility_model,
+    register_mobility_model,
+)
 
 __all__ = [
     "FloorPlan",
@@ -12,4 +21,11 @@ __all__ = [
     "TestbedConfig",
     "LinkTable",
     "LinkStats",
+    "MobilityController",
+    "MobilityModel",
+    "RandomWaypoint",
+    "RegionHop",
+    "StaticModel",
+    "build_mobility_model",
+    "register_mobility_model",
 ]

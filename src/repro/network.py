@@ -22,12 +22,17 @@ import numpy as np
 from repro import perf
 from repro.core.cmap_mac import CmapMac
 from repro.core.params import CmapParams
+from repro.mac.autorate import ArfParams, arf_factory
 from repro.mac.base import MacBase
 from repro.mac.dcf import DcfMac, DcfParams
+from repro.mac.ecsma import EcsmaParams, ecsma_factory
+from repro.mac.iamac import IaMacParams, iamac_factory
+from repro.mac.rtscts import RtsCtsParams, rtscts_factory
 from repro.net.testbed import Testbed
 from repro.node import Node
 from repro.phy.medium import Medium
 from repro.phy.modulation import RATES
+from repro.phy.propagation import DynamicRssMatrix, Position
 from repro.phy.radio import Radio, RadioConfig
 from repro.sim.engine import Simulator
 from repro.traffic.generators import BatchSource, SaturatedSource, SinkRegistry
@@ -97,6 +102,26 @@ def build_cmap_mac(**params) -> MacFactory:
 @register_mac_builder("dcf")
 def build_dcf_mac(**params) -> MacFactory:
     return dcf_factory(params=DcfParams(**_convert_rates(params)))
+
+
+@register_mac_builder("rtscts")
+def build_rtscts_mac(**params) -> MacFactory:
+    return rtscts_factory(RtsCtsParams(**_convert_rates(params)))
+
+
+@register_mac_builder("ecsma")
+def build_ecsma_mac(**params) -> MacFactory:
+    return ecsma_factory(EcsmaParams(**_convert_rates(params)))
+
+
+@register_mac_builder("iamac")
+def build_iamac_mac(**params) -> MacFactory:
+    return iamac_factory(IaMacParams(**_convert_rates(params)))
+
+
+@register_mac_builder("autorate")
+def build_autorate_mac(**params) -> MacFactory:
+    return arf_factory(ArfParams(**_convert_rates(params)))
 
 
 def build_mac_factory(protocol: str, params: Optional[dict] = None) -> MacFactory:
@@ -196,6 +221,8 @@ class Network:
         self.tracer = tracer
         self.sink = SinkRegistry()
         self.nodes: Dict[int, Node] = {}
+        #: True while run() is executing; nodes added then start immediately.
+        self._running = False
         self._radio_config = radio_config or RadioConfig(
             tx_power_dbm=testbed.config.tx_power_dbm,
             noise_dbm=testbed.config.noise_dbm,
@@ -207,7 +234,14 @@ class Network:
     # Assembly
     # ------------------------------------------------------------------
     def add_node(self, node_id: int, mac_factory: MacFactory) -> Node:
-        """Instantiate radio + MAC for one testbed node."""
+        """Instantiate radio + MAC for one testbed node.
+
+        Legal mid-run (churn): a node added while the simulation is running
+        starts immediately and hears every frame transmitted from then on.
+        A node that previously left may rejoin; it gets fresh radio/MAC
+        state but continues its per-node RNG streams, so churn patterns are
+        reproducible run to run.
+        """
         if node_id in self.nodes:
             raise ValueError(f"node {node_id} already added")
         if node_id not in self.testbed.positions:
@@ -225,23 +259,86 @@ class Network:
         mac.attach_sink(self.sink.sink_for(node_id))
         if self.tracer is not None:
             mac.tracer = self.tracer
-        node = Node(node_id, self.testbed.positions[node_id], radio, mac)
+        node = Node(node_id, self.position_of(node_id), radio, mac)
         self.nodes[node_id] = node
+        if self._running:
+            node.start()
         return node
+
+    def remove_node(self, node_id: int) -> Node:
+        """Take a node out of the network (churn): stop its MAC, detach its
+        radio. Frames it already has in flight complete; sink statistics for
+        traffic it delivered are retained. Returns the removed node."""
+        if node_id not in self.nodes:
+            raise KeyError(f"node {node_id} not in network")
+        node = self.nodes.pop(node_id)
+        node.mac.stop()
+        self.medium.detach(node.radio)
+        return node
+
+    # ------------------------------------------------------------------
+    # Geometry (dynamic world)
+    # ------------------------------------------------------------------
+    def _ensure_dynamic_geometry(self) -> DynamicRssMatrix:
+        """Upgrade the medium's RSS source to a mutable copy (first move).
+
+        The testbed's matrix is shared across trials (and, under the pool
+        backend, shipped to workers once), so it is never mutated; the
+        upgrade recomputes the same model at the same positions, which is
+        value-identical, and static runs that never move a node keep using
+        the shared matrix untouched.
+        """
+        rss = self.medium.rss
+        if isinstance(rss, DynamicRssMatrix):
+            return rss
+        dyn = DynamicRssMatrix(
+            self.testbed.propagation,
+            self.testbed.positions,
+            self.testbed.rss.tx_power_dbm,
+        )
+        self.medium.rss = dyn
+        return dyn
+
+    def set_position(self, node_id: int, position: Position) -> int:
+        """Move a node (instantiated or not); returns its position epoch.
+
+        Copy-on-write: the first move swaps in a
+        :class:`~repro.phy.propagation.DynamicRssMatrix`; the medium then
+        selectively invalidates per-transmitter fan-out tables.
+        """
+        self._ensure_dynamic_geometry()
+        epoch = self.medium.set_position(node_id, position)
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.position = position
+        return epoch
+
+    def position_of(self, node_id: int) -> Position:
+        """Current position: the dynamic geometry's if one exists."""
+        rss = self.medium.rss
+        if isinstance(rss, DynamicRssMatrix):
+            return rss.position(node_id)
+        return self.testbed.positions[node_id]
 
     def add_saturated_flow(self, src: int, dst: int, payload_bytes: int = 1400) -> None:
         """Give ``src`` an always-full queue of packets for ``dst``."""
         source = SaturatedSource(dst, payload_bytes)
-        self.nodes[src].mac.attach_source(source)
+        mac = self.nodes[src].mac
+        mac.attach_source(source)
         self.nodes[src].source = source
+        if self._running:
+            mac.on_queue_refill()  # a churn-joined sender must wake itself
 
     def add_batch_flow(
         self, src: int, dst: int, count: int, payload_bytes: int = 1400
     ) -> BatchSource:
         """Give ``src`` a finite batch of packets for ``dst`` (mesh, §5.7)."""
         source = BatchSource(dst, count, payload_bytes)
-        self.nodes[src].mac.attach_source(source)
+        mac = self.nodes[src].mac
+        mac.attach_source(source)
         self.nodes[src].source = source
+        if self._running:
+            mac.on_queue_refill()
         return source
 
     # ------------------------------------------------------------------
@@ -253,20 +350,24 @@ class Network:
             raise ValueError("warmup must be shorter than the run")
         self.sink.measure_from = warmup
         self.sink.measure_until = duration
-        for node in self.nodes.values():
+        self._running = True
+        for node in list(self.nodes.values()):
             node.start()
         recorder = perf.active_recorder()
-        if recorder is None:
-            self.sim.run(until=duration)
-        else:
-            events_before = self.sim.events_processed
-            t0 = time.perf_counter()
-            self.sim.run(until=duration)
-            recorder.add(
-                self.sim.events_processed - events_before,
-                duration,
-                time.perf_counter() - t0,
-            )
+        try:
+            if recorder is None:
+                self.sim.run(until=duration)
+            else:
+                events_before = self.sim.events_processed
+                t0 = time.perf_counter()
+                self.sim.run(until=duration)
+                recorder.add(
+                    self.sim.events_processed - events_before,
+                    duration,
+                    time.perf_counter() - t0,
+                )
+        finally:
+            self._running = False
         return RunResult(
             sink=self.sink,
             measured_duration=duration - warmup,

@@ -22,11 +22,13 @@ from repro.phy.modulation import (
     SinrThresholdErrorModel,
 )
 from repro.phy.propagation import (
+    DynamicRssMatrix,
     PropagationModel,
     FreeSpace,
     LogDistance,
     LogDistanceShadowing,
     Position,
+    RssMatrix,
 )
 from repro.phy.frames import (
     Frame,
@@ -69,6 +71,8 @@ __all__ = [
     "LogDistance",
     "LogDistanceShadowing",
     "Position",
+    "RssMatrix",
+    "DynamicRssMatrix",
     "Frame",
     "FrameKind",
     "BROADCAST",

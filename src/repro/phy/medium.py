@@ -7,18 +7,31 @@ timescales, so frames arrive at all receivers at the instant transmission
 starts; event priorities guarantee ends process before same-instant starts,
 which back-to-back virtual-packet frames rely on.
 
-Hot-path layout: per-transmitter fan-out tables — ``(radio, rss_dbm,
-rss_mw)`` for every receiver above ``min_power_dbm`` — are precomputed once
-when the radio set freezes (first transmission; any later ``attach``
-invalidates them), replacing the per-frame all-radios loop, RSS-matrix
-lookups, and dBm→mW conversions. Each frame schedules exactly two heap
-events: one delivering ``on_frame_start`` to every receiver in table order,
-one delivering every ``on_frame_end`` plus the transmitter's own completion.
-Batching is order-preserving — the per-receiver callbacks of one frame edge
-held consecutive sequence numbers at a single ``(time, priority)`` point, so
-no foreign event could ever interleave — and the batch credits
-``events_processed`` so the perf metric stays comparable (see
+Hot-path layout: per-transmitter fan-out tables -- ``(radio, rss_dbm,
+rss_mw)`` for every receiver above ``min_power_dbm`` -- are cached behind a
+*geometry version*: each table is built lazily at that transmitter's next
+frame and reused until the geometry changes. Any :meth:`Medium.attach`,
+:meth:`Medium.detach`, or :meth:`Medium.set_position` bumps the version, so
+only transmitters that actually transmit after a change pay an O(receivers)
+rebuild -- the selective per-transmitter invalidation a time-varying world
+needs -- while a static world builds each table exactly once, degenerating
+to the old freeze-at-first-transmit fast path (same tables, same receiver
+order, bit-identical outputs).
+
+Each frame schedules exactly two heap events: one delivering
+``on_frame_start`` to every receiver in table order, one delivering every
+``on_frame_end`` plus the transmitter's own completion. Batching is
+order-preserving -- the per-receiver callbacks of one frame edge held
+consecutive sequence numbers at a single ``(time, priority)`` point, so no
+foreign event could ever interleave -- and the batch credits
+``events_processed`` so the perf metric stays layout-comparable (see
 :meth:`repro.sim.engine.Simulator.credit_events`).
+
+Dynamic-world invariant: a frame captures its receiver table at transmit
+time, so a node that moves or detaches mid-flight still sees that frame's
+end edge (its arrival bookkeeping stays balanced); the new geometry applies
+from the next transmission on -- the quasi-static channel assumption the
+paper's measurement-driven maps rely on (section 3.4).
 """
 
 from __future__ import annotations
@@ -27,7 +40,7 @@ from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.phy.frames import Frame
 from repro.phy.modulation import Phy80211a
-from repro.phy.propagation import RssMatrix
+from repro.phy.propagation import DynamicRssMatrix, Position, RssMatrix
 from repro.sim.engine import Simulator
 from repro.util.units import dbm_to_mw
 
@@ -54,7 +67,7 @@ class Transmission:
         self.end = end
         #: Set by the medium for stats/debugging.
         self.seq = seq
-        #: Copy of ``frame.uid`` (a real field — saves a hop on the hot path).
+        #: Copy of ``frame.uid`` (a real field -- saves a hop on the hot path).
         self.uid = frame.uid
 
     @property
@@ -68,7 +81,7 @@ class Transmission:
         )
 
 
-#: Per-transmitter fan-out: two parallel tables over the same receivers —
+#: Per-transmitter fan-out: two parallel tables over the same receivers --
 #: (on_frame_start, rss_dbm, rss_mw) entries and (on_frame_end, rss_dbm)
 #: entries, in attach order.
 StartEntry = Tuple[Callable, float, float]
@@ -81,11 +94,15 @@ class Medium:
 
     Args:
         sim: the event engine.
-        rss: precomputed pairwise received signal strengths.
+        rss: precomputed pairwise received signal strengths. Pass a
+            :class:`~repro.phy.propagation.DynamicRssMatrix` to allow
+            :meth:`set_position` during a run.
         min_power_dbm: arrivals weaker than this are dropped entirely
-            (≈ 12 dB below the default noise floor — negligible interference).
-            Changing it (or ``rss``) after the first transmission has no
-            effect on the frozen fan-out tables; reconfigure before running.
+            (~ 12 dB below the default noise floor -- negligible
+            interference). Changing it (or ``rss`` contents out-of-band)
+            does not retroactively touch tables already captured by frames
+            in flight; new transmissions see the new values only after a
+            geometry bump.
     """
 
     def __init__(
@@ -101,8 +118,15 @@ class Medium:
         self.phy = phy
         self._radios: Dict[int, "Radio"] = {}
         self._tx_seq = 0
-        #: Frozen per-transmitter receiver tables; rebuilt after any attach.
-        self._fanout: Optional[Dict[int, Fanout]] = None
+        #: Per-transmitter receiver tables, rebuilt lazily when stale.
+        self._fanout: Dict[int, Fanout] = {}
+        #: Geometry version each cached table was built at.
+        self._fanout_version: Dict[int, int] = {}
+        #: Bumped by attach/detach/set_position; tables built at an older
+        #: version are rebuilt at that transmitter's next frame.
+        self._geometry_version = 0
+        #: Per-node position epochs (diagnostics + cache invalidation tests).
+        self._position_epochs: Dict[int, int] = {}
         #: Airtime memo keyed by the values that determine it.
         self._airtimes: Dict[Tuple[int, int, int], float] = {}
         #: Currently in-flight transmissions, keyed by frame uid.
@@ -113,13 +137,67 @@ class Medium:
         #: the concurrency metrics; assign a list to enable.
         self.tx_log: Optional[List[tuple]] = None
 
+    # ------------------------------------------------------------------
+    # Geometry lifecycle
+    # ------------------------------------------------------------------
     def attach(self, radio: "Radio") -> None:
         """Register a radio; it will hear all sufficiently strong frames."""
         if radio.node_id in self._radios:
             raise ValueError(f"radio for node {radio.node_id} already attached")
         self._radios[radio.node_id] = radio
         radio.medium = self
-        self._fanout = None  # radio set changed; rebuild at next transmit
+        radio.detached = False
+        self._position_epochs.setdefault(radio.node_id, 0)
+        self._geometry_version += 1  # every table may gain this receiver
+
+    def detach(self, radio: "Radio") -> None:
+        """Unregister a radio: it stops hearing (and sourcing) new frames.
+
+        Frames already in flight captured their receiver tables at transmit
+        time and still deliver both edges to the detached radio, keeping its
+        arrival bookkeeping balanced; the radio's own in-flight frame (if
+        any) completes too. Future transmissions exclude it, and its own
+        ``transmit`` calls become drops (see :meth:`Radio.transmit`).
+        """
+        if self._radios.get(radio.node_id) is not radio:
+            raise ValueError(f"radio for node {radio.node_id} is not attached")
+        del self._radios[radio.node_id]
+        self._fanout.pop(radio.node_id, None)
+        self._fanout_version.pop(radio.node_id, None)
+        radio.detached = True
+        self._geometry_version += 1  # every table may lose this receiver
+
+    def set_position(self, node_id: int, position: Position) -> int:
+        """Move a node; returns its new position epoch.
+
+        Requires the medium's RSS source to be a
+        :class:`~repro.phy.propagation.DynamicRssMatrix`. The move applies
+        to frames transmitted after this call; in-flight frames keep the
+        gains they were launched with.
+        """
+        rss = self.rss
+        if not isinstance(rss, DynamicRssMatrix):
+            raise TypeError(
+                "this medium was built over a static RssMatrix; construct it "
+                "with a DynamicRssMatrix (or use Network.set_position, which "
+                "upgrades the geometry copy-on-write) to move nodes"
+            )
+        epoch = rss.set_position(node_id, position)
+        self._position_epochs[node_id] = epoch
+        self._geometry_version += 1
+        radio = self._radios.get(node_id)
+        if radio is not None:
+            radio.on_position_changed()
+        return epoch
+
+    @property
+    def geometry_version(self) -> int:
+        """Total geometry mutations (attach/detach/move) so far."""
+        return self._geometry_version
+
+    def position_epoch(self, node_id: int) -> int:
+        """How many times ``node_id`` has moved (0 if never)."""
+        return self._position_epochs.get(node_id, 0)
 
     def airtime(self, frame: Frame) -> float:
         """On-air duration of ``frame``."""
@@ -132,29 +210,28 @@ class Medium:
             )
         return cached
 
-    def _build_fanout(self) -> Dict[int, Fanout]:
-        """Precompute, for every transmitter, its above-cutoff receivers.
+    def _build_tx_fanout(self, tx_id: int) -> Fanout:
+        """(Re)compute one transmitter's above-cutoff receiver tables.
 
         Tables preserve attach order, so receiver callbacks run in exactly
         the order the per-frame all-radios loop produced.
         """
         get_rss = self.rss.get
         cutoff = self.min_power_dbm
-        tables: Dict[int, Fanout] = {}
-        for tx_id in self._radios:
-            starts: List[StartEntry] = []
-            ends: List[EndEntry] = []
-            for node_id, rx_radio in self._radios.items():
-                if node_id == tx_id:
-                    continue
-                rss = get_rss(tx_id, node_id)
-                if rss is None or rss < cutoff:
-                    continue
-                starts.append((rx_radio.on_frame_start, rss, dbm_to_mw(rss)))
-                ends.append((rx_radio.on_frame_end, rss))
-            tables[tx_id] = (tuple(starts), tuple(ends))
-        self._fanout = tables
-        return tables
+        starts: List[StartEntry] = []
+        ends: List[EndEntry] = []
+        for node_id, rx_radio in self._radios.items():
+            if node_id == tx_id:
+                continue
+            rss = get_rss(tx_id, node_id)
+            if rss is None or rss < cutoff:
+                continue
+            starts.append((rx_radio.on_frame_start, rss, dbm_to_mw(rss)))
+            ends.append((rx_radio.on_frame_end, rss))
+        table = (tuple(starts), tuple(ends))
+        self._fanout[tx_id] = table
+        self._fanout_version[tx_id] = self._geometry_version
+        return table
 
     def transmit(self, radio: "Radio", frame: Frame) -> Transmission:
         """Put ``frame`` on the air from ``radio``; returns the transmission.
@@ -172,10 +249,11 @@ class Medium:
         if self.tx_log is not None:
             self.tx_log.append((radio.node_id, now, now + airtime))
 
-        fanout = self._fanout
-        if fanout is None:
-            fanout = self._build_fanout()
-        starts, ends = fanout[radio.node_id]
+        tx_id = radio.node_id
+        if self._fanout_version.get(tx_id) != self._geometry_version:
+            starts, ends = self._build_tx_fanout(tx_id)
+        else:
+            starts, ends = self._fanout[tx_id]
         start_fn = None
         if starts:
             if not sim.pending_at_now():
@@ -226,3 +304,7 @@ class Medium:
 
     def radio(self, node_id: int) -> "Radio":
         return self._radios[node_id]
+
+    def attached_ids(self) -> List[int]:
+        """Node ids currently attached (attach order)."""
+        return list(self._radios)

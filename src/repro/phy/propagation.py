@@ -150,3 +150,58 @@ class RssMatrix:
 
     def get(self, tx: int, rx: int, default: Optional[float] = None):
         return self._rss.get((tx, rx), default)
+
+
+class DynamicRssMatrix(RssMatrix):
+    """An RSS matrix whose node positions may change during a run.
+
+    Keeps the propagation model and a live position table so
+    :meth:`set_position` can recompute exactly the pairs whose gain the move
+    touched (both directions for the moved node — O(N), not O(N^2)). Each
+    node carries a *position epoch* (bumped per move) and the matrix a total
+    :attr:`version`; consumers caching anything derived from pairwise gain
+    (the medium's fan-out tables) compare versions to detect staleness.
+
+    With no calls to :meth:`set_position` the matrix is value-identical to
+    the :class:`RssMatrix` it was built from, so static scenarios keep their
+    bit-exact outputs.
+
+    Note: per-pair shadowing (``LogDistanceShadowing``) is keyed by node
+    identity, not position, so a moving node keeps each pair's shadowing
+    term — the quasi-static-obstacle simplification; only the log-distance
+    term tracks the walk.
+    """
+
+    def __init__(
+        self,
+        model: PropagationModel,
+        positions: Dict[int, Position],
+        tx_power_dbm: float,
+    ):
+        super().__init__(model, positions, tx_power_dbm)
+        self.model = model
+        self.positions: Dict[int, Position] = dict(positions)
+        #: Per-node move counts; bumped by every set_position.
+        self.epochs: Dict[int, int] = {i: 0 for i in positions}
+        #: Total geometry version (sum of all epochs).
+        self.version = 0
+
+    def position(self, node: int) -> Position:
+        return self.positions[node]
+
+    def set_position(self, node: int, position: Position) -> int:
+        """Move ``node``; recompute its pairwise RSS rows. Returns its epoch."""
+        if node not in self.positions:
+            raise KeyError(f"node {node} not in the RSS matrix")
+        self.positions[node] = position
+        rss = self._rss
+        model = self.model
+        power = self.tx_power_dbm
+        for other, p_other in self.positions.items():
+            if other == node:
+                continue
+            rss[(node, other)] = model.rss_dbm(power, node, position, other, p_other)
+            rss[(other, node)] = model.rss_dbm(power, other, p_other, node, position)
+        self.epochs[node] += 1
+        self.version += 1
+        return self.epochs[node]

@@ -98,6 +98,8 @@ class RadioStats:
     sync_missed_busy_tx: int = 0
     rx_aborted_by_tx: int = 0
     rx_mim_captures: int = 0
+    #: Transmit attempts made after the radio was detached (churn): dropped.
+    tx_dropped_detached: int = 0
 
 
 class Radio:
@@ -116,6 +118,9 @@ class Radio:
         self.rng = rng
         self.medium: Optional["Medium"] = None
         self.mac = None  # set by the MAC when it attaches
+        #: Set by Medium.detach (churn): future transmits become drops while
+        #: in-flight frames still deliver their edges here.
+        self.detached = False
         self.stats = RadioStats()
 
         self._noise_mw = dbm_to_mw(config.noise_dbm)
@@ -182,12 +187,45 @@ class Radio:
         return total
 
     # ------------------------------------------------------------------
-    # Transmit path
+    # Geometry (dynamic world)
     # ------------------------------------------------------------------
-    def transmit(self, frame: Frame) -> "Transmission":
-        """Start transmitting ``frame``; half-duplex, so any reception dies."""
+    def set_position(self, position) -> int:
+        """Move this radio's node; returns the new position epoch.
+
+        Delegates to :meth:`repro.phy.medium.Medium.set_position`, which
+        bumps the geometry version (invalidating fan-out tables) and calls
+        back into :meth:`on_position_changed`.
+        """
         if self.medium is None:
             raise RuntimeError("radio not attached to a medium")
+        return self.medium.set_position(self.node_id, position)
+
+    def on_position_changed(self) -> None:
+        """Medium callback after this node moved: flush gain-derived caches.
+
+        In-flight arrivals keep the RSS they were launched with (the frame
+        left the antenna under the old geometry), so the re-summed
+        interference is value-identical; the bump simply guarantees nothing
+        keyed to the old geometry outlives the move. Pair fade samplers are
+        keyed by node identity, not position (like shadowing), and survive.
+        """
+        self._arrivals_version += 1
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def transmit(self, frame: Frame) -> Optional["Transmission"]:
+        """Start transmitting ``frame``; half-duplex, so any reception dies.
+
+        A detached radio (its node left the network) drops the frame and
+        returns ``None`` -- un-cancellable callbacks scheduled before the
+        departure (SIFS-delayed ACKs, relays) land here harmlessly.
+        """
+        if self.medium is None:
+            raise RuntimeError("radio not attached to a medium")
+        if self.detached:
+            self.stats.tx_dropped_detached += 1
+            return None
         if self._state is RadioState.TX:
             raise RuntimeError(
                 f"node {self.node_id} asked to transmit while already transmitting"
@@ -279,7 +317,7 @@ class Radio:
                 return
             sync.interference_changed(
                 self.sim.now,
-                self.interference_mw(sync.transmission.frame.uid),
+                self.interference_mw(sync.transmission.uid),
                 uid,
             )
             self.stats.sync_missed_busy_rx += 1
@@ -335,7 +373,7 @@ class Radio:
             else:
                 sync.interference_changed(
                     self.sim.now,
-                    self.interference_mw(sync.transmission.frame.uid),
+                    self.interference_mw(sync.transmission.uid),
                 )
 
         if (

@@ -252,6 +252,21 @@ class TestMacRegistry:
         assert callable(build_mac_factory("cmap"))
         assert callable(build_mac_factory("dcf", {"carrier_sense": False}))
 
+    @pytest.mark.parametrize(
+        "protocol", ["cmap", "dcf", "rtscts", "ecsma", "iamac", "autorate"]
+    )
+    def test_every_mac_variant_is_string_addressable(self, testbed, protocol):
+        """All MAC variants run through the registry and pickle (so they can
+        cross the process-pool boundary), not just cmap/dcf."""
+        spec = TrialSpec(
+            f"registry/{protocol}", (0, 1), ((0, 1),), MacSpec.of(protocol),
+            run_seed=0, duration=2.0, warmup=0.5,
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec and clone.mac.build() is not None
+        result = run_trial(testbed, spec)
+        assert result.mbps(0, 1) >= 0.0
+
     def test_unknown_protocol_raises(self):
         with pytest.raises(KeyError):
             build_mac_factory("aloha")
