@@ -6,7 +6,6 @@ Paper: CMAP improves aggregate throughput over the status quo by 21 %
 terminals.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.stats import Cdf

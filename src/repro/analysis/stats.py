@@ -7,7 +7,7 @@ The paper's figures are mostly CDFs of per-run throughput (Figs. 12, 13, 15,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 

@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli all --scale smoke
     python -m repro.cli mobility --scale smoke
     python -m repro.cli churn --scale smoke
+    python -m repro.cli scale --scale smoke --jobs 2
     python -m repro.cli bench --scale smoke
     python -m repro.cli bench --scale smoke --figures fig12,mobility --out-dir bench
 
@@ -45,6 +46,7 @@ from repro.experiments.runners import (
     run_inrange_senders,
     run_mesh_dissemination,
     run_mobility_sweep,
+    run_scale_sweep,
     run_single_link_calibration,
 )
 from repro.net.testbed import Testbed
@@ -133,6 +135,14 @@ def _figures() -> Dict[str, Callable]:
             run_churn_sweep(tb, scale, backend=backend, store=store)
         )
 
+    def scale_sweep(tb, scale, backend, store):
+        # Generates its own constant-density worlds (one per topology x N);
+        # only the seed is taken from the shared testbed.
+        return report.render_scale(
+            run_scale_sweep(scale=scale, seed=tb.seed, backend=backend,
+                            store=store)
+        )
+
     return {
         "calibration": calibration,
         "fig12": fig12,
@@ -147,6 +157,7 @@ def _figures() -> Dict[str, Callable]:
         "mesh": mesh,
         "mobility": mobility,
         "churn": churn,
+        "scale": scale_sweep,
     }
 
 
@@ -163,13 +174,24 @@ def run_bench(args, figures) -> int:
         print("[bench ignores --jobs/REPRO_JOBS: worker processes execute "
               "their events where the recorder cannot see them; running "
               "serial]")
-    testbed = Testbed(seed=args.seed)
-    scale = _scale(args.scale)
-    backend = SerialBackend()
+    # Validate figure names before paying for testbed construction.
     names = [f.strip() for f in args.figures.split(",") if f.strip()]
+    if not names:
+        raise SystemExit(
+            f"--figures named no figures; pick from {sorted(figures)}"
+        )
     for name in names:
         if name not in figures:
-            raise SystemExit(f"unknown figure {name!r}; pick from {sorted(figures)}")
+            raise SystemExit(
+                f"unknown figure {name!r}; pick from {sorted(figures)}"
+            )
+    testbed = Testbed(seed=args.seed)
+    # The link table is lazy; force the O(N^2) census now so it stays
+    # setup cost (per this function's contract) instead of being charged
+    # to the first timed figure that touches it.
+    testbed.links
+    scale = _scale(args.scale)
+    backend = SerialBackend()
 
     results = []
     for name in names:

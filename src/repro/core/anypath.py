@@ -17,7 +17,6 @@ P(at least one forwarder receives | ongoing transmitter set), and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.conflict_map import InterfererEntry

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.mac.base import Packet

@@ -20,8 +20,8 @@ does not force deferral for a more robust 6 Mb/s transmission.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 #: Wildcard marker in defer-table entries and patterns.
 ANY = -2

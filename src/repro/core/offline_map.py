@@ -22,7 +22,7 @@ that actually flows.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.conflict_map import InterfererEntry
 from repro.net.testbed import Testbed

@@ -67,6 +67,25 @@ def _metric_ht_rates(net: Network, result: RunResult, spec: TrialSpec) -> List[f
     return rates
 
 
+@register_metric("fanout")
+def _metric_fanout(net: Network, result: RunResult, spec: TrialSpec) -> Dict[str, float]:
+    """Mean fan-out table sizes vs the exhaustive N-1 (culling diagnostics)."""
+    census = net.medium.fanout_census()
+    attached = len(net.medium.attached_ids())
+    if not census:
+        return {"tables": 0, "attached": attached,
+                "mean_delivered": 0.0, "mean_interference_only": 0.0}
+    delivered = [d for d, _ in census.values()]
+    noise_only = [i for _, i in census.values()]
+    n = len(census)
+    return {
+        "tables": n,
+        "attached": attached,
+        "mean_delivered": sum(delivered) / n,
+        "mean_interference_only": sum(noise_only) / n,
+    }
+
+
 @register_metric("ht_stats")
 def _metric_ht_stats(net: Network, result: RunResult, spec: TrialSpec) -> List[List[float]]:
     """Per-flow [P(header), P(header or trailer)] pairs (Fig. 16)."""
@@ -109,7 +128,13 @@ def run_trial(testbed: Testbed, spec: TrialSpec) -> TrialResult:
     :class:`~repro.net.mobility.MobilityController`. Both are deterministic
     functions of (testbed, spec), so backends stay interchangeable.
     """
-    net = Network(testbed, run_seed=spec.run_seed, track_tx=spec.track_tx)
+    net = Network(
+        testbed,
+        run_seed=spec.run_seed,
+        track_tx=spec.track_tx,
+        delivery_floor_dbm=spec.delivery_floor_dbm,
+        interference_floor_dbm=spec.interference_floor_dbm,
+    )
     factory = spec.mac.build()
     first_op: Dict[int, str] = {}
     for t, op, node in sorted(spec.churn, key=lambda e: e[0]):

@@ -7,7 +7,7 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.stats import Cdf, summarize
 from repro.experiments.runners import (
@@ -21,6 +21,7 @@ from repro.experiments.runners import (
     MeshResult,
     MobilitySweepResult,
     PairCdfResult,
+    ScaleSweepResult,
     sample_median,
 )
 
@@ -174,6 +175,46 @@ def render_churn(result: ChurnSweepResult) -> str:
         "(dynamic world; 0 = static control)",
         "Mb/s",
     )
+
+
+def render_scale(result: ScaleSweepResult) -> str:
+    """The scale sweep: generated worlds under RSS-cutoff culling.
+
+    The fan-out column is the culling headline: mean receivers per frame
+    (full + interference-only entries) against the exhaustive N-1 every
+    transmission used to pay.
+    """
+    protocols: list = []
+    for c in result.cases:
+        for name in c.totals:
+            if name not in protocols:
+                protocols.append(name)
+    with_gain = "cmap" in protocols and "cs_on" in protocols
+    header = f"  {'topology':<14}{'N':>5}{'flows':>7}"
+    header += "".join(f"{p:>9}" for p in protocols)
+    if with_gain:
+        header += f"{'gain':>7}"
+    lines = [
+        "scale sweep — generated worlds, neighborhood-culled fan-out",
+        header + "   fan-out (rx+noise / N-1)",
+    ]
+    for c in result.cases:
+        medians = {p: c.median(p) for p in protocols if p in c.totals}
+        row = f"  {c.topology:<14}{c.n:>5}{c.flows:>7}"
+        row += "".join(f"{medians.get(p, 0.0):>9.2f}" for p in protocols)
+        if with_gain:
+            cs = medians.get("cs_on", 0.0)
+            gain = f"{medians.get('cmap', 0.0) / cs:.2f}x" if cs > 0 else "-"
+            row += f"{gain:>7}"
+        if c.fanout:
+            fo = (
+                f"{c.fanout['mean_delivered']:.1f}+"
+                f"{c.fanout['mean_interference_only']:.1f} / {c.n - 1}"
+            )
+        else:
+            fo = "-"
+        lines.append(row + f"   {fo}")
+    return "\n".join(lines)
 
 
 def render_bitrate_sweep(result: BitrateSweepResult) -> str:

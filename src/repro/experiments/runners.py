@@ -45,8 +45,14 @@ from repro.experiments.spec import (
     TrialSpec,
     coerce_mac,
 )
+from repro.experiments.topologies import (
+    TopologySpec,
+    build_topology,
+    default_flows_n,
+)
 from repro.net.testbed import Testbed
 from repro.phy.frames import BROADCAST
+from repro.util.rng import stable_hash
 
 
 @dataclass
@@ -60,6 +66,7 @@ class ExperimentScale:
     trials_per_n: int = 2  # AP client draws per N (paper: 10)
     mesh_topologies: int = 4  # mesh instances (paper: 10)
     ht_configs_per_n: int = 4  # Fig. 19 topologies per sender count
+    scale_ns: Tuple[int, ...] = (25, 100)  # world sizes for the scale sweep
 
     @classmethod
     def paper(cls) -> "ExperimentScale":
@@ -71,12 +78,13 @@ class ExperimentScale:
             trials_per_n=10,
             mesh_topologies=10,
             ht_configs_per_n=8,
+            scale_ns=(25, 100, 400),
         )
 
     @classmethod
     def quick(cls) -> "ExperimentScale":
         """A minutes-scale preset for CI and benchmarks."""
-        return cls()
+        return cls(scale_ns=(25, 100, 400))
 
     @classmethod
     def smoke(cls) -> "ExperimentScale":
@@ -89,6 +97,7 @@ class ExperimentScale:
             trials_per_n=1,
             mesh_topologies=2,
             ht_configs_per_n=2,
+            scale_ns=(25, 64),
         )
 
 
@@ -1058,3 +1067,174 @@ def run_mesh_dissemination(
     spec = build_mesh_dissemination(testbed, scale, seed, fanout,
                                     include_extensions)
     return run_experiment(spec, testbed, backend=backend, store=store)
+
+
+# ======================================================================
+# Scale sweep: generated worlds with RSS-cutoff neighborhood culling
+# ======================================================================
+#: Topology families the scale sweep exercises by default (all registered
+#: in repro.experiments.topologies.TOPOLOGIES).
+DEFAULT_SCALE_TOPOLOGIES: Tuple[str, ...] = (
+    "grid", "uniform", "clustered", "corridor", "hidden_cells",
+    "exposed_cells",
+)
+
+
+@dataclass
+class ScaleCaseResult:
+    """One generated world's outcome: aggregate throughput + fan-out."""
+
+    topology: str
+    n: int
+    flows: int
+    #: protocol -> aggregate throughput (Mb/s), one entry per trial seed.
+    totals: Dict[str, List[float]]
+    #: culling diagnostics from the "fanout" metric (first cmap trial, or
+    #: the first trial carrying the metric when no protocol is named
+    #: "cmap"): tables / attached / mean_delivered / mean_interference_only.
+    fanout: Dict[str, float] = field(default_factory=dict)
+
+    def median(self, protocol: str) -> float:
+        return sample_median(self.totals[protocol])
+
+
+@dataclass
+class ScaleSweepResult:
+    """The scale sweep: every (topology family, N) world's case result."""
+
+    cases: List[ScaleCaseResult]
+
+    def case(self, topology: str, n: int) -> ScaleCaseResult:
+        """Look up one case. Note cell tilings round N down to a multiple
+        of 4 at build time, so ask for the rounded value (it is what the
+        report prints)."""
+        for c in self.cases:
+            if c.topology == topology and c.n == n:
+                return c
+        available = [(c.topology, c.n) for c in self.cases]
+        raise KeyError(
+            f"no scale case {topology!r} at N={n}; available: {available}"
+        )
+
+
+def build_scale_sweep(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 1,
+    ns: Optional[Sequence[int]] = None,
+    topologies: Sequence[str] = DEFAULT_SCALE_TOPOLOGIES,
+    protocols: Optional[Dict[str, object]] = None,
+    flow_seed: int = 0,
+) -> List[Tuple[TopologySpec, Testbed, ExperimentSpec]]:
+    """Build one experiment per (topology family, N) generated world.
+
+    Each case attaches *all* N nodes (idle nodes still carrier-sense,
+    interfere, and — under CMAP — gossip interferer lists, which is exactly
+    the density cost culling bounds) and saturates a constant-density flow
+    workload. Trials run with the topology's culling floors
+    (``delivery_floor_dbm`` / ``interference_floor_dbm``), so per-frame
+    fan-out is bounded by physical neighborhood instead of N.
+
+    Returns (topology spec, its testbed, its ExperimentSpec) per case;
+    :func:`run_scale_sweep` executes them against their own testbeds —
+    unlike the paper figures, there is no single shared floor.
+    """
+    scale = scale or ExperimentScale()
+    if ns is None:
+        ns = scale.scale_ns
+    if protocols is None:
+        protocols = {
+            "cs_on": MacSpec.of("dcf", carrier_sense=True, acks=True),
+            "cmap": MacSpec.of("cmap"),
+        }
+    macs = {name: coerce_mac(m) for name, m in protocols.items()}
+    cases: List[Tuple[TopologySpec, Testbed, ExperimentSpec]] = []
+    built: set = set()
+    for topology in topologies:
+        for n in ns:
+            topo = build_topology(topology, n)
+            if (topology, topo.n) in built:
+                continue  # cell tilings round N down; skip duplicate worlds
+            built.add((topology, topo.n))
+            testbed = topo.build(seed=seed)
+            flows = topo.flows(testbed, default_flows_n(topo.n), flow_seed)
+            nodes = tuple(sorted(testbed.positions))
+            # The world digest keys persisted results to the *geometry*,
+            # not just the family label: TrialSpec fingerprints cover
+            # nodes/flows/floors but not placement params or floor sizing,
+            # so without it a store resumed after a topology-default change
+            # could serve results computed on a different world.
+            world = format(
+                stable_hash(
+                    topo.kind, topo.n, topo.area_per_node_m2, topo.aspect,
+                    topo.params, repr(topo.shadowing_sigma_db), seed,
+                ),
+                "08x",
+            )[:8]
+            trials: List[TrialSpec] = []
+            for t in range(scale.trials_per_n):
+                for name, mac in macs.items():
+                    trials.append(
+                        TrialSpec(
+                            trial_id=f"scale/{topo.label}/w{world}/t{t}/{name}",
+                            nodes=nodes,
+                            flows=flows,
+                            mac=mac,
+                            run_seed=t,
+                            duration=scale.duration,
+                            warmup=scale.warmup,
+                            metrics=("fanout",),
+                            delivery_floor_dbm=topo.delivery_floor_dbm,
+                            interference_floor_dbm=topo.interference_floor_dbm,
+                        )
+                    )
+
+            def reduce(
+                results: List[TrialResult],
+                topo=topo,
+                flows=flows,
+                names=list(macs),
+                trials_per_n=scale.trials_per_n,
+            ) -> ScaleCaseResult:
+                totals: Dict[str, List[float]] = {name: [] for name in names}
+                #: protocol -> its first trial's fanout metric.
+                by_proto: Dict[str, Dict[str, float]] = {}
+                it = iter(results)
+                for _t in range(trials_per_n):
+                    for name in names:
+                        res = next(it)
+                        totals[name].append(
+                            sum(res.mbps(s, r) for s, r in flows)
+                        )
+                        if name not in by_proto and "fanout" in res.metrics:
+                            by_proto[name] = res.metrics["fanout"]
+                # Report CMAP's census (the protocol whose gossip load the
+                # culling bounds); fall back to whichever ran first.
+                fanout = by_proto.get(
+                    "cmap", next(iter(by_proto.values())) if by_proto else {}
+                )
+                return ScaleCaseResult(
+                    topo.kind, topo.n, len(flows), totals, fanout
+                )
+
+            cases.append(
+                (topo, testbed, ExperimentSpec(f"scale/{topo.label}", trials, reduce))
+            )
+    return cases
+
+
+def run_scale_sweep(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 1,
+    ns: Optional[Sequence[int]] = None,
+    topologies: Sequence[str] = DEFAULT_SCALE_TOPOLOGIES,
+    protocols: Optional[Dict[str, object]] = None,
+    flow_seed: int = 0,
+    backend=None,
+    store: Optional[ResultStore] = None,
+) -> ScaleSweepResult:
+    cases = build_scale_sweep(scale, seed, ns, topologies, protocols, flow_seed)
+    results = [
+        run_experiment(spec, testbed, backend=backend, store=store)
+        for _topo, testbed, spec in cases
+    ]
+    return ScaleSweepResult(results)

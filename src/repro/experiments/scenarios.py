@@ -19,14 +19,13 @@ Fig. 11's constraint vocabulary (all defined in §5.1, implemented by
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.net.links import LinkTable
 from repro.net.testbed import Testbed
-from repro.util.rng import RngFactory
 
 
 class ScenarioError(RuntimeError):

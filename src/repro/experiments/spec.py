@@ -161,6 +161,13 @@ class TrialSpec:
     mobility: Optional[MobilitySpec] = None
     #: Scheduled join/leave events (empty = fixed membership).
     churn: Tuple[ChurnEvent, ...] = ()
+    #: Neighborhood culling floors (see :class:`repro.phy.medium.Medium`):
+    #: receivers below the delivery floor get interference-only fan-out
+    #: entries; below the interference floor they are culled entirely.
+    #: None (default) keeps the exhaustive fan-out -- bit-identical to
+    #: every pre-culling trial.
+    delivery_floor_dbm: Optional[float] = None
+    interference_floor_dbm: Optional[float] = None
 
     @property
     def measured_flows(self) -> Tuple[Flow, ...]:
@@ -176,24 +183,27 @@ class TrialSpec:
         Persistence keys cached trial results by (trial_id, fingerprint) so a
         resumed run never reuses a result produced under different settings.
         """
-        return format(
-            stable_hash(
-                self.nodes,
-                self.flows,
-                self.measured_flows,
-                self.mac.protocol,
-                self.mac.params,
-                self.run_seed,
-                self.duration,
-                self.warmup,
-                self.track_tx,
-                self.metrics,
-                self.payload_bytes,
-                repr(self.mobility),
-                self.churn,
-            ),
-            "016x",
-        )
+        parts = [
+            self.nodes,
+            self.flows,
+            self.measured_flows,
+            self.mac.protocol,
+            self.mac.params,
+            self.run_seed,
+            self.duration,
+            self.warmup,
+            self.track_tx,
+            self.metrics,
+            self.payload_bytes,
+            repr(self.mobility),
+            self.churn,
+        ]
+        # Appended only when set, so every pre-culling spec keeps the
+        # fingerprint it had before these fields existed (stores written by
+        # earlier versions stay resumable).
+        if self.delivery_floor_dbm is not None or self.interference_floor_dbm is not None:
+            parts.append(("floors", self.delivery_floor_dbm, self.interference_floor_dbm))
+        return format(stable_hash(*parts), "016x")
 
 
 @dataclass

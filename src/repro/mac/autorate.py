@@ -11,7 +11,7 @@ is exactly what makes it interesting around exposed/hidden terminals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.mac.dcf import DcfMac, DcfParams

@@ -47,11 +47,21 @@ class CsTuningMac(DcfMac):
 
     def start(self) -> None:
         super().start()
-        self.sim.schedule(self.params.epoch, self._adapt)
+        self._adapt_timer = self.sim.schedule(self.params.epoch, self._adapt)
+
+    def stop(self) -> None:
+        """Churn contract (MacBase.stop): cancel the epoch timer too."""
+        timer = getattr(self, "_adapt_timer", None)
+        if timer is not None:
+            timer.cancel()
+            self._adapt_timer = None
+        super().stop()
 
     # ------------------------------------------------------------------
     def _adapt(self) -> None:
-        self.sim.schedule(self.params.epoch, self._adapt)
+        if not self._started:
+            return  # stopped between the timer firing and this callback
+        self._adapt_timer = self.sim.schedule(self.params.epoch, self._adapt)
         delivered = self.stats.acks_received - self._last_epoch_acks
         self._last_epoch_acks = self.stats.acks_received
         rate = delivered / self.params.epoch

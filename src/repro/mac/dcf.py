@@ -16,7 +16,7 @@ freeze them, as the hardware is not listening before talking).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 

@@ -17,7 +17,7 @@ the confusion CMAP's conflict map resolves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.mac.dcf import DcfMac, DcfParams, _State

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.mac.rtscts import CtsFrame, RtsCtsMac, RtsCtsParams, RtsFrame
-from repro.util.units import dbm_to_mw, linear_to_db, mw_to_dbm
+from repro.util.units import dbm_to_mw, mw_to_dbm
 
 
 @dataclass

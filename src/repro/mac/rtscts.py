@@ -22,7 +22,7 @@ from typing import Optional
 
 from repro.mac.dcf import DcfMac, DcfParams, _State
 from repro.phy.frames import Frame, FrameKind, MAC_OVERHEAD_BYTES
-from repro.phy.modulation import Phy80211a, Rate, RATE_6M
+from repro.phy.modulation import Phy80211a
 
 #: 802.11 control frame sizes.
 RTS_BYTES = 20

@@ -19,13 +19,12 @@ without adding information. In-run delivery remains stochastic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
-from repro.phy.modulation import ErrorModel, Phy80211a, Rate, RATE_6M, isolated_prr
+from repro.phy.modulation import ErrorModel, Rate, RATE_6M, isolated_prr
 from repro.phy.propagation import RssMatrix
-from repro.util.units import sinr_db
 
 
 @dataclass(frozen=True)

@@ -275,8 +275,13 @@ class MobilityController:
     def _apply_step(
         self, node_id: int, pos: Position, steps: Tuple[Step, ...], idx: int
     ) -> None:
-        self.network.set_position(node_id, pos)
-        self.moves_applied += 1
+        # Dwell steps (pause legs re-emit the current position) advance
+        # time but move nothing: skip the set_position, which would pay an
+        # O(N) RSS row recompute and stale every fan-out table containing
+        # the node for a zero-distance "move".
+        if pos != self._position(node_id):
+            self.network.set_position(node_id, pos)
+            self.moves_applied += 1
         nxt = idx + 1
         if nxt < len(steps):
             self._schedule_step(node_id, steps, nxt)

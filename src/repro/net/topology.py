@@ -4,12 +4,21 @@ The paper's testbed is 50 nodes spread over one large office floor
 (Fig. 10). We generate placements with a jittered grid — office testbeds are
 roughly regular because nodes sit in offices — and partition the floor into
 the six "regions" the access-point experiment uses (§5.6).
+
+Beyond the paper's single floor, a registry of named placement generators
+(:data:`PLACEMENTS`) supplies the spatial substrates the scale experiments
+sweep over: jittered grids, uniform noise, clustered hotspots, corridors,
+and engineered hidden-/exposed-terminal cell tilings. Every generator is a
+pure function of ``(n, floor, rng)`` plus keyword knobs, so placements are
+reproducible and addressable as plain data (see
+:mod:`repro.experiments.topologies`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -108,6 +117,191 @@ def random_positions(
         )
         for i in range(n)
     }
+
+
+def clustered_positions(
+    n: int,
+    floor: FloorPlan,
+    rng: np.random.Generator,
+    clusters: int = 0,
+    spread_m: float = 18.0,
+) -> Dict[int, Position]:
+    """Place ``n`` nodes in gaussian hotspots (conference rooms, labs).
+
+    ``clusters`` of 0 picks ``~sqrt(n)`` hotspots. Cluster centres are
+    uniform on the floor (inset by ``spread_m`` so clusters keep their
+    shape at the walls); node ``i`` joins cluster ``i % clusters`` and
+    scatters around its centre with an isotropic gaussian of ``spread_m``.
+    Hotspot worlds are the best case for neighborhood culling — density is
+    local — and the worst case for carrier sense, which a whole hotspot
+    shares.
+    """
+    if n <= 0:
+        raise ValueError("need at least one node")
+    k = clusters if clusters > 0 else max(2, int(round(math.sqrt(n))))
+    inset_x = min(spread_m, floor.width_m / 4)
+    inset_y = min(spread_m, floor.height_m / 4)
+    centers = [
+        (
+            float(rng.uniform(inset_x, floor.width_m - inset_x)),
+            float(rng.uniform(inset_y, floor.height_m - inset_y)),
+        )
+        for _ in range(k)
+    ]
+    positions: Dict[int, Position] = {}
+    for i in range(n):
+        cx, cy = centers[i % k]
+        x = float(np.clip(cx + spread_m * rng.standard_normal(), 0.0, floor.width_m))
+        y = float(np.clip(cy + spread_m * rng.standard_normal(), 0.0, floor.height_m))
+        positions[i] = Position(x, y)
+    return positions
+
+
+def corridor_positions(
+    n: int,
+    floor: FloorPlan,
+    rng: np.random.Generator,
+    width_fraction: float = 0.12,
+) -> Dict[int, Position]:
+    """Place ``n`` nodes along a hallway spanning the floor's long axis.
+
+    Nodes sit at even intervals down the corridor with uniform jitter of
+    half a pitch lengthwise and ``width_fraction`` of the floor height
+    crosswise. A near-one-dimensional world maximises chains of hidden and
+    exposed terminals: every node only hears a bounded stretch of corridor.
+    """
+    if n <= 0:
+        raise ValueError("need at least one node")
+    pitch = floor.width_m / n
+    band = max(1.0, floor.height_m * width_fraction)
+    mid = floor.height_m / 2.0
+    positions: Dict[int, Position] = {}
+    for i in range(n):
+        jx = float(rng.uniform(-0.5, 0.5)) * pitch
+        x = float(np.clip((i + 0.5) * pitch + jx, 0.0, floor.width_m))
+        y = float(np.clip(mid + rng.uniform(-band / 2, band / 2), 0.0, floor.height_m))
+        positions[i] = Position(x, y)
+    return positions
+
+
+#: Node offsets of one engineered 4-node cell, in metres from the cell
+#: centre, ordered (s1, r1, s2, r2) — the flow layout
+#: ``repro.experiments.topologies`` derives per-cell flows from.
+#:
+#: Hidden cell (log-distance at the testbed defaults: 18 dBm, PL(1m) 46.7,
+#: exponent 3.3): senders 110 m apart (~ -96 dBm, below the -95 dBm
+#: carrier-sense threshold), each receiver ~45 m from its sender
+#: (~ -83 dBm, comfortably decodable) and ~65 m from the far sender
+#: (~ -88 dBm, strong enough to collide) — classic hidden terminals.
+HIDDEN_CELL_OFFSETS: Tuple[Tuple[float, float], ...] = (
+    (-55.0, 0.0),  # s1
+    (-10.0, -6.0),  # r1
+    (55.0, 0.0),  # s2
+    (10.0, 6.0),  # r2
+)
+#: Exposed cell: senders 60 m apart (~ -87 dBm — comfortably above the
+#: -95 dBm carrier-sense threshold, so each defers to the other), receivers
+#: on opposite outer flanks 20 m from their sender (~ -72 dBm strong) and
+#: 80 m from the far sender (~ -91 dBm, below sensitivity): both flows —
+#: data and the return ACKs — would succeed concurrently, carrier sense
+#: forbids it.
+EXPOSED_CELL_OFFSETS: Tuple[Tuple[float, float], ...] = (
+    (-30.0, 0.0),  # s1
+    (-50.0, 0.0),  # r1
+    (30.0, 0.0),  # s2
+    (50.0, 0.0),  # r2
+)
+
+
+def cell_positions(
+    n: int,
+    floor: FloorPlan,
+    rng: np.random.Generator,
+    offsets: Tuple[Tuple[float, float], ...],
+    jitter_m: float = 2.0,
+) -> Dict[int, Position]:
+    """Tile engineered 4-node cells over the floor (``n`` must be 4k).
+
+    Cells land on a jitter-free grid sized from the cell count and the
+    floor's aspect; each node takes its cell's offset plus a small uniform
+    jitter (``jitter_m``) so no two worlds are byte-equal. Node ids are
+    cell-major in offset order, which is what lets the scenario layer
+    derive each cell's flows without a link search.
+    """
+    cell_size = len(offsets)
+    if n <= 0 or n % cell_size:
+        raise ValueError(f"cell placements need a multiple of {cell_size} nodes")
+    cells = n // cell_size
+    aspect = floor.width_m / floor.height_m
+    cols = max(1, int(round(math.sqrt(cells * aspect))))
+    rows = max(1, int(math.ceil(cells / cols)))
+    pitch_x = floor.width_m / cols
+    pitch_y = floor.height_m / rows
+    positions: Dict[int, Position] = {}
+    for c in range(cells):
+        cx = (c % cols + 0.5) * pitch_x
+        cy = (c // cols + 0.5) * pitch_y
+        for k, (dx, dy) in enumerate(offsets):
+            jx = float(rng.uniform(-jitter_m, jitter_m))
+            jy = float(rng.uniform(-jitter_m, jitter_m))
+            positions[c * cell_size + k] = Position(
+                float(np.clip(cx + dx + jx, 0.0, floor.width_m)),
+                float(np.clip(cy + dy + jy, 0.0, floor.height_m)),
+            )
+    return positions
+
+
+def hidden_cell_positions(
+    n: int, floor: FloorPlan, rng: np.random.Generator, jitter_m: float = 2.0
+) -> Dict[int, Position]:
+    """Tile hidden-terminal cells (see :data:`HIDDEN_CELL_OFFSETS`)."""
+    return cell_positions(n, floor, rng, HIDDEN_CELL_OFFSETS, jitter_m)
+
+
+def exposed_cell_positions(
+    n: int, floor: FloorPlan, rng: np.random.Generator, jitter_m: float = 2.0
+) -> Dict[int, Position]:
+    """Tile exposed-terminal cells (see :data:`EXPOSED_CELL_OFFSETS`)."""
+    return cell_positions(n, floor, rng, EXPOSED_CELL_OFFSETS, jitter_m)
+
+
+#: placement name -> generator(n, floor, rng, **params) -> positions.
+#: String keys keep testbed configs picklable and CLI-addressable, exactly
+#: like the MAC and mobility registries.
+PLACEMENTS: Dict[str, Callable[..., Dict[int, Position]]] = {}
+
+
+def register_placement(name: str):
+    """Decorator registering a placement generator under ``name``."""
+
+    def deco(fn: Callable[..., Dict[int, Position]]):
+        PLACEMENTS[name] = fn
+        return fn
+
+    return deco
+
+
+register_placement("grid")(grid_positions)
+register_placement("uniform")(random_positions)
+register_placement("clustered")(clustered_positions)
+register_placement("corridor")(corridor_positions)
+register_placement("hidden_cells")(hidden_cell_positions)
+register_placement("exposed_cells")(exposed_cell_positions)
+
+
+def make_positions(
+    name: str,
+    n: int,
+    floor: FloorPlan,
+    rng: np.random.Generator,
+    **params,
+) -> Dict[int, Position]:
+    """Resolve a registered placement name into generated positions."""
+    if name not in PLACEMENTS:
+        raise KeyError(
+            f"unknown placement {name!r}; registered: {sorted(PLACEMENTS)}"
+        )
+    return PLACEMENTS[name](n, floor, rng, **params)
 
 
 def assign_regions(

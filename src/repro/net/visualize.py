@@ -8,7 +8,7 @@ plotting stack.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.net.testbed import Testbed
 

@@ -14,7 +14,7 @@ but saves event fan-out.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -211,11 +211,18 @@ class Network:
         radio_config: Optional[RadioConfig] = None,
         track_tx: bool = False,
         tracer=None,
+        delivery_floor_dbm: Optional[float] = None,
+        interference_floor_dbm: Optional[float] = None,
     ):
         self.testbed = testbed
         self.sim = Simulator()
         self.rngs = testbed.rngs.fork("run", run_seed)
-        self.medium = Medium(self.sim, testbed.rss)
+        self.medium = Medium(
+            self.sim,
+            testbed.rss,
+            delivery_floor_dbm=delivery_floor_dbm,
+            interference_floor_dbm=interference_floor_dbm,
+        )
         if track_tx:
             self.medium.tx_log = []
         self.tracer = tracer

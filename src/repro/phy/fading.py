@@ -17,7 +17,7 @@ so they match the in-simulation per-frame draws exactly in distribution.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import FrozenSet, Tuple
 
 from repro.phy.modulation import RATE_6M, Rate
 

@@ -32,6 +32,19 @@ time, so a node that moves or detaches mid-flight still sees that frame's
 end edge (its arrival bookkeeping stays balanced); the new geometry applies
 from the next transmission on -- the quasi-static channel assumption the
 paper's measurement-driven maps rely on (section 3.4).
+
+Neighborhood culling (large worlds): two optional RSS floors shrink the
+fan-out tables from "every attached radio" to a physical neighborhood.
+``delivery_floor_dbm`` splits included receivers into full entries (sync +
+MAC delivery) and *interference-only* entries -- energy and carrier-sense
+bookkeeping with none of the per-frame reception work; see
+:meth:`repro.phy.radio.Radio.on_interference_start`.
+``interference_floor_dbm`` drops receivers entirely, bounding per-frame
+cost by neighborhood density instead of node count. Both default to None
+(disabled), and a permissive floor below every link builds byte-identical
+tables, so all static goldens are unchanged. Culling composes with the
+geometry epochs: a move re-culls only tables the moved row actually
+touches (see :meth:`Medium.set_position`).
 """
 
 from __future__ import annotations
@@ -103,6 +116,19 @@ class Medium:
             does not retroactively touch tables already captured by frames
             in flight; new transmissions see the new values only after a
             geometry bump.
+        delivery_floor_dbm: receivers whose RSS from a transmitter is below
+            this get *interference-only* fan-out entries: their energy
+            still counts toward aggregate interference and carrier sense,
+            but they are never sync-attempted or delivered to (and no
+            per-frame fading is sampled for them -- the deterministic
+            path-loss RSS is used). None (default) disables the split; a
+            floor below every link is byte-identical to None.
+        interference_floor_dbm: receivers below this are culled from the
+            fan-out table entirely -- their aggregate-noise contribution is
+            the explicit approximation this floor trades for O(neighborhood)
+            instead of O(N) per-frame cost. Must not exceed
+            ``delivery_floor_dbm`` when both are set; None (default) falls
+            back to ``min_power_dbm``.
     """
 
     def __init__(
@@ -111,10 +137,23 @@ class Medium:
         rss: RssMatrix,
         min_power_dbm: float = -105.0,
         phy: type = Phy80211a,
+        delivery_floor_dbm: Optional[float] = None,
+        interference_floor_dbm: Optional[float] = None,
     ):
+        if (
+            delivery_floor_dbm is not None
+            and interference_floor_dbm is not None
+            and interference_floor_dbm > delivery_floor_dbm
+        ):
+            raise ValueError(
+                "interference_floor_dbm must not exceed delivery_floor_dbm "
+                f"({interference_floor_dbm} > {delivery_floor_dbm})"
+            )
         self.sim = sim
         self.rss = rss
         self.min_power_dbm = min_power_dbm
+        self.delivery_floor_dbm = delivery_floor_dbm
+        self.interference_floor_dbm = interference_floor_dbm
         self.phy = phy
         self._radios: Dict[int, "Radio"] = {}
         self._tx_seq = 0
@@ -122,6 +161,14 @@ class Medium:
         self._fanout: Dict[int, Fanout] = {}
         #: Geometry version each cached table was built at.
         self._fanout_version: Dict[int, int] = {}
+        #: Receiver ids each cached table includes (move re-cull test).
+        self._fanout_members: Dict[int, frozenset] = {}
+        #: (delivered, interference-only) sizes of each cached table,
+        #: recorded at build time (census diagnostics).
+        self._fanout_counts: Dict[int, Tuple[int, int]] = {}
+        #: Total table (re)builds -- tests assert moves don't rebuild
+        #: tables the moved row never touched.
+        self.fanout_rebuilds = 0
         #: Bumped by attach/detach/set_position; tables built at an older
         #: version are rebuilt at that transmitter's next frame.
         self._geometry_version = 0
@@ -164,8 +211,18 @@ class Medium:
         del self._radios[radio.node_id]
         self._fanout.pop(radio.node_id, None)
         self._fanout_version.pop(radio.node_id, None)
+        self._fanout_members.pop(radio.node_id, None)
+        self._fanout_counts.pop(radio.node_id, None)
         radio.detached = True
         self._geometry_version += 1  # every table may lose this receiver
+
+    def _inclusion_cutoff_dbm(self) -> float:
+        """Weakest RSS a receiver may have and still appear in a table."""
+        cutoff = self.min_power_dbm
+        ifloor = self.interference_floor_dbm
+        if ifloor is not None and ifloor > cutoff:
+            cutoff = ifloor
+        return cutoff
 
     def set_position(self, node_id: int, position: Position) -> int:
         """Move a node; returns its new position epoch.
@@ -174,6 +231,14 @@ class Medium:
         :class:`~repro.phy.propagation.DynamicRssMatrix`. The move applies
         to frames transmitted after this call; in-flight frames keep the
         gains they were launched with.
+
+        Invalidation re-culls only the moved row: the mover's own table
+        goes stale (all its gains changed), as does any table that included
+        the moved node or would include it now. A cached table whose
+        transmitter is out of range of the node both before and after the
+        move is provably unchanged (the move only touched that node's RSS
+        pairs), so it is revalidated in place -- with culling enabled,
+        distant transmitters never pay a rebuild for a local move.
         """
         rss = self.rss
         if not isinstance(rss, DynamicRssMatrix):
@@ -184,7 +249,21 @@ class Medium:
             )
         epoch = rss.set_position(node_id, position)
         self._position_epochs[node_id] = epoch
+        previous = self._geometry_version
         self._geometry_version += 1
+        current = self._geometry_version
+        cutoff = self._inclusion_cutoff_dbm()
+        get_rss = rss.get
+        members = self._fanout_members
+        for tx_id, version in self._fanout_version.items():
+            if version != previous or tx_id == node_id:
+                continue  # already stale, or the mover's own table
+            if node_id in members[tx_id]:
+                continue  # its entry carries a stale gain: rebuild lazily
+            new_rss = get_rss(tx_id, node_id)
+            if new_rss is not None and new_rss >= cutoff:
+                continue  # the node moved into range: rebuild lazily
+            self._fanout_version[tx_id] = current  # untouched; keep it
         radio = self._radios.get(node_id)
         if radio is not None:
             radio.on_position_changed()
@@ -214,23 +293,40 @@ class Medium:
         """(Re)compute one transmitter's above-cutoff receiver tables.
 
         Tables preserve attach order, so receiver callbacks run in exactly
-        the order the per-frame all-radios loop produced.
+        the order the per-frame all-radios loop produced. With a delivery
+        floor set, receivers below it get interference-only entries (same
+        table, cheaper callbacks); receivers below the inclusion cutoff are
+        culled entirely.
         """
         get_rss = self.rss.get
-        cutoff = self.min_power_dbm
+        cutoff = self._inclusion_cutoff_dbm()
+        dfloor = self.delivery_floor_dbm
         starts: List[StartEntry] = []
         ends: List[EndEntry] = []
+        members = set()
+        noise_only = 0
         for node_id, rx_radio in self._radios.items():
             if node_id == tx_id:
                 continue
             rss = get_rss(tx_id, node_id)
             if rss is None or rss < cutoff:
                 continue
-            starts.append((rx_radio.on_frame_start, rss, dbm_to_mw(rss)))
-            ends.append((rx_radio.on_frame_end, rss))
+            members.add(node_id)
+            if dfloor is not None and rss < dfloor:
+                noise_only += 1
+                starts.append(
+                    (rx_radio.on_interference_start, rss, dbm_to_mw(rss))
+                )
+                ends.append((rx_radio.on_interference_end, rss))
+            else:
+                starts.append((rx_radio.on_frame_start, rss, dbm_to_mw(rss)))
+                ends.append((rx_radio.on_frame_end, rss))
         table = (tuple(starts), tuple(ends))
         self._fanout[tx_id] = table
         self._fanout_version[tx_id] = self._geometry_version
+        self._fanout_members[tx_id] = frozenset(members)
+        self._fanout_counts[tx_id] = (len(ends) - noise_only, noise_only)
+        self.fanout_rebuilds += 1
         return table
 
     def transmit(self, radio: "Radio", frame: Frame) -> Transmission:
@@ -308,3 +404,14 @@ class Medium:
     def attached_ids(self) -> List[int]:
         """Node ids currently attached (attach order)."""
         return list(self._radios)
+
+    def fanout_census(self) -> Dict[int, Tuple[int, int]]:
+        """Per cached transmitter: (delivered, interference-only) counts.
+
+        Reports last-*built* tables: only transmitters that have ever
+        transmitted appear, and a table built before a late geometry change
+        is included as-is (possibly stale until that transmitter's next
+        frame rebuilds it). A diagnostic for culling effectiveness — scale
+        sweeps report its mean against N - 1 — not an exact live view.
+        """
+        return dict(self._fanout_counts)

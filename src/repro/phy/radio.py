@@ -100,6 +100,8 @@ class RadioStats:
     rx_mim_captures: int = 0
     #: Transmit attempts made after the radio was detached (churn): dropped.
     tx_dropped_detached: int = 0
+    #: Energy-only arrivals delivered below the medium's delivery floor.
+    interference_only_arrivals: int = 0
 
 
 class Radio:
@@ -357,6 +359,69 @@ class Radio:
         self.stats.rx_mim_captures += 1
         self._sync = Reception(tx, rss_dbm, self.sim.now, tx.end, interference)
         return True
+
+    # ------------------------------------------------------------------
+    # Interference-only receive path (below the medium's delivery floor)
+    # ------------------------------------------------------------------
+    def on_interference_start(
+        self,
+        tx: "Transmission",
+        rss_dbm: float,
+        rss_mw: Optional[float] = None,
+    ) -> None:
+        """Medium callback for an energy-only arrival.
+
+        The frame is too weak (below ``delivery_floor_dbm``) to ever be
+        synced or delivered, so this path does only the aggregate-noise
+        bookkeeping: track the arrival's power, feed carrier sense, and
+        notify any in-progress reception that its interference changed. No
+        per-frame fading is sampled -- the table's deterministic path-loss
+        RSS stands in for it -- and no reception stats beyond the
+        dedicated counter are touched.
+        """
+        if rss_mw is None:
+            rss_mw = 10.0 ** (rss_dbm / 10.0)
+        uid = tx.uid
+        sensed = self._sensed
+        state = self._state
+        was_busy = state is RadioState.TX or bool(sensed)
+        self._arrivals[uid] = rss_mw
+        self._arrivals_version += 1
+        if rss_dbm >= self.config.cs_threshold_dbm:
+            sensed.add(uid)
+        self.stats.interference_only_arrivals += 1
+        sync = self._sync
+        if sync is not None and state is not RadioState.TX:
+            sync.interference_changed(
+                self.sim.now,
+                self.interference_mw(sync.transmission.uid),
+                uid,
+            )
+        if not was_busy and sensed and self.mac is not None:
+            self.mac.on_channel_busy()
+
+    def on_interference_end(self, tx: "Transmission", rss_dbm: float) -> None:
+        uid = tx.uid
+        if self._arrivals.pop(uid, None) is not None:
+            self._arrivals_version += 1
+        sensed = self._sensed
+        was_busy = self._state is RadioState.TX or bool(sensed)
+        sensed.discard(uid)
+        sync = self._sync
+        if sync is not None:
+            # This radio can never be synced to an interference-only frame,
+            # so the end edge only updates the aggregate seen by whatever
+            # reception is in progress.
+            sync.interference_changed(
+                self.sim.now,
+                self.interference_mw(sync.transmission.uid),
+            )
+        if (
+            was_busy
+            and self.mac is not None
+            and not (sensed or self._state is RadioState.TX)
+        ):
+            self.mac.on_channel_idle()
 
     def on_frame_end(self, tx: "Transmission", rss_dbm: float) -> None:
         uid = tx.uid

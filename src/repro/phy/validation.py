@@ -12,7 +12,7 @@ calibration run (paper §5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -21,7 +21,6 @@ from repro.phy.frames import Frame
 from repro.phy.medium import Medium
 from repro.phy.radio import Radio, RadioConfig
 from repro.sim.engine import Simulator
-from repro.util.rng import RngFactory
 
 
 @dataclass

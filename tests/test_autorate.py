@@ -1,6 +1,5 @@
 """Tests for ARF rate adaptation and the conflict-map-aware rate policy."""
 
-import pytest
 
 from repro.core.cmap_mac import CmapMac
 from repro.core.conflict_map import InterfererEntry

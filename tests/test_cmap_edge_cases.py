@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.cmap_mac import CmapMac, _State
+from repro.core.cmap_mac import CmapMac
 from repro.core.params import CmapParams, LatencyProfile
 from repro.mac.base import Packet
 from repro.phy.frames import BROADCAST

@@ -1,6 +1,5 @@
 """Tests for the CMAP MAC (paper §2–§4), run over the real radio/medium."""
 
-import pytest
 
 from repro.core.cmap_mac import CmapMac, _State
 from repro.core.params import CmapParams, LatencyProfile

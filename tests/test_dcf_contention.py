@@ -1,9 +1,8 @@
 """Focused DCF contention tests: backoff freezing and deference timing."""
 
-import pytest
 
 from repro.mac.base import Packet
-from repro.mac.dcf import DcfMac, DcfParams, _State
+from repro.mac.dcf import DcfMac, DcfParams
 from repro.phy.frames import Frame
 from repro.phy.medium import Medium
 from repro.phy.modulation import Phy80211a, SinrThresholdErrorModel

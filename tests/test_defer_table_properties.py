@@ -2,7 +2,7 @@
 
 from hypothesis import given, strategies as st
 
-from repro.core.conflict_map import ANY, DeferTable, InterfererEntry
+from repro.core.conflict_map import DeferTable, InterfererEntry
 
 
 def reference_should_defer(received_lists, me, my_dst, ongoing_src, ongoing_dst):

@@ -1,8 +1,6 @@
 """Tests for the E-CSMA and CS-threshold-tuning related-work baselines."""
 
-import pytest
 
-from repro.mac.base import Packet
 from repro.mac.cs_tuning import CsTuningMac, CsTuningParams
 from repro.mac.ecsma import EcsmaMac, EcsmaParams, _BinStats
 from repro.phy.medium import Medium
@@ -157,3 +155,20 @@ class TestCsTuning:
         # The original object was never mutated.
         assert shared.cs_threshold_dbm == CsTuningParams().min_threshold_dbm or \
             shared.cs_threshold_dbm == -95.0
+
+    def test_stop_cancels_adapt_timer(self):
+        """Churn contract: a stopped tuner must not keep adapting (the
+        epoch timer self-reschedules, so stop() has to cancel it)."""
+        sim, medium, macs, sink = build(
+            EXPOSED, CsTuningMac, CsTuningParams(epoch=0.1)
+        )
+        macs[0].attach_source(SaturatedSource(dst=1))
+        for m in macs.values():
+            m.start()
+        sim.run(until=1.0)
+        moves = macs[0].threshold_moves
+        assert moves > 0
+        macs[0].stop()
+        medium.detach(macs[0].radio)
+        sim.run(until=3.0)
+        assert macs[0].threshold_moves == moves  # no zombie adaptation

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.engine import Event, Priority, Simulator
+from repro.sim.engine import Priority, Simulator
 
 
 class TestScheduling:

@@ -14,7 +14,7 @@ from repro.experiments.runners import (
     run_inrange_senders,
 )
 from repro.net.testbed import Testbed
-from repro.network import Network, cmap_factory, dcf_factory
+from repro.network import Network, cmap_factory
 
 
 @pytest.fixture(scope="module")

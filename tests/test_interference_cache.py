@@ -3,7 +3,6 @@ fresh insertion-order re-sum of the arrival set, under any sequence of
 arrivals, departures, and repeated queries."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.phy.frames import Frame

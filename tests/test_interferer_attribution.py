@@ -4,11 +4,9 @@ The receiver must charge losses to the *actual* overlapping transmitter,
 not to bystanders that transmitted at other times.
 """
 
-import pytest
 
 from repro.core.cmap_mac import CmapMac
 from repro.core.params import CmapParams, LatencyProfile
-from repro.mac.base import Packet
 from repro.phy.medium import Medium
 from repro.phy.modulation import SinrThresholdErrorModel
 from repro.phy.propagation import LogDistance, Position, RssMatrix

@@ -1,6 +1,5 @@
 """Tests for the medium's negligible-energy cutoff and fan-out behaviour."""
 
-import pytest
 
 from repro.phy.frames import Frame
 from repro.phy.medium import Medium

@@ -8,7 +8,7 @@ import pytest
 
 from repro.phy.frames import Frame
 from repro.phy.medium import Medium
-from repro.phy.modulation import NistErrorModel, SinrThresholdErrorModel
+from repro.phy.modulation import SinrThresholdErrorModel
 from repro.phy.propagation import LogDistance, Position, RssMatrix
 from repro.phy.radio import Radio, RadioConfig
 from repro.sim.engine import Simulator
@@ -113,7 +113,6 @@ class TestNoiseFloor:
 
 class TestTxPowerAsymmetry:
     def test_weaker_tx_power_shrinks_range(self):
-        sim = Simulator()
         positions = {0: Position(0, 0), 1: Position(95, 0)}
         strong = RssMatrix(LogDistance(exponent=3.3), positions, 18.0)
         weak = RssMatrix(LogDistance(exponent=3.3), positions, 3.0)

@@ -1,6 +1,5 @@
 """Unit tests for interval-based reception scoring."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.phy.frames import Frame

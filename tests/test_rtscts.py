@@ -1,6 +1,5 @@
 """Tests for the RTS/CTS virtual-carrier-sense baseline (MACA, §6)."""
 
-import pytest
 
 from repro.mac.base import Packet
 from repro.mac.rtscts import CtsFrame, RtsCtsMac, RtsCtsParams, RtsFrame

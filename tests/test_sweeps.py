@@ -1,6 +1,5 @@
 """Tests for the parameter-sweep utilities."""
 
-import pytest
 
 from repro.experiments.runners import ExperimentScale
 from repro.experiments.sweeps import (

@@ -1,0 +1,235 @@
+"""Tests for the placement registry and the topology/scenario library."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.experiments.executor import ProcessPoolBackend
+from repro.experiments.runners import (
+    DEFAULT_SCALE_TOPOLOGIES,
+    ExperimentScale,
+    build_scale_sweep,
+    run_scale_sweep,
+)
+from repro.experiments.report import render_scale
+from repro.experiments.topologies import (
+    TOPOLOGIES,
+    TopologySpec,
+    build_topology,
+    default_flows_n,
+    nearest_neighbor_flows,
+)
+from repro.net.testbed import Testbed, TestbedConfig
+from repro.net.topology import (
+    EXPOSED_CELL_OFFSETS,
+    HIDDEN_CELL_OFFSETS,
+    PLACEMENTS,
+    FloorPlan,
+    cell_positions,
+    make_positions,
+)
+
+
+FLOOR = FloorPlan(300.0, 150.0)
+
+
+def rng(seed=5):
+    return np.random.default_rng(seed)
+
+
+class TestPlacements:
+    @pytest.mark.parametrize("name", sorted(PLACEMENTS))
+    def test_generates_n_on_floor(self, name):
+        n = 24  # multiple of 4, valid for cell tilings too
+        positions = make_positions(name, n, FLOOR, rng())
+        assert sorted(positions) == list(range(n))
+        for p in positions.values():
+            assert 0.0 <= p.x <= FLOOR.width_m
+            assert 0.0 <= p.y <= FLOOR.height_m
+
+    @pytest.mark.parametrize("name", sorted(PLACEMENTS))
+    def test_deterministic_per_seed(self, name):
+        a = make_positions(name, 24, FLOOR, rng(3))
+        b = make_positions(name, 24, FLOOR, rng(3))
+        c = make_positions(name, 24, FLOOR, rng(4))
+        assert a == b
+        assert a != c
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(KeyError, match="registered"):
+            make_positions("donut", 10, FLOOR, rng())
+
+    def test_cell_placement_needs_multiple_of_four(self):
+        with pytest.raises(ValueError, match="multiple of 4"):
+            cell_positions(10, FLOOR, rng(), HIDDEN_CELL_OFFSETS)
+
+    def test_hidden_cell_geometry(self):
+        positions = cell_positions(
+            4, FloorPlan(200.0, 120.0), rng(), HIDDEN_CELL_OFFSETS, jitter_m=0.0
+        )
+        s1, r1, s2, r2 = (positions[i] for i in range(4))
+        assert s1.distance_to(s2) == pytest.approx(110.0)  # out of CS range
+        assert s1.distance_to(r1) < 50.0  # decodable data link
+        assert s2.distance_to(r2) < 50.0
+
+    def test_exposed_cell_geometry(self):
+        positions = cell_positions(
+            4, FloorPlan(200.0, 120.0), rng(), EXPOSED_CELL_OFFSETS, jitter_m=0.0
+        )
+        s1, r1, s2, r2 = (positions[i] for i in range(4))
+        assert s1.distance_to(s2) == pytest.approx(60.0)  # carrier-sensed
+        assert s1.distance_to(r1) == pytest.approx(20.0)
+        assert r1.distance_to(s2) == pytest.approx(80.0)  # cross link dead
+
+    @pytest.mark.parametrize("kind", ["hidden_cells", "exposed_cells"])
+    @pytest.mark.parametrize("n", [24, 64, 100])
+    def test_adjacent_cells_stay_outside_carrier_sense(self, kind, n):
+        """Inter-cell sender gaps must exceed the CS radius (~102 m) at
+        every rounded N, or the engineered per-cell regime is corrupted."""
+        topo = build_topology(kind, n)
+        positions = topo.build(seed=1).positions
+        senders = [4 * c + k for c in range(topo.n // 4) for k in (0, 2)]
+        gap = min(
+            positions[a].distance_to(positions[b])
+            for i, a in enumerate(senders)
+            for b in senders[i + 1 :]
+            if a // 4 != b // 4
+        )
+        assert gap > 110.0  # -95 dBm CS threshold sits at ~102 m
+
+    def test_corridor_stays_in_band(self):
+        floor = FloorPlan(400.0, 100.0)
+        positions = make_positions("corridor", 30, floor, rng())
+        ys = [p.y for p in positions.values()]
+        assert max(ys) - min(ys) <= 0.2 * floor.height_m
+
+
+class TestTopologySpec:
+    def test_constant_density_floor(self):
+        small = build_topology("uniform", 25)
+        large = build_topology("uniform", 400)
+        a_small = small.floor().width_m * small.floor().height_m / 25
+        a_large = large.floor().width_m * large.floor().height_m / 400
+        assert a_small == pytest.approx(a_large, rel=0.01)
+
+    def test_build_materializes_testbed(self):
+        topo = build_topology("clustered", 32)
+        tb = topo.build(seed=9)
+        assert isinstance(tb, Testbed)
+        assert len(tb.positions) == 32
+        assert tb.config.placement == "clustered"
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(KeyError, match="registered"):
+            build_topology("moebius", 10)
+        with pytest.raises(KeyError, match="registered"):
+            TopologySpec("moebius", 10)
+
+    def test_registry_covers_default_sweep(self):
+        for name in DEFAULT_SCALE_TOPOLOGIES:
+            assert name in TOPOLOGIES
+
+    def test_structured_flows_derived_from_layout(self):
+        topo = build_topology("hidden_cells", 16)
+        tb = topo.build(seed=1)
+        flows = topo.flows(tb, 0)
+        assert flows == ((0, 1), (2, 3), (4, 5), (6, 7), (8, 9), (10, 11),
+                         (12, 13), (14, 15))
+
+    def test_cells_round_to_multiple_of_four(self):
+        assert build_topology("hidden_cells", 25).n == 24
+        assert build_topology("exposed_cells", 7).n == 4
+
+    def test_cell_shadowing_disabled(self):
+        topo = build_topology("exposed_cells", 8)
+        assert topo.build(seed=1).config.shadowing_sigma_db == 0.0
+
+    def test_spec_pickles(self):
+        topo = build_topology("corridor", 40)
+        clone = pickle.loads(pickle.dumps(topo))
+        assert clone == topo
+
+
+class TestNearestNeighborFlows:
+    def test_disjoint_and_deterministic(self):
+        tb = build_topology("uniform", 48).build(seed=2)
+        flows = nearest_neighbor_flows(tb, 6, seed=0)
+        again = nearest_neighbor_flows(tb, 6, seed=0)
+        other = nearest_neighbor_flows(tb, 6, seed=1)
+        assert flows == again
+        assert flows != other
+        nodes = [n for f in flows for n in f]
+        assert len(nodes) == len(set(nodes)) == 12
+
+    def test_flows_use_short_links(self):
+        tb = build_topology("grid", 48).build(seed=2)
+        pitch = (48 * 784.0) ** 0.5 / 48**0.5  # ~ one grid pitch
+        for s, r in nearest_neighbor_flows(tb, 6, seed=0):
+            assert tb.positions[s].distance_to(tb.positions[r]) < 3 * pitch
+
+    def test_too_many_flows_rejected(self):
+        tb = build_topology("uniform", 8).build(seed=2)
+        with pytest.raises(ValueError):
+            nearest_neighbor_flows(tb, 5)
+
+    def test_default_flows_n(self):
+        assert default_flows_n(25) == 3
+        assert default_flows_n(400) == 50
+        assert default_flows_n(4) == 2
+
+
+class TestLazyLinks:
+    def test_links_built_on_first_access_only(self):
+        tb = Testbed(seed=3, config=TestbedConfig(num_nodes=12))
+        assert tb._links is None
+        table = tb.links
+        assert tb._links is table  # cached
+        assert table.prr(0, 1) >= 0.0
+
+    def test_default_testbed_unchanged(self):
+        # The placement registry default reproduces the paper floor.
+        a = Testbed(seed=1)
+        b = Testbed(seed=1, config=TestbedConfig())
+        assert a.positions == b.positions
+
+
+class TestScaleSweep:
+    TINY = ExperimentScale(
+        configs=1, duration=2.0, warmup=0.5, trials_per_n=1, scale_ns=(12,)
+    )
+
+    def test_build_produces_floored_picklable_trials(self):
+        cases = build_scale_sweep(self.TINY, topologies=("grid", "hidden_cells"))
+        assert len(cases) == 2
+        for topo, testbed, spec in cases:
+            assert len(testbed.positions) == topo.n
+            for trial in spec.trials:
+                assert trial.delivery_floor_dbm == topo.delivery_floor_dbm
+                assert trial.interference_floor_dbm == topo.interference_floor_dbm
+                assert trial.nodes == tuple(sorted(testbed.positions))
+                clone = pickle.loads(pickle.dumps(trial))
+                assert clone == trial
+
+    def test_run_and_render(self):
+        result = run_scale_sweep(self.TINY, topologies=("grid",))
+        case = result.case("grid", 12)
+        assert case.flows == 2
+        assert case.fanout["attached"] == 12
+        assert case.median("cmap") > 0.0
+        assert case.median("cs_on") > 0.0
+        text = render_scale(result)
+        assert "grid" in text and "fan-out" in text
+
+    def test_serial_matches_pool(self):
+        serial = run_scale_sweep(self.TINY, topologies=("exposed_cells",))
+        pooled = run_scale_sweep(
+            self.TINY,
+            topologies=("exposed_cells",),
+            backend=ProcessPoolBackend(jobs=2),
+        )
+        assert serial.cases[0].totals == pooled.cases[0].totals
+
+    def test_smoke_scale_has_ns(self):
+        assert ExperimentScale.smoke().scale_ns == (25, 64)
+        assert ExperimentScale.paper().scale_ns == (25, 100, 400)

@@ -1,6 +1,5 @@
 """Tests for the structured tracer and its MAC integration."""
 
-import pytest
 
 from repro.net.testbed import Testbed, TestbedConfig
 from repro.net.topology import FloorPlan

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.mac.base import Packet
 from repro.traffic.generators import (
     BatchSource,
     CbrSource,

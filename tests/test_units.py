@@ -1,6 +1,5 @@
 """Unit tests for dB/power arithmetic."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -38,7 +38,7 @@ class TestSingleLink:
 
     def test_gray_link_within_binomial_noise(self, testbed):
         links = testbed.links
-        ls = min(links.all_links(), key=lambda l: abs(l.prr - 0.5))
+        ls = min(links.all_links(), key=lambda ls: abs(ls.prr - 0.5))
         v = measure_link_prr(testbed, ls.src, ls.dst, frames=600)
         # 4 sigma of a binomial proportion at n=600.
         sigma = math.sqrt(ls.prr * (1 - ls.prr) / 600)
