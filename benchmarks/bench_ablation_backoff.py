@@ -22,7 +22,11 @@ def _sweep(testbed, scale):
         "cmap_no_backoff": cmap_factory(CmapParams(l_backoff=1.0)),
     }
     return run_pair_cdf_experiment(
-        "ablation_backoff", testbed, configs, protocols, scale,
+        "ablation_backoff",
+        testbed,
+        configs,
+        protocols,
+        scale,
         track_cmap_concurrency=False,
     )
 

@@ -28,7 +28,11 @@ def _sweep(testbed, scale):
         "two_hop": cmap_factory(CmapParams(two_hop_ilist=True)),
     }
     return run_pair_cdf_experiment(
-        "ablation_extensions", testbed, configs, protocols, scale,
+        "ablation_extensions",
+        testbed,
+        configs,
+        protocols,
+        scale,
         track_cmap_concurrency=False,
     )
 

@@ -31,7 +31,11 @@ def _sweep(testbed, scale):
         ),
     }
     return run_pair_cdf_experiment(
-        "ablation_latency", testbed, configs, protocols, scale,
+        "ablation_latency",
+        testbed,
+        configs,
+        protocols,
+        scale,
         track_cmap_concurrency=False,
     )
 

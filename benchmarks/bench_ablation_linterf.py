@@ -23,7 +23,11 @@ def _sweep(testbed, scale):
         for t in (0.1, 0.5, 0.9)
     }
     return run_pair_cdf_experiment(
-        "ablation_linterf", testbed, configs, protocols, scale,
+        "ablation_linterf",
+        testbed,
+        configs,
+        protocols,
+        scale,
         track_cmap_concurrency=False,
     )
 

@@ -15,12 +15,15 @@ from repro.experiments.spec import MacSpec
 
 def _sweep(testbed, scale, backend):
     configs = find_exposed_terminal_configs(testbed, scale.configs)
-    protocols = {
-        f"cmap_w{w}": MacSpec.of("cmap", nwindow=w) for w in (1, 2, 4, 8)
-    }
+    protocols = {f"cmap_w{w}": MacSpec.of("cmap", nwindow=w) for w in (1, 2, 4, 8)}
     return run_pair_cdf_experiment(
-        "ablation_window", testbed, configs, protocols, scale,
-        track_cmap_concurrency=False, backend=backend,
+        "ablation_window",
+        testbed,
+        configs,
+        protocols,
+        scale,
+        track_cmap_concurrency=False,
+        backend=backend,
     )
 
 

@@ -11,8 +11,9 @@ from repro.experiments.runners import run_single_link_calibration
 
 
 def test_single_link_calibration(benchmark, testbed, scale, backend):
-    result = run_once(benchmark, run_single_link_calibration, testbed, scale,
-                      backend=backend)
+    result = run_once(
+        benchmark, run_single_link_calibration, testbed, scale, backend=backend
+    )
     print()
     print(render_calibration(result))
     benchmark.extra_info["cmap_mbps"] = round(result.cmap_mbps, 3)

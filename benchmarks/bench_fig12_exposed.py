@@ -12,8 +12,7 @@ from repro.experiments.runners import run_exposed_terminals
 
 
 def test_fig12_exposed_terminals(benchmark, testbed, scale, backend):
-    result = run_once(benchmark, run_exposed_terminals, testbed, scale,
-                      backend=backend)
+    result = run_once(benchmark, run_exposed_terminals, testbed, scale, backend=backend)
     print()
     print(render_pair_cdf(result, "Fig. 12 — exposed terminals"))
     gain = result.gain_over("cmap", "cs_on")

@@ -13,8 +13,7 @@ from repro.experiments.runners import run_inrange_senders
 
 
 def test_fig13_inrange_senders(benchmark, testbed, scale, backend):
-    result = run_once(benchmark, run_inrange_senders, testbed, scale,
-                      backend=backend)
+    result = run_once(benchmark, run_inrange_senders, testbed, scale, backend=backend)
     print()
     print(render_pair_cdf(result, "Fig. 13 — senders in range"))
     benchmark.extra_info["cmap_median"] = round(result.median("cmap"), 2)

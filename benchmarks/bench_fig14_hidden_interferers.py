@@ -13,8 +13,9 @@ from repro.experiments.runners import run_hidden_interferer_scatter
 
 
 def test_fig14_hidden_interferers(benchmark, testbed, scale, backend):
-    result = run_once(benchmark, run_hidden_interferer_scatter, testbed, scale,
-                      backend=backend)
+    result = run_once(
+        benchmark, run_hidden_interferer_scatter, testbed, scale, backend=backend
+    )
     print()
     print(render_hidden_interferer(result))
     benchmark.extra_info.update(

@@ -12,8 +12,7 @@ from repro.experiments.runners import run_hidden_terminals
 
 
 def test_fig15_hidden_terminals(benchmark, testbed, scale, backend):
-    result = run_once(benchmark, run_hidden_terminals, testbed, scale,
-                      backend=backend)
+    result = run_once(benchmark, run_hidden_terminals, testbed, scale, backend=backend)
     print()
     print(render_pair_cdf(result, "Fig. 15 — hidden terminals"))
     benchmark.extra_info["cmap_median"] = round(result.median("cmap"), 2)

@@ -14,8 +14,9 @@ from repro.experiments.runners import run_header_trailer_cdf
 
 
 def test_fig16_header_or_trailer(benchmark, testbed, scale, backend):
-    result = run_once(benchmark, run_header_trailer_cdf, testbed, scale,
-                      backend=backend)
+    result = run_once(
+        benchmark, run_header_trailer_cdf, testbed, scale, backend=backend
+    )
     print()
     print(render_ht_cdf(result))
     either_med = summarize(result.inrange_either).median

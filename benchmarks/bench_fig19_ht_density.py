@@ -13,16 +13,13 @@ from repro.experiments.runners import run_header_trailer_density
 
 
 def test_fig19_ht_density(benchmark, testbed, scale, backend):
-    result = run_once(benchmark, run_header_trailer_density, testbed, scale,
-                      backend=backend)
+    result = run_once(
+        benchmark, run_header_trailer_density, testbed, scale, backend=backend
+    )
     print()
     print(render_ht_density(result))
-    medians = {
-        n: summarize(v).median for n, v in result.rates_by_n.items() if v
-    }
-    benchmark.extra_info["medians_by_n"] = {
-        n: round(m, 2) for n, m in medians.items()
-    }
+    medians = {n: summarize(v).median for n, v in result.rates_by_n.items() if v}
+    benchmark.extra_info["medians_by_n"] = {n: round(m, 2) for n, m in medians.items()}
     assert medians, "no data collected"
     # Median stays serviceable even at the highest sender counts measured.
     n_max = max(medians)

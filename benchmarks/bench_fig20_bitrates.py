@@ -12,16 +12,13 @@ from repro.experiments.runners import run_bitrate_sweep
 
 
 def test_fig20_bitrate_sweep(benchmark, testbed, scale, backend):
-    result = run_once(benchmark, run_bitrate_sweep, testbed, scale,
-                      backend=backend)
+    result = run_once(benchmark, run_bitrate_sweep, testbed, scale, backend=backend)
     print()
     print(render_bitrate_sweep(result))
     gains = {
         mbps: sub.gain_over("cmap", "cs_on") for mbps, sub in result.by_rate.items()
     }
-    benchmark.extra_info["gains_by_rate"] = {
-        m: round(g, 2) for m, g in gains.items()
-    }
+    benchmark.extra_info["gains_by_rate"] = {m: round(g, 2) for m, g in gains.items()}
     # CMAP keeps an advantage at every rate measured.
     for mbps, gain in gains.items():
         assert gain > 1.0, f"no CMAP gain at {mbps} Mb/s ({gain:.2f}x)"

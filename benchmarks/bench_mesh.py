@@ -13,8 +13,12 @@ from repro.experiments.runners import run_mesh_dissemination
 
 def test_mesh_dissemination(benchmark, testbed, scale, backend):
     result = run_once(
-        benchmark, run_mesh_dissemination, testbed, scale,
-        include_extensions=True, backend=backend,
+        benchmark,
+        run_mesh_dissemination,
+        testbed,
+        scale,
+        include_extensions=True,
+        backend=backend,
     )
     print()
     print(render_mesh(result))

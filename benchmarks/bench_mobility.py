@@ -13,8 +13,7 @@ from repro.experiments.runners import run_churn_sweep, run_mobility_sweep
 
 
 def test_mobility_sweep(benchmark, testbed, scale, backend):
-    result = run_once(benchmark, run_mobility_sweep, testbed, scale,
-                      backend=backend)
+    result = run_once(benchmark, run_mobility_sweep, testbed, scale, backend=backend)
     print()
     print(render_mobility(result))
     static_cmap = result.median(result.speeds[0], "cmap")
@@ -29,8 +28,7 @@ def test_mobility_sweep(benchmark, testbed, scale, backend):
 
 
 def test_churn_sweep(benchmark, testbed, scale, backend):
-    result = run_once(benchmark, run_churn_sweep, testbed, scale,
-                      backend=backend)
+    result = run_once(benchmark, run_churn_sweep, testbed, scale, backend=backend)
     print()
     print(render_churn(result))
     no_churn = result.median(result.periods[0], "cmap")

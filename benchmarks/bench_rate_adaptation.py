@@ -39,9 +39,7 @@ def _sweep(testbed, scale):
             params=DcfParams(carrier_sense=True, acks=True, data_rate=rate18)
         ),
         "arf": arf_factory(ArfParams(carrier_sense=True, acks=True)),
-        "cmap@18": cmap_factory(
-            CmapParams(data_rate=rate18, control_rate=RATE_6M)
-        ),
+        "cmap@18": cmap_factory(CmapParams(data_rate=rate18, control_rate=RATE_6M)),
         "cmap@18+adapt": cmap_factory(
             CmapParams(
                 data_rate=rate18,
@@ -52,7 +50,11 @@ def _sweep(testbed, scale):
         ),
     }
     return run_pair_cdf_experiment(
-        "rate_adaptation", testbed, configs, protocols, scale,
+        "rate_adaptation",
+        testbed,
+        configs,
+        protocols,
+        scale,
         track_cmap_concurrency=False,
     )
 

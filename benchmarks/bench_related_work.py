@@ -38,7 +38,11 @@ def _lineup(testbed, scale):
         "cmap": cmap_factory(),
     }
     return run_pair_cdf_experiment(
-        "related_work", testbed, configs, protocols, scale,
+        "related_work",
+        testbed,
+        configs,
+        protocols,
+        scale,
         track_cmap_concurrency=False,
     )
 

@@ -27,7 +27,11 @@ def _exposed(testbed, scale):
         "cmap": cmap_factory(),
     }
     return run_pair_cdf_experiment(
-        "rtscts_exposed", testbed, configs, protocols, scale,
+        "rtscts_exposed",
+        testbed,
+        configs,
+        protocols,
+        scale,
         track_cmap_concurrency=False,
     )
 
@@ -40,7 +44,11 @@ def _hidden(testbed, scale):
         "cmap": cmap_factory(),
     }
     return run_pair_cdf_experiment(
-        "rtscts_hidden", testbed, configs, protocols, scale,
+        "rtscts_hidden",
+        testbed,
+        configs,
+        protocols,
+        scale,
         track_cmap_concurrency=False,
     )
 

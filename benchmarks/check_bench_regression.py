@@ -4,7 +4,7 @@ Compares the figures in a freshly emitted BENCH_*.json (from
 ``python -m repro.cli bench``) against a committed baseline and exits
 non-zero when any figure's events/s falls more than ``--tolerance`` below
 it. The tolerance absorbs hosted-runner speed variance (see the workflow
-comment where the 25% figure is documented); a real hot-path regression
+comment where the 15% figure is documented); a real hot-path regression
 shows up as a much larger, persistent drop.
 
 Usage::
@@ -12,7 +12,7 @@ Usage::
     python benchmarks/check_bench_regression.py \
         --bench "bench-out/BENCH_*.json" \
         --baseline benchmarks/BENCH_baseline_ci.json \
-        --tolerance 0.25
+        --tolerance 0.15
 
 ``--bench`` accepts a glob; the newest match is checked.
 """
@@ -46,8 +46,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--tolerance",
         type=float,
-        default=0.25,
-        help="allowed fractional events/s drop (default 0.25)",
+        default=0.15,
+        help="allowed fractional events/s drop (default 0.15)",
     )
     args = parser.parse_args(argv)
 

@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli scale --scale smoke --jobs 2
     python -m repro.cli bench --scale smoke
     python -m repro.cli bench --scale smoke --figures fig12,mobility --out-dir bench
+    python -m repro.cli profile --scale smoke
+    python -m repro.cli profile --scale smoke --figures fig12 --out-dir prof
 
 Figures print the same rows/series the paper reports (see EXPERIMENTS.md
 for the side-by-side record). ``--scale`` trades fidelity for wall time;
@@ -227,6 +229,45 @@ def run_bench(args, figures) -> int:
     return 0
 
 
+def run_profile(args, figures) -> int:
+    """cProfile figure regenerations and emit a PROFILE_*.json breakdown.
+
+    Serial backend for the same reason as bench: worker processes would
+    execute their events outside the profiler. Profiling is observational
+    — outputs stay bit-identical — so the attribution describes exactly
+    the run the goldens pin.
+    """
+    names = [f.strip() for f in args.figures.split(",") if f.strip()]
+    if not names:
+        raise SystemExit(
+            f"--figures named no figures; pick from {sorted(figures)}"
+        )
+    for name in names:
+        if name not in figures:
+            raise SystemExit(
+                f"unknown figure {name!r}; pick from {sorted(figures)}"
+            )
+    testbed = Testbed(seed=args.seed)
+    testbed.links  # setup cost, not attributed to the profiled figure
+    scale = _scale(args.scale)
+    backend = SerialBackend()
+
+    profiles = []
+    for name in names:
+        print(f"=== profile {name} (scale={args.scale}, seed={args.seed}) ===")
+        profile = perf.profile_figure(
+            name,
+            lambda n=name: figures[n](testbed, scale, backend, None),
+        )
+        print(perf.format_profile_table(profile))
+        profiles.append(profile)
+
+    payload = perf.profile_payload(profiles, args.scale, args.seed)
+    path = perf.write_profile_file(payload, args.out_dir)
+    print(f"[wrote {path}]")
+    return 0
+
+
 def main(argv=None) -> int:
     figures = _figures()
     parser = argparse.ArgumentParser(
@@ -235,8 +276,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=sorted(figures) + ["census", "map", "all", "bench"],
-        help="figure to regenerate, census/map/all, or bench",
+        choices=sorted(figures) + ["census", "map", "all", "bench", "profile"],
+        help="figure to regenerate, census/map/all, bench, or profile",
     )
     parser.add_argument("--scale", default="smoke",
                         help="smoke | quick | paper (default smoke)")
@@ -252,11 +293,11 @@ def main(argv=None) -> int:
     parser.add_argument("--regions", action="store_true",
                         help="with 'map': draw the §5.6 region boundaries")
     parser.add_argument("--figures", default="fig12",
-                        help="with 'bench': comma-separated figures to time "
-                             "(default fig12)")
+                        help="with 'bench'/'profile': comma-separated "
+                             "figures to measure (default fig12)")
     parser.add_argument("--out-dir", default=".",
-                        help="with 'bench': directory for the emitted "
-                             "BENCH_*.json (default cwd)")
+                        help="with 'bench'/'profile': directory for the "
+                             "emitted BENCH_*/PROFILE_*.json (default cwd)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="with 'bench': time each figure N times and "
                              "report the fastest (default 1)")
@@ -270,6 +311,9 @@ def main(argv=None) -> int:
 
     if args.target == "bench":
         return run_bench(args, figures)
+
+    if args.target == "profile":
+        return run_profile(args, figures)
 
     testbed = Testbed(seed=args.seed)
 

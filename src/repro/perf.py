@@ -16,16 +16,24 @@ core. This module provides:
 * :func:`write_bench_file` / :func:`load_bench_file` — persist ``BENCH_*.json``
   trajectory points (wall seconds, events, events/sec, trials/sec) and
   compare against a recorded baseline.
+* :func:`profile_figure` / :func:`write_profile_file` — cProfile one figure
+  run and aggregate time **by subsystem layer** (engine / medium / radio /
+  reception / fading / mac / experiments, ...), emitting a
+  ``PROFILE_*.json`` attribution breakdown so every perf PR starts from
+  measurement instead of guesswork (``python -m repro.cli profile``).
 
 The numbers are observational: nothing here changes scheduling, RNG
 consumption, or float arithmetic, so instrumented runs stay bit-identical
-to uninstrumented ones.
+to uninstrumented ones (profiling adds wall-clock overhead, never a
+different result).
 """
 
 from __future__ import annotations
 
+import cProfile
 import json
 import os
+import pstats
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
@@ -33,6 +41,20 @@ from typing import Callable, Dict, List, Optional
 
 #: Schema tag written into every BENCH file, bumped on layout changes.
 BENCH_SCHEMA = 1
+
+#: Schema tag written into every PROFILE file, bumped on layout changes.
+PROFILE_SCHEMA = 1
+
+#: Layers every PROFILE payload must report (CI asserts these keys exist).
+REQUIRED_LAYERS = (
+    "engine",
+    "medium",
+    "radio",
+    "reception",
+    "fading",
+    "mac",
+    "experiments",
+)
 
 #: Default location of the recorded baseline (committed to the repo so the
 #: perf trajectory has a fixed origin to compare against).
@@ -186,7 +208,9 @@ def bench_payload(
     return payload
 
 
-def write_bench_file(payload: dict, out_dir: str = ".", name: Optional[str] = None) -> str:
+def write_bench_file(
+    payload: dict, out_dir: str = ".", name: Optional[str] = None
+) -> str:
     """Write a ``BENCH_*.json`` file and return its path."""
     if name is None:
         stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
@@ -207,7 +231,192 @@ def load_bench_file(path: str) -> Optional[dict]:
         return json.load(fh)
 
 
-def format_bench_table(figures: List[FigureBench], speedups: Optional[Dict[str, float]] = None) -> str:
+# ----------------------------------------------------------------------
+# Subsystem profiler (cli profile)
+# ----------------------------------------------------------------------
+#: Module-path fragment -> layer name; first match wins, so more specific
+#: fragments come first. Paths use "/" after normalisation.
+_LAYER_PATTERNS = (
+    ("repro/sim/", "engine"),
+    ("repro/phy/medium", "medium"),
+    ("repro/phy/radio", "radio"),
+    ("repro/phy/reception", "reception"),
+    ("repro/phy/modulation", "reception"),  # BER/chunk scoring
+    ("repro/phy/fading", "fading"),
+    ("repro/phy/", "phy_other"),
+    ("repro/mac/", "mac"),
+    ("repro/core/", "mac"),  # CMAP conflict-map machinery
+    ("repro/experiments/", "experiments"),
+    ("repro/analysis/", "experiments"),
+    ("repro/net/", "network"),
+    ("repro/traffic/", "network"),
+    ("repro/network", "network"),
+    ("repro/node", "network"),
+    ("repro/util/", "util"),
+)
+
+
+def classify_layer(filename: str) -> Optional[str]:
+    """Map a profiled function's filename to a subsystem layer.
+
+    Returns None for functions outside the repro package (numpy, stdlib,
+    builtins); their time is attributed to the repro layer that *called*
+    them when the call graph allows, else to ``other``.
+    """
+    normalized = filename.replace(os.sep, "/")
+    for fragment, layer in _LAYER_PATTERNS:
+        if fragment in normalized:
+            return layer
+    return None
+
+
+def _function_label(func_key) -> str:
+    filename, lineno, name = func_key
+    if filename in ("~", ""):
+        return name  # builtins print as "<built-in method ...>"
+    return f"{os.path.basename(filename)}:{lineno}({name})"
+
+
+def profile_figure(name: str, fn: Callable[[], object]) -> dict:
+    """Run ``fn`` under cProfile and attribute time by subsystem layer.
+
+    Per layer the payload reports *self* seconds (exclusive time of the
+    layer's own functions), *called* seconds (time spent inside non-repro
+    callees — numpy RNG draws, math transcendentals — attributed to the
+    repro layer that called them via the profiler's caller edges), their
+    sum, the fraction of total profiled time, and the layer's costliest
+    functions. Self/called seconds partition the total, so fractions sum
+    to ~1.0 across layers plus the ``other`` bucket.
+    """
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    wall = time.perf_counter() - t0
+    stats = pstats.Stats(profiler).stats
+
+    layers: Dict[str, dict] = {}
+
+    def bucket(layer: str) -> dict:
+        entry = layers.get(layer)
+        if entry is None:
+            entry = layers[layer] = {
+                "self_seconds": 0.0,
+                "called_seconds": 0.0,
+                "calls": 0,
+                "top": [],
+            }
+        return entry
+
+    total = 0.0
+    for func_key, (cc, nc, tt, ct, callers) in stats.items():
+        total += tt
+        layer = classify_layer(func_key[0])
+        if layer is not None:
+            entry = bucket(layer)
+            entry["self_seconds"] += tt
+            entry["calls"] += nc
+            entry["top"].append((tt, _function_label(func_key)))
+            continue
+        # External function (numpy/stdlib/builtin): attribute its exclusive
+        # time to the repro layers that called it, using the per-caller
+        # edge times cProfile records. Edges from non-repro callers fall
+        # into "other".
+        if not callers:
+            bucket("other")["self_seconds"] += tt
+            continue
+        edge_total = 0.0
+        for caller_key, (ecc, enc, ett, ect) in callers.items():
+            edge_total += ett
+            caller_layer = classify_layer(caller_key[0]) or "other"
+            entry = bucket(caller_layer)
+            entry["called_seconds"] += ett
+            entry["top"].append(
+                (ett, f"{_function_label(func_key)} <- {_function_label(caller_key)}")
+            )
+        # Edge times can undercount tt (recursion, bootstrap frames); keep
+        # the remainder visible instead of silently dropping it.
+        if tt - edge_total > 0.0:
+            bucket("other")["self_seconds"] += tt - edge_total
+
+    for required in REQUIRED_LAYERS:
+        bucket(required)
+    for layer, entry in layers.items():
+        entry["seconds"] = entry["self_seconds"] + entry["called_seconds"]
+        entry["fraction"] = entry["seconds"] / total if total > 0 else 0.0
+        entry["top"] = [
+            {"seconds": round(seconds, 4), "function": label}
+            for seconds, label in sorted(entry["top"], reverse=True)[:5]
+            if seconds > 0.0
+        ]
+        entry["self_seconds"] = round(entry["self_seconds"], 4)
+        entry["called_seconds"] = round(entry["called_seconds"], 4)
+        entry["seconds"] = round(entry["seconds"], 4)
+        entry["fraction"] = round(entry["fraction"], 4)
+
+    return {
+        "figure": name,
+        "wall_seconds": round(wall, 3),
+        "profiled_seconds": round(total, 3),
+        "layers": layers,
+    }
+
+
+def profile_payload(profiles: List[dict], scale: str, seed: int) -> dict:
+    """Assemble the JSON payload for one profiling session."""
+    return {
+        "schema": PROFILE_SCHEMA,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": scale,
+        "seed": seed,
+        "figures": {p["figure"]: p for p in profiles},
+    }
+
+
+def write_profile_file(
+    payload: dict, out_dir: str = ".", name: Optional[str] = None
+) -> str:
+    """Write a ``PROFILE_*.json`` file and return its path."""
+    if name is None:
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        name = f"PROFILE_{payload['scale']}_{stamp}.json"
+    path = os.path.join(out_dir, name)
+    os.makedirs(out_dir, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def format_profile_table(profile: dict) -> str:
+    """Human-readable per-layer breakdown printed by ``cli profile``."""
+    lines = [
+        f"{profile['figure']}: {profile['wall_seconds']:.2f}s wall, "
+        f"{profile['profiled_seconds']:.2f}s profiled",
+        f"  {'layer':<12} {'self s':>8} {'called s':>9} {'total s':>8} "
+        f"{'frac':>6}",
+    ]
+    ordered = sorted(
+        profile["layers"].items(),
+        key=lambda item: item[1]["seconds"],
+        reverse=True,
+    )
+    for layer, entry in ordered:
+        lines.append(
+            f"  {layer:<12} {entry['self_seconds']:>8.2f} "
+            f"{entry['called_seconds']:>9.2f} {entry['seconds']:>8.2f} "
+            f"{entry['fraction']:>5.1%}"
+        )
+        if entry["top"]:
+            hot = entry["top"][0]
+            lines.append(f"    hottest: {hot['function']} ({hot['seconds']}s)")
+    return "\n".join(lines)
+
+
+def format_bench_table(
+    figures: List[FigureBench], speedups: Optional[Dict[str, float]] = None
+) -> str:
     """Human-readable summary printed by ``repro.cli bench``."""
     lines = [
         f"{'figure':<12} {'wall s':>8} {'events':>10} {'events/s':>10} "

@@ -7,16 +7,25 @@ timescales, so frames arrive at all receivers at the instant transmission
 starts; event priorities guarantee ends process before same-instant starts,
 which back-to-back virtual-packet frames rely on.
 
-Hot-path layout: per-transmitter fan-out tables -- ``(radio, rss_dbm,
-rss_mw)`` for every receiver above ``min_power_dbm`` -- are cached behind a
-*geometry version*: each table is built lazily at that transmitter's next
-frame and reused until the geometry changes. Any :meth:`Medium.attach`,
-:meth:`Medium.detach`, or :meth:`Medium.set_position` bumps the version, so
-only transmitters that actually transmit after a change pay an O(receivers)
-rebuild -- the selective per-transmitter invalidation a time-varying world
-needs -- while a static world builds each table exactly once, degenerating
-to the old freeze-at-first-transmit fast path (same tables, same receiver
-order, bit-identical outputs).
+Hot-path layout: per-transmitter fan-out tables are *columnar* — a
+metadata column of ``(callback, rss_dbm, rss_mw)`` entries for
+introspection, plus bare callback columns the delivery loops iterate.
+Each callback is a **build-time-specialized closure** minted by the
+receiver's :meth:`repro.phy.radio.Radio.bind_start_entry` /
+``bind_end_entry`` (or the interference-only variants): the table knows
+the receiver's config and the entry's static RSS when it is built, so
+threshold comparisons, fade-sampler resolution, and config/noise lookups
+are folded into the closure instead of re-branching per frame. Tables are
+cached behind a *geometry version*: each is built lazily at that
+transmitter's next frame and reused until the geometry changes. Any
+:meth:`Medium.attach`, :meth:`Medium.detach`, :meth:`Medium.set_position`,
+or radio-config reassignment (:meth:`Medium.on_radio_config_changed`)
+bumps the version, so only transmitters that actually transmit after a
+change pay an O(receivers) rebuild -- the selective per-transmitter
+invalidation a time-varying world needs -- while a static world builds
+each table exactly once, degenerating to the old freeze-at-first-transmit
+fast path (same callbacks in the same receiver order, bit-identical
+outputs).
 
 Each frame schedules exactly two heap events: one delivering
 ``on_frame_start`` to every receiver in table order, one delivering every
@@ -94,12 +103,16 @@ class Transmission:
         )
 
 
-#: Per-transmitter fan-out: two parallel tables over the same receivers --
-#: (on_frame_start, rss_dbm, rss_mw) entries and (on_frame_end, rss_dbm)
-#: entries, in attach order.
+#: Per-transmitter fan-out metadata: two parallel tables over the same
+#: receivers -- (start_callback, rss_dbm, rss_mw) entries and
+#: (end_callback, rss_dbm) entries, in attach order. The callbacks are the
+#: specialized single-argument closures the delivery loops call; the RSS
+#: columns exist for diagnostics and tests.
 StartEntry = Tuple[Callable, float, float]
 EndEntry = Tuple[Callable, float]
 Fanout = Tuple[Tuple[StartEntry, ...], Tuple[EndEntry, ...]]
+#: The bare callback columns ``transmit`` iterates: (start_fns, end_fns).
+FanoutFns = Tuple[Tuple[Callable, ...], Tuple[Callable, ...]]
 
 
 class Medium:
@@ -131,6 +144,31 @@ class Medium:
             back to ``min_power_dbm``.
     """
 
+    #: Slotted for per-frame attribute speed in transmit()/_deliver_ends;
+    #: ``__dict__`` stays available for ad-hoc instrumentation.
+    __slots__ = (
+        "sim",
+        "rss",
+        "min_power_dbm",
+        "delivery_floor_dbm",
+        "interference_floor_dbm",
+        "phy",
+        "_radios",
+        "_tx_seq",
+        "_fanout_fns",
+        "_fanout_version",
+        "_fanout_members",
+        "_fanout_counts",
+        "fanout_rebuilds",
+        "_geometry_version",
+        "_position_epochs",
+        "_airtimes",
+        "active",
+        "total_transmissions",
+        "tx_log",
+        "__dict__",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -157,8 +195,11 @@ class Medium:
         self.phy = phy
         self._radios: Dict[int, "Radio"] = {}
         self._tx_seq = 0
-        #: Per-transmitter receiver tables, rebuilt lazily when stale.
-        self._fanout: Dict[int, Fanout] = {}
+        #: Per-transmitter callback columns (attach order), rebuilt lazily
+        #: when stale. Only the bare callbacks are retained; the metadata
+        #: view ((fn, rss_dbm, rss_mw) entries) is returned by
+        #: :meth:`_build_tx_fanout` for tests/diagnostics, not stored.
+        self._fanout_fns: Dict[int, FanoutFns] = {}
         #: Geometry version each cached table was built at.
         self._fanout_version: Dict[int, int] = {}
         #: Receiver ids each cached table includes (move re-cull test).
@@ -209,7 +250,7 @@ class Medium:
         if self._radios.get(radio.node_id) is not radio:
             raise ValueError(f"radio for node {radio.node_id} is not attached")
         del self._radios[radio.node_id]
-        self._fanout.pop(radio.node_id, None)
+        self._fanout_fns.pop(radio.node_id, None)
         self._fanout_version.pop(radio.node_id, None)
         self._fanout_members.pop(radio.node_id, None)
         self._fanout_counts.pop(radio.node_id, None)
@@ -269,9 +310,22 @@ class Medium:
             radio.on_position_changed()
         return epoch
 
+    def on_radio_config_changed(self, node_id: int) -> None:
+        """A radio's config was reassigned: kill every specialized table.
+
+        Fan-out entries compile threshold comparisons and fade samplers
+        from the receiver's config at build time
+        (:meth:`repro.phy.radio.Radio.bind_start_entry`), so a config swap
+        invalidates exactly where fan-out tables already invalidate: the
+        geometry version. Every table that might include the radio rebuilds
+        lazily at its transmitter's next frame, the same contract as
+        :meth:`attach`/:meth:`detach`.
+        """
+        self._geometry_version += 1
+
     @property
     def geometry_version(self) -> int:
-        """Total geometry mutations (attach/detach/move) so far."""
+        """Total geometry mutations (attach/detach/move/config) so far."""
         return self._geometry_version
 
     def position_epoch(self, node_id: int) -> int:
@@ -293,10 +347,14 @@ class Medium:
         """(Re)compute one transmitter's above-cutoff receiver tables.
 
         Tables preserve attach order, so receiver callbacks run in exactly
-        the order the per-frame all-radios loop produced. With a delivery
-        floor set, receivers below it get interference-only entries (same
-        table, cheaper callbacks); receivers below the inclusion cutoff are
-        culled entirely.
+        the order the per-frame all-radios loop produced. Each entry binds
+        a closure specialized to the receiver's config and the entry's
+        static RSS (see ``Radio.bind_*_entry``); the closures are rebuilt
+        with the table, so a geometry or config change can never leave a
+        stale specialization behind. With a delivery floor set, receivers
+        below it get interference-only entries (same table, cheaper
+        callbacks); receivers below the inclusion cutoff are culled
+        entirely.
         """
         get_rss = self.rss.get
         cutoff = self._inclusion_cutoff_dbm()
@@ -312,17 +370,21 @@ class Medium:
             if rss is None or rss < cutoff:
                 continue
             members.add(node_id)
+            rss_mw = dbm_to_mw(rss)
             if dfloor is not None and rss < dfloor:
                 noise_only += 1
-                starts.append(
-                    (rx_radio.on_interference_start, rss, dbm_to_mw(rss))
-                )
-                ends.append((rx_radio.on_interference_end, rss))
+                start_fn = rx_radio.bind_interference_start_entry(rss, rss_mw)
+                end_fn = rx_radio.bind_interference_end_entry()
             else:
-                starts.append((rx_radio.on_frame_start, rss, dbm_to_mw(rss)))
-                ends.append((rx_radio.on_frame_end, rss))
+                start_fn = rx_radio.bind_start_entry(tx_id, rss, rss_mw)
+                end_fn = rx_radio.bind_end_entry(rss)
+            starts.append((start_fn, rss, rss_mw))
+            ends.append((end_fn, rss))
         table = (tuple(starts), tuple(ends))
-        self._fanout[tx_id] = table
+        self._fanout_fns[tx_id] = (
+            tuple(entry[0] for entry in starts),
+            tuple(entry[0] for entry in ends),
+        )
         self._fanout_version[tx_id] = self._geometry_version
         self._fanout_members[tx_id] = frozenset(members)
         self._fanout_counts[tx_id] = (len(ends) - noise_only, noise_only)
@@ -337,7 +399,14 @@ class Medium:
         """
         sim = self.sim
         now = sim.now
-        airtime = self.airtime(frame)
+        # Inlined airtime memo (identical key and fill as self.airtime).
+        rate = frame.rate
+        key = (frame.size_bytes, rate.mbps, rate.bits_per_symbol)
+        airtime = self._airtimes.get(key)
+        if airtime is None:
+            airtime = self._airtimes[key] = self.phy.airtime(
+                frame.size_bytes, rate
+            )
         tx = Transmission(frame, radio.node_id, now, now + airtime, self._tx_seq)
         self._tx_seq += 1
         self.total_transmissions += 1
@@ -347,52 +416,44 @@ class Medium:
 
         tx_id = radio.node_id
         if self._fanout_version.get(tx_id) != self._geometry_version:
-            starts, ends = self._build_tx_fanout(tx_id)
-        else:
-            starts, ends = self._fanout[tx_id]
+            self._build_tx_fanout(tx_id)
+        start_fns, end_fns = self._fanout_fns[tx_id]
         start_fn = None
-        if starts:
-            if not sim.pending_at_now():
-                # No event is pending at this instant, so nothing could have
-                # run between this transmit and its start batch: deliver the
-                # starts inline instead of round-tripping through the heap.
-                # Safe because start callbacks never schedule events, create
-                # frames, or touch state outside their own radio/MAC (the
-                # same invariant the batched start event relies on). The
-                # begin/end pair enforces the scheduling part loudly: the
-                # armed engine guard rejects any same-instant
-                # sub-FRAME_START schedule until sim-time advances
-                # (including by the transmitting MAC after transmit()
-                # returns), and the heap-depth check rejects future-time
-                # schedules from inside the callbacks.
-                token = sim.begin_inline_fanout()
-                for on_start, rss_dbm, rss_mw in starts:
-                    on_start(tx, rss_dbm, rss_mw)
-                sim.end_inline_fanout(token, len(starts))
-            else:
+        if start_fns:
+            # When no event is pending at this instant, nothing could have
+            # run between this transmit and its start batch: the engine
+            # delivers the starts inline instead of round-tripping through
+            # the heap (~92% of frames). Safe because start callbacks never
+            # schedule events, create frames, or touch state outside their
+            # own radio/MAC — the engine's armed guard and heap-depth check
+            # enforce the scheduling part loudly (see
+            # Simulator.deliver_fanout_inline).
+            if not sim.deliver_fanout_inline(start_fns, tx):
                 start_fn = self._deliver_starts
         sim.schedule_fanout(
             airtime,
             start_fn,
-            (tx, starts),
+            (tx, start_fns),
             self._deliver_ends,
-            (radio, tx, ends),
+            (radio, tx, end_fns),
         )
         return tx
 
-    def _deliver_starts(self, tx: Transmission, starts: Tuple[StartEntry, ...]) -> None:
-        for on_start, rss_dbm, rss_mw in starts:
-            on_start(tx, rss_dbm, rss_mw)
-        self.sim.credit_events(len(starts) - 1)
+    def _deliver_starts(
+        self, tx: Transmission, start_fns: Tuple[Callable, ...]
+    ) -> None:
+        for on_start in start_fns:
+            on_start(tx)
+        self.sim.credit_events(len(start_fns) - 1)
 
     def _deliver_ends(
-        self, radio: "Radio", tx: Transmission, ends: Tuple[EndEntry, ...]
+        self, radio: "Radio", tx: Transmission, end_fns: Tuple[Callable, ...]
     ) -> None:
-        for on_end, rss_dbm in ends:
-            on_end(tx, rss_dbm)
+        for on_end in end_fns:
+            on_end(tx)
         self.active.pop(tx.uid, None)
         radio.on_own_tx_end(tx)
-        self.sim.credit_events(len(ends))
+        self.sim.credit_events(len(end_fns))
 
     def active_transmissions(self) -> List[Transmission]:
         """Snapshot of in-flight transmissions (tests, stats)."""

@@ -19,11 +19,23 @@ some in-flight frame's RSS is at or above ``cs_threshold_dbm`` or the radio
 itself is transmitting. Busy/idle edges are reported to the MAC for DCF
 backoff freezing.
 
-Aggregate interference is cached behind an arrivals-version counter: any
-mutation of the arrival set bumps the version, and a stale cache is rebuilt
-with the exact insertion-order summation loop (never incremental adds or
-subtracts), so float rounding — and the golden-float experiment outputs —
-cannot drift.
+Aggregate interference is an *incremental insertion-order fold*: the cached
+value is exactly the left-to-right sum over the arrival dict, so appending
+an arrival may extend it as ``cached + rss_mw`` (identical terms, identical
+order — the fold a fresh re-sum would produce). A removal invalidates the
+fold and the next query re-runs the full insertion-order loop; nothing is
+ever subtracted, so float rounding — and the golden-float experiment
+outputs — cannot drift. A second fold tracks the one exclusion the hot path
+ever asks for (the currently-synced frame's uid).
+
+The medium's fan-out tables bind *specialized* per-receiver callbacks via
+the ``bind_*_entry`` factories below: threshold comparisons against this
+radio's config and the pair's fade sampler are resolved once at table-build
+time, collapsing :meth:`on_frame_start`'s per-call branch cascade into
+straight-line code. The generic ``on_*`` methods remain the reference
+implementation (and the entry point for tests); reassigning
+:attr:`Radio.config` invalidates every table containing the radio, so
+specializations can never outlive the config they were compiled from.
 """
 
 from __future__ import annotations
@@ -107,6 +119,35 @@ class RadioStats:
 class Radio:
     """One node's radio front-end."""
 
+    #: Slotted for hot-path attribute speed (every arrival touches the
+    #: fold/state fields several times). ``__dict__`` stays available so
+    #: tests can still monkeypatch bound methods (e.g. ``radio.transmit``).
+    __slots__ = (
+        "sim",
+        "node_id",
+        "rng",
+        "medium",
+        "mac",
+        "detached",
+        "stats",
+        "_config",
+        "_noise_mw",
+        "_state",
+        "_current_tx",
+        "_sync",
+        "_arrivals",
+        "_sensed",
+        "_agg_total",
+        "_agg_valid",
+        "_excl_uid",
+        "_excl_total",
+        "_excl_valid",
+        "_fade_samplers",
+        "_sampler_model",
+        "_rng_random",
+        "__dict__",
+    )
+
     def __init__(
         self,
         sim: "Simulator",
@@ -116,8 +157,9 @@ class Radio:
     ):
         self.sim = sim
         self.node_id = node_id
-        self.config = config
         self.rng = rng
+        #: Bound draw method (the finalize path's per-delivery coin flip).
+        self._rng_random = rng.random
         self.medium: Optional["Medium"] = None
         self.mac = None  # set by the MAC when it attaches
         #: Set by Medium.detach (churn): future transmits become drops while
@@ -125,6 +167,7 @@ class Radio:
         self.detached = False
         self.stats = RadioStats()
 
+        self._config = config
         self._noise_mw = dbm_to_mw(config.noise_dbm)
         self._state = RadioState.IDLE
         self._current_tx: Optional["Transmission"] = None
@@ -133,15 +176,49 @@ class Radio:
         self._arrivals: Dict[int, float] = {}
         #: uids of arrivals at/above the carrier-sense threshold.
         self._sensed: set = set()
-        #: Bumped on every arrival-set mutation; stale caches are discarded.
-        self._arrivals_version = 0
-        #: excluding_uid -> aggregate mW, valid only at _cache_version.
-        self._interference_cache: Dict[Optional[int], float] = {}
-        self._cache_version = -1
+        #: Incremental insertion-order folds over the arrival set. The
+        #: total fold is the left-to-right sum of ``_arrivals.values()``;
+        #: the exclusion fold tracks the same sum minus the single uid the
+        #: hot path excludes (the synced frame). Appends extend a valid
+        #: fold; removals invalidate it (the next query re-sums).
+        self._agg_total = 0.0
+        self._agg_valid = False
+        self._excl_uid: Optional[int] = None
+        self._excl_total = 0.0
+        self._excl_valid = False
         #: tx_node -> pair-specialised fade sampler (see FadingModel); the
         #: model the samplers came from, so a swapped model resets them.
         self._fade_samplers: Dict[int, Callable] = {}
         self._sampler_model: Optional[FadingModel] = None
+
+    # ------------------------------------------------------------------
+    # Config lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> RadioConfig:
+        return self._config
+
+    @config.setter
+    def config(self, config: RadioConfig) -> None:
+        """Swap the radio's config and invalidate derived state.
+
+        Fan-out tables bind threshold comparisons and fade samplers from
+        the config at build time (see ``bind_*_entry``), so a runtime swap
+        — e.g. :class:`repro.mac.cs_tuning.CsTuningMac` hill-climbing
+        ``cs_threshold_dbm`` — must invalidate every table that includes
+        this radio. The medium's geometry version is the single
+        invalidation point fan-out tables already honour. Like a position
+        move (determinism rule 5), the swap applies to frames transmitted
+        *after* it: a frame captures its receiver callbacks at
+        ``transmit()``, so its edges are evaluated under the config the
+        frame left the antenna with, even if the swap lands at the same
+        instant.
+        """
+        self._config = config
+        self._noise_mw = dbm_to_mw(config.noise_dbm)
+        medium = self.medium
+        if medium is not None:
+            medium.on_radio_config_changed(self.node_id)
 
     # ------------------------------------------------------------------
     # State queries
@@ -161,32 +238,54 @@ class Radio:
     def interference_mw(self, excluding_uid: Optional[int] = None) -> float:
         """Aggregate received power from in-flight frames, in milliwatts.
 
-        Cached per ``(arrivals version, excluding_uid)``. A miss re-sums the
-        arrival set in insertion order — the identical loop the uncached
-        implementation ran — so the cached value is bit-identical to a fresh
-        computation.
+        Served from the incremental insertion-order folds when they are
+        valid; a miss re-sums the arrival set in insertion order — the
+        identical loop the uncached implementation ran — so the returned
+        value is always bit-identical to a fresh computation. Excluding a
+        uid that is not an in-flight arrival sums the same terms in the
+        same order as the total, so it is served from the total fold.
         """
         arrivals = self._arrivals
-        n = len(arrivals)
-        if n == 0:
+        if not arrivals:
             return 0.0
-        if n == 1:
-            # Degenerate re-sum: one term or none (no cache bookkeeping).
-            for uid, rss_mw in arrivals.items():
-                return 0.0 if uid == excluding_uid else 0.0 + rss_mw
-        version = self._arrivals_version
-        cache = self._interference_cache
-        if self._cache_version != version:
-            cache.clear()
-            self._cache_version = version
-        elif excluding_uid in cache:
-            return cache[excluding_uid]
+        if excluding_uid is None or excluding_uid not in arrivals:
+            if self._agg_valid:
+                return self._agg_total
+            total = 0.0
+            for rss_mw in arrivals.values():
+                total += rss_mw
+            self._agg_total = total
+            self._agg_valid = True
+            return total
+        if self._excl_valid and excluding_uid == self._excl_uid:
+            return self._excl_total
         total = 0.0
         for uid, rss_mw in arrivals.items():
             if uid != excluding_uid:
                 total += rss_mw
-        cache[excluding_uid] = total
+        self._excl_uid = excluding_uid
+        self._excl_total = total
+        self._excl_valid = True
         return total
+
+    def _append_arrival(self, uid: int, rss_mw: float) -> None:
+        """Insert an arrival and extend any valid fold (rule-2-safe).
+
+        The new uid lands *last* in the dict's insertion order, so
+        ``fold + rss_mw`` is exactly the left-to-right re-sum of the
+        post-insertion arrival set: identical terms, identical order.
+        """
+        self._arrivals[uid] = rss_mw
+        if self._agg_valid:
+            self._agg_total += rss_mw
+        if self._excl_valid and uid != self._excl_uid:
+            self._excl_total += rss_mw
+
+    def _remove_arrival(self, uid: int) -> None:
+        """Drop an arrival; folds die (a removal forces a full re-sum)."""
+        if self._arrivals.pop(uid, None) is not None:
+            self._agg_valid = False
+            self._excl_valid = False
 
     # ------------------------------------------------------------------
     # Geometry (dynamic world)
@@ -207,11 +306,13 @@ class Radio:
 
         In-flight arrivals keep the RSS they were launched with (the frame
         left the antenna under the old geometry), so the re-summed
-        interference is value-identical; the bump simply guarantees nothing
-        keyed to the old geometry outlives the move. Pair fade samplers are
-        keyed by node identity, not position (like shadowing), and survive.
+        interference is value-identical; invalidating the folds simply
+        guarantees nothing keyed to the old geometry outlives the move.
+        Pair fade samplers are keyed by node identity, not position (like
+        shadowing), and survive.
         """
-        self._arrivals_version += 1
+        self._agg_valid = False
+        self._excl_valid = False
 
     # ------------------------------------------------------------------
     # Transmit path
@@ -251,8 +352,26 @@ class Radio:
             self.mac.on_tx_complete(tx.frame)
 
     # ------------------------------------------------------------------
-    # Receive path (medium callbacks)
+    # Receive path (medium callbacks; reference implementation)
     # ------------------------------------------------------------------
+    def _sampler_for(self, tx_node: int) -> Callable:
+        """The pair's fade sampler, cached across table rebuilds.
+
+        Resolution consumes no RNG (samplers bind generator methods; the
+        quenched LOS/NLOS class has its own hash-seeded stream), so it is
+        safe at both per-frame time and table-build time.
+        """
+        fading = self._config.fading
+        if fading is not self._sampler_model:
+            self._fade_samplers = {}
+            self._sampler_model = fading
+        sampler = self._fade_samplers.get(tx_node)
+        if sampler is None:
+            sampler = self._fade_samplers[tx_node] = fading.pair_sampler(
+                tx_node, self.node_id, self.rng
+            )
+        return sampler
+
     def on_frame_start(
         self,
         tx: "Transmission",
@@ -265,19 +384,9 @@ class Radio:
         ``rss_dbm``; with fading active the faded RSS is converted here
         instead.
         """
-        config = self.config
-        fading = config.fading
-        if fading is not None:
-            if fading is not self._sampler_model:
-                self._fade_samplers = {}
-                self._sampler_model = fading
-            tx_node = tx.tx_node
-            sampler = self._fade_samplers.get(tx_node)
-            if sampler is None:
-                sampler = self._fade_samplers[tx_node] = fading.pair_sampler(
-                    tx_node, self.node_id, self.rng
-                )
-            rss_dbm = rss_dbm + sampler()
+        config = self._config
+        if config.fading is not None:
+            rss_dbm = rss_dbm + self._sampler_for(tx.tx_node)()
             rss_mw = 10.0 ** (rss_dbm / 10.0)  # == dbm_to_mw(rss_dbm)
         elif rss_mw is None:
             rss_mw = 10.0 ** (rss_dbm / 10.0)
@@ -299,10 +408,7 @@ class Radio:
             elif rss_dbm >= config.sensitivity_dbm:
                 prior = self.interference_mw()  # idle-radio sync attempt
 
-        # The single arrival-insertion point (version bump invalidates the
-        # interference cache; keep the three statements together).
-        self._arrivals[uid] = rss_mw
-        self._arrivals_version += 1
+        self._append_arrival(uid, rss_mw)
         if rss_dbm >= config.cs_threshold_dbm:
             sensed.add(uid)
 
@@ -333,7 +439,7 @@ class Radio:
                 self.stats.sync_missed_capture += 1
             else:
                 self._sync = Reception(
-                    tx, rss_dbm, self.sim.now, tx.end, prior
+                    tx, rss_dbm, self.sim.now, tx.end, prior, rss_mw
                 )
                 self._state = RadioState.RX
 
@@ -350,14 +456,16 @@ class Radio:
         preamble (the caller already has the sum in hand; it also performed
         the mim_capture/sensitivity precheck).
         """
-        cfg = self.config
+        cfg = self._config
         ratio = rss_mw / (interference + self._noise_mw)
         # Inlined linear_to_db (identical arithmetic and floor).
         preamble_sinr = 10.0 * _log10(ratio) if ratio > 0.0 else -400.0
         if preamble_sinr < cfg.capture_sinr_db + cfg.mim_extra_db:
             return False
         self.stats.rx_mim_captures += 1
-        self._sync = Reception(tx, rss_dbm, self.sim.now, tx.end, interference)
+        self._sync = Reception(
+            tx, rss_dbm, self.sim.now, tx.end, interference, rss_mw
+        )
         return True
 
     # ------------------------------------------------------------------
@@ -385,9 +493,8 @@ class Radio:
         sensed = self._sensed
         state = self._state
         was_busy = state is RadioState.TX or bool(sensed)
-        self._arrivals[uid] = rss_mw
-        self._arrivals_version += 1
-        if rss_dbm >= self.config.cs_threshold_dbm:
+        self._append_arrival(uid, rss_mw)
+        if rss_dbm >= self._config.cs_threshold_dbm:
             sensed.add(uid)
         self.stats.interference_only_arrivals += 1
         sync = self._sync
@@ -402,8 +509,7 @@ class Radio:
 
     def on_interference_end(self, tx: "Transmission", rss_dbm: float) -> None:
         uid = tx.uid
-        if self._arrivals.pop(uid, None) is not None:
-            self._arrivals_version += 1
+        self._remove_arrival(uid)
         sensed = self._sensed
         was_busy = self._state is RadioState.TX or bool(sensed)
         sensed.discard(uid)
@@ -425,8 +531,7 @@ class Radio:
 
     def on_frame_end(self, tx: "Transmission", rss_dbm: float) -> None:
         uid = tx.uid
-        if self._arrivals.pop(uid, None) is not None:
-            self._arrivals_version += 1
+        self._remove_arrival(uid)
         sensed = self._sensed
         was_busy = self._state is RadioState.TX or bool(sensed)
         sensed.discard(uid)
@@ -454,12 +559,325 @@ class Radio:
         if self._state is not RadioState.TX:
             self._state = RadioState.IDLE
         prob = reception.success_probability(
-            self.config.error_model, self._noise_mw
+            self._config.error_model, self._noise_mw
         )
-        ok = bool(self.rng.random() < prob)
+        ok = bool(self._rng_random() < prob)
         if ok:
             self.stats.delivered_ok += 1
         else:
             self.stats.delivered_corrupt += 1
         if self.mac is not None:
             self.mac.on_frame_received(reception.transmission.frame, ok, reception)
+
+    # ------------------------------------------------------------------
+    # Build-time-specialized fan-out entries
+    # ------------------------------------------------------------------
+    # The medium calls these factories while (re)building a transmitter's
+    # fan-out table. Each returned closure replays the matching generic
+    # method exactly — same branches taken, same arithmetic, same RNG
+    # consumption — with everything the table knows already resolved:
+    # threshold comparisons against a static RSS become build-time
+    # booleans, the pair's fade sampler is bound once, and config/noise
+    # lookups become closure constants. The closures die with the table
+    # (geometry version bump or config reassignment), so they can never
+    # observe a config they were not compiled from. Inner functions keep
+    # the generic method's __name__ so table introspection (tests, census
+    # tooling) still classifies entries by callback name.
+
+    def bind_start_entry(
+        self, tx_node: int, rss_dbm: float, rss_mw: float
+    ) -> Callable[["Transmission"], None]:
+        """Specialized full-delivery frame-start callback for one entry."""
+        cfg = self._config
+        if cfg.fading is not None:
+            return self._bind_faded_start(tx_node, rss_dbm)
+        senses = rss_dbm >= cfg.cs_threshold_dbm
+        syncable = rss_dbm >= cfg.sensitivity_dbm
+        mim_ok = cfg.mim_capture and syncable
+        capture_db = cfg.capture_sinr_db
+        mim_db = cfg.capture_sinr_db + cfg.mim_extra_db
+        noise_mw = self._noise_mw
+        arrivals = self._arrivals
+        sensed = self._sensed
+        stats = self.stats
+        sim = self.sim
+        TX = RadioState.TX
+        RX = RadioState.RX
+
+        def on_frame_start(tx: "Transmission") -> None:
+            state = self._state
+            sync = self._sync
+            was_busy = state is TX or bool(sensed)
+            # Inlined interference_mw fast path: a valid fold IS the
+            # insertion-order sum the call would return.
+            prior = None
+            if state is not TX:
+                if sync is not None:
+                    if mim_ok:
+                        prior = (
+                            self._agg_total
+                            if self._agg_valid
+                            else self.interference_mw()
+                        )
+                elif syncable:
+                    prior = (
+                        self._agg_total
+                        if self._agg_valid
+                        else self.interference_mw()
+                    )
+            uid = tx.uid
+            arrivals[uid] = rss_mw
+            if self._agg_valid:
+                self._agg_total += rss_mw
+            if self._excl_valid and uid != self._excl_uid:
+                self._excl_total += rss_mw
+            if senses:
+                sensed.add(uid)
+            if state is TX:
+                stats.sync_missed_busy_tx += 1
+                return
+            if sync is not None:
+                if prior is not None:
+                    # Inlined _mim_capture_attempt (identical arithmetic).
+                    ratio = rss_mw / (prior + noise_mw)
+                    sinr = 10.0 * _log10(ratio) if ratio > 0.0 else -400.0
+                    if sinr >= mim_db:
+                        stats.rx_mim_captures += 1
+                        self._sync = Reception(
+                            tx, rss_dbm, sim.now, tx.end, prior, rss_mw
+                        )
+                        return
+                suid = sync.transmission.uid
+                sync.interference_changed(
+                    sim.now,
+                    self._excl_total
+                    if self._excl_valid and self._excl_uid == suid
+                    else self.interference_mw(suid),
+                    uid,
+                )
+                stats.sync_missed_busy_rx += 1
+            elif not syncable:
+                stats.sync_missed_weak += 1
+            else:
+                ratio = rss_mw / (prior + noise_mw)
+                sinr = 10.0 * _log10(ratio) if ratio > 0.0 else -400.0
+                if sinr < capture_db:
+                    stats.sync_missed_capture += 1
+                else:
+                    self._sync = Reception(
+                        tx, rss_dbm, sim.now, tx.end, prior, rss_mw
+                    )
+                    self._state = RX
+            if not was_busy and sensed and self.mac is not None:
+                self.mac.on_channel_busy()
+
+        return on_frame_start
+
+    def _bind_faded_start(
+        self, tx_node: int, base_rss_dbm: float
+    ) -> Callable[["Transmission"], None]:
+        """Faded variant: sampler bound at build time, comparisons live.
+
+        The fade draw happens first — exactly where the generic method
+        draws — so RNG consumption order is unchanged; the faded RSS then
+        drives the same threshold comparisons the generic method makes.
+        """
+        cfg = self._config
+        sampler = self._sampler_for(tx_node)
+        cs_db = cfg.cs_threshold_dbm
+        sens_db = cfg.sensitivity_dbm
+        mim_capture = cfg.mim_capture
+        capture_db = cfg.capture_sinr_db
+        mim_db = cfg.capture_sinr_db + cfg.mim_extra_db
+        noise_mw = self._noise_mw
+        arrivals = self._arrivals
+        sensed = self._sensed
+        stats = self.stats
+        sim = self.sim
+        TX = RadioState.TX
+        RX = RadioState.RX
+
+        def on_frame_start(tx: "Transmission") -> None:
+            rss_dbm = base_rss_dbm + sampler()
+            rss_mw = 10.0 ** (rss_dbm / 10.0)  # == dbm_to_mw(rss_dbm)
+            state = self._state
+            sync = self._sync
+            was_busy = state is TX or bool(sensed)
+            syncable = rss_dbm >= sens_db
+            prior = None
+            if state is not TX:
+                if sync is not None:
+                    if mim_capture and syncable:
+                        prior = (
+                            self._agg_total
+                            if self._agg_valid
+                            else self.interference_mw()
+                        )
+                elif syncable:
+                    prior = (
+                        self._agg_total
+                        if self._agg_valid
+                        else self.interference_mw()
+                    )
+            uid = tx.uid
+            arrivals[uid] = rss_mw
+            if self._agg_valid:
+                self._agg_total += rss_mw
+            if self._excl_valid and uid != self._excl_uid:
+                self._excl_total += rss_mw
+            if rss_dbm >= cs_db:
+                sensed.add(uid)
+            if state is TX:
+                stats.sync_missed_busy_tx += 1
+                return
+            if sync is not None:
+                if prior is not None:
+                    ratio = rss_mw / (prior + noise_mw)
+                    sinr = 10.0 * _log10(ratio) if ratio > 0.0 else -400.0
+                    if sinr >= mim_db:
+                        stats.rx_mim_captures += 1
+                        self._sync = Reception(
+                            tx, rss_dbm, sim.now, tx.end, prior, rss_mw
+                        )
+                        return
+                suid = sync.transmission.uid
+                sync.interference_changed(
+                    sim.now,
+                    self._excl_total
+                    if self._excl_valid and self._excl_uid == suid
+                    else self.interference_mw(suid),
+                    uid,
+                )
+                stats.sync_missed_busy_rx += 1
+            elif not syncable:
+                stats.sync_missed_weak += 1
+            else:
+                ratio = rss_mw / (prior + noise_mw)
+                sinr = 10.0 * _log10(ratio) if ratio > 0.0 else -400.0
+                if sinr < capture_db:
+                    stats.sync_missed_capture += 1
+                else:
+                    self._sync = Reception(
+                        tx, rss_dbm, sim.now, tx.end, prior, rss_mw
+                    )
+                    self._state = RX
+            if not was_busy and sensed and self.mac is not None:
+                self.mac.on_channel_busy()
+
+        return on_frame_start
+
+    def bind_interference_start_entry(
+        self, rss_dbm: float, rss_mw: float
+    ) -> Callable[["Transmission"], None]:
+        """Specialized energy-only frame-start callback for one entry."""
+        senses = rss_dbm >= self._config.cs_threshold_dbm
+        arrivals = self._arrivals
+        sensed = self._sensed
+        stats = self.stats
+        sim = self.sim
+        TX = RadioState.TX
+
+        def on_interference_start(tx: "Transmission") -> None:
+            uid = tx.uid
+            state = self._state
+            was_busy = state is TX or bool(sensed)
+            arrivals[uid] = rss_mw
+            if self._agg_valid:
+                self._agg_total += rss_mw
+            if self._excl_valid and uid != self._excl_uid:
+                self._excl_total += rss_mw
+            if senses:
+                sensed.add(uid)
+            stats.interference_only_arrivals += 1
+            sync = self._sync
+            if sync is not None and state is not TX:
+                suid = sync.transmission.uid
+                sync.interference_changed(
+                    sim.now,
+                    self._excl_total
+                    if self._excl_valid and self._excl_uid == suid
+                    else self.interference_mw(suid),
+                    uid,
+                )
+            if not was_busy and sensed and self.mac is not None:
+                self.mac.on_channel_busy()
+
+        return on_interference_start
+
+    def bind_end_entry(
+        self, rss_dbm: float
+    ) -> Callable[["Transmission"], None]:
+        """Specialized full-delivery frame-end callback for one entry."""
+        arrivals = self._arrivals
+        sensed = self._sensed
+        sim = self.sim
+        TX = RadioState.TX
+
+        def on_frame_end(tx: "Transmission") -> None:
+            uid = tx.uid
+            # Inlined _remove_arrival: a removal kills both folds.
+            if arrivals.pop(uid, None) is not None:
+                self._agg_valid = False
+                self._excl_valid = False
+            was_busy = self._state is TX or bool(sensed)
+            sensed.discard(uid)
+            sync = self._sync
+            if sync is not None:
+                if sync.transmission is tx:
+                    self._finalize_reception(rss_dbm)
+                else:
+                    # Inlined interference_mw(suid): the removal above
+                    # invalidated the folds, so this is always the full
+                    # insertion-order re-sum (and it re-arms the slot).
+                    suid = sync.transmission.uid
+                    total = 0.0
+                    for auid, mw in arrivals.items():
+                        if auid != suid:
+                            total += mw
+                    self._excl_uid = suid
+                    self._excl_total = total
+                    self._excl_valid = True
+                    sync.interference_changed(sim.now, total)
+            if (
+                was_busy
+                and self.mac is not None
+                and not (sensed or self._state is TX)
+            ):
+                self.mac.on_channel_idle()
+
+        return on_frame_end
+
+    def bind_interference_end_entry(self) -> Callable[["Transmission"], None]:
+        """Specialized energy-only frame-end callback for one entry."""
+        arrivals = self._arrivals
+        sensed = self._sensed
+        sim = self.sim
+        TX = RadioState.TX
+
+        def on_interference_end(tx: "Transmission") -> None:
+            uid = tx.uid
+            if arrivals.pop(uid, None) is not None:
+                self._agg_valid = False
+                self._excl_valid = False
+            was_busy = self._state is TX or bool(sensed)
+            sensed.discard(uid)
+            sync = self._sync
+            if sync is not None:
+                # Inlined post-removal re-sum; see bind_end_entry.
+                suid = sync.transmission.uid
+                total = 0.0
+                for auid, mw in arrivals.items():
+                    if auid != suid:
+                        total += mw
+                self._excl_uid = suid
+                self._excl_total = total
+                self._excl_valid = True
+                sync.interference_changed(sim.now, total)
+            if (
+                was_busy
+                and self.mac is not None
+                and not (sensed or self._state is TX)
+            ):
+                self.mac.on_channel_idle()
+
+        return on_interference_end

@@ -9,6 +9,12 @@ product is the delivery probability. This interval model is what makes
 dies, while the short header/trailer frames around it usually survive —
 the enabling observation of the conflict map (paper Fig. 5).
 
+Change-points are stored *columnar* — two parallel flat lists
+(``_times``, ``_interference``) instead of a list of tuples — so the
+scoring loop indexes floats directly with no per-interval tuple
+allocation or unpacking, and a running peak makes :meth:`min_sinr_db`
+O(1) instead of a history re-scan.
+
 Scoring memoises per-chunk results on the error model, keyed by the exact
 ``(signal/(interference+noise) ratio, rate, bits)`` triple, so repeated
 identical-interference intervals skip the ``linear_to_db``/``chunk_success``
@@ -19,7 +25,7 @@ computation produces, so scores are bit-identical with or without it.
 from __future__ import annotations
 
 from math import log10 as _log10
-from typing import List, Optional, Tuple, TYPE_CHECKING
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.util.units import linear_to_db
 
@@ -41,7 +47,9 @@ class Reception:
         "start",
         "end",
         "_signal_mw",
-        "_changes",
+        "_times",
+        "_interference",
+        "_peak_mw",
         "interfered",
         "interferer_uids",
     )
@@ -53,16 +61,23 @@ class Reception:
         start: float,
         end: float,
         initial_interference_mw: float,
+        signal_mw: Optional[float] = None,
     ):
         self.transmission = transmission
         self.rss_dbm = rss_dbm
         self.start = start
         self.end = end
-        self._signal_mw = 10.0 ** (rss_dbm / 10.0)  # == dbm_to_mw(rss_dbm)
-        #: (time, interference_mw) change-points; first entry is the start.
-        self._changes: List[Tuple[float, float]] = [
-            (start, initial_interference_mw)
-        ]
+        # Callers that already hold the linear power (the radio's receive
+        # path computes it for the arrival set) pass it in; it is the same
+        # ``10.0 ** (rss_dbm / 10.0)`` float, just not recomputed.
+        if signal_mw is None:
+            signal_mw = 10.0 ** (rss_dbm / 10.0)  # == dbm_to_mw(rss_dbm)
+        self._signal_mw = signal_mw
+        #: Parallel change-point columns; index 0 is the reception start.
+        self._times: List[float] = [start]
+        self._interference: List[float] = [initial_interference_mw]
+        #: Running maximum of the interference column (min_sinr_db is O(1)).
+        self._peak_mw = initial_interference_mw
         #: True once any interference overlapped this reception.
         self.interfered = initial_interference_mw > 0.0
         #: uids of transmissions that overlapped this reception.
@@ -80,12 +95,22 @@ class Reception:
             self.interfered = True
         if interferer_uid is not None:
             self.interferer_uids.add(interferer_uid)
-        changes = self._changes
-        if now == changes[-1][0]:
+        times = self._times
+        interference = self._interference
+        if now == times[-1]:
             # Coalesce same-instant changes (e.g. two frames ending together).
-            changes[-1] = (now, interference_mw)
+            old = interference[-1]
+            interference[-1] = interference_mw
+            if interference_mw >= self._peak_mw:
+                self._peak_mw = interference_mw
+            elif old == self._peak_mw:
+                # The overwritten value was (or tied) the peak: re-derive.
+                self._peak_mw = max(interference)
         else:
-            changes.append((now, interference_mw))
+            times.append(now)
+            interference.append(interference_mw)
+            if interference_mw > self._peak_mw:
+                self._peak_mw = interference_mw
 
     def success_probability(self, error_model: "ErrorModel", noise_mw: float) -> float:
         """Delivery probability over the recorded interference history."""
@@ -109,26 +134,30 @@ class Reception:
             entry = by_rate[id(rate)] = (error_model.chunk_fn(rate), {}, rate)
         chunk, memo = entry[0], entry[1]
         signal_mw = self._signal_mw
-        changes = self._changes
-        n = len(changes)
+        interference = self._interference
+        n = len(interference)
         if n == 1:
             # Overwhelmingly common: constant interference over the whole
             # frame — one chunk, no memo machinery. The inlined dB
             # conversion matches linear_to_db (including the <= 0 floor).
-            ratio = signal_mw / (changes[0][1] + noise_mw)
+            ratio = signal_mw / (interference[0] + noise_mw)
             sinr = 10.0 * _log10(ratio) if ratio > 0.0 else -400.0
             return chunk(sinr, bits_per_second * duration)
+        times = self._times
+        end = self.end
+        memo_get = memo.get
         prob = 1.0
         for idx in range(n):
-            t, interference_mw = changes[idx]
-            t_next = changes[idx + 1][0] if idx + 1 < n else self.end
+            t = times[idx]
+            nxt = idx + 1
+            t_next = times[nxt] if nxt < n else end
             seg = t_next - t
             if seg <= 0.0:
                 continue
-            ratio = signal_mw / (interference_mw + noise_mw)
+            ratio = signal_mw / (interference[idx] + noise_mw)
             bits = bits_per_second * seg
             key = (ratio, bits)
-            p = memo.get(key)
+            p = memo_get(key)
             if p is None:
                 sinr = 10.0 * _log10(ratio) if ratio > 0.0 else -400.0
                 p = chunk(sinr, bits)
@@ -144,7 +173,7 @@ class Reception:
         """Worst-case SINR seen during the reception (for stats/tests).
 
         Minimum SINR corresponds to the *maximum* interference level any
-        recorded interval saw.
+        recorded interval saw — the running peak of the interference
+        column, so no history re-scan.
         """
-        peak_interference = max(i for _, i in self._changes)
-        return linear_to_db(self._signal_mw / (peak_interference + noise_mw))
+        return linear_to_db(self._signal_mw / (self._peak_mw + noise_mw))

@@ -12,9 +12,12 @@ deliberately tuned):
 * The heap stores ``(time, priority, seq, event, fn, args)`` tuples so
   ``heapq`` compares at C speed without calling back into Python; ``seq``
   is unique, so comparison never reaches the trailing elements.
-* :meth:`Simulator.schedule_call` skips the :class:`Event` allocation for
-  callbacks that are never cancelled (the medium's per-frame fan-out), while
-  :meth:`schedule` still returns a cancellable handle.
+* :meth:`Simulator.schedule_call` and :meth:`Simulator.schedule_fanout`
+  skip the :class:`Event` allocation for callbacks that are never cancelled
+  (the medium's per-frame fan-out batches, whose receiver entries are
+  build-time-specialized ``fn(tx)`` closures — see
+  :meth:`repro.phy.medium.Medium.transmit`), while :meth:`schedule` still
+  returns a cancellable handle.
 * ``schedule`` builds and pushes its entry directly instead of delegating to
   ``schedule_at``, and ``run`` inlines the pop loop instead of calling
   ``step`` per event.
@@ -107,6 +110,19 @@ class Simulator:
     >>> out
     ['b', 'a']
     """
+
+    #: Slotted: ``sim.now`` (and the heap/counter fields) are read on every
+    #: event and every receive-path callback; slot descriptors skip the
+    #: instance-dict hash on each access.
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_next_seq",
+        "_events_processed",
+        "_live",
+        "_inline_guard_time",
+    )
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -300,37 +316,45 @@ class Simulator:
             self._events_processed += n
         self.now = max(self.now, until)
 
-    def begin_inline_fanout(self) -> int:
-        """Open an inline same-instant fan-out delivery; returns a token.
+    def deliver_fanout_inline(self, start_fns: tuple, tx: Any) -> bool:
+        """Deliver a frame-start batch inline when nothing pends at now.
 
-        Arms the ordering guard — until sim-time advances, any schedule at
+        The per-frame fast path, calling each specialized receiver entry
+        as ``fn(tx)``. Returns False when an entry is queued at the
+        current instant — the caller must then round-trip the batch
+        through the heap to preserve ordering. Before the first callback
+        the ordering guard arms: until sim-time advances, any schedule at
         this instant with priority below FRAME_START raises instead of
         silently diverging from the heap layout (where it would have run
-        before the batch) — and snapshots the raw heap depth, which grows
-        by exactly one per ``schedule*`` call and never shrinks outside the
-        run loop, so :meth:`end_inline_fanout` can detect scheduling from
-        inside the delivered callbacks.
+        before the batch). The raw heap depth — which grows by exactly one
+        per ``schedule*`` call and never shrinks outside the run loop — is
+        snapshotted around the loop to detect scheduling from inside the
+        delivered callbacks, and the batch credits one logical event per
+        delivered callback, exactly as the heap-scheduled batch would.
         """
+        heap = self._heap
+        if heap and heap[0][0] <= self.now:
+            return False
         self._inline_guard_time = self.now
-        return len(self._heap)
-
-    def end_inline_fanout(self, token: int, delivered: int) -> None:
-        """Close an inline delivery: enforce the no-scheduling invariant
-        for the delivered callbacks and credit their logical events."""
-        if len(self._heap) != token:
+        depth = len(heap)
+        for fn in start_fns:
+            fn(tx)
+        if len(heap) != depth:
             raise RuntimeError(
                 "a frame-start callback scheduled an event during inline "
                 "fan-out delivery; this breaks deterministic event "
                 "ordering — react from frame-end or MAC timers instead"
             )
-        self._events_processed += delivered
+        self._events_processed += len(start_fns)
+        return True
 
     def pending_at_now(self) -> bool:
         """True when any queued entry could still run at the current instant.
 
         Conservative: cancelled entries count (they only make the caller
-        fall back to the scheduled path). This is the guard the medium uses
-        to decide whether a same-instant fan-out batch may run inline.
+        fall back to the scheduled path). This is the same test
+        :meth:`deliver_fanout_inline` applies before delivering a
+        same-instant fan-out batch inline.
         """
         heap = self._heap
         return bool(heap) and heap[0][0] <= self.now

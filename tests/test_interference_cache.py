@@ -101,3 +101,113 @@ class TestCacheBitIdentity:
         radio = make_radio()
         assert radio.interference_mw() == 0.0
         assert radio.interference_mw(123) == 0.0
+
+
+class TestIncrementalFold:
+    """White-box: appends must *extend* a valid fold (never re-sum), and
+    removals must invalidate it — the rule-2 contract the incremental
+    implementation lives by."""
+
+    def test_append_extends_valid_fold(self):
+        radio = make_radio()
+        a = make_tx(1, -60.0)
+        radio.on_frame_start(a, -60.0)
+        total_1 = radio.interference_mw()  # validates the fold
+        assert radio._agg_valid
+        b = make_tx(2, -70.0)
+        radio.on_frame_start(b, -70.0)
+        # The fold stayed valid across the append (no invalidation)...
+        assert radio._agg_valid
+        # ...and its value is the extended left-to-right fold, which is
+        # bit-identical to the fresh insertion-order re-sum.
+        assert radio._agg_total == total_1 + radio._arrivals[b.uid]
+        assert radio.interference_mw() == fresh_insertion_order_sum(radio)
+
+    def test_append_extends_exclusion_fold(self):
+        radio = make_radio()
+        a, b = make_tx(1, -60.0), make_tx(2, -70.0)
+        radio.on_frame_start(a, -60.0)
+        radio.on_frame_start(b, -70.0)
+        excl = radio.interference_mw(a.uid)  # arms the exclusion slot
+        assert radio._excl_valid and radio._excl_uid == a.uid
+        c = make_tx(3, -65.0)
+        radio.on_frame_start(c, -65.0)
+        assert radio._excl_valid  # extended, not invalidated
+        assert radio.interference_mw(a.uid) == excl + radio._arrivals[c.uid]
+        assert radio.interference_mw(a.uid) == fresh_insertion_order_sum(
+            radio, a.uid
+        )
+
+    def test_removal_invalidates_both_folds(self):
+        # Sub-sensitivity arrivals: no sync forms, so the end path cannot
+        # itself re-validate a fold by querying it.
+        radio = make_radio()
+        a, b, c = make_tx(1, -91.0), make_tx(2, -92.0), make_tx(3, -92.5)
+        for t, rss in ((a, -91.0), (b, -92.0), (c, -92.5)):
+            radio.on_frame_start(t, rss)
+        radio.interference_mw()
+        radio.interference_mw(a.uid)
+        assert radio._agg_valid and radio._excl_valid
+        radio.on_frame_end(b, -92.0)
+        assert not radio._agg_valid and not radio._excl_valid
+        # The post-removal re-sum runs the full insertion-order loop.
+        assert radio.interference_mw() == fresh_insertion_order_sum(radio)
+        assert radio.interference_mw(a.uid) == fresh_insertion_order_sum(
+            radio, a.uid
+        )
+
+    def test_position_change_invalidates_folds(self):
+        radio = make_radio()
+        a = make_tx(1, -60.0)
+        radio.on_frame_start(a, -60.0)
+        radio.interference_mw()
+        assert radio._agg_valid
+        radio.on_position_changed()
+        assert not radio._agg_valid and not radio._excl_valid
+        # Arrivals keep their launch RSS, so the re-sum is value-identical.
+        assert radio.interference_mw() == fresh_insertion_order_sum(radio)
+
+    def test_exclusion_of_absent_uid_served_from_total_fold(self):
+        radio = make_radio()
+        a, b = make_tx(1, -60.0), make_tx(2, -70.0)
+        radio.on_frame_start(a, -60.0)
+        radio.on_frame_start(b, -70.0)
+        total = radio.interference_mw()
+        # Excluding a uid not on the air sums the same terms in the same
+        # order as the total — one value, bit-identical.
+        assert radio.interference_mw(-1) == total
+        assert radio.interference_mw(-1) == fresh_insertion_order_sum(radio, -1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove", "excl_a", "excl_b", "total"]),
+                st.integers(min_value=0, max_value=5),
+                st.floats(min_value=-104.0, max_value=-40.0),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_exclusion_slot_churn_lockstep(self, ops):
+        """Alternating exclusion targets (slot churn) stays bit-identical
+        to the fresh re-sum — the single-slot fold must re-sum on every
+        slot switch, never serve a stale exclusion."""
+        radio = make_radio()
+        live = {}
+        for op, src, rss in ops:
+            if op == "add" and src not in live:
+                tx = make_tx(src, rss)
+                live[src] = tx
+                radio.on_frame_start(tx, rss)
+            elif op == "remove" and src in live:
+                radio.on_frame_end(live.pop(src), rss)
+            elif op in ("excl_a", "excl_b") and live:
+                uids = sorted(t.uid for t in live.values())
+                uid = uids[0] if op == "excl_a" else uids[-1]
+                assert radio.interference_mw(uid) == fresh_insertion_order_sum(
+                    radio, uid
+                )
+            elif op == "total":
+                assert radio.interference_mw() == fresh_insertion_order_sum(radio)

@@ -77,8 +77,9 @@ class TestInterferenceIntervals:
         r.interference_changed(0.5e-3, 1e-9)
         r.interference_changed(0.5e-3, 2e-9)
         # Only one change-point at 0.5 ms, with the latest value.
-        assert len(r._changes) == 2
-        assert r._changes[-1] == (0.5e-3, 2e-9)
+        assert len(r._times) == len(r._interference) == 2
+        assert r._times[-1] == 0.5e-3
+        assert r._interference[-1] == 2e-9
 
     def test_interferer_uids_recorded(self):
         r = make_reception(dur=1e-3)
@@ -108,6 +109,30 @@ class TestInterferenceIntervals:
 
         r = make_reception(rss_dbm=-70.0, dur=1e-3)
         expected = linear_to_db(dbm_to_mw(-70.0) / NOISE_MW)
+        assert r.min_sinr_db(NOISE_MW) == expected
+
+    def test_peak_survives_coalescing_overwrite_upward(self):
+        # A same-instant overwrite that *raises* the level must raise the
+        # running peak the O(1) min_sinr_db path reads.
+        r = make_reception(rss_dbm=-70.0, dur=1e-3)
+        r.interference_changed(0.5e-3, dbm_to_mw(-80.0))
+        r.interference_changed(0.5e-3, dbm_to_mw(-72.0))
+        assert r._peak_mw == dbm_to_mw(-72.0)
+        assert r._peak_mw == max(r._interference)
+
+    def test_peak_rederived_when_coalescing_overwrite_lowers_it(self):
+        # Overwriting the entry that *was* the peak with a smaller value
+        # must re-derive the maximum from the surviving history, exactly
+        # matching a full re-scan.
+        r = make_reception(rss_dbm=-70.0, dur=1e-3, interference_mw=dbm_to_mw(-78.0))
+        r.interference_changed(0.5e-3, dbm_to_mw(-71.0))  # new peak
+        r.interference_changed(0.5e-3, dbm_to_mw(-90.0))  # overwrites the peak
+        assert r._peak_mw == max(r._interference) == dbm_to_mw(-78.0)
+        from repro.util.units import linear_to_db
+
+        expected = linear_to_db(
+            dbm_to_mw(-70.0) / (dbm_to_mw(-78.0) + NOISE_MW)
+        )
         assert r.min_sinr_db(NOISE_MW) == expected
 
 
