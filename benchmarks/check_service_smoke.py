@@ -1,0 +1,163 @@
+"""CI service-smoke gate: the HTTP sweep path must match the serial path.
+
+Boots ``python -m repro.cli serve`` as a real subprocess (ephemeral port,
+throwaway data dir), submits the fig12 smoke sweep over HTTP, tails the
+job to completion, and then checks the whole pipeline end to end:
+
+* the job finishes ``done`` with every trial completed;
+* the run-table holds exactly one row per trial of the sweep;
+* every flow throughput served back over HTTP is **bit-identical** to
+  running the same spec in-process through ``SerialBackend``;
+* the run-table's percentile summary equals
+  ``repro.analysis.stats.percentile`` over the same totals.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_service_smoke.py [--seed 1]
+
+Exits non-zero (with a diff report) on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import stats  # noqa: E402
+from repro.experiments.executor import SerialBackend  # noqa: E402
+from repro.experiments.runners import (  # noqa: E402
+    ExperimentScale,
+    build_exposed_terminals,
+)
+from repro.net.testbed import Testbed  # noqa: E402
+from repro.service.http_api import ServiceClient  # noqa: E402
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def wait_for_health(client: ServiceClient, proc, deadline_s: float = 30.0) -> None:
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline_s:
+        if proc.poll() is not None:
+            raise RuntimeError(f"server exited early with {proc.returncode}")
+        try:
+            if client.health().get("ok"):
+                return
+        except Exception:
+            time.sleep(0.2)
+    raise RuntimeError("server did not become healthy in time")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=1, help="testbed seed")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="overall tail timeout in seconds")
+    args = parser.parse_args(argv)
+
+    port = free_port()
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+
+    failures = []
+    with tempfile.TemporaryDirectory() as data_dir:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", str(port), "--data-dir", data_dir],
+            env=env,
+        )
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            wait_for_health(client, proc)
+
+            reply = client.submit_builder("fig12", scale="smoke",
+                                          seed=args.seed)
+            print(f"[submitted {reply['name']} as {reply['job_id']} "
+                  f"({reply['trials']} trials)]")
+            deadline = time.monotonic() + args.timeout
+            final = None
+            for progress in client.tail(reply["job_id"], wait=10.0):
+                print(f"  {progress['state']:<9} "
+                      f"{progress['completed']}/{progress['total']}")
+                final = progress
+                if time.monotonic() > deadline:
+                    failures.append("tail timed out")
+                    break
+
+            # Serial reference, same testbed seed, in-process.
+            testbed = Testbed(seed=args.seed)
+            # Same builder call the server makes: the submitted seed feeds
+            # both the testbed and the builder's scenario/run seed.
+            spec = build_exposed_terminals(
+                testbed, scale=ExperimentScale.smoke(), seed=args.seed)
+            reference = {r.trial_id: r
+                         for r in SerialBackend().run(testbed,
+                                                      list(spec.trials))}
+
+            if final is None or final["state"] != "done":
+                failures.append(f"job did not finish done: {final}")
+            elif final["completed"] != len(spec.trials):
+                failures.append(
+                    f"completed {final['completed']} != {len(spec.trials)}")
+
+            runs = client.runs(experiment=spec.name,
+                               limit=len(spec.trials) + 10,
+                               with_payload=True)
+            rows = runs["runs"]
+            if runs["counts"].get(spec.name) != len(spec.trials):
+                failures.append(
+                    f"run-table rows {runs['counts'].get(spec.name)} != "
+                    f"{len(spec.trials)} trials")
+
+            for row in rows:
+                ref = reference.get(row["trial_id"])
+                if ref is None:
+                    failures.append(f"unexpected row {row['trial_id']}")
+                    continue
+                got = {(s, d): v for s, d, v in row["payload"]["flow_mbps"]}
+                want = ref.flow_mbps
+                if got != want:
+                    failures.append(
+                        f"{row['trial_id']}: HTTP {got} != serial {want}")
+
+            totals = [sum(r.flow_mbps.values()) for r in reference.values()]
+            summary = client.summary(spec.name, "total_mbps", qs=(10, 50, 90))
+            for q in (10, 50, 90):
+                want = stats.percentile(totals, q)
+                got = summary["percentiles"][str(float(q))]
+                if got != want:
+                    failures.append(f"p{q}: HTTP {got} != stats {want}")
+            if summary["count"] != len(spec.trials):
+                failures.append(
+                    f"summary count {summary['count']} != {len(spec.trials)}")
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    if failures:
+        print("\nSERVICE SMOKE FAILURES:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nservice smoke OK: HTTP sweep bit-identical to the serial path, "
+          "run-table percentiles match analysis.stats")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,10 @@ Usage::
     python -m repro.cli bench --scale smoke --figures fig12,mobility --out-dir bench
     python -m repro.cli profile --scale smoke
     python -m repro.cli profile --scale smoke --figures fig12 --out-dir prof
+    python -m repro.cli serve --port 8642 --data-dir sweep-data
+    python -m repro.cli submit --builder fig12 --scale smoke --tail
+    python -m repro.cli tail <job-id>
+    python -m repro.cli runs --experiment fig12 --metric total_mbps
 
 Figures print the same rows/series the paper reports (see EXPERIMENTS.md
 for the side-by-side record). ``--scale`` trades fidelity for wall time;
@@ -55,14 +59,10 @@ from repro.net.testbed import Testbed
 
 
 def _scale(name: str) -> ExperimentScale:
-    presets = {
-        "smoke": ExperimentScale.smoke,
-        "quick": ExperimentScale.quick,
-        "paper": ExperimentScale.paper,
-    }
-    if name not in presets:
-        raise SystemExit(f"unknown scale {name!r}; pick from {sorted(presets)}")
-    return presets[name]()
+    try:
+        return ExperimentScale.preset(name)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
 
 
 def _figures() -> Dict[str, Callable]:
@@ -268,7 +268,18 @@ def run_profile(args, figures) -> int:
     return 0
 
 
+#: Targets served by the sweep service CLI (repro.service.cli), which has
+#: its own argument surface; dispatched before the figure parser runs.
+SERVICE_TARGETS = ("serve", "submit", "tail", "runs")
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in SERVICE_TARGETS:
+        from repro.service.cli import main as service_main
+
+        return service_main(argv)
     figures = _figures()
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -277,7 +288,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "target",
         choices=sorted(figures) + ["census", "map", "all", "bench", "profile"],
-        help="figure to regenerate, census/map/all, bench, or profile",
+        help="figure to regenerate, census/map/all, bench, or profile "
+             "(serve/submit/tail/runs dispatch to the sweep service CLI)",
     )
     parser.add_argument("--scale", default="smoke",
                         help="smoke | quick | paper (default smoke)")

@@ -305,7 +305,30 @@ class ResultStore:
     def __len__(self) -> int:
         return len(self._results)
 
+    def results(self) -> List[TrialResult]:
+        """All cached results, in insertion order."""
+        return list(self._results.values())
+
+    def migrate_to(self, runtable, experiment: str, **row_kwargs) -> int:
+        """Copy every cached result into a run-table (duck-typed: anything
+        with ``record_trial(experiment, result, **kwargs)``, i.e.
+        :class:`repro.service.runtable.RunTable`). Returns the row count.
+
+        This is the flat-file -> sqlite migration path: the JSON store stays
+        the executor's resume source of truth, the run-table takes over
+        querying (counts, percentiles, recent runs) without re-parsing files.
+        """
+        seed = row_kwargs.pop("seed", self.testbed_seed)
+        for result in self._results.values():
+            runtable.record_trial(experiment, result, seed=seed, **row_kwargs)
+        return len(self._results)
+
     def save(self) -> None:
+        """Atomically persist the store: a mid-save crash (including power
+        loss, which ``os.replace`` alone does not cover) leaves the previous
+        on-disk contents intact — the coordinator's crash-resume path reads
+        this file, so a truncated store would silently re-run or, worse,
+        half-resume a sweep."""
         payload = {
             "testbed_seed": self.testbed_seed,
             "trials": [r.to_json() for r in self._results.values()],
@@ -315,6 +338,8 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w") as f:
                 json.dump(payload, f)
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, self.path)
         except BaseException:
             if os.path.exists(tmp):
@@ -363,7 +388,18 @@ def run_experiment(
         def on_result(res: TrialResult) -> None:
             store.put(res)
             store.save()
-    fresh = backend.run(testbed, pending, on_result=on_result) if pending else []
+    try:
+        fresh = backend.run(testbed, pending, on_result=on_result) if pending else []
+    except BaseException:
+        # A worker failure (or interrupt) mid-sweep must not lose the trials
+        # that already completed: flush whatever reached the store before
+        # letting the error propagate. Backends that call ``on_result`` per
+        # trial have already persisted those results; this covers backends
+        # (or monkeypatched stand-ins) that only ``put`` into the store, and
+        # makes the guarantee independent of backend cooperation.
+        if store is not None:
+            store.save()
+        raise
     by_id = dict(cached)
     by_id.update({r.trial_id: r for r in fresh})
     ordered = [by_id[t.trial_id] for t in spec.trials]

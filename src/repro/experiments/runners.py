@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.executor import ResultStore, run_experiment
 from repro.experiments.scenarios import (
@@ -99,6 +99,17 @@ class ExperimentScale:
             ht_configs_per_n=2,
             scale_ns=(25, 64),
         )
+
+    @classmethod
+    def preset(cls, name: str) -> "ExperimentScale":
+        """Resolve a named preset (``smoke`` | ``quick`` | ``paper``) — the
+        names the CLI and the service's HTTP submit path accept."""
+        presets = {"smoke": cls.smoke, "quick": cls.quick, "paper": cls.paper}
+        if name not in presets:
+            raise KeyError(
+                f"unknown scale preset {name!r}; pick from {sorted(presets)}"
+            )
+        return presets[name]()
 
 
 def sample_median(vals: Sequence[float]) -> float:
@@ -1238,3 +1249,38 @@ def run_scale_sweep(
         for _topo, testbed, spec in cases
     ]
     return ScaleSweepResult(results)
+
+
+# ======================================================================
+# Named sweep-builder registry
+# ======================================================================
+def _build_ap_topology_seeded(testbed, scale=None, seed=0, **params):
+    # build_ap_topology derives trial seeds from (n, trial) internally; the
+    # registry's uniform (testbed, scale, seed, **params) signature swallows
+    # the unused seed so remote submits need no per-builder knowledge.
+    return build_ap_topology(testbed, scale, **params)
+
+
+#: figure/sweep name -> builder with the uniform signature
+#: ``builder(testbed, scale=None, seed=0, **params) -> ExperimentSpec``.
+#: This is the contract of the service's HTTP submit-by-name path: the
+#: server resolves the name, builds the spec against its own testbed, and
+#: queues the trials. Every entry's specs must survive the wire round trip
+#: (``TrialSpec.to_wire``/``from_wire``) equal and fingerprint-identical —
+#: enforced by tests/test_spec_wire.py. The scale sweep is absent by
+#: design: it builds one testbed per generated world, so it cannot run
+#: against the service's single shared testbed.
+SWEEP_BUILDERS: Dict[str, "Callable[..., ExperimentSpec]"] = {
+    "calibration": build_single_link_calibration,
+    "fig12": build_exposed_terminals,
+    "fig13": build_inrange_senders,
+    "fig14": build_hidden_interferer_scatter,
+    "fig15": build_hidden_terminals,
+    "fig16": build_header_trailer_cdf,
+    "fig17": _build_ap_topology_seeded,
+    "fig19": build_header_trailer_density,
+    "fig20": build_bitrate_sweep,
+    "mesh": build_mesh_dissemination,
+    "mobility": build_mobility_sweep,
+    "churn": build_churn_sweep,
+}

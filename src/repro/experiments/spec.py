@@ -28,6 +28,28 @@ from repro.util.rng import stable_hash
 
 Flow = Tuple[int, int]
 
+#: Types a wire-format param value may take. JSON round-trips these exactly
+#: (ints stay ints, floats stay floats), which is what keeps a deserialized
+#: spec fingerprint-identical to the original — the contract the service's
+#: HTTP submit path depends on.
+_WIRE_SCALARS = (str, int, float, bool, type(None))
+
+
+def _params_to_wire(params: Tuple[Tuple[str, Any], ...], what: str) -> list:
+    out = []
+    for key, value in params:
+        if not isinstance(value, _WIRE_SCALARS):
+            raise ValueError(
+                f"{what} param {key!r}={value!r} is not JSON-scalar; the "
+                f"wire format carries str/int/float/bool/None values only"
+            )
+        out.append([key, value])
+    return out
+
+
+def _params_from_wire(obj) -> Tuple[Tuple[str, Any], ...]:
+    return tuple((str(k), v) for k, v in obj)
+
 #: Registry key for MAC specs wrapping a raw (non-picklable) callable.
 INLINE_PROTOCOL = "<inline>"
 
@@ -87,6 +109,21 @@ class MacSpec:
             )
         return build_mac_factory(self.protocol, dict(self.params))
 
+    def to_wire(self) -> dict:
+        if self.protocol == INLINE_PROTOCOL:
+            raise ValueError(
+                "inline MacSpec cannot cross the wire; use a registry-keyed "
+                "MacSpec instead"
+            )
+        return {
+            "protocol": self.protocol,
+            "params": _params_to_wire(self.params, f"MAC {self.protocol!r}"),
+        }
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "MacSpec":
+        return cls(str(obj["protocol"]), _params_from_wire(obj.get("params", ())))
+
 
 @dataclass(frozen=True)
 class MobilitySpec:
@@ -110,6 +147,21 @@ class MobilitySpec:
         from repro.net.mobility import build_mobility_model
 
         return build_mobility_model(self.model, floor, dict(self.params))
+
+    def to_wire(self) -> dict:
+        return {
+            "model": self.model,
+            "nodes": list(self.nodes),
+            "params": _params_to_wire(self.params, f"mobility {self.model!r}"),
+        }
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "MobilitySpec":
+        return cls(
+            str(obj["model"]),
+            tuple(int(n) for n in obj["nodes"]),
+            _params_from_wire(obj.get("params", ())),
+        )
 
 
 #: One churn event: (sim time, "join" | "leave", node id). A node whose
@@ -205,6 +257,70 @@ class TrialSpec:
             parts.append(("floors", self.delivery_floor_dbm, self.interference_floor_dbm))
         return format(stable_hash(*parts), "016x")
 
+    # ------------------------------------------------------------------
+    # Wire format (JSON over HTTP)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict:
+        """A JSON-ready dict that :meth:`from_wire` restores exactly.
+
+        The round trip is lossless by contract: the restored spec compares
+        equal to the original and produces the same :meth:`fingerprint`, so
+        a sweep submitted over the wire hits the same ResultStore cache
+        entries as one built in-process. Optional fields are omitted at
+        their defaults, which keeps old payloads parseable as fields grow.
+        """
+        wire = {
+            "trial_id": self.trial_id,
+            "nodes": list(self.nodes),
+            "flows": [list(f) for f in self.flows],
+            "mac": self.mac.to_wire(),
+            "run_seed": self.run_seed,
+            "duration": self.duration,
+            "warmup": self.warmup,
+        }
+        if self.measure is not None:
+            wire["measure"] = [list(f) for f in self.measure]
+        if self.track_tx:
+            wire["track_tx"] = True
+        if self.metrics:
+            wire["metrics"] = list(self.metrics)
+        if self.payload_bytes != 1400:
+            wire["payload_bytes"] = self.payload_bytes
+        if self.mobility is not None:
+            wire["mobility"] = self.mobility.to_wire()
+        if self.churn:
+            wire["churn"] = [[t, op, node] for t, op, node in self.churn]
+        if self.delivery_floor_dbm is not None:
+            wire["delivery_floor_dbm"] = self.delivery_floor_dbm
+        if self.interference_floor_dbm is not None:
+            wire["interference_floor_dbm"] = self.interference_floor_dbm
+        return wire
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "TrialSpec":
+        measure = obj.get("measure")
+        mobility = obj.get("mobility")
+        return cls(
+            trial_id=str(obj["trial_id"]),
+            nodes=tuple(int(n) for n in obj["nodes"]),
+            flows=tuple((int(s), int(d)) for s, d in obj["flows"]),
+            mac=MacSpec.from_wire(obj["mac"]),
+            run_seed=obj["run_seed"],
+            duration=obj["duration"],
+            warmup=obj["warmup"],
+            measure=(tuple((int(s), int(d)) for s, d in measure)
+                     if measure is not None else None),
+            track_tx=bool(obj.get("track_tx", False)),
+            metrics=tuple(str(m) for m in obj.get("metrics", ())),
+            payload_bytes=obj.get("payload_bytes", 1400),
+            mobility=(MobilitySpec.from_wire(mobility)
+                      if mobility is not None else None),
+            churn=tuple((t, str(op), int(node))
+                        for t, op, node in obj.get("churn", ())),
+            delivery_floor_dbm=obj.get("delivery_floor_dbm"),
+            interference_floor_dbm=obj.get("interference_floor_dbm"),
+        )
+
 
 @dataclass
 class TrialResult:
@@ -258,3 +374,20 @@ class ExperimentSpec:
             if t.trial_id in seen:
                 raise ValueError(f"duplicate trial id {t.trial_id!r}")
             seen.add(t.trial_id)
+
+
+def experiment_to_wire(spec: ExperimentSpec) -> dict:
+    """Serialize an experiment's name + trials for the HTTP submit path.
+
+    The ``reduce`` callable does not cross the wire — the service works at
+    trial granularity (every TrialResult lands in the run-table as it
+    completes) and figure-level reductions stay a client-side concern.
+    """
+    return {"name": spec.name, "trials": [t.to_wire() for t in spec.trials]}
+
+
+def experiment_from_wire(obj: dict) -> ExperimentSpec:
+    """Restore a wire experiment; its reduction is the identity (the raw
+    ordered :class:`TrialResult` list)."""
+    trials = [TrialSpec.from_wire(t) for t in obj["trials"]]
+    return ExperimentSpec(str(obj["name"]), trials, lambda results: results)

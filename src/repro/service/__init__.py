@@ -1,0 +1,58 @@
+"""Sweep-as-a-service: a long-running experiment coordinator.
+
+The simulator's executor layer (specs, backends, ResultStore) runs one
+blocking sweep per CLI invocation. This package turns it into a service
+that absorbs concurrent experiment requests:
+
+* :mod:`repro.service.jobs` — :class:`SweepJob`: an experiment's trials
+  plus priority and a queued/running/done/failed/cancelled state machine.
+* :mod:`repro.service.queue` — a lease/ack/requeue priority queue. The
+  in-memory implementation is single-host, but the interface is
+  multi-host-shaped: a worker that dies mid-lease has its job requeued
+  when the lease expires.
+* :mod:`repro.service.coordinator` — drains the queue through the
+  executor backends, streams TrialResults into the per-job ResultStore and
+  the run-table as they complete, retries failures with capped backoff,
+  honors priorities/cancellation between trials, and crash-resumes open
+  jobs from the fingerprinted store on restart.
+* :mod:`repro.service.runtable` — the sqlite run-table: every trial row
+  indexed by (experiment, trial id, fingerprint, seed, wall time, status),
+  with percentile/summary queries replacing flat-file scans.
+* :mod:`repro.service.http_api` — stdlib HTTP server + client: submit a
+  sweep (wire-format spec or named builder), long-poll job progress,
+  cancel, and query the run-table.
+
+See DESIGN.md ("Service") for the architecture and EXPERIMENTS.md for
+``cli serve`` / ``submit`` / ``tail`` / ``runs`` usage.
+"""
+
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    SweepJob,
+    new_job,
+)
+from repro.service.queue import InMemoryJobQueue
+from repro.service.runtable import RunTable
+from repro.service.coordinator import Coordinator
+from repro.service.http_api import ServiceClient, make_server
+
+__all__ = [
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+    "SweepJob",
+    "new_job",
+    "InMemoryJobQueue",
+    "RunTable",
+    "Coordinator",
+    "ServiceClient",
+    "make_server",
+]

@@ -1,0 +1,211 @@
+"""Service CLI targets: ``serve`` / ``submit`` / ``tail`` / ``runs``.
+
+Dispatched from ``python -m repro.cli``::
+
+    python -m repro.cli serve --port 8642 --data-dir sweep-data
+    python -m repro.cli submit --url http://127.0.0.1:8642 \\
+        --builder fig12 --scale smoke --seed 1
+    python -m repro.cli submit --url ... --builder fig20 --param rates=[6,12]
+    python -m repro.cli tail --url ... <job-id>
+    python -m repro.cli runs --url ... --experiment fig12 \\
+        --metric total_mbps --q 10,50,90
+
+``serve`` owns the data directory (sqlite run-table + per-job stores),
+resumes any jobs a previous process left open, and blocks until SIGINT.
+Everything else talks to a running server over HTTP.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+DEFAULT_URL = "http://127.0.0.1:8642"
+
+
+def _parse_param(raw: str):
+    """``key=value`` with the value parsed as JSON when possible (so
+    ``--param rates=[6,12]`` and ``--param include_win1=false`` work), else
+    kept as a string."""
+    if "=" not in raw:
+        raise SystemExit(f"--param wants key=value, got {raw!r}")
+    key, value = raw.split("=", 1)
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value
+
+
+def cmd_serve(args) -> int:
+    from repro.service.coordinator import Coordinator
+    from repro.service.http_api import make_server
+
+    coordinator = Coordinator(args.data_dir, trial_jobs=args.trial_jobs)
+    if args.resume:
+        resumed = coordinator.resume_open_jobs()
+        if resumed:
+            print(f"[resumed {len(resumed)} open job(s): {', '.join(resumed)}]")
+    coordinator.start(workers=args.workers)
+    server = make_server(coordinator, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"[sweep service on http://{host}:{port} — data in {args.data_dir}; "
+          f"{args.workers} worker(s) x {args.trial_jobs} trial job(s)]",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\n[stopping: workers requeue their jobs for the next serve]")
+    finally:
+        server.shutdown()
+        coordinator.stop()
+    return 0
+
+
+def _print_progress(progress: dict) -> None:
+    print(
+        f"  {progress['job_id']}  {progress['name']:<12} "
+        f"{progress['state']:<9} {progress['completed']}/{progress['total']}"
+        + (f"  failed={progress['failed']}" if progress["failed"] else "")
+        + (f"  error={progress['error']}" if progress.get("error") else ""),
+        flush=True,
+    )
+
+
+def _tail(client, job_id: str) -> int:
+    final = None
+    for progress in client.tail(job_id):
+        _print_progress(progress)
+        final = progress
+    return 0 if final and final["state"] == "done" else 1
+
+
+def cmd_submit(args) -> int:
+    from repro.service.http_api import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.spec_json:
+        with open(args.spec_json) as f:
+            wire = json.load(f)
+        reply = client.submit_experiment(wire, testbed_seed=args.seed,
+                                         priority=args.priority)
+    else:
+        params = dict(_parse_param(p) for p in args.param)
+        reply = client.submit_builder(
+            args.builder, scale=args.scale, seed=args.seed,
+            priority=args.priority, params=params,
+        )
+    if args.porcelain:
+        print(reply["job_id"])
+    else:
+        print(f"[submitted {reply['name']} as job {reply['job_id']} "
+              f"({reply['trials']} trials)]")
+    if args.tail:
+        return _tail(client, reply["job_id"])
+    return 0
+
+
+def cmd_tail(args) -> int:
+    from repro.service.http_api import ServiceClient
+
+    return _tail(ServiceClient(args.url), args.job_id)
+
+
+def cmd_runs(args) -> int:
+    from repro.service.http_api import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.metric:
+        if not args.experiment:
+            raise SystemExit("--metric needs --experiment")
+        qs = [float(q) for q in args.q.split(",") if q]
+        reply = client.summary(args.experiment, args.metric, qs)
+        print(f"{args.experiment} · {args.metric} "
+              f"({reply['count']} trials)")
+        for q, v in sorted(reply["percentiles"].items(), key=lambda k: float(k[0])):
+            print(f"  p{float(q):<5g} {v:.4f}")
+        return 0
+    reply = client.runs(experiment=args.experiment, limit=args.limit,
+                        status=args.status)
+    counts = reply["counts"]
+    print("run-table: " + (", ".join(f"{k}={v}" for k, v in counts.items())
+                           or "(empty)"))
+    for row in reply["runs"]:
+        wall = f"{row['wall_time']:.2f}s" if row["wall_time"] else "-"
+        print(f"  {row['experiment']:<12} {row['trial_id']:<32} "
+              f"{row['status']:<7} {wall:>8}  fp={row['fingerprint']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro service", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the sweep service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--data-dir", default="sweep-data",
+                       help="run-table + per-job stores (default sweep-data)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="concurrent jobs (default 1)")
+    serve.add_argument("--trial-jobs", type=int, default=1,
+                       help="worker processes per job's trials (default 1)")
+    serve.add_argument("--no-resume", dest="resume", action="store_false",
+                       help="do not re-queue jobs left open by a crash")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    serve.set_defaults(fn=cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a sweep over HTTP")
+    submit.add_argument("--url", default=DEFAULT_URL)
+    submit.add_argument("--builder", default="fig12",
+                        help="registered sweep builder (default fig12)")
+    submit.add_argument("--scale", default="smoke",
+                        help="smoke | quick | paper (default smoke)")
+    submit.add_argument("--seed", type=int, default=1,
+                        help="testbed seed (default 1)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first (default 0)")
+    submit.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="builder kwarg, JSON-parsed (repeatable)")
+    submit.add_argument("--spec-json", metavar="PATH",
+                        help="submit a wire-format ExperimentSpec file "
+                             "instead of a named builder")
+    submit.add_argument("--tail", action="store_true",
+                        help="follow the job to completion after submitting")
+    submit.add_argument("--porcelain", action="store_true",
+                        help="print only the job id (for scripts)")
+    submit.set_defaults(fn=cmd_submit)
+
+    tail = sub.add_parser("tail", help="follow a job's progress")
+    tail.add_argument("job_id")
+    tail.add_argument("--url", default=DEFAULT_URL)
+    tail.set_defaults(fn=cmd_tail)
+
+    runs = sub.add_parser("runs", help="query the run-table")
+    runs.add_argument("--url", default=DEFAULT_URL)
+    runs.add_argument("--experiment", help="filter to one experiment")
+    runs.add_argument("--status", help="filter by row status (ok/failed)")
+    runs.add_argument("--limit", type=int, default=20)
+    runs.add_argument("--metric",
+                      help="summarize this metric (total_mbps, mbps:S-D, "
+                           "or a named trial metric) instead of listing rows")
+    runs.add_argument("--q", default="10,50,90",
+                      help="with --metric: percentiles (default 10,50,90)")
+    runs.set_defaults(fn=cmd_runs)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

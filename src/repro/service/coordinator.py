@@ -1,0 +1,388 @@
+"""The coordinator: drains the job queue through the executor backends.
+
+One coordinator owns a data directory::
+
+    <data_dir>/runs.sqlite        the run-table (trial rows + job table)
+    <data_dir>/stores/<job>.json  per-job fingerprinted ResultStores
+
+Scheduling loop (per worker thread): lease the best job, then walk its
+trials. Between trials the worker re-checks the world — a stop request
+requeues the job, a cancel finalizes it, and a strictly-higher-priority
+arrival preempts it (the job goes back to the queue with its progress
+already persisted, so nothing is lost). Completed trials stream into both
+the job's ResultStore (the fingerprinted resume source of truth) and the
+run-table (the query side) as they finish.
+
+Failures retry with capped exponential backoff; a trial that exhausts its
+retries marks the job ``failed`` but the remaining trials still run —
+partial sweeps are useful sweeps.
+
+Crash-resume: every state transition is upserted into the run-table, so a
+coordinator that died mid-job leaves a ``running`` row behind.
+:meth:`Coordinator.resume_open_jobs` re-queues those on startup; when the
+job runs again, trials whose (id, fingerprint) already sit in its
+ResultStore are served from cache — bit-identical, and never re-executed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.executor import (
+    ResultStore,
+    SerialBackend,
+    make_backend,
+    run_trial,
+)
+from repro.experiments.spec import ExperimentSpec, TrialResult, TrialSpec
+from repro.net.testbed import Testbed
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    SweepJob,
+    job_from_experiment,
+)
+from repro.service.queue import InMemoryJobQueue
+from repro.service.runtable import RunTable
+
+
+class Coordinator:
+    """Owns the queue, the run-table, and the worker threads.
+
+    ``trial_jobs`` > 1 fans each job's trials over a process pool in
+    chunks (cancellation/preemption are honored at chunk boundaries);
+    the default 1 runs trials serially with per-trial boundaries.
+    ``sleep`` is injectable so retry-backoff tests need no real waiting.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        queue: Optional[InMemoryJobQueue] = None,
+        runtable: Optional[RunTable] = None,
+        trial_jobs: int = 1,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.1,
+        backoff_cap_s: float = 5.0,
+        lease_s: float = 300.0,
+        sleep: Callable[[float], None] = time.sleep,
+        testbed_factory: Callable[[int], Testbed] = None,
+    ):
+        self.data_dir = data_dir
+        os.makedirs(os.path.join(data_dir, "stores"), exist_ok=True)
+        self.queue = queue or InMemoryJobQueue(default_lease_s=lease_s)
+        self.runtable = runtable or RunTable(os.path.join(data_dir, "runs.sqlite"))
+        self.trial_jobs = trial_jobs
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.lease_s = lease_s
+        self._sleep = sleep
+        self._testbed_factory = testbed_factory or (lambda seed: Testbed(seed=seed))
+        self._testbeds: Dict[int, Testbed] = {}
+        self._jobs: Dict[str, SweepJob] = {}
+        self._cond = threading.Condition()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Submission / lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, job: SweepJob) -> str:
+        job.state = QUEUED
+        with self._cond:
+            self._jobs[job.job_id] = job
+        self.runtable.upsert_job(job)
+        self.queue.submit(job)
+        self._notify()
+        return job.job_id
+
+    def submit_experiment(
+        self, spec: ExperimentSpec, priority: int = 0, testbed_seed: int = 1
+    ) -> str:
+        return self.submit(
+            job_from_experiment(spec, priority=priority, testbed_seed=testbed_seed)
+        )
+
+    def resume_open_jobs(self) -> List[str]:
+        """Re-queue every job a previous process left queued or running.
+
+        Progress counters restart from zero; trials that completed before
+        the crash are served from the job's fingerprinted store, so they
+        count back up without re-executing."""
+        resumed = []
+        for job in self.runtable.open_jobs():
+            if job.job_id in self._jobs:
+                continue
+            job.state = QUEUED
+            job.completed = 0
+            job.failed = 0
+            self.submit(job)
+            resumed.append(job.job_id)
+        return resumed
+
+    def start(self, workers: int = 1) -> None:
+        for i in range(workers):
+            t = threading.Thread(
+                target=self._worker_loop,
+                args=(f"worker-{i}",),
+                name=f"sweep-{i}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful stop: workers finish their current trial, requeue their
+        job, and exit. Queued/requeued jobs stay open in the run-table for
+        the next coordinator (the same path a crash takes, minus the mess)."""
+        self._stop.set()
+        self._notify()
+        for t in self._threads:
+            t.join(timeout)
+        self._threads.clear()
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation. Queued jobs cancel immediately; running
+        jobs cancel at their next trial boundary. False if unknown or
+        already terminal."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+        if job is None:
+            job = self.runtable.get_job(job_id)
+            if job is None or job.state in TERMINAL_STATES:
+                return False
+            # Known only to the run-table (not yet resumed): mark it
+            # cancelled durably so resume_open_jobs never revives it.
+            self._finalize(job, CANCELLED)
+            return True
+        if job.state in TERMINAL_STATES:
+            return False
+        job.cancel_requested = True
+        if self.queue.cancel(job_id):
+            self._finalize(job, CANCELLED)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def testbed(self, seed: int) -> Testbed:
+        """The (cached) testbed for a seed — building one is expensive, and
+        every job against the same seed shares it."""
+        with self._cond:
+            tb = self._testbeds.get(seed)
+        if tb is None:
+            tb = self._testbed_factory(seed)
+            with self._cond:
+                self._testbeds.setdefault(seed, tb)
+                tb = self._testbeds[seed]
+        return tb
+
+    def job_progress(self, job_id: str) -> Optional[dict]:
+        with self._cond:
+            job = self._jobs.get(job_id)
+        if job is None:
+            job = self.runtable.get_job(job_id)
+        return None if job is None else job.progress()
+
+    def list_jobs(self, limit: int = 50) -> List[dict]:
+        """Newest-first job progress dicts (live state wins over rows)."""
+        with self._cond:
+            live = dict(self._jobs)
+        merged = {j.job_id: j for j in self.runtable.list_jobs(limit=limit)}
+        merged.update(live)
+        jobs = sorted(merged.values(), key=lambda j: j.submitted_at, reverse=True)
+        return [j.progress() for j in jobs[:limit]]
+
+    def wait(
+        self,
+        job_id: str,
+        cursor: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Optional[dict]:
+        """Long-poll a job: block until its progress advances past
+        ``cursor`` (completed + failed trials) or it reaches a terminal
+        state, up to ``timeout`` seconds. ``cursor=None`` returns the
+        current snapshot immediately. None if the job is unknown."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            progress = self.job_progress(job_id)
+            if progress is None:
+                return None
+            if progress["state"] in TERMINAL_STATES or cursor is None:
+                return progress
+            if progress["completed"] + progress["failed"] > cursor:
+                return progress
+            with self._cond:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return progress
+                self._cond.wait(0.5 if remaining is None else min(remaining, 0.5))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_once(self, worker_id: str = "worker-inline") -> Optional[SweepJob]:
+        """Lease and run (at most) one job synchronously — the unit the
+        worker threads loop over, exposed for tests and batch drains."""
+        self.queue.reap_expired()
+        job = self.queue.lease(worker_id, timeout=0, lease_s=self.lease_s)
+        if job is None:
+            return None
+        self._run_job(worker_id, job)
+        return job
+
+    def _worker_loop(self, worker_id: str) -> None:
+        while not self._stop.is_set():
+            self.queue.reap_expired()
+            job = self.queue.lease(worker_id, timeout=0.2, lease_s=self.lease_s)
+            if job is None:
+                continue
+            try:
+                self._run_job(worker_id, job)
+            except Exception as exc:  # never kill the worker thread
+                job.error = f"coordinator error: {exc}\n{traceback.format_exc()}"
+                self._finalize(job, FAILED, ack=True)
+
+    def _run_job(self, worker_id: str, job: SweepJob) -> None:
+        if job.cancel_requested:
+            self._finalize(job, CANCELLED, ack=True)
+            return
+        job.state = RUNNING
+        job.started_at = time.time()
+        job.completed = 0
+        job.failed = 0
+        self.runtable.upsert_job(job)
+        self._notify()
+
+        testbed = self.testbed(job.testbed_seed)
+        store = ResultStore(self._store_path(job), testbed_seed=job.testbed_seed)
+        backend = make_backend(self.trial_jobs)
+        serial = isinstance(backend, SerialBackend)
+        chunk_size = 1 if serial else max(2, self.trial_jobs)
+
+        trials = list(job.trials)
+        index = 0
+        while index < len(trials):
+            # --- trial/chunk boundary: the scheduling decisions ---------
+            if self._stop.is_set():
+                self._requeue(job)
+                return
+            if job.cancel_requested:
+                self._finalize(job, CANCELLED, ack=True)
+                return
+            top = self.queue.max_queued_priority()
+            if top is not None and top > job.priority:
+                self._requeue(job)
+                return
+
+            chunk = trials[index:index + chunk_size]
+            index += len(chunk)
+
+            # Fingerprint-cached trials (resume path) never re-execute.
+            pending: List[TrialSpec] = []
+            for trial in chunk:
+                cached = store.get(trial)
+                if cached is not None:
+                    self._record_ok(job, cached, wall=None, replace=False)
+                else:
+                    pending.append(trial)
+            if not pending:
+                continue
+
+            done_ids: set = set()
+            if not serial and len(pending) > 1:
+                def on_result(res: TrialResult, _store=store) -> None:
+                    _store.put(res)
+                    _store.save()
+                    done_ids.add(res.trial_id)
+                    self._record_ok(job, res, wall=None, replace=True,
+                                    already_stored=True)
+                try:
+                    backend.run(testbed, pending, on_result=on_result)
+                except Exception:
+                    pass  # survivors fall through to the serial retry path
+            leftovers = [t for t in pending if t.trial_id not in done_ids]
+            for trial in leftovers:
+                result, wall, error = self._run_with_retries(testbed, trial)
+                if result is not None:
+                    store.put(result)
+                    store.save()
+                    self._record_ok(job, result, wall=wall, replace=True,
+                                    already_stored=True)
+                else:
+                    job.failed += 1
+                    job.error = error
+                    self.runtable.record_failure(
+                        job.name, trial.trial_id, trial.fingerprint(),
+                        error or "unknown error",
+                        seed=job.testbed_seed, job_id=job.job_id,
+                    )
+                    self.runtable.upsert_job(job)
+                    self._notify()
+
+        self._finalize(job, DONE if job.failed == 0 else FAILED, ack=True)
+
+    def _run_with_retries(self, testbed: Testbed, trial: TrialSpec):
+        """Run one trial serially, retrying with capped exponential backoff.
+        Returns (result | None, wall_seconds | None, error | None)."""
+        error = None
+        for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                self._sleep(
+                    min(self.backoff_cap_s,
+                        self.backoff_base_s * (2 ** (attempt - 1)))
+                )
+            try:
+                t0 = time.perf_counter()
+                result = run_trial(testbed, trial)
+                return result, time.perf_counter() - t0, None
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+        return None, None, error
+
+    # ------------------------------------------------------------------
+    def _record_ok(
+        self,
+        job: SweepJob,
+        result: TrialResult,
+        wall: Optional[float],
+        replace: bool,
+        already_stored: bool = False,
+    ) -> None:
+        self.runtable.record_trial(
+            job.name, result, seed=job.testbed_seed, wall_time=wall,
+            status="ok", job_id=job.job_id, replace=replace,
+        )
+        job.completed += 1
+        self.runtable.upsert_job(job)
+        self._notify()
+
+    def _requeue(self, job: SweepJob) -> None:
+        job.state = QUEUED
+        self.runtable.upsert_job(job)
+        self.queue.requeue(job.job_id)
+        self._notify()
+
+    def _finalize(self, job: SweepJob, state: str, ack: bool = False) -> None:
+        job.state = state
+        job.finished_at = time.time()
+        self.runtable.upsert_job(job)
+        if ack:
+            self.queue.ack(job.job_id)
+        self._notify()
+
+    def _store_path(self, job: SweepJob) -> str:
+        return os.path.join(self.data_dir, "stores", f"{job.job_id}.json")
+
+    def _notify(self) -> None:
+        with self._cond:
+            self._cond.notify_all()

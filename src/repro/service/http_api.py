@@ -1,0 +1,362 @@
+"""HTTP API + client for the sweep service (stdlib only).
+
+Server: a :class:`ThreadingHTTPServer` over a :class:`Coordinator`.
+
+==========================  =========================================
+``GET  /healthz``           liveness + queue depth
+``POST /jobs``              submit a sweep (wire spec or named builder)
+``GET  /jobs``              newest-first job listing
+``GET  /jobs/<id>``         progress; ``?wait=S&cursor=N`` long-polls
+``POST /jobs/<id>/cancel``  cancel (honored at the next trial boundary)
+``GET  /runs``              recent run-table rows + per-experiment counts
+``GET  /runs/summary``      percentiles/summary of a metric
+==========================  =========================================
+
+Submit bodies (JSON)::
+
+    {"builder": "fig12", "scale": "smoke", "seed": 1,
+     "params": {...}, "priority": 0}
+
+resolves a name in :data:`repro.experiments.runners.SWEEP_BUILDERS`
+against the server's (cached) testbed, while ::
+
+    {"experiment": {"name": ..., "trials": [...]},
+     "testbed_seed": 1, "priority": 0}
+
+carries a full wire-format ExperimentSpec (see ``TrialSpec.to_wire``) —
+the round trip is fingerprint-identical, so results are bit-identical to
+running the same spec in-process and land in the same resume caches.
+
+Client: :class:`ServiceClient` wraps the endpoints with ``urllib`` —
+the CLI's ``submit``/``tail``/``runs`` targets and the CI smoke check
+drive the service exclusively through it.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.experiments.runners import SWEEP_BUILDERS, ExperimentScale
+from repro.experiments.spec import experiment_from_wire
+from repro.service.coordinator import Coordinator
+from repro.service.jobs import TERMINAL_STATES, new_job
+
+#: Cap on ?wait= so a stalled client cannot pin a server thread forever.
+MAX_LONG_POLL_S = 60.0
+
+
+class ApiError(Exception):
+    """Maps to an HTTP error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def log_message(self, fmt, *args) -> None:
+        if self.server.verbose:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        url = urllib.parse.urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[-1] for k, v in urllib.parse.parse_qs(url.query).items()}
+        try:
+            payload = self._route(method, parts, query)
+        except ApiError as exc:
+            self._send(exc.status, {"error": str(exc)})
+        except Exception as exc:  # defensive: a handler bug is a 500, not EOF
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._send(200 if method == "GET" else 201, payload)
+
+    def _route(self, method: str, parts: List[str], query: Dict[str, str]) -> dict:
+        co = self.server.coordinator
+        if method == "GET" and parts == ["healthz"]:
+            return {"ok": True, "queued": co.queue.queued_count()}
+        if parts[:1] == ["jobs"]:
+            return self._route_jobs(method, parts, query, co)
+        if parts[:1] == ["runs"]:
+            return self._route_runs(method, parts, query, co)
+        raise ApiError(404, f"no route {method} /{'/'.join(parts)}")
+
+    def _route_jobs(self, method, parts, query, co: Coordinator) -> dict:
+        if method == "GET" and len(parts) == 1:
+            return {"jobs": co.list_jobs(limit=int(query.get("limit", 50)))}
+        if method == "POST" and len(parts) == 1:
+            return self._submit(co)
+        if method == "GET" and len(parts) == 2:
+            wait = min(float(query.get("wait", 0)), MAX_LONG_POLL_S)
+            cursor = int(query["cursor"]) if "cursor" in query else None
+            progress = co.wait(
+                parts[1],
+                cursor=cursor if wait > 0 else None,
+                timeout=wait if wait > 0 else None,
+            )
+            if progress is None:
+                raise ApiError(404, f"unknown job {parts[1]!r}")
+            return progress
+        if method == "POST" and len(parts) == 3 and parts[2] == "cancel":
+            job_id = parts[1]
+            accepted = co.cancel(job_id)
+            progress = co.job_progress(job_id)
+            if progress is None:
+                raise ApiError(404, f"unknown job {job_id!r}")
+            return {"cancelled": accepted, "state": progress["state"]}
+        raise ApiError(404, f"no route {method} /{'/'.join(parts)}")
+
+    def _route_runs(self, method, parts, query, co: Coordinator) -> dict:
+        if method != "GET":
+            raise ApiError(405, "run-table endpoints are read-only")
+        table = co.runtable
+        experiment = query.get("experiment")
+        if len(parts) == 1:
+            return {
+                "runs": table.recent_runs(
+                    limit=int(query.get("limit", 20)),
+                    experiment=experiment,
+                    status=query.get("status"),
+                    with_payload=query.get("payload") == "1",
+                ),
+                "counts": table.counts_by_experiment(),
+            }
+        if parts[1] == "summary":
+            if not experiment or "metric" not in query:
+                raise ApiError(400, "summary needs ?experiment= and ?metric=")
+            metric = query["metric"]
+            qs = [float(q) for q in query.get("q", "10,50,90").split(",") if q]
+            return {
+                "experiment": experiment,
+                "metric": metric,
+                "count": len(table.metric_values(experiment, metric)),
+                "percentiles": {
+                    str(q): v
+                    for q, v in table.percentiles(experiment, metric, qs).items()
+                },
+                "summary": table.summary(experiment, metric),
+            }
+        raise ApiError(404, f"no route GET /{'/'.join(parts)}")
+
+    # ------------------------------------------------------------------
+    def _submit(self, co: Coordinator) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise ApiError(400, f"bad JSON body: {exc}")
+        priority = int(body.get("priority", 0))
+        seed = int(body.get("seed", body.get("testbed_seed", 1)))
+        if "builder" in body:
+            name = body["builder"]
+            builder = SWEEP_BUILDERS.get(name)
+            if builder is None:
+                raise ApiError(
+                    400,
+                    f"unknown builder {name!r}; registered: "
+                    f"{sorted(SWEEP_BUILDERS)}",
+                )
+            try:
+                scale = ExperimentScale.preset(body.get("scale", "smoke"))
+            except KeyError as exc:
+                raise ApiError(400, str(exc.args[0]))
+            params = body.get("params", {})
+            try:
+                spec = builder(co.testbed(seed), scale=scale, seed=seed, **params)
+            except (TypeError, KeyError, ValueError) as exc:
+                raise ApiError(400, f"builder {name!r} rejected params: {exc}")
+        elif "experiment" in body:
+            try:
+                spec = experiment_from_wire(body["experiment"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ApiError(400, f"bad wire experiment: {exc}")
+        else:
+            raise ApiError(400, "body needs 'builder' or 'experiment'")
+        job = new_job(spec.name, list(spec.trials), priority=priority,
+                      testbed_seed=seed)
+        co.submit(job)
+        return {"job_id": job.job_id, "name": job.name, "trials": job.total}
+
+    # ------------------------------------------------------------------
+    def _send(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # Long-polls pin threads; don't let a burst of them refuse new sockets.
+    request_queue_size = 32
+
+    def __init__(self, addr, coordinator: Coordinator, verbose: bool = False):
+        self.coordinator = coordinator
+        self.verbose = verbose
+        super().__init__(addr, _Handler)
+
+
+def make_server(
+    coordinator: Coordinator,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Bind (port 0 = ephemeral; see ``server.server_address``) but do not
+    serve — call ``serve_forever()`` or :func:`serve_in_thread`."""
+    return ServiceHTTPServer((host, port), coordinator, verbose=verbose)
+
+
+def serve_in_thread(server: socketserver.BaseServer) -> threading.Thread:
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+# ======================================================================
+# Client
+# ======================================================================
+class ServiceClient:
+    """Thin urllib client for the endpoints above.
+
+    ``base_url`` like ``http://127.0.0.1:8642``. Raises :class:`ApiError`
+    with the server's message on any non-2xx response.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit_builder(
+        self,
+        builder: str,
+        scale: str = "smoke",
+        seed: int = 1,
+        priority: int = 0,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> dict:
+        return self._request("POST", "/jobs", {
+            "builder": builder, "scale": scale, "seed": seed,
+            "priority": priority, "params": params or {},
+        })
+
+    def submit_experiment(
+        self, wire: dict, testbed_seed: int = 1, priority: int = 0
+    ) -> dict:
+        return self._request("POST", "/jobs", {
+            "experiment": wire, "testbed_seed": testbed_seed,
+            "priority": priority,
+        })
+
+    def jobs(self, limit: int = 50) -> List[dict]:
+        return self._request("GET", f"/jobs?limit={limit}")["jobs"]
+
+    def job(
+        self,
+        job_id: str,
+        wait: Optional[float] = None,
+        cursor: Optional[int] = None,
+    ) -> dict:
+        query = {}
+        if wait is not None:
+            query["wait"] = wait
+        if cursor is not None:
+            query["cursor"] = cursor
+        suffix = f"?{urllib.parse.urlencode(query)}" if query else ""
+        return self._request(
+            "GET", f"/jobs/{job_id}{suffix}",
+            timeout=self.timeout + (wait or 0),
+        )
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel", {})
+
+    def tail(self, job_id: str, wait: float = 10.0) -> Iterator[dict]:
+        """Long-poll a job to completion, yielding each progress change.
+        The final yield is the terminal progress dict."""
+        cursor = -1
+        while True:
+            progress = self.job(job_id, wait=wait, cursor=max(cursor, 0))
+            yield progress
+            if progress["state"] in TERMINAL_STATES:
+                return
+            cursor = progress["completed"] + progress["failed"]
+
+    def runs(
+        self,
+        experiment: Optional[str] = None,
+        limit: int = 20,
+        status: Optional[str] = None,
+        with_payload: bool = False,
+    ) -> dict:
+        query = {"limit": limit}
+        if experiment:
+            query["experiment"] = experiment
+        if status:
+            query["status"] = status
+        if with_payload:
+            query["payload"] = 1
+        return self._request("GET", f"/runs?{urllib.parse.urlencode(query)}")
+
+    def summary(
+        self,
+        experiment: str,
+        metric: str,
+        qs: Sequence[float] = (10, 50, 90),
+    ) -> dict:
+        query = urllib.parse.urlencode({
+            "experiment": experiment, "metric": metric,
+            "q": ",".join(str(q) for q in qs),
+        })
+        return self._request("GET", f"/runs/summary?{query}")
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                req, timeout=timeout or self.timeout
+            ) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                message = exc.reason
+            raise ApiError(exc.code, message or f"HTTP {exc.code}")

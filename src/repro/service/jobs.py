@@ -1,0 +1,167 @@
+"""The service's job model: a sweep's trials plus queueing metadata.
+
+A :class:`SweepJob` wraps the trial list of one
+:class:`~repro.experiments.spec.ExperimentSpec` with everything the
+coordinator needs to schedule it: a priority, a state machine, per-trial
+progress counters, and the testbed seed the trials must run against.
+
+State machine::
+
+    queued -> running -> done
+       ^         |   \\-> failed      (some trial exhausted its retries)
+       |         |   \\-> cancelled   (cancel honored between trials)
+       \\--------/                    (preempted / requeued / crash-resumed)
+
+Jobs serialize to a wire dict (via the TrialSpec wire format) so they can
+arrive over HTTP and be persisted in the run-table's jobs table — which is
+what lets a restarted coordinator re-queue anything left open by a crash.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.experiments.spec import ExperimentSpec, TrialSpec
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+ALL_STATES = frozenset({QUEUED, RUNNING}) | TERMINAL_STATES
+
+
+@dataclass
+class SweepJob:
+    """One queued sweep: trials + priority + live progress.
+
+    ``priority`` is higher-runs-first; ties break FIFO by submission. The
+    progress counters (``completed``/``failed``) are maintained by the
+    coordinator and include trials served from the fingerprinted store on
+    resume, so ``completed == total`` always means "every trial has a
+    result", however many processes it took to get there.
+    """
+
+    job_id: str
+    name: str
+    trials: List[TrialSpec]
+    priority: int = 0
+    testbed_seed: int = 1
+    state: str = QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    completed: int = 0
+    failed: int = 0
+    error: Optional[str] = None
+    #: Set by cancel(); the coordinator honors it at the next trial boundary.
+    cancel_requested: bool = field(default=False, compare=False)
+
+    @property
+    def total(self) -> int:
+        return len(self.trials)
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def progress(self) -> dict:
+        """The JSON-ready view the HTTP status/tail endpoints serve."""
+        return {
+            "job_id": self.job_id,
+            "name": self.name,
+            "state": self.state,
+            "priority": self.priority,
+            "testbed_seed": self.testbed_seed,
+            "total": self.total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    # ------------------------------------------------------------------
+    # Wire format (HTTP submit + run-table persistence)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "name": self.name,
+            "trials": [t.to_wire() for t in self.trials],
+            "priority": self.priority,
+            "testbed_seed": self.testbed_seed,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "completed": self.completed,
+            "failed": self.failed,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "SweepJob":
+        state = obj.get("state", QUEUED)
+        if state not in ALL_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        return cls(
+            job_id=str(obj["job_id"]),
+            name=str(obj["name"]),
+            trials=[TrialSpec.from_wire(t) for t in obj["trials"]],
+            priority=int(obj.get("priority", 0)),
+            testbed_seed=int(obj.get("testbed_seed", 1)),
+            state=state,
+            submitted_at=obj.get("submitted_at", 0.0),
+            started_at=obj.get("started_at"),
+            finished_at=obj.get("finished_at"),
+            completed=int(obj.get("completed", 0)),
+            failed=int(obj.get("failed", 0)),
+            error=obj.get("error"),
+        )
+
+
+def new_job(
+    name: str,
+    trials: List[TrialSpec],
+    priority: int = 0,
+    testbed_seed: int = 1,
+    job_id: Optional[str] = None,
+    now: Optional[float] = None,
+) -> SweepJob:
+    """Mint a fresh queued job (random id, submission timestamp)."""
+    if not trials:
+        raise ValueError(f"job {name!r} has no trials")
+    return SweepJob(
+        job_id=job_id or uuid.uuid4().hex[:12],
+        name=name,
+        trials=list(trials),
+        priority=priority,
+        testbed_seed=testbed_seed,
+        submitted_at=time.time() if now is None else now,
+    )
+
+
+def job_from_experiment(
+    spec: ExperimentSpec,
+    priority: int = 0,
+    testbed_seed: int = 1,
+    job_id: Optional[str] = None,
+) -> SweepJob:
+    """Wrap an in-process ExperimentSpec as a submittable job. The spec's
+    ``reduce`` stays behind (the service works at trial granularity)."""
+    return new_job(
+        spec.name,
+        list(spec.trials),
+        priority=priority,
+        testbed_seed=testbed_seed,
+        job_id=job_id,
+    )

@@ -1,0 +1,188 @@
+"""Job queue with lease/ack/requeue semantics.
+
+The interface is deliberately multi-host-shaped even though the first
+implementation is an in-process structure: a worker *leases* a job for a
+bounded time, must *ack* it when finished, and a lease that expires without
+an ack (worker death) puts the job back in the queue for someone else.
+Swapping in a networked queue (redis, SQS, a second sqlite table polled by
+remote workers) changes this module only — the coordinator is written
+against exactly these five verbs.
+
+Ordering: higher ``priority`` first; FIFO (by submission sequence) within a
+priority. A requeued job keeps its original sequence number, so preemption
+and worker death never push a job behind later submissions of equal
+priority.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.service.jobs import SweepJob
+
+
+class _Entry:
+    __slots__ = ("job", "seq", "state", "leased_to", "lease_expiry")
+
+    def __init__(self, job: SweepJob, seq: int):
+        self.job = job
+        self.seq = seq
+        self.state = "queued"  # queued | leased | acked | removed
+        self.leased_to: Optional[str] = None
+        self.lease_expiry: float = 0.0
+
+
+class InMemoryJobQueue:
+    """Single-process lease queue (threading.Condition under the hood).
+
+    ``clock`` is injectable (monotonic seconds) so lease-expiry behavior is
+    testable without real waiting.
+    """
+
+    def __init__(
+        self,
+        default_lease_s: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.default_lease_s = default_lease_s
+        self._clock = clock
+        self._entries: Dict[str, _Entry] = {}
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # The five queue verbs
+    # ------------------------------------------------------------------
+    def submit(self, job: SweepJob) -> str:
+        with self._cond:
+            if job.job_id in self._entries and \
+                    self._entries[job.job_id].state in ("queued", "leased"):
+                raise ValueError(f"job {job.job_id} is already queued")
+            self._entries[job.job_id] = _Entry(job, next(self._seq))
+            self._cond.notify_all()
+        return job.job_id
+
+    def lease(
+        self,
+        worker_id: str,
+        timeout: Optional[float] = None,
+        lease_s: Optional[float] = None,
+    ) -> Optional[SweepJob]:
+        """Take the best queued job, or block up to ``timeout`` for one.
+
+        Returns None on timeout. The caller owns the job until ``ack`` /
+        ``requeue`` or until the lease expires (``reap_expired``).
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            while True:
+                entry = self._best_queued_locked()
+                if entry is not None:
+                    entry.state = "leased"
+                    entry.leased_to = worker_id
+                    entry.lease_expiry = self._clock() + (
+                        lease_s if lease_s is not None else self.default_lease_s
+                    )
+                    return entry.job
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(remaining)
+
+    def ack(self, job_id: str) -> None:
+        """The leased job reached a terminal state; drop it from the queue."""
+        with self._cond:
+            entry = self._leased_entry_locked(job_id)
+            entry.state = "acked"
+
+    def requeue(self, job_id: str) -> None:
+        """Voluntarily give a leased job back (preemption, graceful stop).
+
+        The job keeps its original submission sequence, so it resumes at the
+        head of its priority class rather than behind newer submissions.
+        """
+        with self._cond:
+            entry = self._leased_entry_locked(job_id)
+            entry.state = "queued"
+            entry.leased_to = None
+            self._cond.notify_all()
+
+    def extend(self, job_id: str, lease_s: Optional[float] = None) -> None:
+        """Heartbeat: push the lease expiry out (long trials mid-job)."""
+        with self._cond:
+            entry = self._leased_entry_locked(job_id)
+            entry.lease_expiry = self._clock() + (
+                lease_s if lease_s is not None else self.default_lease_s
+            )
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection
+    # ------------------------------------------------------------------
+    def reap_expired(self) -> List[str]:
+        """Requeue every job whose lease expired without an ack — the
+        worker that held it is presumed dead. Returns the requeued ids."""
+        now = self._clock()
+        reaped = []
+        with self._cond:
+            for entry in self._entries.values():
+                if entry.state == "leased" and entry.lease_expiry <= now:
+                    entry.state = "queued"
+                    entry.leased_to = None
+                    reaped.append(entry.job.job_id)
+            if reaped:
+                self._cond.notify_all()
+        return reaped
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job. Queued jobs leave the queue immediately (returns
+        True); leased jobs get ``cancel_requested`` set for the coordinator
+        to honor at the next trial boundary (returns False)."""
+        with self._cond:
+            entry = self._entries.get(job_id)
+            if entry is None or entry.state in ("acked", "removed"):
+                return False
+            entry.job.cancel_requested = True
+            if entry.state == "queued":
+                entry.state = "removed"
+                return True
+            return False
+
+    def max_queued_priority(self) -> Optional[int]:
+        """The highest priority currently waiting (None if queue is empty).
+        The coordinator polls this between trials to decide preemption."""
+        with self._cond:
+            entry = self._best_queued_locked()
+            return None if entry is None else entry.job.priority
+
+    def queued_count(self) -> int:
+        with self._cond:
+            return sum(1 for e in self._entries.values() if e.state == "queued")
+
+    def get(self, job_id: str) -> Optional[SweepJob]:
+        with self._cond:
+            entry = self._entries.get(job_id)
+            return None if entry is None else entry.job
+
+    # ------------------------------------------------------------------
+    def _best_queued_locked(self) -> Optional[_Entry]:
+        best = None
+        for entry in self._entries.values():
+            if entry.state != "queued":
+                continue
+            key = (-entry.job.priority, entry.seq)
+            if best is None or key < (-best.job.priority, best.seq):
+                best = entry
+        return best
+
+    def _leased_entry_locked(self, job_id: str) -> _Entry:
+        entry = self._entries.get(job_id)
+        if entry is None or entry.state != "leased":
+            state = None if entry is None else entry.state
+            raise ValueError(f"job {job_id} is not leased (state={state})")
+        return entry

@@ -1,0 +1,351 @@
+"""The sqlite run-table: an indexed store of every trial ever run.
+
+The flat-JSON :class:`~repro.experiments.executor.ResultStore` stays the
+executor's *resume* source of truth (it is what fingerprint-keyed caching
+reads), but it answers "what ran last week" only by re-parsing whole files.
+The run-table is the query side: every completed (or failed) trial lands
+here as one row — indexed by experiment, trial id, fingerprint, seed, wall
+time, and status, with the full TrialResult as a JSON payload column — and
+summary questions (percentiles over any metric, per-experiment counts,
+recent runs) become indexed SQL plus a small amount of Python instead of
+directory scans.
+
+A second table persists :class:`~repro.service.jobs.SweepJob` descriptors;
+jobs still ``queued``/``running`` at startup are what the coordinator
+re-queues after a crash.
+
+sqlite is the right shape here: stdlib (no new deps), single-file, safe
+across the coordinator's worker + HTTP threads (one connection behind a
+lock), and indexed queries over ~millions of trial rows — while staying
+trivially replaceable by a networked store behind the same method surface.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis import stats
+from repro.experiments.spec import TrialResult
+from repro.service.jobs import QUEUED, RUNNING, SweepJob
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS trials (
+    experiment  TEXT NOT NULL,
+    trial_id    TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    seed        INTEGER,
+    wall_time   REAL,
+    status      TEXT NOT NULL,
+    job_id      TEXT,
+    recorded_at REAL NOT NULL,
+    payload     TEXT NOT NULL,
+    PRIMARY KEY (experiment, trial_id, fingerprint)
+);
+CREATE INDEX IF NOT EXISTS idx_trials_experiment ON trials(experiment);
+CREATE INDEX IF NOT EXISTS idx_trials_fingerprint ON trials(fingerprint);
+CREATE INDEX IF NOT EXISTS idx_trials_seed ON trials(seed);
+CREATE INDEX IF NOT EXISTS idx_trials_wall ON trials(wall_time);
+CREATE INDEX IF NOT EXISTS idx_trials_status ON trials(status);
+CREATE INDEX IF NOT EXISTS idx_trials_recorded ON trials(recorded_at);
+
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id       TEXT PRIMARY KEY,
+    name         TEXT NOT NULL,
+    priority     INTEGER NOT NULL,
+    state        TEXT NOT NULL,
+    testbed_seed INTEGER,
+    submitted_at REAL,
+    started_at   REAL,
+    finished_at  REAL,
+    completed    INTEGER NOT NULL DEFAULT 0,
+    failed       INTEGER NOT NULL DEFAULT 0,
+    total        INTEGER NOT NULL,
+    error        TEXT,
+    wire         TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs(state);
+"""
+
+_TRIAL_COLUMNS = (
+    "experiment", "trial_id", "fingerprint", "seed", "wall_time", "status",
+    "job_id", "recorded_at",
+)
+
+
+class RunTable:
+    """One sqlite file of trial rows + job descriptors.
+
+    All methods are thread-safe: the coordinator's workers insert while the
+    HTTP threads query, through one shared connection behind an RLock.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------
+    # Trial rows
+    # ------------------------------------------------------------------
+    def record_trial(
+        self,
+        experiment: str,
+        result: TrialResult,
+        seed: Optional[int] = None,
+        wall_time: Optional[float] = None,
+        status: str = "ok",
+        job_id: Optional[str] = None,
+        recorded_at: Optional[float] = None,
+        replace: bool = True,
+    ) -> None:
+        """Insert one trial row. With ``replace=False`` an existing
+        (experiment, trial_id, fingerprint) row is left untouched — that is
+        what keeps a crash-resumed job from overwriting the original rows'
+        wall times with cache-hit nulls."""
+        verb = "INSERT OR REPLACE" if replace else "INSERT OR IGNORE"
+        with self._lock, self._conn:
+            self._conn.execute(
+                f"{verb} INTO trials (experiment, trial_id, fingerprint, "
+                f"seed, wall_time, status, job_id, recorded_at, payload) "
+                f"VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    experiment,
+                    result.trial_id,
+                    result.fingerprint,
+                    seed,
+                    wall_time,
+                    status,
+                    job_id,
+                    time.time() if recorded_at is None else recorded_at,
+                    json.dumps(result.to_json()),
+                ),
+            )
+
+    def record_failure(
+        self,
+        experiment: str,
+        trial_id: str,
+        fingerprint: str,
+        error: str,
+        seed: Optional[int] = None,
+        job_id: Optional[str] = None,
+    ) -> None:
+        """A trial that exhausted its retries still gets a row — "what
+        failed last week" is as much a run-table question as "what ran"."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO trials (experiment, trial_id, "
+                "fingerprint, seed, wall_time, status, job_id, recorded_at, "
+                "payload) VALUES (?, ?, ?, ?, ?, 'failed', ?, ?, ?)",
+                (
+                    experiment, trial_id, fingerprint, seed, None, job_id,
+                    time.time(), json.dumps({"error": error}),
+                ),
+            )
+
+    def trial_count(
+        self,
+        experiment: Optional[str] = None,
+        status: Optional[str] = None,
+    ) -> int:
+        sql = "SELECT COUNT(*) FROM trials"
+        where, args = self._where(experiment=experiment, status=status)
+        with self._lock:
+            (n,) = self._conn.execute(sql + where, args).fetchone()
+        return int(n)
+
+    def counts_by_experiment(self) -> Dict[str, int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT experiment, COUNT(*) AS n FROM trials "
+                "GROUP BY experiment ORDER BY experiment"
+            ).fetchall()
+        return {row["experiment"]: int(row["n"]) for row in rows}
+
+    def recent_runs(
+        self,
+        limit: int = 20,
+        experiment: Optional[str] = None,
+        status: Optional[str] = None,
+        with_payload: bool = False,
+    ) -> List[dict]:
+        """Newest-first trial rows (metadata only unless asked)."""
+        where, args = self._where(experiment=experiment, status=status)
+        cols = ", ".join(_TRIAL_COLUMNS) + (", payload" if with_payload else "")
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT {cols} FROM trials{where} "
+                f"ORDER BY recorded_at DESC, trial_id DESC LIMIT ?",
+                args + [int(limit)],
+            ).fetchall()
+        out = []
+        for row in rows:
+            d = {k: row[k] for k in _TRIAL_COLUMNS}
+            if with_payload:
+                d["payload"] = json.loads(row["payload"])
+            out.append(d)
+        return out
+
+    def results(self, experiment: str) -> List[TrialResult]:
+        """Every successful trial of an experiment, insertion-ordered."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT payload FROM trials WHERE experiment = ? AND "
+                "status != 'failed' ORDER BY rowid",
+                (experiment,),
+            ).fetchall()
+        return [TrialResult.from_json(json.loads(r["payload"])) for r in rows]
+
+    # ------------------------------------------------------------------
+    # Summary queries
+    # ------------------------------------------------------------------
+    def metric_values(self, experiment: str, metric: str) -> List[float]:
+        """Extract one numeric metric from every successful trial.
+
+        ``metric`` addresses the payload:
+
+        * ``total_mbps`` — sum of the trial's per-flow throughputs,
+        * ``mbps:S-D`` — one flow's throughput (source S, destination D),
+        * anything else — a numeric entry of the trial's ``metrics`` dict.
+
+        Trials lacking the metric are skipped (not an error): experiments
+        mix protocols, and e.g. ``concurrency`` exists only on CMAP trials.
+        """
+        values: List[float] = []
+        for res in self.results(experiment):
+            value = _extract_metric(res, metric)
+            if value is not None:
+                values.append(value)
+        return values
+
+    def percentiles(
+        self, experiment: str, metric: str, qs: Sequence[float]
+    ) -> Dict[float, float]:
+        """Percentiles of a metric across an experiment's trials, computed
+        with the same :func:`repro.analysis.stats.percentile` the figure
+        reducers use — so the service's summaries are definitionally
+        consistent with the in-process analysis path."""
+        values = self.metric_values(experiment, metric)
+        if not values:
+            return {}
+        return {float(q): stats.percentile(values, q) for q in qs}
+
+    def summary(self, experiment: str, metric: str) -> Optional[dict]:
+        """count/mean/std/median/p10..p90 of a metric (None if no data)."""
+        values = self.metric_values(experiment, metric)
+        if not values:
+            return None
+        s = stats.summarize(values)
+        return {
+            "count": s.count, "mean": s.mean, "std": s.std,
+            "median": s.median, "p10": s.p10, "p25": s.p25,
+            "p75": s.p75, "p90": s.p90,
+        }
+
+    # ------------------------------------------------------------------
+    # Jobs table
+    # ------------------------------------------------------------------
+    def upsert_job(self, job: SweepJob) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO jobs (job_id, name, priority, state, "
+                "testbed_seed, submitted_at, started_at, finished_at, "
+                "completed, failed, total, error, wire) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    job.job_id, job.name, job.priority, job.state,
+                    job.testbed_seed, job.submitted_at, job.started_at,
+                    job.finished_at, job.completed, job.failed, job.total,
+                    job.error, json.dumps(job.to_wire()),
+                ),
+            )
+
+    def get_job(self, job_id: str) -> Optional[SweepJob]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT wire FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        return SweepJob.from_wire(json.loads(row["wire"]))
+
+    def list_jobs(
+        self, limit: int = 50, states: Optional[Sequence[str]] = None
+    ) -> List[SweepJob]:
+        sql = "SELECT wire FROM jobs"
+        args: List[Any] = []
+        if states:
+            sql += " WHERE state IN (%s)" % ",".join("?" * len(states))
+            args.extend(states)
+        sql += " ORDER BY submitted_at DESC LIMIT ?"
+        args.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(sql, args).fetchall()
+        return [SweepJob.from_wire(json.loads(r["wire"])) for r in rows]
+
+    def open_jobs(self) -> List[SweepJob]:
+        """Jobs a previous coordinator left queued or running — the
+        crash-resume work list, oldest first."""
+        jobs = self.list_jobs(limit=10_000, states=(QUEUED, RUNNING))
+        return sorted(jobs, key=lambda j: j.submitted_at)
+
+    # ------------------------------------------------------------------
+    # Migration from flat-file stores
+    # ------------------------------------------------------------------
+    def ingest_store(
+        self,
+        store,
+        experiment: str,
+        job_id: Optional[str] = None,
+        replace: bool = False,
+    ) -> int:
+        """Import a :class:`~repro.experiments.executor.ResultStore`'s
+        cached results as run-table rows (the flat-JSON -> sqlite migration
+        path; also reachable as ``store.migrate_to(runtable, ...)``)."""
+        n = 0
+        for result in store.results():
+            self.record_trial(
+                experiment,
+                result,
+                seed=store.testbed_seed,
+                job_id=job_id,
+                replace=replace,
+            )
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _where(**filters) -> "tuple[str, List[Any]]":
+        clauses, args = [], []
+        for column, value in filters.items():
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                args.append(value)
+        return (" WHERE " + " AND ".join(clauses)) if clauses else "", args
+
+
+def _extract_metric(res: TrialResult, metric: str) -> Optional[float]:
+    if metric == "total_mbps":
+        return float(sum(res.flow_mbps.values())) if res.flow_mbps else None
+    if metric.startswith("mbps:"):
+        try:
+            s, d = metric[len("mbps:"):].split("-")
+            return float(res.flow_mbps[(int(s), int(d))])
+        except (ValueError, KeyError):
+            return None
+    value = res.metrics.get(metric)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)

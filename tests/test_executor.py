@@ -247,6 +247,92 @@ class TestResultStore:
             run_inrange_senders(other, tiny, store=store)
 
 
+class RudeBackend:
+    """Backend that ``put``s results into the store itself but never calls
+    ``on_result`` — then dies. Models a worker that batches persistence:
+    the run_experiment crash path must flush the store anyway."""
+
+    def __init__(self, store, survive):
+        self.store = store
+        self.survive = survive
+
+    def run(self, testbed, trials, on_result=None):
+        for trial in trials[: self.survive]:
+            self.store.put(run_trial(testbed, trial))
+        raise RuntimeError("simulated worker death before any save")
+
+
+class TestCrashSafety:
+    def test_save_fault_leaves_previous_contents_intact(
+        self, testbed, tmp_path, monkeypatch
+    ):
+        """A crash mid-save (fault-injected serializer) must leave the
+        previous on-disk store readable and no temp litter behind."""
+        path = str(tmp_path / "results.json")
+        tiny = ExperimentScale(configs=1, duration=4.0, warmup=1.5)
+        store = ResultStore(path, testbed_seed=1)
+        run_inrange_senders(testbed, tiny, store=store)
+        intact = len(store)
+        assert intact > 0
+
+        spec = build_inrange_senders(testbed, tiny)
+        extra = run_trial(testbed, spec.trials[0])
+        store.put(
+            type(extra)(
+                trial_id="extra/0",
+                flow_mbps=extra.flow_mbps,
+                fingerprint="fp-extra",
+            )
+        )
+
+        def exploding_dump(obj, fh, **kwargs):
+            fh.write('{"truncated', )
+            raise OSError("disk full (injected)")
+
+        monkeypatch.setattr(
+            "repro.experiments.executor.json.dump", exploding_dump
+        )
+        with pytest.raises(OSError):
+            store.save()
+        monkeypatch.undo()
+
+        reloaded = ResultStore(path, testbed_seed=1)
+        assert len(reloaded) == intact  # previous save, bit-for-bit readable
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_uncooperative_backend_failure_still_persists(
+        self, testbed, tmp_path
+    ):
+        """Even a backend that never calls on_result loses nothing that
+        reached the store before it died."""
+        path = str(tmp_path / "results.json")
+        tiny = ExperimentScale(configs=2, duration=4.0, warmup=1.5)
+        store = ResultStore(path, testbed_seed=1)
+        with pytest.raises(RuntimeError):
+            run_inrange_senders(
+                testbed, tiny, backend=RudeBackend(store, survive=2),
+                store=store,
+            )
+        assert len(ResultStore(path, testbed_seed=1)) == 2
+
+    def test_raising_trial_keeps_earlier_results(self, testbed, tmp_path):
+        """A spec whose trial raises (unknown metric) fails the sweep but
+        the trials that completed before it are already on disk."""
+        path = str(tmp_path / "results.json")
+        good = TrialSpec("good/0", (0, 1), ((0, 1),), MacSpec.of("dcf"),
+                         0, 4.0, 1.5)
+        bad = TrialSpec("bad/0", (0, 1), ((0, 1),), MacSpec.of("dcf"),
+                        0, 4.0, 1.5, metrics=("no_such_metric",))
+        spec = ExperimentSpec("partial", [good, bad], lambda r: r)
+        with pytest.raises(KeyError):
+            run_experiment(spec, testbed,
+                           store=ResultStore(path, testbed_seed=1))
+        reloaded = ResultStore(path, testbed_seed=1)
+        assert len(reloaded) == 1
+        assert reloaded.get(good) is not None
+
+
 class TestMacRegistry:
     def test_known_protocols(self):
         assert callable(build_mac_factory("cmap"))

@@ -1,0 +1,273 @@
+"""Coordinator scheduling: retries, preemption, cancellation, crash-resume.
+
+Logic tests monkeypatch ``repro.service.coordinator.run_trial`` with a
+scripted fake (and a SimpleNamespace testbed), so they run in
+milliseconds; the bit-identical and crash-resume acceptance tests execute
+real trials against a shared Testbed.
+"""
+
+import types
+
+import pytest
+
+from repro.analysis import stats
+from repro.experiments.executor import ResultStore, SerialBackend
+from repro.experiments.runners import ExperimentScale, build_single_link_calibration
+from repro.experiments.spec import MacSpec, TrialResult, TrialSpec
+from repro.net.testbed import Testbed
+from repro.service.coordinator import Coordinator
+from repro.service.jobs import CANCELLED, DONE, FAILED, QUEUED, new_job
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed(seed=1)
+
+
+@pytest.fixture(scope="module")
+def calibration(testbed):
+    return build_single_link_calibration(testbed, scale=ExperimentScale.smoke())
+
+
+@pytest.fixture(scope="module")
+def serial_reference(testbed, calibration):
+    results = SerialBackend().run(testbed, list(calibration.trials))
+    return {r.trial_id: r for r in results}
+
+
+def _trials(n, prefix="t"):
+    return [
+        TrialSpec(f"{prefix}/{i}", (0, 1), ((0, 1),), MacSpec.of("dcf"),
+                  0, 4.0, 1.0)
+        for i in range(n)
+    ]
+
+
+class FakeRunTrial:
+    """Scripted run_trial: per-trial canned results, optional failures,
+    and a hook called before each execution (for mid-run submissions)."""
+
+    def __init__(self, fail=None, hook=None):
+        self.calls = []
+        self.fail = dict(fail or {})  # trial_id -> times to raise
+        self.hook = hook
+
+    def __call__(self, testbed, trial):
+        self.calls.append(trial.trial_id)
+        if self.hook is not None:
+            self.hook(trial)
+        left = self.fail.get(trial.trial_id, 0)
+        if left > 0:
+            self.fail[trial.trial_id] = left - 1
+            raise RuntimeError(f"scripted failure for {trial.trial_id}")
+        return TrialResult(
+            trial_id=trial.trial_id,
+            flow_mbps={trial.flows[0]: 1.0},
+            fingerprint=trial.fingerprint(),
+        )
+
+
+@pytest.fixture
+def fake(monkeypatch):
+    runner = FakeRunTrial()
+    monkeypatch.setattr("repro.service.coordinator.run_trial", runner)
+    return runner
+
+
+@pytest.fixture
+def co(tmp_path):
+    sleeps = []
+    coordinator = Coordinator(
+        str(tmp_path / "svc"),
+        max_retries=2,
+        backoff_base_s=0.1,
+        backoff_cap_s=0.25,
+        sleep=sleeps.append,
+        testbed_factory=lambda seed: types.SimpleNamespace(seed=seed),
+    )
+    coordinator.sleeps = sleeps
+    yield coordinator
+    coordinator.runtable.close()
+
+
+class TestSchedulingLogic:
+    def test_happy_path_streams_rows(self, co, fake):
+        job_id = co.submit(new_job("sweep", _trials(3)))
+        done = co.run_once()
+        assert done.job_id == job_id and done.state == DONE
+        assert (done.completed, done.failed) == (3, 0)
+        assert fake.calls == ["t/0", "t/1", "t/2"]
+        assert co.runtable.trial_count(experiment="sweep") == 3
+        assert co.runtable.get_job(job_id).state == DONE
+        # results persisted to the job's fingerprinted store too
+        store = ResultStore(co._store_path(done))
+        assert len(store) == 3
+
+    def test_retry_succeeds_with_capped_backoff(self, co, fake):
+        fake.fail = {"t/1": 2}  # two failures, third attempt succeeds
+        co.submit(new_job("retry", _trials(3)))
+        done = co.run_once()
+        assert done.state == DONE and done.completed == 3
+        assert fake.calls.count("t/1") == 3
+        assert co.sleeps == [0.1, 0.2]
+
+    def test_backoff_is_capped(self, co, fake):
+        fake.fail = {"t/0": 99}
+        co.max_retries = 4
+        co.submit(new_job("cap", _trials(1)))
+        assert co.run_once().state == FAILED
+        assert co.sleeps == [0.1, 0.2, 0.25, 0.25]
+
+    def test_exhausted_retries_fail_job_but_finish_sweep(self, co, fake):
+        fake.fail = {"t/1": 99}
+        job_id = co.submit(new_job("partial", _trials(3)))
+        done = co.run_once()
+        assert done.state == FAILED
+        assert (done.completed, done.failed) == (2, 1)
+        assert "scripted failure" in done.error
+        # the failing trial got 1 + max_retries attempts, the rest ran once
+        assert fake.calls.count("t/1") == 3
+        rows = co.runtable.recent_runs(experiment="partial", status="failed")
+        assert [r["trial_id"] for r in rows] == ["t/1"]
+        assert co.runtable.trial_count(experiment="partial", status="ok") == 2
+        assert co.runtable.get_job(job_id).state == FAILED
+
+    def test_cancel_queued_job_is_immediate(self, co, fake):
+        job_id = co.submit(new_job("doomed", _trials(2)))
+        assert co.cancel(job_id) is True
+        assert co.job_progress(job_id)["state"] == CANCELLED
+        assert co.run_once() is None
+        assert fake.calls == []
+        assert co.cancel(job_id) is False  # already terminal
+        assert co.runtable.get_job(job_id).state == CANCELLED
+
+    def test_cancel_mid_run_stops_at_the_boundary(self, co, fake):
+        job_id = co.submit(new_job("midrun", _trials(3)))
+        fake.hook = lambda trial: co.cancel(job_id)
+        done = co.run_once()
+        assert done.state == CANCELLED
+        assert done.completed == 1  # first trial finished, boundary cancelled
+        assert fake.calls == ["t/0"]
+
+    def test_higher_priority_preempts_at_the_boundary(self, co, fake):
+        low_id = co.submit(new_job("low", _trials(3, "low"), priority=0))
+
+        def submit_high(trial):
+            fake.hook = None  # only once
+            co.submit(new_job("high", _trials(1, "high"), priority=5))
+
+        fake.hook = submit_high
+        preempted = co.run_once()
+        assert preempted.job_id == low_id and preempted.state == QUEUED
+        assert fake.calls == ["low/0"]
+
+        high = co.run_once()
+        assert high.name == "high" and high.state == DONE
+
+        resumed = co.run_once()
+        assert resumed.job_id == low_id and resumed.state == DONE
+        assert resumed.completed == 3
+        # low/0 was served from the fingerprinted store, never re-executed
+        assert fake.calls == ["low/0", "high/0", "low/1", "low/2"]
+
+    def test_stop_requeues_and_resume_serves_from_cache(self, co, fake):
+        co.submit(new_job("stopme", _trials(3)))
+        fake.hook = lambda trial: co._stop.set()
+        stopped = co.run_once()
+        assert stopped.state == QUEUED
+        assert co.runtable.get_job(stopped.job_id).state == QUEUED
+        assert fake.calls == ["t/0"]
+
+        co._stop.clear()
+        fake.hook = None
+        done = co.run_once()
+        assert done.state == DONE and done.completed == 3
+        assert fake.calls == ["t/0", "t/1", "t/2"]  # t/0 not re-run
+
+    def test_wait_snapshot_and_unknown(self, co, fake):
+        job_id = co.submit(new_job("w", _trials(1)))
+        progress = co.wait(job_id)
+        assert progress["state"] == QUEUED and progress["total"] == 1
+        assert co.wait("missing") is None
+        co.run_once()
+        assert co.wait(job_id, cursor=0, timeout=1.0)["state"] == DONE
+
+
+class TestAgainstRealTrials:
+    def test_bit_identical_to_serial_backend(self, tmp_path, testbed,
+                                             calibration, serial_reference):
+        co = Coordinator(str(tmp_path / "svc"),
+                         testbed_factory=lambda seed: testbed)
+        job_id = co.submit_experiment(calibration, testbed_seed=testbed.seed)
+        done = co.run_once()
+        assert done.job_id == job_id and done.state == DONE
+        got = {r.trial_id: r for r in co.runtable.results(calibration.name)}
+        assert got == serial_reference
+
+        totals = [sum(r.flow_mbps.values()) for r in serial_reference.values()]
+        p50 = co.runtable.percentiles(calibration.name, "total_mbps", [50])[50]
+        assert p50 == stats.percentile(totals, 50)
+        co.runtable.close()
+
+    def test_crash_mid_job_then_restart_resumes_bit_identical(
+        self, tmp_path, testbed, calibration, serial_reference, monkeypatch
+    ):
+        """The acceptance path: kill the coordinator after the first trial,
+        start a fresh one on the same data dir, and the finished sweep is
+        bit-identical to the serial run — with the surviving trial served
+        from the store, not re-executed."""
+        data_dir = str(tmp_path / "svc")
+        co1 = Coordinator(data_dir, testbed_factory=lambda seed: testbed)
+        job_id = co1.submit_experiment(calibration, testbed_seed=testbed.seed)
+
+        from repro.experiments.executor import run_trial as real_run_trial
+
+        calls1 = []
+
+        def dying_run_trial(tb, trial):
+            if calls1:
+                raise KeyboardInterrupt  # simulated kill -9 mid-job
+            calls1.append(trial.trial_id)
+            return real_run_trial(tb, trial)
+
+        monkeypatch.setattr("repro.service.coordinator.run_trial",
+                            dying_run_trial)
+        with pytest.raises(KeyboardInterrupt):
+            co1.run_once()
+        # the crash left a running job row and a partial store behind
+        assert co1.runtable.get_job(job_id).state == "running"
+        assert len(ResultStore(co1._store_path(co1._jobs[job_id]))) == 1
+        co1.runtable.close()
+
+        co2 = Coordinator(data_dir, testbed_factory=lambda seed: testbed)
+        assert co2.resume_open_jobs() == [job_id]
+
+        calls2 = []
+
+        def counting_run_trial(tb, trial):
+            calls2.append(trial.trial_id)
+            return real_run_trial(tb, trial)
+
+        monkeypatch.setattr("repro.service.coordinator.run_trial",
+                            counting_run_trial)
+        done = co2.run_once()
+        assert done.job_id == job_id and done.state == DONE
+        assert done.completed == len(calibration.trials)
+        # only the trial the crash interrupted re-ran
+        assert len(calls2) == len(calibration.trials) - 1
+        assert calls1[0] not in calls2
+
+        got = {r.trial_id: r for r in co2.runtable.results(calibration.name)}
+        assert got == serial_reference
+        co2.runtable.close()
+
+    def test_pooled_trials_match_serial(self, tmp_path, testbed,
+                                        calibration, serial_reference):
+        co = Coordinator(str(tmp_path / "svc"), trial_jobs=2,
+                         testbed_factory=lambda seed: testbed)
+        co.submit_experiment(calibration, testbed_seed=testbed.seed)
+        done = co.run_once()
+        assert done.state == DONE
+        got = {r.trial_id: r for r in co.runtable.results(calibration.name)}
+        assert got == serial_reference
+        co.runtable.close()

@@ -1,0 +1,162 @@
+"""Lease-queue semantics: priority order, requeue fairness, worker death.
+
+All timing goes through the injectable clock, so lease expiry is tested
+without sleeping.
+"""
+
+import pytest
+
+from repro.experiments.spec import MacSpec, TrialSpec
+from repro.service.jobs import new_job
+from repro.service.queue import InMemoryJobQueue
+
+
+def _trial(tid="t/0"):
+    return TrialSpec(tid, (0, 1), ((0, 1),), MacSpec.of("dcf"), 0, 4.0, 1.0)
+
+
+def _job(name, priority=0):
+    return new_job(name, [_trial()], priority=priority, now=0.0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(clock):
+    return InMemoryJobQueue(default_lease_s=10.0, clock=clock)
+
+
+def drain(queue, worker="w"):
+    names = []
+    while True:
+        job = queue.lease(worker, timeout=0)
+        if job is None:
+            return names
+        names.append(job.name)
+        queue.ack(job.job_id)
+
+
+class TestOrdering:
+    def test_fifo_within_priority(self, queue):
+        for name in ("a", "b", "c"):
+            queue.submit(_job(name))
+        assert drain(queue) == ["a", "b", "c"]
+
+    def test_higher_priority_first(self, queue):
+        queue.submit(_job("low", priority=0))
+        queue.submit(_job("high", priority=5))
+        queue.submit(_job("mid", priority=2))
+        assert drain(queue) == ["high", "mid", "low"]
+
+    def test_requeue_keeps_original_sequence(self, queue):
+        first = _job("first")
+        queue.submit(first)
+        queue.submit(_job("second"))
+        leased = queue.lease("w", timeout=0)
+        assert leased.name == "first"
+        queue.submit(_job("third"))
+        queue.requeue(first.job_id)
+        # A preempted job resumes ahead of everything submitted after it.
+        assert drain(queue) == ["first", "second", "third"]
+
+    def test_max_queued_priority(self, queue):
+        assert queue.max_queued_priority() is None
+        queue.submit(_job("low", priority=1))
+        queue.submit(_job("high", priority=9))
+        assert queue.max_queued_priority() == 9
+        job = queue.lease("w", timeout=0)
+        assert job.priority == 9
+        assert queue.max_queued_priority() == 1
+
+
+class TestLeaseLifecycle:
+    def test_leased_job_is_invisible_to_other_workers(self, queue):
+        job = _job("only")
+        queue.submit(job)
+        assert queue.lease("w1", timeout=0) is job
+        assert queue.lease("w2", timeout=0) is None
+
+    def test_lease_timeout_returns_none(self, queue, clock):
+        assert queue.lease("w", timeout=0) is None
+
+    def test_double_submit_rejected_until_acked(self, queue):
+        job = _job("dup")
+        queue.submit(job)
+        with pytest.raises(ValueError):
+            queue.submit(job)
+        queue.lease("w", timeout=0)
+        with pytest.raises(ValueError):
+            queue.submit(job)
+        queue.ack(job.job_id)
+        queue.submit(job)  # terminal entries may be resubmitted
+
+    def test_ack_requires_a_lease(self, queue):
+        job = _job("x")
+        queue.submit(job)
+        with pytest.raises(ValueError):
+            queue.ack(job.job_id)
+        with pytest.raises(ValueError):
+            queue.requeue(job.job_id)
+
+    def test_queued_count(self, queue):
+        queue.submit(_job("a"))
+        queue.submit(_job("b"))
+        assert queue.queued_count() == 2
+        queue.lease("w", timeout=0)
+        assert queue.queued_count() == 1
+
+
+class TestWorkerDeath:
+    def test_expired_lease_is_reaped_back_to_queue(self, queue, clock):
+        job = _job("orphan")
+        queue.submit(job)
+        queue.lease("w-dead", timeout=0, lease_s=5.0)
+        clock.advance(4.9)
+        assert queue.reap_expired() == []
+        clock.advance(0.2)
+        assert queue.reap_expired() == [job.job_id]
+        assert queue.lease("w-alive", timeout=0) is job
+
+    def test_heartbeat_extends_the_lease(self, queue, clock):
+        job = _job("slow")
+        queue.submit(job)
+        queue.lease("w", timeout=0, lease_s=5.0)
+        clock.advance(4.0)
+        queue.extend(job.job_id, lease_s=5.0)
+        clock.advance(4.0)  # 8s elapsed; would have expired without extend
+        assert queue.reap_expired() == []
+        clock.advance(1.1)
+        assert queue.reap_expired() == [job.job_id]
+
+
+class TestCancel:
+    def test_cancel_queued_removes_immediately(self, queue):
+        job = _job("doomed")
+        queue.submit(job)
+        assert queue.cancel(job.job_id) is True
+        assert job.cancel_requested
+        assert queue.lease("w", timeout=0) is None
+
+    def test_cancel_leased_flags_for_the_boundary(self, queue):
+        job = _job("running")
+        queue.submit(job)
+        queue.lease("w", timeout=0)
+        assert queue.cancel(job.job_id) is False
+        assert job.cancel_requested
+
+    def test_cancel_unknown_is_a_noop(self, queue):
+        assert queue.cancel("nope") is False

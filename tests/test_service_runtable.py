@@ -1,0 +1,177 @@
+"""Run-table behavior: recording, queries, percentile parity, job rows."""
+
+import json
+
+import pytest
+
+from repro.analysis import stats
+from repro.experiments.executor import ResultStore
+from repro.experiments.spec import MacSpec, TrialResult, TrialSpec
+from repro.service.jobs import DONE, QUEUED, RUNNING, new_job
+from repro.service.runtable import RunTable
+
+
+def _result(i, mbps=None, metrics=None, fingerprint=None):
+    return TrialResult(
+        trial_id=f"t/{i}",
+        flow_mbps={(0, 1): 1.0 + i} if mbps is None else mbps,
+        metrics=metrics or {},
+        fingerprint=fingerprint or f"fp{i}",
+    )
+
+
+def _trial(tid="t/0"):
+    return TrialSpec(tid, (0, 1), ((0, 1),), MacSpec.of("dcf"), 0, 4.0, 1.0)
+
+
+@pytest.fixture
+def table(tmp_path):
+    rt = RunTable(str(tmp_path / "runs.sqlite"))
+    yield rt
+    rt.close()
+
+
+class TestTrialRows:
+    def test_record_and_count(self, table):
+        for i in range(4):
+            table.record_trial("fig12", _result(i), seed=1, wall_time=0.5)
+        assert table.trial_count() == 4
+        assert table.trial_count(experiment="fig12") == 4
+        assert table.trial_count(experiment="other") == 0
+        assert table.counts_by_experiment() == {"fig12": 4}
+
+    def test_same_trial_ids_in_two_experiments_both_persist(self, table):
+        """Regression: the PK is (experiment, trial_id, fingerprint) — two
+        experiments reusing trial ids and fingerprints must not clobber
+        each other's rows."""
+        for exp in ("a", "b"):
+            for i in range(3):
+                table.record_trial(exp, _result(i))
+        assert table.counts_by_experiment() == {"a": 3, "b": 3}
+
+    def test_replace_false_keeps_the_original_row(self, table):
+        table.record_trial("e", _result(0), wall_time=2.5)
+        table.record_trial("e", _result(0), wall_time=None, replace=False)
+        (row,) = table.recent_runs(experiment="e")
+        assert row["wall_time"] == 2.5
+        table.record_trial("e", _result(0), wall_time=9.0, replace=True)
+        (row,) = table.recent_runs(experiment="e")
+        assert row["wall_time"] == 9.0
+
+    def test_recent_runs_newest_first_with_payload(self, table):
+        for i in range(3):
+            table.record_trial("e", _result(i), recorded_at=100.0 + i)
+        rows = table.recent_runs(limit=2, with_payload=True)
+        assert [r["trial_id"] for r in rows] == ["t/2", "t/1"]
+        assert rows[0]["payload"]["flow_mbps"] == [[0, 1, 3.0]]
+
+    def test_failed_rows_recorded_but_excluded_from_results(self, table):
+        table.record_trial("e", _result(0))
+        table.record_failure("e", "t/1", "fp1", "KeyError: 'nope'")
+        assert table.trial_count(experiment="e") == 2
+        assert table.trial_count(experiment="e", status="failed") == 1
+        assert [r.trial_id for r in table.results("e")] == ["t/0"]
+        (row,) = table.recent_runs(experiment="e", status="failed",
+                                   with_payload=True)
+        assert row["payload"]["error"] == "KeyError: 'nope'"
+
+    def test_results_round_trip(self, table):
+        original = _result(0, metrics={"concurrency": 0.8})
+        table.record_trial("e", original)
+        (back,) = table.results("e")
+        assert back == original
+
+
+class TestSummaries:
+    def test_percentiles_match_analysis_stats(self, table):
+        values = [0.5, 1.25, 2.0, 3.5, 5.0, 7.25, 9.0]
+        for i, v in enumerate(values):
+            table.record_trial("e", _result(i, mbps={(0, 1): v}))
+        for q in (10, 50, 90):
+            expected = stats.percentile(values, q)
+            assert table.percentiles("e", "total_mbps", [q])[q] == expected
+
+    def test_metric_addressing(self, table):
+        table.record_trial("e", TrialResult(
+            "t/0", {(0, 1): 2.0, (2, 3): 3.0},
+            metrics={"concurrency": 0.75, "label": "skipme", "flag": True},
+            fingerprint="fp"))
+        assert table.metric_values("e", "total_mbps") == [5.0]
+        assert table.metric_values("e", "mbps:2-3") == [3.0]
+        assert table.metric_values("e", "concurrency") == [0.75]
+        # non-numeric / bool / absent metrics are skipped, not errors
+        assert table.metric_values("e", "label") == []
+        assert table.metric_values("e", "flag") == []
+        assert table.metric_values("e", "mbps:9-9") == []
+
+    def test_summary_shape(self, table):
+        assert table.summary("empty", "total_mbps") is None
+        for i in range(5):
+            table.record_trial("e", _result(i))
+        s = table.summary("e", "total_mbps")
+        assert s["count"] == 5
+        assert s["median"] == stats.percentile([1.0, 2.0, 3.0, 4.0, 5.0], 50)
+
+
+class TestJobs:
+    def test_upsert_get_round_trip(self, table):
+        job = new_job("fig12", [_trial()], priority=3, testbed_seed=7, now=10.0)
+        table.upsert_job(job)
+        back = table.get_job(job.job_id)
+        assert back == job
+        job.state = RUNNING
+        job.completed = 1
+        table.upsert_job(job)
+        assert table.get_job(job.job_id).state == RUNNING
+        assert table.get_job("missing") is None
+
+    def test_open_jobs_are_queued_or_running_oldest_first(self, table):
+        done = new_job("done", [_trial()], now=1.0)
+        done.state = DONE
+        running = new_job("running", [_trial()], now=3.0)
+        running.state = RUNNING
+        queued = new_job("queued", [_trial()], now=2.0)
+        for job in (done, running, queued):
+            table.upsert_job(job)
+        opened = table.open_jobs()
+        assert [j.name for j in opened] == ["queued", "running"]
+        assert all(j.state in (QUEUED, RUNNING) for j in opened)
+
+    def test_list_jobs_filters_by_state(self, table):
+        for name, state in (("a", DONE), ("b", QUEUED)):
+            job = new_job(name, [_trial()])
+            job.state = state
+            table.upsert_job(job)
+        assert [j.name for j in table.list_jobs(states=(DONE,))] == ["a"]
+
+
+class TestMigration:
+    def test_ingest_store_and_migrate_to(self, table, tmp_path):
+        store = ResultStore(str(tmp_path / "s.json"), testbed_seed=5)
+        for i in range(3):
+            store.put(_result(i))
+        store.save()
+        reloaded = ResultStore(str(tmp_path / "s.json"))
+        assert table.ingest_store(reloaded, "mig") == 3
+        assert table.trial_count(experiment="mig") == 3
+        (row,) = table.recent_runs(experiment="mig", limit=1)
+        assert row["seed"] == 5
+        # store.migrate_to is the same path spelled from the store side
+        assert reloaded.migrate_to(table, "mig2", job_id="j1") == 3
+        assert table.trial_count(experiment="mig2") == 3
+
+    def test_migrated_rows_round_trip_payloads(self, table, tmp_path):
+        store = ResultStore(str(tmp_path / "s.json"), testbed_seed=1)
+        original = _result(0, metrics={"fanout": 2.5})
+        store.put(original)
+        store.migrate_to(table, "m")
+        assert table.results("m") == [original]
+
+    def test_wire_column_is_valid_json(self, table):
+        job = new_job("fig13", [_trial()], now=0.0)
+        table.upsert_job(job)
+        with table._lock:
+            (raw,) = table._conn.execute(
+                "SELECT wire FROM jobs WHERE job_id = ?", (job.job_id,)
+            ).fetchone()
+        assert json.loads(raw)["name"] == "fig13"
