@@ -50,7 +50,7 @@ from repro.service.jobs import (
     SweepJob,
     job_from_experiment,
 )
-from repro.service.queue import InMemoryJobQueue
+from repro.service.queue import InMemoryJobQueue, LeaseLost
 from repro.service.runtable import RunTable
 
 
@@ -237,7 +237,10 @@ class Coordinator:
         job = self.queue.lease(worker_id, timeout=0, lease_s=self.lease_s)
         if job is None:
             return None
-        self._run_job(worker_id, job)
+        try:
+            self._run_job(worker_id, job)
+        except LeaseLost:
+            pass  # reaped mid-run; whoever re-leased the job owns it now
         return job
 
     def _worker_loop(self, worker_id: str) -> None:
@@ -248,13 +251,18 @@ class Coordinator:
                 continue
             try:
                 self._run_job(worker_id, job)
+            except LeaseLost:
+                continue  # reaped mid-run; the new holder owns the job now
             except Exception as exc:  # never kill the worker thread
                 job.error = f"coordinator error: {exc}\n{traceback.format_exc()}"
-                self._finalize(job, FAILED, ack=True)
+                try:
+                    self._finalize(job, FAILED, worker_id=worker_id, ack=True)
+                except LeaseLost:
+                    pass
 
     def _run_job(self, worker_id: str, job: SweepJob) -> None:
         if job.cancel_requested:
-            self._finalize(job, CANCELLED, ack=True)
+            self._finalize(job, CANCELLED, worker_id=worker_id, ack=True)
             return
         job.state = RUNNING
         job.started_at = time.time()
@@ -273,15 +281,21 @@ class Coordinator:
         index = 0
         while index < len(trials):
             # --- trial/chunk boundary: the scheduling decisions ---------
+            # Heartbeat first: it keeps a job whose trials outlive
+            # ``lease_s`` from being reaped mid-run, and it detects the
+            # lease already having been re-granted — in which case the new
+            # holder owns the job and this worker must not touch it again.
+            if not self._heartbeat(worker_id, job):
+                return
             if self._stop.is_set():
-                self._requeue(job)
+                self._requeue(job, worker_id)
                 return
             if job.cancel_requested:
-                self._finalize(job, CANCELLED, ack=True)
+                self._finalize(job, CANCELLED, worker_id=worker_id, ack=True)
                 return
             top = self.queue.max_queued_priority()
             if top is not None and top > job.priority:
-                self._requeue(job)
+                self._requeue(job, worker_id)
                 return
 
             chunk = trials[index:index + chunk_size]
@@ -312,6 +326,8 @@ class Coordinator:
                     pass  # survivors fall through to the serial retry path
             leftovers = [t for t in pending if t.trial_id not in done_ids]
             for trial in leftovers:
+                if not self._heartbeat(worker_id, job):
+                    return
                 result, wall, error = self._run_with_retries(testbed, trial)
                 if result is not None:
                     store.put(result)
@@ -329,7 +345,8 @@ class Coordinator:
                     self.runtable.upsert_job(job)
                     self._notify()
 
-        self._finalize(job, DONE if job.failed == 0 else FAILED, ack=True)
+        self._finalize(job, DONE if job.failed == 0 else FAILED,
+                       worker_id=worker_id, ack=True)
 
     def _run_with_retries(self, testbed: Testbed, trial: TrialSpec):
         """Run one trial serially, retrying with capped exponential backoff.
@@ -366,18 +383,44 @@ class Coordinator:
         self.runtable.upsert_job(job)
         self._notify()
 
-    def _requeue(self, job: SweepJob) -> None:
+    def _heartbeat(self, worker_id: str, job: SweepJob) -> bool:
+        """Extend this worker's lease. False means the lease expired and was
+        reaped (possibly re-granted): the caller must abandon the job
+        without writing any further state for it."""
+        try:
+            self.queue.extend(job.job_id, worker_id, self.lease_s)
+            return True
+        except LeaseLost:
+            return False
+
+    def _requeue(self, job: SweepJob, worker_id: str) -> None:
+        # Verify the lease before writing QUEUED anywhere: if it was
+        # reaped, the job is already back in the queue (or re-leased) and
+        # its state belongs to someone else. LeaseLost propagates.
+        self.queue.requeue(job.job_id, worker_id)
         job.state = QUEUED
         self.runtable.upsert_job(job)
-        self.queue.requeue(job.job_id)
         self._notify()
 
-    def _finalize(self, job: SweepJob, state: str, ack: bool = False) -> None:
+    def _finalize(
+        self,
+        job: SweepJob,
+        state: str,
+        worker_id: Optional[str] = None,
+        ack: bool = False,
+    ) -> None:
+        if ack:
+            # Ack first: it verifies this worker still holds the lease, so
+            # a reaped worker raises LeaseLost instead of writing a
+            # terminal state over the new holder's run.
+            self.queue.ack(job.job_id, worker_id)
         job.state = state
         job.finished_at = time.time()
         self.runtable.upsert_job(job)
-        if ack:
-            self.queue.ack(job.job_id)
+        with self._cond:
+            # Terminal jobs live on in the run-table; drop the live ref so
+            # a long-lived serve process doesn't accumulate trial lists.
+            self._jobs.pop(job.job_id, None)
         self._notify()
 
     def _store_path(self, job: SweepJob) -> str:

@@ -60,6 +60,19 @@ class ApiError(Exception):
         self.status = status
 
 
+def _query_num(query: Dict[str, str], key: str, default, parse):
+    """Parse a numeric query param, mapping garbage to a 400 (not a 500)."""
+    raw = query.get(key)
+    if raw is None:
+        return default
+    try:
+        return parse(raw)
+    except ValueError:
+        raise ApiError(
+            400, f"query param {key}={raw!r} is not a valid {parse.__name__}"
+        )
+
+
 class _Handler(BaseHTTPRequestHandler):
     server: "ServiceHTTPServer"
     protocol_version = "HTTP/1.1"
@@ -101,12 +114,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_jobs(self, method, parts, query, co: Coordinator) -> dict:
         if method == "GET" and len(parts) == 1:
-            return {"jobs": co.list_jobs(limit=int(query.get("limit", 50)))}
+            return {"jobs": co.list_jobs(limit=_query_num(query, "limit", 50, int))}
         if method == "POST" and len(parts) == 1:
             return self._submit(co)
         if method == "GET" and len(parts) == 2:
-            wait = min(float(query.get("wait", 0)), MAX_LONG_POLL_S)
-            cursor = int(query["cursor"]) if "cursor" in query else None
+            wait = min(_query_num(query, "wait", 0.0, float), MAX_LONG_POLL_S)
+            cursor = _query_num(query, "cursor", None, int)
             progress = co.wait(
                 parts[1],
                 cursor=cursor if wait > 0 else None,
@@ -132,7 +145,7 @@ class _Handler(BaseHTTPRequestHandler):
         if len(parts) == 1:
             return {
                 "runs": table.recent_runs(
-                    limit=int(query.get("limit", 20)),
+                    limit=_query_num(query, "limit", 20, int),
                     experiment=experiment,
                     status=query.get("status"),
                     with_payload=query.get("payload") == "1",
@@ -143,7 +156,12 @@ class _Handler(BaseHTTPRequestHandler):
             if not experiment or "metric" not in query:
                 raise ApiError(400, "summary needs ?experiment= and ?metric=")
             metric = query["metric"]
-            qs = [float(q) for q in query.get("q", "10,50,90").split(",") if q]
+            raw_qs = query.get("q", "10,50,90")
+            try:
+                qs = [float(q) for q in raw_qs.split(",") if q]
+            except ValueError:
+                raise ApiError(400, f"query param q={raw_qs!r} is not a "
+                                    f"comma-separated list of percentiles")
             return {
                 "experiment": experiment,
                 "metric": metric,
@@ -163,8 +181,11 @@ class _Handler(BaseHTTPRequestHandler):
             body = json.loads(self.rfile.read(length) or b"{}")
         except (ValueError, json.JSONDecodeError) as exc:
             raise ApiError(400, f"bad JSON body: {exc}")
-        priority = int(body.get("priority", 0))
-        seed = int(body.get("seed", body.get("testbed_seed", 1)))
+        try:
+            priority = int(body.get("priority", 0))
+            seed = int(body.get("seed", body.get("testbed_seed", 1)))
+        except (TypeError, ValueError) as exc:
+            raise ApiError(400, f"bad priority/seed: {exc}")
         if "builder" in body:
             name = body["builder"]
             builder = SWEEP_BUILDERS.get(name)

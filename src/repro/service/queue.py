@@ -12,6 +12,12 @@ Ordering: higher ``priority`` first; FIFO (by submission sequence) within a
 priority. A requeued job keeps its original sequence number, so preemption
 and worker death never push a job behind later submissions of equal
 priority.
+
+Ownership: ``ack``/``requeue``/``extend`` take the ``worker_id`` the lease
+was granted to and raise :class:`LeaseLost` if that worker no longer holds
+it — a worker whose lease expired and was re-granted fails fast instead of
+silently corrupting the new holder's run. Acked and cancelled entries are
+deleted outright, so the queue does not grow with job history.
 """
 
 from __future__ import annotations
@@ -24,13 +30,18 @@ from typing import Callable, Dict, List, Optional
 from repro.service.jobs import SweepJob
 
 
+class LeaseLost(ValueError):
+    """Raised when a worker acts on a lease it no longer holds (the lease
+    expired and was reaped, possibly re-granted to another worker)."""
+
+
 class _Entry:
     __slots__ = ("job", "seq", "state", "leased_to", "lease_expiry")
 
     def __init__(self, job: SweepJob, seq: int):
         self.job = job
         self.seq = seq
-        self.state = "queued"  # queued | leased | acked | removed
+        self.state = "queued"  # queued | leased
         self.leased_to: Optional[str] = None
         self.lease_expiry: float = 0.0
 
@@ -58,8 +69,7 @@ class InMemoryJobQueue:
     # ------------------------------------------------------------------
     def submit(self, job: SweepJob) -> str:
         with self._cond:
-            if job.job_id in self._entries and \
-                    self._entries[job.job_id].state in ("queued", "leased"):
+            if job.job_id in self._entries:
                 raise ValueError(f"job {job.job_id} is already queued")
             self._entries[job.job_id] = _Entry(job, next(self._seq))
             self._cond.notify_all()
@@ -95,28 +105,36 @@ class InMemoryJobQueue:
                         return None
                     self._cond.wait(remaining)
 
-    def ack(self, job_id: str) -> None:
-        """The leased job reached a terminal state; drop it from the queue."""
+    def ack(self, job_id: str, worker_id: str) -> None:
+        """The leased job reached a terminal state; drop it from the queue.
+        Raises :class:`LeaseLost` if ``worker_id`` no longer holds the
+        lease (expired and reaped, possibly re-granted)."""
         with self._cond:
-            entry = self._leased_entry_locked(job_id)
-            entry.state = "acked"
+            self._leased_entry_locked(job_id, worker_id)
+            del self._entries[job_id]
 
-    def requeue(self, job_id: str) -> None:
+    def requeue(self, job_id: str, worker_id: str) -> None:
         """Voluntarily give a leased job back (preemption, graceful stop).
 
         The job keeps its original submission sequence, so it resumes at the
         head of its priority class rather than behind newer submissions.
+        Raises :class:`LeaseLost` if ``worker_id`` no longer holds the lease.
         """
         with self._cond:
-            entry = self._leased_entry_locked(job_id)
+            entry = self._leased_entry_locked(job_id, worker_id)
             entry.state = "queued"
             entry.leased_to = None
             self._cond.notify_all()
 
-    def extend(self, job_id: str, lease_s: Optional[float] = None) -> None:
-        """Heartbeat: push the lease expiry out (long trials mid-job)."""
+    def extend(
+        self, job_id: str, worker_id: str, lease_s: Optional[float] = None
+    ) -> None:
+        """Heartbeat: push the lease expiry out (long trials mid-job).
+        Raises :class:`LeaseLost` if ``worker_id`` no longer holds the
+        lease — the heartbeat doubles as the "do I still own this job?"
+        check the coordinator makes at every trial boundary."""
         with self._cond:
-            entry = self._leased_entry_locked(job_id)
+            entry = self._leased_entry_locked(job_id, worker_id)
             entry.lease_expiry = self._clock() + (
                 lease_s if lease_s is not None else self.default_lease_s
             )
@@ -145,11 +163,11 @@ class InMemoryJobQueue:
         to honor at the next trial boundary (returns False)."""
         with self._cond:
             entry = self._entries.get(job_id)
-            if entry is None or entry.state in ("acked", "removed"):
+            if entry is None:
                 return False
             entry.job.cancel_requested = True
             if entry.state == "queued":
-                entry.state = "removed"
+                del self._entries[job_id]
                 return True
             return False
 
@@ -180,9 +198,14 @@ class InMemoryJobQueue:
                 best = entry
         return best
 
-    def _leased_entry_locked(self, job_id: str) -> _Entry:
+    def _leased_entry_locked(self, job_id: str, worker_id: str) -> _Entry:
         entry = self._entries.get(job_id)
         if entry is None or entry.state != "leased":
             state = None if entry is None else entry.state
-            raise ValueError(f"job {job_id} is not leased (state={state})")
+            raise LeaseLost(f"job {job_id} is not leased (state={state})")
+        if entry.leased_to != worker_id:
+            raise LeaseLost(
+                f"job {job_id} is leased to {entry.leased_to!r}, "
+                f"not {worker_id!r}"
+            )
         return entry

@@ -142,8 +142,20 @@ class RunTable:
         job_id: Optional[str] = None,
     ) -> None:
         """A trial that exhausted its retries still gets a row — "what
-        failed last week" is as much a run-table question as "what ran"."""
+        failed last week" is as much a run-table question as "what ran".
+
+        A failure never replaces an existing ``ok`` row for the same
+        (experiment, trial_id, fingerprint): resubmitting a sweep as a new
+        job re-executes its trials, and a transient flake must not erase a
+        previously recorded TrialResult from the query side."""
         with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT status FROM trials WHERE experiment = ? AND "
+                "trial_id = ? AND fingerprint = ?",
+                (experiment, trial_id, fingerprint),
+            ).fetchone()
+            if row is not None and row["status"] == "ok":
+                return
             self._conn.execute(
                 "INSERT OR REPLACE INTO trials (experiment, trial_id, "
                 "fingerprint, seed, wall_time, status, job_id, recorded_at, "

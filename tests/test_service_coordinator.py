@@ -16,7 +16,8 @@ from repro.experiments.runners import ExperimentScale, build_single_link_calibra
 from repro.experiments.spec import MacSpec, TrialResult, TrialSpec
 from repro.net.testbed import Testbed
 from repro.service.coordinator import Coordinator
-from repro.service.jobs import CANCELLED, DONE, FAILED, QUEUED, new_job
+from repro.service.jobs import CANCELLED, DONE, FAILED, QUEUED, RUNNING, new_job
+from repro.service.queue import InMemoryJobQueue
 
 
 @pytest.fixture(scope="module")
@@ -184,6 +185,16 @@ class TestSchedulingLogic:
         assert done.state == DONE and done.completed == 3
         assert fake.calls == ["t/0", "t/1", "t/2"]  # t/0 not re-run
 
+    def test_terminal_jobs_are_evicted_from_the_live_map(self, co, fake):
+        """Finished jobs live on in the run-table only, so a long-lived
+        serve process does not accumulate every job's trial list."""
+        job_id = co.submit(new_job("evicted", _trials(1)))
+        assert job_id in co._jobs
+        co.run_once()
+        assert job_id not in co._jobs
+        assert co.job_progress(job_id)["state"] == DONE
+        assert any(j["job_id"] == job_id for j in co.list_jobs())
+
     def test_wait_snapshot_and_unknown(self, co, fake):
         job_id = co.submit(new_job("w", _trials(1)))
         progress = co.wait(job_id)
@@ -191,6 +202,75 @@ class TestSchedulingLogic:
         assert co.wait("missing") is None
         co.run_once()
         assert co.wait(job_id, cursor=0, timeout=1.0)["state"] == DONE
+
+
+class TestLeaseHeartbeat:
+    """Jobs whose trials collectively outlive ``lease_s`` — the coordinator
+    must heartbeat at every boundary, and a worker that *did* lose its
+    lease must back away instead of double-running the job."""
+
+    class Clock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    def _co(self, tmp_path, lease_s=5.0):
+        clock = self.Clock()
+        queue = InMemoryJobQueue(default_lease_s=lease_s, clock=clock)
+        co = Coordinator(
+            str(tmp_path / "svc"),
+            queue=queue,
+            lease_s=lease_s,
+            sleep=lambda s: None,
+            testbed_factory=lambda seed: types.SimpleNamespace(seed=seed),
+        )
+        return co, queue, clock
+
+    def test_long_job_is_not_reaped_mid_run(self, tmp_path, fake):
+        """Three 4s trials under a 5s lease: without the per-boundary
+        heartbeat, another worker's reaper would re-lease the job mid-run
+        and both workers would execute (and finalize) it."""
+        co, queue, clock = self._co(tmp_path, lease_s=5.0)
+        reaped = []
+
+        def tick(trial):
+            clock.now += 4.0  # each trial eats most of the lease
+            reaped.extend(queue.reap_expired())  # another worker's reaper
+
+        fake.hook = tick
+        co.submit(new_job("slow", _trials(3)))
+        done = co.run_once()
+        assert done.state == DONE and done.completed == 3
+        assert reaped == []
+        assert fake.calls == ["t/0", "t/1", "t/2"]
+        co.runtable.close()
+
+    def test_stale_worker_backs_off_after_reap(self, tmp_path, fake):
+        """A worker whose lease expired and was re-granted abandons the job
+        at its next boundary: no FAILED finalize, no duplicate execution —
+        the new holder finishes from the shared fingerprinted store."""
+        co, queue, clock = self._co(tmp_path, lease_s=5.0)
+
+        def expire_and_steal(trial):
+            fake.hook = None  # only on the first trial
+            clock.now += 6.0
+            assert queue.reap_expired() == [job_id]
+            assert queue.lease("w-thief", timeout=0) is not None
+
+        fake.hook = expire_and_steal
+        job_id = co.submit(new_job("stolen", _trials(3)))
+        job = co.run_once()  # runs t/0, then backs off at the boundary
+        assert job.state == RUNNING  # the stale worker never finalized it
+        assert fake.calls == ["t/0"]
+        assert co.runtable.get_job(job_id).state == RUNNING
+
+        # the thief finishes the job; t/0 comes from the store, not a rerun
+        co._run_job("w-thief", job)
+        assert job.state == DONE and job.completed == 3
+        assert fake.calls == ["t/0", "t/1", "t/2"]
+        co.runtable.close()
 
 
 class TestAgainstRealTrials:

@@ -115,6 +115,19 @@ class TestHealthAndErrors:
             client._request("POST", "/jobs", {})
         assert err.value.status == 400
 
+    def test_malformed_numeric_query_params_are_400(self, service):
+        _, client = service
+        for path in (
+            "/jobs?limit=abc",
+            "/jobs/whatever?wait=abc",
+            "/jobs/whatever?cursor=abc",
+            "/runs?limit=abc",
+            "/runs/summary?experiment=e&metric=m&q=a,b",
+        ):
+            with pytest.raises(ApiError) as err:
+                client._request("GET", path)
+            assert err.value.status == 400, path
+
     def test_unrouted_path_is_404_and_runs_is_readonly(self, service):
         _, client = service
         with pytest.raises(ApiError) as err:

@@ -8,7 +8,7 @@ import pytest
 
 from repro.experiments.spec import MacSpec, TrialSpec
 from repro.service.jobs import new_job
-from repro.service.queue import InMemoryJobQueue
+from repro.service.queue import InMemoryJobQueue, LeaseLost
 
 
 def _trial(tid="t/0"):
@@ -47,7 +47,7 @@ def drain(queue, worker="w"):
         if job is None:
             return names
         names.append(job.name)
-        queue.ack(job.job_id)
+        queue.ack(job.job_id, worker)
 
 
 class TestOrdering:
@@ -69,7 +69,7 @@ class TestOrdering:
         leased = queue.lease("w", timeout=0)
         assert leased.name == "first"
         queue.submit(_job("third"))
-        queue.requeue(first.job_id)
+        queue.requeue(first.job_id, "w")
         # A preempted job resumes ahead of everything submitted after it.
         assert drain(queue) == ["first", "second", "third"]
 
@@ -101,16 +101,16 @@ class TestLeaseLifecycle:
         queue.lease("w", timeout=0)
         with pytest.raises(ValueError):
             queue.submit(job)
-        queue.ack(job.job_id)
+        queue.ack(job.job_id, "w")
         queue.submit(job)  # terminal entries may be resubmitted
 
     def test_ack_requires_a_lease(self, queue):
         job = _job("x")
         queue.submit(job)
         with pytest.raises(ValueError):
-            queue.ack(job.job_id)
+            queue.ack(job.job_id, "w")
         with pytest.raises(ValueError):
-            queue.requeue(job.job_id)
+            queue.requeue(job.job_id, "w")
 
     def test_queued_count(self, queue):
         queue.submit(_job("a"))
@@ -136,7 +136,7 @@ class TestWorkerDeath:
         queue.submit(job)
         queue.lease("w", timeout=0, lease_s=5.0)
         clock.advance(4.0)
-        queue.extend(job.job_id, lease_s=5.0)
+        queue.extend(job.job_id, "w", lease_s=5.0)
         clock.advance(4.0)  # 8s elapsed; would have expired without extend
         assert queue.reap_expired() == []
         clock.advance(1.1)
@@ -160,3 +160,48 @@ class TestCancel:
 
     def test_cancel_unknown_is_a_noop(self, queue):
         assert queue.cancel("nope") is False
+
+
+class TestLeaseOwnership:
+    def test_verbs_reject_a_worker_that_is_not_the_holder(self, queue):
+        job = _job("owned")
+        queue.submit(job)
+        queue.lease("w1", timeout=0)
+        with pytest.raises(LeaseLost):
+            queue.ack(job.job_id, "w2")
+        with pytest.raises(LeaseLost):
+            queue.requeue(job.job_id, "w2")
+        with pytest.raises(LeaseLost):
+            queue.extend(job.job_id, "w2")
+        queue.ack(job.job_id, "w1")  # the rightful holder still can
+
+    def test_stale_holder_fails_fast_after_reap(self, queue, clock):
+        """A worker whose lease expired and was re-granted must get an
+        error from every verb — not silently drop or requeue the job the
+        new holder is running."""
+        job = _job("stale")
+        queue.submit(job)
+        queue.lease("w-old", timeout=0, lease_s=5.0)
+        clock.advance(5.1)
+        assert queue.reap_expired() == [job.job_id]
+        assert queue.lease("w-new", timeout=0) is job
+        with pytest.raises(LeaseLost):
+            queue.extend(job.job_id, "w-old")
+        with pytest.raises(LeaseLost):
+            queue.requeue(job.job_id, "w-old")
+        with pytest.raises(LeaseLost):
+            queue.ack(job.job_id, "w-old")
+        queue.ack(job.job_id, "w-new")
+
+
+class TestMemory:
+    def test_acked_and_cancelled_entries_are_dropped(self, queue):
+        """Terminal entries are deleted outright, so a long-lived queue
+        does not grow with the history of every job it ever carried."""
+        done, doomed = _job("done"), _job("doomed")
+        queue.submit(done)
+        queue.submit(doomed)
+        queue.lease("w", timeout=0)
+        queue.ack(done.job_id, "w")
+        assert queue.cancel(doomed.job_id) is True
+        assert queue._entries == {}

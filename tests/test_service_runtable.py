@@ -75,6 +75,23 @@ class TestTrialRows:
                                    with_payload=True)
         assert row["payload"]["error"] == "KeyError: 'nope'"
 
+    def test_failure_never_replaces_a_successful_row(self, table):
+        """A resubmitted sweep re-executes its trials; a transient flake
+        in the rerun must not erase the recorded TrialResult."""
+        ok = _result(0)
+        table.record_trial("e", ok, job_id="job-1")
+        table.record_failure("e", ok.trial_id, ok.fingerprint, "flake",
+                             job_id="job-2")
+        (row,) = table.recent_runs(experiment="e")
+        assert row["status"] == "ok"
+        assert table.results("e") == [ok]
+        # with no ok row the failure lands, and a later failure replaces it
+        table.record_failure("e", "t/9", "fp9", "first")
+        table.record_failure("e", "t/9", "fp9", "second")
+        (frow,) = table.recent_runs(experiment="e", status="failed",
+                                    with_payload=True)
+        assert frow["payload"]["error"] == "second"
+
     def test_results_round_trip(self, table):
         original = _result(0, metrics={"concurrency": 0.8})
         table.record_trial("e", original)
