@@ -11,9 +11,20 @@ job to completion, and then checks the whole pipeline end to end:
 * the run-table's percentile summary equals
   ``repro.analysis.stats.percentile`` over the same totals.
 
+With ``--chaos`` the same sweep runs under the canned ``smoke-chaos``
+fault plan (see :func:`repro.service.faults.canned_plan`) and the gate
+additionally proves the failure story: the client's first submit response
+is truncated on the wire and the idempotent retry deduplicates
+server-side (one job, not two); an injected worker kill breaks and
+replaces the process pool; a store-write failure and a sqlite busy burst
+are absorbed by retries; an injected ``os._exit`` kills the server
+mid-job and a restarted server resumes the job to ``done`` — with the
+final rows still bit-identical to the serial reference.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_service_smoke.py [--seed 1]
+    PYTHONPATH=src python benchmarks/check_service_smoke.py --chaos
 
 Exits non-zero (with a diff report) on any mismatch.
 """
@@ -59,25 +70,83 @@ def wait_for_health(client: ServiceClient, proc, deadline_s: float = 30.0) -> No
     raise RuntimeError("server did not become healthy in time")
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seed", type=int, default=1, help="testbed seed")
-    parser.add_argument("--timeout", type=float, default=600.0,
-                        help="overall tail timeout in seconds")
-    args = parser.parse_args(argv)
+def serial_reference(seed: int):
+    """The in-process reference: same builder call the server makes (the
+    submitted seed feeds both the testbed and the builder's scenario/run
+    seed), run through SerialBackend."""
+    testbed = Testbed(seed=seed)
+    spec = build_exposed_terminals(
+        testbed, scale=ExperimentScale.smoke(), seed=seed)
+    reference = {r.trial_id: r
+                 for r in SerialBackend().run(testbed, list(spec.trials))}
+    return spec, reference
 
+
+def start_serve(port: int, data_dir: str, env: dict, extra=()):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", str(port), "--data-dir", data_dir, *extra],
+        env=env,
+    )
+
+
+def stop_serve(proc) -> None:
+    proc.terminate()
+    try:
+        proc.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+
+
+def check_results(client, spec, reference, final, failures) -> None:
+    """The shared postcondition: job done, one row per trial, every flow
+    throughput bit-identical to serial, percentiles == analysis.stats."""
+    if final is None or final["state"] != "done":
+        failures.append(f"job did not finish done: {final}")
+    elif final["completed"] != len(spec.trials):
+        failures.append(
+            f"completed {final['completed']} != {len(spec.trials)}")
+
+    runs = client.runs(experiment=spec.name,
+                       limit=len(spec.trials) + 10,
+                       with_payload=True)
+    rows = runs["runs"]
+    if runs["counts"].get(spec.name) != len(spec.trials):
+        failures.append(
+            f"run-table rows {runs['counts'].get(spec.name)} != "
+            f"{len(spec.trials)} trials")
+    ids = [row["trial_id"] for row in rows]
+    if len(ids) != len(set(ids)):
+        failures.append(f"duplicate run-table rows: {sorted(ids)}")
+
+    for row in rows:
+        ref = reference.get(row["trial_id"])
+        if ref is None:
+            failures.append(f"unexpected row {row['trial_id']}")
+            continue
+        got = {(s, d): v for s, d, v in row["payload"]["flow_mbps"]}
+        want = ref.flow_mbps
+        if got != want:
+            failures.append(
+                f"{row['trial_id']}: HTTP {got} != serial {want}")
+
+    totals = [sum(r.flow_mbps.values()) for r in reference.values()]
+    summary = client.summary(spec.name, "total_mbps", qs=(10, 50, 90))
+    for q in (10, 50, 90):
+        want = stats.percentile(totals, q)
+        got = summary["percentiles"][str(float(q))]
+        if got != want:
+            failures.append(f"p{q}: HTTP {got} != stats {want}")
+    if summary["count"] != len(spec.trials):
+        failures.append(
+            f"summary count {summary['count']} != {len(spec.trials)}")
+
+
+def run_smoke(args, env) -> int:
     port = free_port()
-    env = dict(os.environ)
-    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
-    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
-
     failures = []
     with tempfile.TemporaryDirectory() as data_dir:
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.cli", "serve",
-             "--port", str(port), "--data-dir", data_dir],
-            env=env,
-        )
+        proc = start_serve(port, data_dir, env)
         try:
             client = ServiceClient(f"http://127.0.0.1:{port}")
             wait_for_health(client, proc)
@@ -96,58 +165,10 @@ def main(argv=None) -> int:
                     failures.append("tail timed out")
                     break
 
-            # Serial reference, same testbed seed, in-process.
-            testbed = Testbed(seed=args.seed)
-            # Same builder call the server makes: the submitted seed feeds
-            # both the testbed and the builder's scenario/run seed.
-            spec = build_exposed_terminals(
-                testbed, scale=ExperimentScale.smoke(), seed=args.seed)
-            reference = {r.trial_id: r
-                         for r in SerialBackend().run(testbed,
-                                                      list(spec.trials))}
-
-            if final is None or final["state"] != "done":
-                failures.append(f"job did not finish done: {final}")
-            elif final["completed"] != len(spec.trials):
-                failures.append(
-                    f"completed {final['completed']} != {len(spec.trials)}")
-
-            runs = client.runs(experiment=spec.name,
-                               limit=len(spec.trials) + 10,
-                               with_payload=True)
-            rows = runs["runs"]
-            if runs["counts"].get(spec.name) != len(spec.trials):
-                failures.append(
-                    f"run-table rows {runs['counts'].get(spec.name)} != "
-                    f"{len(spec.trials)} trials")
-
-            for row in rows:
-                ref = reference.get(row["trial_id"])
-                if ref is None:
-                    failures.append(f"unexpected row {row['trial_id']}")
-                    continue
-                got = {(s, d): v for s, d, v in row["payload"]["flow_mbps"]}
-                want = ref.flow_mbps
-                if got != want:
-                    failures.append(
-                        f"{row['trial_id']}: HTTP {got} != serial {want}")
-
-            totals = [sum(r.flow_mbps.values()) for r in reference.values()]
-            summary = client.summary(spec.name, "total_mbps", qs=(10, 50, 90))
-            for q in (10, 50, 90):
-                want = stats.percentile(totals, q)
-                got = summary["percentiles"][str(float(q))]
-                if got != want:
-                    failures.append(f"p{q}: HTTP {got} != stats {want}")
-            if summary["count"] != len(spec.trials):
-                failures.append(
-                    f"summary count {summary['count']} != {len(spec.trials)}")
+            spec, reference = serial_reference(args.seed)
+            check_results(client, spec, reference, final, failures)
         finally:
-            proc.terminate()
-            try:
-                proc.wait(timeout=15)
-            except subprocess.TimeoutExpired:
-                proc.kill()
+            stop_serve(proc)
 
     if failures:
         print("\nSERVICE SMOKE FAILURES:")
@@ -157,6 +178,124 @@ def main(argv=None) -> int:
     print("\nservice smoke OK: HTTP sweep bit-identical to the serial path, "
           "run-table percentiles match analysis.stats")
     return 0
+
+
+def run_chaos(args, env) -> int:
+    """The fig12 smoke sweep under the canned ``smoke-chaos`` fault plan.
+
+    Timeline this drives (all faults deterministic, the once-only ones
+    token-gated in ``<data_dir>/faults`` so they survive the restart):
+
+    1. the client's first submit response is truncated on the wire; the
+       jittered retry carries the same idempotency key and the server
+       hands back the job the first attempt created (``deduplicated``);
+    2. a worker kill breaks the process pool once; the chunk requeues
+       into a fresh pool;
+    3. a store-write OSError and a sqlite busy burst are absorbed by the
+       retry layers;
+    4. an injected ``os._exit`` kills the server mid-job (observed here
+       as exit code :data:`~repro.service.faults.KILL_EXIT_CODE`);
+    5. a restarted server on the same data dir resumes the job to
+       ``done`` — and the rows must still be bit-identical to serial.
+    """
+    from repro.service.faults import KILL_EXIT_CODE, FaultPlan, FaultRule
+
+    port = free_port()
+    failures = []
+    with tempfile.TemporaryDirectory() as data_dir:
+        serve_args = ("--fault-plan", "smoke-chaos", "--trial-jobs", "2")
+        proc = start_serve(port, data_dir, env, serve_args)
+        second = None
+        try:
+            url = f"http://127.0.0.1:{port}"
+            wait_for_health(ServiceClient(url), proc)
+
+            # A client whose first submit response is lost on the wire:
+            # the retry must deduplicate server-side via the key.
+            client = ServiceClient(url, retries=2, retry_seed=0,
+                                   fault_hook=FaultPlan([
+                                       FaultRule(site="client.request",
+                                                 key="/jobs",
+                                                 action="truncate"),
+                                   ]).fire)
+            reply = client.submit_builder("fig12", scale="smoke",
+                                          seed=args.seed,
+                                          idempotency_key="chaos-submit-1")
+            print(f"[submitted {reply['name']} as {reply['job_id']} "
+                  f"(truncated once, deduplicated="
+                  f"{reply.get('deduplicated')})]")
+            if reply.get("deduplicated") is not True:
+                failures.append(
+                    "truncated submit retry did not deduplicate "
+                    f"server-side: {reply}")
+
+            # The injected os._exit fires at the second recorded trial;
+            # wait for the server process to die mid-job.
+            rc = proc.wait(timeout=args.timeout)
+            print(f"[server killed mid-job with exit code {rc}]")
+            if rc != KILL_EXIT_CODE:
+                failures.append(
+                    f"expected injected kill exit {KILL_EXIT_CODE}, "
+                    f"got {rc}")
+
+            # Restart on the same data dir (a fresh port: the old one can
+            # linger while the kernel reaps the killed process's sockets):
+            # the once-only faults are spent (token files), the open job
+            # resumes and finishes.
+            port2 = free_port()
+            second = start_serve(port2, data_dir, env, serve_args)
+            client = ServiceClient(f"http://127.0.0.1:{port2}")
+            wait_for_health(client, second)
+            deadline = time.monotonic() + args.timeout
+            final = None
+            for progress in client.tail(reply["job_id"], wait=10.0):
+                print(f"  {progress['state']:<9} "
+                      f"{progress['completed']}/{progress['total']}")
+                final = progress
+                if time.monotonic() > deadline:
+                    failures.append("tail timed out after restart")
+                    break
+
+            jobs = client.jobs(limit=100)
+            if len(jobs) != 1:
+                failures.append(
+                    f"expected exactly one job after the retried submit, "
+                    f"got {len(jobs)}")
+
+            spec, reference = serial_reference(args.seed)
+            check_results(client, spec, reference, final, failures)
+        finally:
+            stop_serve(proc)
+            if second is not None:
+                stop_serve(second)
+
+    if failures:
+        print("\nCHAOS SMOKE FAILURES:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nchaos smoke OK: truncated submit deduplicated, mid-job kill "
+          "resumed to done, rows bit-identical to the serial path")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=1, help="testbed seed")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="overall tail timeout in seconds")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run under the smoke-chaos fault plan and "
+                             "verify the recovery story")
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+
+    if args.chaos:
+        return run_chaos(args, env)
+    return run_smoke(args, env)
 
 
 if __name__ == "__main__":

@@ -270,7 +270,7 @@ def run_profile(args, figures) -> int:
 
 #: Targets served by the sweep service CLI (repro.service.cli), which has
 #: its own argument surface; dispatched before the figure parser runs.
-SERVICE_TARGETS = ("serve", "submit", "tail", "runs")
+SERVICE_TARGETS = ("serve", "submit", "tail", "runs", "chaos")
 
 
 def main(argv=None) -> int:
@@ -289,7 +289,8 @@ def main(argv=None) -> int:
         "target",
         choices=sorted(figures) + ["census", "map", "all", "bench", "profile"],
         help="figure to regenerate, census/map/all, bench, or profile "
-             "(serve/submit/tail/runs dispatch to the sweep service CLI)",
+             "(serve/submit/tail/runs/chaos dispatch to the sweep "
+             "service CLI)",
     )
     parser.add_argument("--scale", default="smoke",
                         help="smoke | quick | paper (default smoke)")

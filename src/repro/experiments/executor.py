@@ -22,9 +22,15 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import signal
 import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.errors import TrialHungError, WorkerCrashError
 from repro.experiments.spec import ExperimentSpec, TrialResult, TrialSpec
 from repro.net.testbed import Testbed
 from repro.network import Network, RunResult
@@ -118,7 +124,12 @@ def _leave_node(net: Network, node: int) -> None:
         net.remove_node(node)
 
 
-def run_trial(testbed: Testbed, spec: TrialSpec) -> TrialResult:
+def run_trial(
+    testbed: Testbed,
+    spec: TrialSpec,
+    timeout_s: Optional[float] = None,
+    fault_hook=None,
+) -> TrialResult:
     """Assemble, run, and measure one trial. Pure in (testbed, spec).
 
     Dynamic-world extensions: ``spec.churn`` events are scheduled before the
@@ -127,7 +138,24 @@ def run_trial(testbed: Testbed, spec: TrialSpec) -> TrialResult:
     model over the testbed floor and plays it through a
     :class:`~repro.net.mobility.MobilityController`. Both are deterministic
     functions of (testbed, spec), so backends stay interchangeable.
+
+    ``timeout_s`` arms a cooperative wall-clock watchdog: a self-
+    rescheduling engine event checks elapsed wall time every 1/64th of the
+    trial's simulated duration and raises
+    :class:`~repro.errors.TrialHungError` once the budget is spent — a
+    hung trial becomes a quarantinable failure instead of a wedged worker.
+    The check events mutate no simulation state (RNG streams are stateless
+    functions of the seeds, and the callback only reads the wall clock),
+    so results stay bit-identical with the watchdog armed; when
+    ``timeout_s`` is None the engine's hot loop is untouched.
+
+    ``fault_hook`` (see ``repro.service.faults``) fires site ``trial.run``
+    keyed by the trial id before the run — the injection point for
+    scripted per-trial raise/hang/kill faults.
     """
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    if fault_hook is not None:
+        fault_hook("trial.run", spec.trial_id)
     net = Network(
         testbed,
         run_seed=spec.run_seed,
@@ -164,6 +192,18 @@ def run_trial(testbed: Testbed, spec: TrialSpec) -> TrialResult:
         for node in spec.mobility.nodes:
             controller.attach(node, model)
         controller.start()
+    if deadline is not None:
+        check_dt = max(spec.duration / 64.0, 1e-6)
+
+        def _watchdog_check() -> None:
+            if time.monotonic() >= deadline:
+                raise TrialHungError(
+                    f"trial {spec.trial_id!r} exceeded its {timeout_s}s "
+                    f"wall-clock budget at sim time {net.sim.now:.6f}"
+                )
+            net.sim.schedule_call(check_dt, _watchdog_check)
+
+        net.sim.schedule_call(check_dt, _watchdog_check)
     result = net.run(duration=spec.duration, warmup=spec.warmup)
     flow_mbps = {f: result.flow_mbps(*f) for f in spec.measured_flows}
     metrics = {}
@@ -181,21 +221,43 @@ def run_trial(testbed: Testbed, spec: TrialSpec) -> TrialResult:
 class SerialBackend:
     """Run trials one after another in the calling process.
 
-    Backend protocol: ``run(testbed, trials, on_result=None)`` returns the
-    results in ``trials`` order; ``on_result`` is invoked with each result
-    as soon as it exists, which is what lets the executor persist completed
-    trials while the rest of a figure is still running.
+    Backend protocol: ``run(testbed, trials, on_result=None, on_error=None)``
+    returns the successful results in ``trials`` order; ``on_result`` is
+    invoked with each result as soon as it exists, which is what lets the
+    executor persist completed trials while the rest of a figure is still
+    running. Without ``on_error`` a failing trial raises (the historical
+    contract run_experiment relies on); with it, the exception is reported
+    as ``on_error(trial, exc)`` and the remaining trials still run.
     """
+
+    def __init__(
+        self,
+        trial_timeout_s: Optional[float] = None,
+        fault_hook=None,
+    ):
+        self.trial_timeout_s = trial_timeout_s
+        self.fault_hook = fault_hook
 
     def run(
         self,
         testbed: Testbed,
         trials: Sequence[TrialSpec],
         on_result=None,
+        on_error=None,
     ) -> List[TrialResult]:
         results = []
         for t in trials:
-            res = run_trial(testbed, t)
+            try:
+                res = run_trial(
+                    testbed, t,
+                    timeout_s=self.trial_timeout_s,
+                    fault_hook=self.fault_hook,
+                )
+            except Exception as exc:
+                if on_error is None:
+                    raise
+                on_error(t, exc)
+                continue
             if on_result is not None:
                 on_result(res)
             results.append(res)
@@ -203,59 +265,226 @@ class SerialBackend:
 
 
 _WORKER_TESTBED: Optional[Testbed] = None
+_WORKER_FAULTS = None
+_WORKER_TIMEOUT: Optional[float] = None
 
 
-def _pool_init(testbed: Testbed) -> None:
-    global _WORKER_TESTBED
+def _pool_init(testbed: Testbed, fault_wire=None, timeout_s=None) -> None:
+    global _WORKER_TESTBED, _WORKER_FAULTS, _WORKER_TIMEOUT
+    _die_with_parent()
     _WORKER_TESTBED = testbed
+    _WORKER_TIMEOUT = timeout_s
+    if fault_wire is not None:
+        # Lazy import: the executor layer sits below the service package
+        # and must not depend on it unless a fault plan actually ships.
+        from repro.service.faults import FaultPlan
+
+        _WORKER_FAULTS = FaultPlan.from_wire(fault_wire)
+
+
+def _die_with_parent() -> None:
+    """Confine this worker to its parent's fault domain.
+
+    Forked workers inherit the parent's Python signal handlers — in a
+    ``cli serve`` process that includes the graceful-drain SIGTERM
+    handler, which must not run in a worker (it would swallow SIGTERM
+    and make the worker unkillable by ``terminate()``). SIGTERM goes
+    back to SIG_DFL; SIGINT to SIG_IGN so a terminal Ctrl-C drains via
+    the parent at the trial boundary instead of snapping workers
+    mid-trial into a BrokenProcessPool.
+
+    Then ask the kernel to SIGTERM the worker if its parent dies (Linux
+    ``PR_SET_PDEATHSIG``; silently a no-op elsewhere). Without it, a
+    coordinator killed outright (OOM, ``kill -9``, an injected crash)
+    orphans its workers: forked children hold the write end of their own
+    call queue — so they block on ``get()`` forever instead of seeing
+    EOF — plus every other inherited fd, including a serve process's
+    HTTP listen socket, which then keeps the port bound against the
+    restarted server."""
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        import ctypes
+
+        PR_SET_PDEATHSIG = 1
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(PR_SET_PDEATHSIG, signal.SIGTERM)
+    except (OSError, AttributeError):  # non-Linux / no prctl
+        pass
 
 
 def _pool_run(spec: TrialSpec) -> TrialResult:
     assert _WORKER_TESTBED is not None, "worker pool not initialized"
-    return run_trial(_WORKER_TESTBED, spec)
+    hook = None if _WORKER_FAULTS is None else _WORKER_FAULTS.fire
+    if hook is not None:
+        # ``kill`` rules here die via os._exit mid-chunk — the scripted
+        # stand-in for an OOM-killed worker (-> BrokenProcessPool upstream).
+        hook("pool.worker", spec.trial_id)
+    return run_trial(
+        _WORKER_TESTBED, spec, timeout_s=_WORKER_TIMEOUT, fault_hook=hook
+    )
 
 
 class ProcessPoolBackend:
-    """Fan trials out over a multiprocessing pool.
+    """Fan trials out over a process pool, surviving dead workers.
 
     The testbed is shipped to each worker once (pool initializer); trial
     specs stream over the pipe per task. Output order follows input order,
     and every trial is a pure function of (testbed, spec), so results are
     bit-identical to :class:`SerialBackend`.
+
+    Failure domains (see DESIGN.md "Failure domains"):
+
+    * A worker that dies mid-chunk breaks the whole
+      :class:`~concurrent.futures.ProcessPoolExecutor`
+      (:class:`BrokenProcessPool`). The chunk's unfinished trials are
+      requeued **once** into a freshly spawned pool; a second broken pool
+      marks the survivors with :class:`~repro.errors.WorkerCrashError` —
+      the caller quarantines them rather than risk running a
+      worker-killing trial in-process.
+    * ``trial_timeout_s`` arms the in-worker cooperative watchdog *and* an
+      external chunk deadline (a generous multiple, for hangs the
+      cooperative check cannot see). An externally timed-out trial gets
+      :class:`~repro.errors.TrialHungError`; its pool is torn down (hung
+      workers are terminated) and the remaining trials are resubmitted.
+    * Without ``on_error`` the first trial failure raises after the rest
+      of the chunk finishes — the historical contract, which keeps
+      ``run_experiment``'s flush-on-failure guarantee intact.
     """
 
-    def __init__(self, jobs: Optional[int] = None, start_method: Optional[str] = None):
+    #: Broken-pool rounds before the survivors are written off.
+    MAX_CRASH_ROUNDS = 2
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        start_method: Optional[str] = None,
+        trial_timeout_s: Optional[float] = None,
+        fault_plan=None,
+    ):
         self.jobs = jobs or os.cpu_count() or 1
         self.start_method = start_method
+        self.trial_timeout_s = trial_timeout_s
+        self.fault_plan = fault_plan
 
+    # ------------------------------------------------------------------
     def run(
         self,
         testbed: Testbed,
         trials: Sequence[TrialSpec],
         on_result=None,
+        on_error=None,
     ) -> List[TrialResult]:
         trials = list(trials)
         if not trials or self.jobs <= 1:
-            return SerialBackend().run(testbed, trials, on_result=on_result)
+            hook = None if self.fault_plan is None else self.fault_plan.fire
+            return SerialBackend(
+                trial_timeout_s=self.trial_timeout_s, fault_hook=hook
+            ).run(testbed, trials, on_result=on_result, on_error=on_error)
+
+        results: Dict[str, TrialResult] = {}
+        failures: List["tuple[TrialSpec, BaseException]"] = []
+        failed_ids: set = set()
+        crash_rounds = 0
+        remaining = trials
+        backstop = None
+        if self.trial_timeout_s is not None:
+            # The cooperative in-worker watchdog fires at trial_timeout_s;
+            # the external deadline is a backstop for non-cooperative hangs
+            # and must not race the cooperative one on a loaded box.
+            backstop = self.trial_timeout_s * 2.0 + 1.0
+
+        while remaining:
+            executor = self._spawn(testbed, len(remaining))
+            futures = [(executor.submit(_pool_run, t), t) for t in remaining]
+            broken = hung = False
+            try:
+                for future, trial in futures:
+                    if trial.trial_id in failed_ids:
+                        continue
+                    try:
+                        res = future.result(timeout=backstop)
+                    except BrokenProcessPool:
+                        broken = True
+                        break
+                    except FutureTimeout:
+                        failures.append((trial, TrialHungError(
+                            f"trial {trial.trial_id!r} exceeded the external "
+                            f"{backstop}s chunk deadline"
+                        )))
+                        failed_ids.add(trial.trial_id)
+                        hung = True
+                        break
+                    except Exception as exc:
+                        failures.append((trial, exc))
+                        failed_ids.add(trial.trial_id)
+                    else:
+                        results[res.trial_id] = res
+                        if on_result is not None:
+                            on_result(res)
+            finally:
+                self._teardown(executor, force=broken or hung)
+
+            remaining = [
+                t for t in remaining
+                if t.trial_id not in results and t.trial_id not in failed_ids
+            ]
+            if broken:
+                crash_rounds += 1
+                if crash_rounds >= self.MAX_CRASH_ROUNDS and remaining:
+                    for t in remaining:
+                        failures.append((t, WorkerCrashError(
+                            f"trial {t.trial_id!r} was in a chunk that broke "
+                            f"its worker pool {crash_rounds} times"
+                        )))
+                        failed_ids.add(t.trial_id)
+                    remaining = []
+
+        for trial, exc in failures:
+            if on_error is None:
+                raise exc
+            on_error(trial, exc)
+        return [results[t.trial_id] for t in trials if t.trial_id in results]
+
+    # ------------------------------------------------------------------
+    def _spawn(self, testbed: Testbed, n_tasks: int) -> ProcessPoolExecutor:
         ctx = multiprocessing.get_context(self.start_method)
-        results = []
-        with ctx.Pool(
-            processes=min(self.jobs, len(trials)),
+        wire = None if self.fault_plan is None else self.fault_plan.to_wire()
+        return ProcessPoolExecutor(
+            max_workers=min(self.jobs, n_tasks),
+            mp_context=ctx,
             initializer=_pool_init,
-            initargs=(testbed,),
-        ) as pool:
-            for res in pool.imap(_pool_run, trials, chunksize=1):
-                if on_result is not None:
-                    on_result(res)
-                results.append(res)
-        return results
+            initargs=(testbed, wire, self.trial_timeout_s),
+        )
+
+    @staticmethod
+    def _teardown(executor: ProcessPoolExecutor, force: bool) -> None:
+        """Shut a pool down; with ``force``, terminate its workers first —
+        a hung worker would otherwise block ``shutdown`` forever, and a
+        broken pool's survivors are being resubmitted elsewhere anyway."""
+        if force:
+            for proc in list(getattr(executor, "_processes", {}).values()):
+                if proc.is_alive():
+                    proc.terminate()
+            executor.shutdown(wait=False, cancel_futures=True)
+        else:
+            executor.shutdown(wait=True)
 
 
-def make_backend(jobs: Optional[int]) -> "SerialBackend | ProcessPoolBackend":
-    """``jobs`` <= 1 (or None) -> serial; otherwise an N-process pool."""
+def make_backend(
+    jobs: Optional[int],
+    trial_timeout_s: Optional[float] = None,
+    fault_plan=None,
+) -> "SerialBackend | ProcessPoolBackend":
+    """``jobs`` <= 1 (or None) -> serial; otherwise an N-process pool.
+    ``trial_timeout_s``/``fault_plan`` thread the watchdog and fault hooks
+    into whichever backend comes back."""
     if jobs is None or jobs <= 1:
-        return SerialBackend()
-    return ProcessPoolBackend(jobs)
+        hook = None if fault_plan is None else fault_plan.fire
+        return SerialBackend(trial_timeout_s=trial_timeout_s, fault_hook=hook)
+    return ProcessPoolBackend(
+        jobs, trial_timeout_s=trial_timeout_s, fault_plan=fault_plan
+    )
 
 
 # ----------------------------------------------------------------------
@@ -268,11 +497,27 @@ class ResultStore:
     testbed raises rather than silently mixing incompatible results. Writes
     are atomic (temp file + rename) so an interrupted sweep never corrupts
     earlier results.
+
+    ``experiment`` names the sweep the results belong to and is persisted
+    in the file — it is what lets a corrupted run-table be rebuilt from
+    the flat stores alone (``RunTable.rebuild_from_stores``), without the
+    jobs table that died with it. ``fault_hook`` fires site ``store.save``
+    (keyed by path) at the top of every save, before anything touches
+    disk — an injected ``OSError`` there behaves exactly like a failed
+    write: the previous on-disk contents stay intact.
     """
 
-    def __init__(self, path: str, testbed_seed: Optional[int] = None):
+    def __init__(
+        self,
+        path: str,
+        testbed_seed: Optional[int] = None,
+        experiment: Optional[str] = None,
+        fault_hook=None,
+    ):
         self.path = path
         self.testbed_seed = testbed_seed
+        self.experiment = experiment
+        self.fault_hook = fault_hook
         self._results: Dict[str, TrialResult] = {}
         if os.path.exists(path):
             self._load()
@@ -289,6 +534,8 @@ class ResultStore:
             )
         if stored_seed is not None:
             self.testbed_seed = stored_seed
+        if obj.get("experiment") is not None:
+            self.experiment = obj["experiment"]
         for entry in obj.get("trials", []):
             res = TrialResult.from_json(entry)
             self._results[res.trial_id] = res
@@ -329,10 +576,14 @@ class ResultStore:
         on-disk contents intact — the coordinator's crash-resume path reads
         this file, so a truncated store would silently re-run or, worse,
         half-resume a sweep."""
+        if self.fault_hook is not None:
+            self.fault_hook("store.save", self.path)
         payload = {
             "testbed_seed": self.testbed_seed,
             "trials": [r.to_json() for r in self._results.values()],
         }
+        if self.experiment is not None:
+            payload["experiment"] = self.experiment
         directory = os.path.dirname(os.path.abspath(self.path))
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:

@@ -1,4 +1,4 @@
-"""Service CLI targets: ``serve`` / ``submit`` / ``tail`` / ``runs``.
+"""Service CLI targets: ``serve`` / ``submit`` / ``tail`` / ``runs`` / ``chaos``.
 
 Dispatched from ``python -m repro.cli``::
 
@@ -9,17 +9,24 @@ Dispatched from ``python -m repro.cli``::
     python -m repro.cli tail --url ... <job-id>
     python -m repro.cli runs --url ... --experiment fig12 \\
         --metric total_mbps --q 10,50,90
+    python -m repro.cli chaos --builder fig12 --scale smoke
 
 ``serve`` owns the data directory (sqlite run-table + per-job stores),
-resumes any jobs a previous process left open, and blocks until SIGINT.
-Everything else talks to a running server over HTTP.
+resumes any jobs a previous process left open, and drains gracefully on
+SIGTERM/SIGINT: workers finish their current trial, jobs requeue durably,
+and the run-table is checkpointed before exit. ``chaos`` runs a
+deterministic fault-injection soak in-process (see EXPERIMENTS.md) and
+exits non-zero if the stack mishandled any injected fault. Everything
+else talks to a running server over HTTP.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import threading
 from typing import List, Optional
 
 DEFAULT_URL = "http://127.0.0.1:8642"
@@ -39,10 +46,29 @@ def _parse_param(raw: str):
 
 
 def cmd_serve(args) -> int:
+    import signal
+
     from repro.service.coordinator import Coordinator
+    from repro.service.faults import describe, load_plan
     from repro.service.http_api import make_server
 
-    coordinator = Coordinator(args.data_dir, trial_jobs=args.trial_jobs)
+    fault_plan = None
+    if args.fault_plan:
+        fault_plan = load_plan(
+            args.fault_plan,
+            state_dir=os.path.join(args.data_dir, "faults"),
+        )
+        print(f"[fault plan: {describe(fault_plan)}]", flush=True)
+    coordinator = Coordinator(
+        args.data_dir,
+        trial_jobs=args.trial_jobs,
+        trial_timeout_s=args.trial_timeout,
+        fault_plan=fault_plan,
+    )
+    if coordinator.runtable.rebuilt_from:
+        print(f"[run-table failed its integrity check; quarantined to "
+              f"{coordinator.runtable.rebuilt_from} and rebuilt from the "
+              f"flat stores]", flush=True)
     if args.resume:
         resumed = coordinator.resume_open_jobs()
         if resumed:
@@ -54,14 +80,153 @@ def cmd_serve(args) -> int:
     print(f"[sweep service on http://{host}:{port} — data in {args.data_dir}; "
           f"{args.workers} worker(s) x {args.trial_jobs} trial job(s)]",
           flush=True)
+
+    draining = threading.Event()
+
+    def _graceful(signum, frame) -> None:
+        # Runs on the main thread, inside serve_forever's poll loop —
+        # shutdown() must be called from another thread (it blocks until
+        # the loop exits, which can't happen under our feet here).
+        if draining.is_set():
+            return  # second signal while draining: stay on the clean path
+        draining.set()
+        name = signal.Signals(signum).name
+        print(f"\n[{name}: draining — workers stop at the trial boundary, "
+              f"open jobs requeue for the next serve]", flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _graceful)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("\n[stopping: workers requeue their jobs for the next serve]")
     finally:
-        server.shutdown()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.server_close()
         coordinator.stop()
+        coordinator.runtable.close()
+    print("[stopped: state persisted; restart with the same --data-dir "
+          "to resume]", flush=True)
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Deterministic chaos soak, fully in-process: run a sweep under
+    :func:`~repro.service.faults.build_soak_plan` (a trial that hangs
+    forever, an injected store-write failure, a sqlite busy burst, one
+    coordinator crash mid-job), restarting the coordinator after each
+    crash, then verify the wreckage: exactly one run-table row per trial,
+    the hung trial quarantined, the job ``done_partial``, and every
+    surviving trial bit-identical to a fault-free SerialBackend run."""
+    import tempfile
+
+    from repro.errors import SimulatedCrash
+    from repro.experiments.executor import SerialBackend
+    from repro.experiments.runners import SWEEP_BUILDERS, ExperimentScale
+    from repro.net.testbed import Testbed
+    from repro.service.coordinator import Coordinator
+    from repro.service.faults import build_soak_plan, describe
+
+    builder = SWEEP_BUILDERS.get(args.builder)
+    if builder is None:
+        raise SystemExit(f"unknown builder {args.builder!r}; registered: "
+                         f"{sorted(SWEEP_BUILDERS)}")
+    scale = ExperimentScale.preset(args.scale)
+    testbed = Testbed(seed=args.seed)
+    spec = builder(testbed, scale=scale, seed=args.seed)
+    data_dir = args.data_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+
+    print(f"[chaos: {spec.name} x{len(spec.trials)} trials, data in "
+          f"{data_dir}]", flush=True)
+    reference = {}
+    for res in SerialBackend().run(testbed, list(spec.trials)):
+        reference[res.trial_id] = res.to_json()
+
+    plan = build_soak_plan(
+        [t.trial_id for t in spec.trials],
+        seed=args.fault_seed,
+        state_dir=os.path.join(data_dir, "faults"),
+        hang_s=args.hang_s,
+    )
+    victim = plan.rules[0].key
+    print(f"[fault plan: {describe(plan)}; hang victim: {victim}]",
+          flush=True)
+
+    job_id = None
+    restarts = 0
+    co = None
+    while True:
+        co = Coordinator(
+            data_dir,
+            trial_jobs=args.trial_jobs,
+            trial_timeout_s=args.trial_timeout,
+            fault_plan=plan,
+            backoff_base_s=0.01,
+            testbed_factory=lambda seed: testbed,
+        )
+        co.resume_open_jobs()
+        if job_id is None:
+            job_id = co.submit_experiment(spec, testbed_seed=args.seed)
+        try:
+            while co.run_once() is not None:
+                pass
+            break
+        except SimulatedCrash:
+            restarts += 1
+            print(f"[coordinator crash #{restarts} (injected); "
+                  f"restarting]", flush=True)
+            co.runtable.close()
+            if restarts > args.max_restarts:
+                print("FAIL: crash fault kept firing past "
+                      f"--max-restarts={args.max_restarts}")
+                return 1
+
+    failures: List[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(f"  {'ok  ' if ok else 'FAIL'} {what}", flush=True)
+        if not ok:
+            failures.append(what)
+
+    job = co.runtable.get_job(job_id)
+    total = len(spec.trials)
+    check(restarts >= 1, f"injected coordinator crash fired ({restarts}x)")
+    check(job is not None and job.state == "done_partial",
+          f"job finished done_partial (got "
+          f"{'missing' if job is None else job.state})")
+    check(job is not None and job.quarantined == 1
+          and job.completed == total - 1,
+          f"counters completed={total - 1} quarantined=1 (got "
+          f"{'-' if job is None else (job.completed, job.quarantined)})")
+
+    rows = co.runtable.recent_runs(limit=100_000, experiment=spec.name)
+    ids = [r["trial_id"] for r in rows]
+    check(len(ids) == len(set(ids)) == total,
+          f"exactly one row per trial ({len(ids)} rows, "
+          f"{len(set(ids))} distinct, want {total})")
+    check(co.runtable.trial_status(
+              spec.name, victim,
+              next(t for t in spec.trials
+                   if t.trial_id == victim).fingerprint(),
+          ) == "quarantined",
+          "hung trial quarantined")
+
+    survivors = co.runtable.results(spec.name)
+    mismatched = [
+        res.trial_id for res in survivors
+        if res.to_json() != reference.get(res.trial_id)
+    ]
+    check(len(survivors) == total - 1 and not mismatched,
+          f"{len(survivors)}/{total - 1} survivors bit-identical to the "
+          f"fault-free serial run"
+          + (f" (mismatched: {mismatched})" if mismatched else ""))
+
+    co.runtable.close()
+    print("[chaos " + ("PASS]" if not failures else
+                       f"FAIL: {len(failures)} check(s)]"), flush=True)
+    return 0 if not failures else 1
 
 
 def _print_progress(progress: dict) -> None:
@@ -157,9 +322,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes per job's trials (default 1)")
     serve.add_argument("--no-resume", dest="resume", action="store_false",
                        help="do not re-queue jobs left open by a crash")
+    serve.add_argument("--trial-timeout", type=float, default=None,
+                       metavar="S",
+                       help="per-trial wall-clock watchdog in seconds "
+                            "(default: none)")
+    serve.add_argument("--fault-plan", default=None, metavar="NAME|PATH",
+                       help="inject faults: a canned plan name "
+                            "(smoke-chaos, none) or a FaultPlan JSON file")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
     serve.set_defaults(fn=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic fault-injection soak (in-process)")
+    chaos.add_argument("--builder", default="fig12",
+                       help="registered sweep builder (default fig12)")
+    chaos.add_argument("--scale", default="smoke",
+                       help="smoke | quick | paper (default smoke)")
+    chaos.add_argument("--seed", type=int, default=1,
+                       help="testbed seed (default 1)")
+    chaos.add_argument("--fault-seed", type=int, default=0,
+                       help="derives the hang victim (default 0)")
+    chaos.add_argument("--data-dir", default=None,
+                       help="default: a fresh temp dir")
+    chaos.add_argument("--trial-jobs", type=int, default=1,
+                       help="worker processes per job's trials (default 1)")
+    chaos.add_argument("--trial-timeout", type=float, default=1.0,
+                       metavar="S",
+                       help="watchdog budget; must be < --hang-s "
+                            "(default 1.0)")
+    chaos.add_argument("--hang-s", type=float, default=2.5,
+                       help="how long the victim trial hangs (default 2.5)")
+    chaos.add_argument("--max-restarts", type=int, default=5,
+                       help="give up after this many injected crashes")
+    chaos.set_defaults(fn=cmd_chaos)
 
     submit = sub.add_parser("submit", help="submit a sweep over HTTP")
     submit.add_argument("--url", default=DEFAULT_URL)

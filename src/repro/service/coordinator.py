@@ -4,6 +4,7 @@ One coordinator owns a data directory::
 
     <data_dir>/runs.sqlite        the run-table (trial rows + job table)
     <data_dir>/stores/<job>.json  per-job fingerprinted ResultStores
+    <data_dir>/faults/            exactly-once tokens for fault plans
 
 Scheduling loop (per worker thread): lease the best job, then walk its
 trials. Between trials the worker re-checks the world — a stop request
@@ -13,15 +14,24 @@ already persisted, so nothing is lost). Completed trials stream into both
 the job's ResultStore (the fingerprinted resume source of truth) and the
 run-table (the query side) as they finish.
 
-Failures retry with capped exponential backoff; a trial that exhausts its
-retries marks the job ``failed`` but the remaining trials still run —
-partial sweeps are useful sweeps.
+Failure policy (see ``repro.errors`` and DESIGN.md "Failure domains"):
+only *transient* failures retry, with capped exponential backoff, against
+a per-job retry budget. Permanent failures — and transient ones once the
+budget is gone, and trials that hang past the watchdog or kill their pool
+worker twice — are **quarantined**: recorded in the run-table with status
+``quarantined`` and their error class, counted on the job, and skipped.
+The job finishes ``done_partial``; one poisoned trial never stalls or
+fails a whole sweep.
 
 Crash-resume: every state transition is upserted into the run-table, so a
 coordinator that died mid-job leaves a ``running`` row behind.
 :meth:`Coordinator.resume_open_jobs` re-queues those on startup; when the
 job runs again, trials whose (id, fingerprint) already sit in its
-ResultStore are served from cache — bit-identical, and never re-executed.
+ResultStore are served from cache — bit-identical, and never re-executed —
+and trials a previous incarnation quarantined are skipped by their
+run-table row instead of hanging a worker again. If the run-table itself
+failed its integrity check at open, the trial rows are rebuilt from the
+flat stores before anything else runs.
 """
 
 from __future__ import annotations
@@ -30,8 +40,14 @@ import os
 import threading
 import time
 import traceback
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.errors import (
+    SimulatedCrash,
+    WorkerCrashError,
+    error_class,
+    is_transient,
+)
 from repro.experiments.executor import (
     ResultStore,
     SerialBackend,
@@ -40,9 +56,11 @@ from repro.experiments.executor import (
 )
 from repro.experiments.spec import ExperimentSpec, TrialResult, TrialSpec
 from repro.net.testbed import Testbed
+from repro.service.faults import FaultPlan
 from repro.service.jobs import (
     CANCELLED,
     DONE,
+    DONE_PARTIAL,
     FAILED,
     QUEUED,
     RUNNING,
@@ -60,7 +78,12 @@ class Coordinator:
     ``trial_jobs`` > 1 fans each job's trials over a process pool in
     chunks (cancellation/preemption are honored at chunk boundaries);
     the default 1 runs trials serially with per-trial boundaries.
-    ``sleep`` is injectable so retry-backoff tests need no real waiting.
+    ``trial_timeout_s`` arms the per-trial wall-clock watchdog in whichever
+    backend runs the trial. ``retry_budget`` caps *transient* retries per
+    job; ``max_retries`` caps them per trial. ``fault_plan`` threads a
+    :class:`~repro.service.faults.FaultPlan` through every layer (store,
+    run-table, backends, lease) — None costs nothing. ``sleep`` is
+    injectable so retry-backoff tests need no real waiting.
     """
 
     def __init__(
@@ -70,25 +93,45 @@ class Coordinator:
         runtable: Optional[RunTable] = None,
         trial_jobs: int = 1,
         max_retries: int = 2,
+        retry_budget: int = 16,
         backoff_base_s: float = 0.1,
         backoff_cap_s: float = 5.0,
         lease_s: float = 300.0,
+        trial_timeout_s: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
         sleep: Callable[[float], None] = time.sleep,
         testbed_factory: Callable[[int], Testbed] = None,
     ):
         self.data_dir = data_dir
         os.makedirs(os.path.join(data_dir, "stores"), exist_ok=True)
+        self._fault_plan = fault_plan
+        self._fault_hook = None if fault_plan is None else fault_plan.fire
         self.queue = queue or InMemoryJobQueue(default_lease_s=lease_s)
-        self.runtable = runtable or RunTable(os.path.join(data_dir, "runs.sqlite"))
+        self.runtable = runtable or RunTable(
+            os.path.join(data_dir, "runs.sqlite"),
+            sleep=sleep,
+            fault_hook=self._fault_hook,
+        )
+        if self.runtable.rebuilt_from:
+            # The previous db failed quick_check and was quarantined: the
+            # flat stores are the surviving source of truth — replay them.
+            self.runtable.rebuild_from_stores(
+                os.path.join(data_dir, "stores")
+            )
         self.trial_jobs = trial_jobs
         self.max_retries = max_retries
+        self.retry_budget = retry_budget
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.lease_s = lease_s
+        self.trial_timeout_s = trial_timeout_s
         self._sleep = sleep
         self._testbed_factory = testbed_factory or (lambda seed: Testbed(seed=seed))
         self._testbeds: Dict[int, Testbed] = {}
         self._jobs: Dict[str, SweepJob] = {}
+        #: Live idempotency-key -> job_id map (the run-table holds the
+        #: durable half; this catches submit races before the first upsert).
+        self._idem: Dict[str, str] = {}
         self._cond = threading.Condition()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
@@ -97,27 +140,59 @@ class Coordinator:
     # Submission / lifecycle
     # ------------------------------------------------------------------
     def submit(self, job: SweepJob) -> str:
+        """Queue a job. If the job carries an idempotency key already seen
+        (live or in the run-table), the original job's id is returned and
+        nothing new is queued — a client retrying a submit whose response
+        was lost gets exactly one job."""
+        key = job.idempotency_key
+        if key:
+            existing = self._dedup(key, job.job_id)
+            if existing is not None:
+                return existing
         job.state = QUEUED
         with self._cond:
             self._jobs[job.job_id] = job
+            if key:
+                self._idem[key] = job.job_id
         self.runtable.upsert_job(job)
         self.queue.submit(job)
         self._notify()
         return job.job_id
 
+    def _dedup(self, key: str, job_id: str) -> Optional[str]:
+        """The job id previously submitted under ``key`` (None if unseen).
+        The submitting job's own id never matches itself — that is what
+        lets ``resume_open_jobs`` resubmit a keyed job it finds in the
+        run-table."""
+        with self._cond:
+            live = self._idem.get(key)
+        if live is not None and live != job_id:
+            return live
+        row = self.runtable.job_by_idempotency_key(key)
+        if row is not None and row.job_id != job_id:
+            return row.job_id
+        return None
+
     def submit_experiment(
-        self, spec: ExperimentSpec, priority: int = 0, testbed_seed: int = 1
+        self,
+        spec: ExperimentSpec,
+        priority: int = 0,
+        testbed_seed: int = 1,
+        idempotency_key: Optional[str] = None,
     ) -> str:
-        return self.submit(
-            job_from_experiment(spec, priority=priority, testbed_seed=testbed_seed)
+        job = job_from_experiment(
+            spec, priority=priority, testbed_seed=testbed_seed
         )
+        job.idempotency_key = idempotency_key
+        return self.submit(job)
 
     def resume_open_jobs(self) -> List[str]:
         """Re-queue every job a previous process left queued or running.
 
         Progress counters restart from zero; trials that completed before
-        the crash are served from the job's fingerprinted store, so they
-        count back up without re-executing."""
+        the crash are served from the job's fingerprinted store, and
+        trials a previous incarnation quarantined are re-counted from
+        their run-table rows — neither re-executes."""
         resumed = []
         for job in self.runtable.open_jobs():
             if job.job_id in self._jobs:
@@ -125,6 +200,7 @@ class Coordinator:
             job.state = QUEUED
             job.completed = 0
             job.failed = 0
+            job.quarantined = 0
             self.submit(job)
             resumed.append(job.job_id)
         return resumed
@@ -209,9 +285,9 @@ class Coordinator:
         timeout: Optional[float] = None,
     ) -> Optional[dict]:
         """Long-poll a job: block until its progress advances past
-        ``cursor`` (completed + failed trials) or it reaches a terminal
-        state, up to ``timeout`` seconds. ``cursor=None`` returns the
-        current snapshot immediately. None if the job is unknown."""
+        ``cursor`` (completed + failed + quarantined trials) or it reaches
+        a terminal state, up to ``timeout`` seconds. ``cursor=None``
+        returns the current snapshot immediately. None if unknown."""
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             progress = self.job_progress(job_id)
@@ -219,7 +295,9 @@ class Coordinator:
                 return None
             if progress["state"] in TERMINAL_STATES or cursor is None:
                 return progress
-            if progress["completed"] + progress["failed"] > cursor:
+            settled = (progress["completed"] + progress["failed"]
+                       + progress["quarantined"])
+            if settled > cursor:
                 return progress
             with self._cond:
                 remaining = None if deadline is None else deadline - time.monotonic()
@@ -253,6 +331,8 @@ class Coordinator:
                 self._run_job(worker_id, job)
             except LeaseLost:
                 continue  # reaped mid-run; the new holder owns the job now
+            except SimulatedCrash:
+                raise  # fault injection: die like a killed coordinator
             except Exception as exc:  # never kill the worker thread
                 job.error = f"coordinator error: {exc}\n{traceback.format_exc()}"
                 try:
@@ -268,14 +348,26 @@ class Coordinator:
         job.started_at = time.time()
         job.completed = 0
         job.failed = 0
+        job.quarantined = 0
         self.runtable.upsert_job(job)
         self._notify()
 
         testbed = self.testbed(job.testbed_seed)
-        store = ResultStore(self._store_path(job), testbed_seed=job.testbed_seed)
-        backend = make_backend(self.trial_jobs)
+        store = ResultStore(
+            self._store_path(job),
+            testbed_seed=job.testbed_seed,
+            experiment=job.name,
+            fault_hook=self._fault_hook,
+        )
+        backend = make_backend(
+            self.trial_jobs,
+            trial_timeout_s=self.trial_timeout_s,
+            fault_plan=self._fault_plan,
+        )
         serial = isinstance(backend, SerialBackend)
         chunk_size = 1 if serial else max(2, self.trial_jobs)
+        #: Transient-retry budget shared by every trial of this run.
+        budget = {"left": self.retry_budget}
 
         trials = list(job.trials)
         index = 0
@@ -301,70 +393,120 @@ class Coordinator:
             chunk = trials[index:index + chunk_size]
             index += len(chunk)
 
-            # Fingerprint-cached trials (resume path) never re-execute.
+            # Fingerprint-cached and already-quarantined trials (the
+            # resume paths) never re-execute — a trial that hung a worker
+            # in a previous incarnation must not hang this one.
             pending: List[TrialSpec] = []
             for trial in chunk:
                 cached = store.get(trial)
                 if cached is not None:
                     self._record_ok(job, cached, wall=None, replace=False)
-                else:
-                    pending.append(trial)
+                    continue
+                status = self.runtable.trial_status(
+                    job.name, trial.trial_id, trial.fingerprint()
+                )
+                if status == "quarantined":
+                    job.quarantined += 1
+                    self.runtable.upsert_job(job)
+                    self._notify()
+                    continue
+                pending.append(trial)
             if not pending:
                 continue
 
             done_ids: set = set()
+            quarantined_ids: set = set()
             if not serial and len(pending) > 1:
                 def on_result(res: TrialResult, _store=store) -> None:
                     _store.put(res)
-                    _store.save()
+                    self._save_store(_store)
                     done_ids.add(res.trial_id)
                     self._record_ok(job, res, wall=None, replace=True,
                                     already_stored=True)
+
+                def on_error(trial: TrialSpec, exc: BaseException) -> None:
+                    # The pool already applied its own policy: a hung
+                    # trial (watchdog/backstop) arrives as TrialHungError,
+                    # a twice-crashing chunk as WorkerCrashError — both
+                    # quarantine outright (WorkerCrashError is "transient
+                    # once" and the pool spent that once; re-running the
+                    # trial in-process could take the whole service down).
+                    # Anything else transient falls through to the serial
+                    # retry path below.
+                    if isinstance(exc, WorkerCrashError) or not is_transient(exc):
+                        quarantined_ids.add(trial.trial_id)
+                        self._quarantine(job, trial, exc)
+
                 try:
-                    backend.run(testbed, pending, on_result=on_result)
+                    backend.run(testbed, pending,
+                                on_result=on_result, on_error=on_error)
+                except SimulatedCrash:
+                    raise
                 except Exception:
                     pass  # survivors fall through to the serial retry path
-            leftovers = [t for t in pending if t.trial_id not in done_ids]
+            leftovers = [
+                t for t in pending
+                if t.trial_id not in done_ids
+                and t.trial_id not in quarantined_ids
+            ]
             for trial in leftovers:
                 if not self._heartbeat(worker_id, job):
                     return
-                result, wall, error = self._run_with_retries(testbed, trial)
+                result, wall, exc = self._run_with_retries(
+                    testbed, trial, budget
+                )
                 if result is not None:
                     store.put(result)
-                    store.save()
+                    self._save_store(store)
                     self._record_ok(job, result, wall=wall, replace=True,
                                     already_stored=True)
                 else:
-                    job.failed += 1
-                    job.error = error
-                    self.runtable.record_failure(
-                        job.name, trial.trial_id, trial.fingerprint(),
-                        error or "unknown error",
-                        seed=job.testbed_seed, job_id=job.job_id,
-                    )
-                    self.runtable.upsert_job(job)
-                    self._notify()
+                    self._quarantine(job, trial, exc)
 
-        self._finalize(job, DONE if job.failed == 0 else FAILED,
-                       worker_id=worker_id, ack=True)
+        self._finalize(
+            job,
+            DONE if job.quarantined == 0 and job.failed == 0 else DONE_PARTIAL,
+            worker_id=worker_id,
+            ack=True,
+        )
 
-    def _run_with_retries(self, testbed: Testbed, trial: TrialSpec):
-        """Run one trial serially, retrying with capped exponential backoff.
-        Returns (result | None, wall_seconds | None, error | None)."""
-        error = None
-        for attempt in range(self.max_retries + 1):
-            if attempt > 0:
+    def _run_with_retries(
+        self, testbed: Testbed, trial: TrialSpec, budget: Dict[str, int]
+    ) -> "Tuple[Optional[TrialResult], Optional[float], Optional[BaseException]]":
+        """Run one trial serially, retrying *transient* failures with
+        capped exponential backoff while the per-trial cap and the job's
+        budget allow. Permanent failures return immediately — the sim is
+        deterministic, so they would only reproduce. Returns
+        (result | None, wall_seconds | None, exception | None)."""
+        attempt = 0
+        while True:
+            try:
+                t0 = time.perf_counter()
+                result = run_trial(testbed, trial, **self._trial_kwargs())
+                return result, time.perf_counter() - t0, None
+            except SimulatedCrash:
+                raise  # fault injection: behave like a dead process
+            except Exception as exc:
+                if not is_transient(exc):
+                    return None, None, exc
+                if attempt >= self.max_retries or budget["left"] <= 0:
+                    return None, None, exc
+                budget["left"] -= 1
+                attempt += 1
                 self._sleep(
                     min(self.backoff_cap_s,
                         self.backoff_base_s * (2 ** (attempt - 1)))
                 )
-            try:
-                t0 = time.perf_counter()
-                result = run_trial(testbed, trial)
-                return result, time.perf_counter() - t0, None
-            except Exception as exc:
-                error = f"{type(exc).__name__}: {exc}"
-        return None, None, error
+
+    def _trial_kwargs(self) -> dict:
+        """Watchdog/fault kwargs for ``run_trial`` — only passed when
+        configured, so tests substituting two-argument fakes keep working."""
+        kwargs: dict = {}
+        if self.trial_timeout_s is not None:
+            kwargs["timeout_s"] = self.trial_timeout_s
+        if self._fault_hook is not None:
+            kwargs["fault_hook"] = self._fault_hook
+        return kwargs
 
     # ------------------------------------------------------------------
     def _record_ok(
@@ -382,11 +524,52 @@ class Coordinator:
         job.completed += 1
         self.runtable.upsert_job(job)
         self._notify()
+        if self._fault_hook is not None:
+            # After the row and counters are durable: a kill/crash here is
+            # the worst-timed coordinator death that still loses nothing.
+            self._fault_hook("coordinator.record", result.trial_id)
+
+    def _quarantine(
+        self, job: SweepJob, trial: TrialSpec, exc: Optional[BaseException]
+    ) -> None:
+        exc = exc if exc is not None else RuntimeError("unknown error")
+        message = f"{error_class(exc)}: {exc}"
+        job.quarantined += 1
+        job.error = message
+        self.runtable.record_quarantine(
+            job.name, trial.trial_id, trial.fingerprint(),
+            str(exc), error_class(exc),
+            seed=job.testbed_seed, job_id=job.job_id,
+        )
+        self.runtable.upsert_job(job)
+        self._notify()
+
+    def _save_store(self, store: ResultStore) -> None:
+        """Persist the store, absorbing up to two transient write failures
+        (full disk that clears, injected OSError). The save is atomic, so
+        a failed attempt leaves the previous contents intact."""
+        for attempt in range(3):
+            try:
+                store.save()
+                return
+            except OSError:
+                if attempt == 2:
+                    raise
+                self._sleep(
+                    min(self.backoff_cap_s,
+                        self.backoff_base_s * (2 ** attempt))
+                )
 
     def _heartbeat(self, worker_id: str, job: SweepJob) -> bool:
         """Extend this worker's lease. False means the lease expired and was
         reaped (possibly re-granted): the caller must abandon the job
         without writing any further state for it."""
+        if self._fault_hook is not None:
+            rule = self._fault_hook("lease.reap", job.job_id)
+            if rule is not None and rule.action == "reap":
+                # Fault injection: yank the lease out from under the live
+                # worker, exactly as a stalled heartbeat would experience.
+                self.queue.force_expire(job.job_id)
         try:
             self.queue.extend(job.job_id, worker_id, self.lease_s)
             return True
@@ -420,7 +603,10 @@ class Coordinator:
         with self._cond:
             # Terminal jobs live on in the run-table; drop the live ref so
             # a long-lived serve process doesn't accumulate trial lists.
+            # (The durable idem_key row keeps dedup working afterwards.)
             self._jobs.pop(job.job_id, None)
+            if job.idempotency_key:
+                self._idem.pop(job.idempotency_key, None)
         self._notify()
 
     def _store_path(self, job: SweepJob) -> str:

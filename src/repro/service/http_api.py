@@ -35,13 +35,16 @@ drive the service exclusively through it.
 from __future__ import annotations
 
 import json
+import random
 import socketserver
 import threading
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.experiments.runners import SWEEP_BUILDERS, ExperimentScale
 from repro.experiments.spec import experiment_from_wire
@@ -211,10 +214,23 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ApiError(400, f"bad wire experiment: {exc}")
         else:
             raise ApiError(400, "body needs 'builder' or 'experiment'")
+        idem_key = body.get("idempotency_key")
+        if idem_key is not None and (
+            not isinstance(idem_key, str) or not idem_key
+            or len(idem_key) > 128
+        ):
+            raise ApiError(400, "idempotency_key must be a short string")
         job = new_job(spec.name, list(spec.trials), priority=priority,
-                      testbed_seed=seed)
-        co.submit(job)
-        return {"job_id": job.job_id, "name": job.name, "trials": job.total}
+                      testbed_seed=seed, idempotency_key=idem_key)
+        granted = co.submit(job)
+        if granted != job.job_id:
+            # A previous submit with the same key already created the job
+            # (this request is a client retry whose first response was
+            # lost) — hand the original back instead of a duplicate.
+            return {"job_id": granted, "name": job.name,
+                    "trials": job.total, "deduplicated": True}
+        return {"job_id": job.job_id, "name": job.name,
+                "trials": job.total, "deduplicated": False}
 
     # ------------------------------------------------------------------
     def _send(self, status: int, payload: dict) -> None:
@@ -262,11 +278,37 @@ class ServiceClient:
 
     ``base_url`` like ``http://127.0.0.1:8642``. Raises :class:`ApiError`
     with the server's message on any non-2xx response.
+
+    Transport failures (connection refused/reset, timeouts, truncated
+    responses) retry up to ``retries`` times with jittered exponential
+    backoff — but only for *idempotent* requests: GETs always are, and
+    submits are made so by a client-minted ``idempotency_key`` that the
+    coordinator deduplicates on, which is what makes "retry a submit
+    whose response was lost" safe. :class:`ApiError` (the server answered
+    with an error) never retries. ``retry_seed`` pins the jitter and
+    ``sleep`` is injectable, so retry tests are deterministic and instant;
+    ``fault_hook`` fires site ``client.request`` per attempt (actions
+    ``drop`` — fail before the bytes leave — and ``truncate`` — the
+    server processes the request but the response is lost).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.2,
+        retry_seed: Optional[int] = None,
+        fault_hook: Optional[Callable[..., Any]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.fault_hook = fault_hook
+        self._sleep = sleep
+        self._rng = random.Random(retry_seed)
 
     # ------------------------------------------------------------------
     def health(self) -> dict:
@@ -279,19 +321,26 @@ class ServiceClient:
         seed: int = 1,
         priority: int = 0,
         params: Optional[Dict[str, Any]] = None,
+        idempotency_key: Optional[str] = None,
     ) -> dict:
         return self._request("POST", "/jobs", {
             "builder": builder, "scale": scale, "seed": seed,
             "priority": priority, "params": params or {},
-        })
+            "idempotency_key": idempotency_key or uuid.uuid4().hex,
+        }, idempotent=True)
 
     def submit_experiment(
-        self, wire: dict, testbed_seed: int = 1, priority: int = 0
+        self,
+        wire: dict,
+        testbed_seed: int = 1,
+        priority: int = 0,
+        idempotency_key: Optional[str] = None,
     ) -> dict:
         return self._request("POST", "/jobs", {
             "experiment": wire, "testbed_seed": testbed_seed,
             "priority": priority,
-        })
+            "idempotency_key": idempotency_key or uuid.uuid4().hex,
+        }, idempotent=True)
 
     def jobs(self, limit: int = 50) -> List[dict]:
         return self._request("GET", f"/jobs?limit={limit}")["jobs"]
@@ -325,7 +374,8 @@ class ServiceClient:
             yield progress
             if progress["state"] in TERMINAL_STATES:
                 return
-            cursor = progress["completed"] + progress["failed"]
+            cursor = (progress["completed"] + progress["failed"]
+                      + progress.get("quarantined", 0))
 
     def runs(
         self,
@@ -362,22 +412,54 @@ class ServiceClient:
         path: str,
         body: Optional[dict] = None,
         timeout: Optional[float] = None,
+        idempotent: Optional[bool] = None,
     ) -> dict:
+        if idempotent is None:
+            idempotent = method == "GET"
         data = None if body is None else json.dumps(body).encode("utf-8")
-        req = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(
-                req, timeout=timeout or self.timeout
-            ) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        attempts = self.retries + 1 if idempotent else 1
+        for attempt in range(attempts):
+            req = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
             try:
-                message = json.loads(exc.read().decode("utf-8")).get("error", "")
-            except Exception:
-                message = exc.reason
-            raise ApiError(exc.code, message or f"HTTP {exc.code}")
+                rule = None
+                if self.fault_hook is not None:
+                    rule = self.fault_hook("client.request", path)
+                if rule is not None and rule.action == "drop":
+                    raise urllib.error.URLError(
+                        "injected: request dropped before send"
+                    )
+                with urllib.request.urlopen(
+                    req, timeout=timeout or self.timeout
+                ) as resp:
+                    payload = json.loads(resp.read().decode("utf-8"))
+                if rule is not None and rule.action == "truncate":
+                    # The server handled the request; the response is lost
+                    # on the wire — the retry must deduplicate server-side.
+                    raise urllib.error.URLError(
+                        "injected: response truncated"
+                    )
+                return payload
+            except urllib.error.HTTPError as exc:
+                # The server answered: not a transport failure, no retry.
+                try:
+                    message = json.loads(
+                        exc.read().decode("utf-8")
+                    ).get("error", "")
+                except Exception:
+                    message = exc.reason
+                raise ApiError(exc.code, message or f"HTTP {exc.code}")
+            except (OSError, json.JSONDecodeError):
+                # URLError, ConnectionError, socket timeouts, truncated
+                # JSON — the request may or may not have been processed.
+                if attempt == attempts - 1:
+                    raise
+                self._sleep(
+                    self.backoff_s * (2 ** attempt)
+                    * (0.5 + 0.5 * self._rng.random())
+                )
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -8,9 +8,10 @@ progress counters, and the testbed seed the trials must run against.
 State machine::
 
     queued -> running -> done
-       ^         |   \\-> failed      (some trial exhausted its retries)
-       |         |   \\-> cancelled   (cancel honored between trials)
-       \\--------/                    (preempted / requeued / crash-resumed)
+       ^         |   \\-> done_partial (some trials quarantined, rest ok)
+       |         |   \\-> failed       (coordinator-level error)
+       |         |   \\-> cancelled    (cancel honored between trials)
+       \\--------/                     (preempted / requeued / crash-resumed)
 
 Jobs serialize to a wire dict (via the TrialSpec wire format) so they can
 arrive over HTTP and be persisted in the run-table's jobs table — which is
@@ -29,11 +30,14 @@ from repro.experiments.spec import ExperimentSpec, TrialSpec
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
+#: Every trial has an outcome, but some were quarantined (permanent
+#: failures, hung trials, worker-killers) — the sweep is usable, not whole.
+DONE_PARTIAL = "done_partial"
 FAILED = "failed"
 CANCELLED = "cancelled"
 
 #: States a job never leaves.
-TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+TERMINAL_STATES = frozenset({DONE, DONE_PARTIAL, FAILED, CANCELLED})
 
 ALL_STATES = frozenset({QUEUED, RUNNING}) | TERMINAL_STATES
 
@@ -43,10 +47,15 @@ class SweepJob:
     """One queued sweep: trials + priority + live progress.
 
     ``priority`` is higher-runs-first; ties break FIFO by submission. The
-    progress counters (``completed``/``failed``) are maintained by the
-    coordinator and include trials served from the fingerprinted store on
-    resume, so ``completed == total`` always means "every trial has a
-    result", however many processes it took to get there.
+    progress counters (``completed``/``failed``/``quarantined``) are
+    maintained by the coordinator and include trials served from the
+    fingerprinted store (or already-quarantined run-table rows) on resume,
+    so ``completed + quarantined == total`` always means "every trial has
+    an outcome", however many processes it took to get there.
+
+    ``idempotency_key`` is the client-chosen dedup token: the coordinator
+    refuses to create a second job for a key it has seen (live or in the
+    run-table), which is what makes retried HTTP submits safe.
     """
 
     job_id: str
@@ -60,7 +69,9 @@ class SweepJob:
     finished_at: Optional[float] = None
     completed: int = 0
     failed: int = 0
+    quarantined: int = 0
     error: Optional[str] = None
+    idempotency_key: Optional[str] = None
     #: Set by cancel(); the coordinator honors it at the next trial boundary.
     cancel_requested: bool = field(default=False, compare=False)
 
@@ -83,6 +94,7 @@ class SweepJob:
             "total": self.total,
             "completed": self.completed,
             "failed": self.failed,
+            "quarantined": self.quarantined,
             "error": self.error,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -105,7 +117,9 @@ class SweepJob:
             "finished_at": self.finished_at,
             "completed": self.completed,
             "failed": self.failed,
+            "quarantined": self.quarantined,
             "error": self.error,
+            "idempotency_key": self.idempotency_key,
         }
 
     @classmethod
@@ -125,7 +139,9 @@ class SweepJob:
             finished_at=obj.get("finished_at"),
             completed=int(obj.get("completed", 0)),
             failed=int(obj.get("failed", 0)),
+            quarantined=int(obj.get("quarantined", 0)),
             error=obj.get("error"),
+            idempotency_key=obj.get("idempotency_key"),
         )
 
 
@@ -136,6 +152,7 @@ def new_job(
     testbed_seed: int = 1,
     job_id: Optional[str] = None,
     now: Optional[float] = None,
+    idempotency_key: Optional[str] = None,
 ) -> SweepJob:
     """Mint a fresh queued job (random id, submission timestamp)."""
     if not trials:
@@ -147,6 +164,7 @@ def new_job(
         priority=priority,
         testbed_seed=testbed_seed,
         submitted_at=time.time() if now is None else now,
+        idempotency_key=idempotency_key,
     )
 
 

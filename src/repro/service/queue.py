@@ -157,6 +157,21 @@ class InMemoryJobQueue:
                 self._cond.notify_all()
         return reaped
 
+    def force_expire(self, job_id: str) -> bool:
+        """Expire a live lease immediately (fault injection / admin): the
+        job goes back to queued and the old holder's next ``extend`` or
+        ``ack`` raises :class:`LeaseLost`. Returns True if a lease was
+        actually expired."""
+        with self._cond:
+            entry = self._entries.get(job_id)
+            if entry is None or entry.state != "leased":
+                return False
+            entry.state = "queued"
+            entry.leased_to = None
+            entry.lease_expiry = 0.0
+            self._cond.notify_all()
+            return True
+
     def cancel(self, job_id: str) -> bool:
         """Cancel a job. Queued jobs leave the queue immediately (returns
         True); leased jobs get ``cancel_requested`` set for the coordinator

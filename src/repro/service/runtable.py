@@ -3,16 +3,31 @@
 The flat-JSON :class:`~repro.experiments.executor.ResultStore` stays the
 executor's *resume* source of truth (it is what fingerprint-keyed caching
 reads), but it answers "what ran last week" only by re-parsing whole files.
-The run-table is the query side: every completed (or failed) trial lands
-here as one row — indexed by experiment, trial id, fingerprint, seed, wall
-time, and status, with the full TrialResult as a JSON payload column — and
-summary questions (percentiles over any metric, per-experiment counts,
-recent runs) become indexed SQL plus a small amount of Python instead of
-directory scans.
+The run-table is the query side: every completed (or failed, or
+quarantined) trial lands here as one row — indexed by experiment, trial
+id, fingerprint, seed, wall time, and status, with the full TrialResult as
+a JSON payload column — and summary questions (percentiles over any
+metric, per-experiment counts, recent runs) become indexed SQL plus a
+small amount of Python instead of directory scans.
 
 A second table persists :class:`~repro.service.jobs.SweepJob` descriptors;
 jobs still ``queued``/``running`` at startup are what the coordinator
-re-queues after a crash.
+re-queues after a crash. The jobs table also carries the submit
+idempotency key, so a retried HTTP submit deduplicates even across a
+coordinator restart.
+
+Crash consistency (see DESIGN.md "Failure domains"):
+
+* the connection runs in WAL mode with ``synchronous=NORMAL`` and a busy
+  timeout, so a reader never blocks the writer and a power cut can lose at
+  most the tail of the WAL, never corrupt committed pages;
+* ``PRAGMA quick_check`` runs at open; a file that fails it is moved aside
+  to ``<path>.corrupt-N`` (with its ``-wal``/``-shm`` sidecars) and a
+  fresh table is built — ``rebuilt_from`` tells the coordinator to replay
+  the flat ResultStores into it;
+* every statement goes through :meth:`_exec`, which holds the RLock,
+  fires the ``runtable.execute`` fault hook, and retries SQLITE_BUSY with
+  exponential backoff (the sleep is injectable, so tests are instant).
 
 sqlite is the right shape here: stdlib (no new deps), single-file, safe
 across the coordinator's worker + HTTP threads (one connection behind a
@@ -23,10 +38,11 @@ trivially replaceable by a networked store behind the same method surface.
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis import stats
 from repro.experiments.spec import TrialResult
@@ -65,7 +81,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     failed       INTEGER NOT NULL DEFAULT 0,
     total        INTEGER NOT NULL,
     error        TEXT,
-    wire         TEXT NOT NULL
+    wire         TEXT NOT NULL,
+    idem_key     TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs(state);
 """
@@ -80,20 +97,126 @@ class RunTable:
     """One sqlite file of trial rows + job descriptors.
 
     All methods are thread-safe: the coordinator's workers insert while the
-    HTTP threads query, through one shared connection behind an RLock.
+    HTTP threads query, through one shared connection behind an RLock —
+    every statement is issued inside :meth:`_exec`, never against the raw
+    connection, so the audit surface for the locking discipline is one
+    method.
     """
 
-    def __init__(self, path: str):
+    #: SQLITE_BUSY retry schedule: attempts and base backoff (doubles).
+    BUSY_ATTEMPTS = 5
+    BUSY_BACKOFF_S = 0.05
+
+    def __init__(
+        self,
+        path: str,
+        sleep: Callable[[float], None] = time.sleep,
+        fault_hook: Optional[Callable[..., Any]] = None,
+    ):
         self.path = path
+        self._sleep = sleep
+        self.fault_hook = fault_hook
         self._lock = threading.RLock()
-        self._conn = sqlite3.connect(path, check_same_thread=False)
-        self._conn.row_factory = sqlite3.Row
+        #: Path the corrupt predecessor was quarantined to, or None. The
+        #: coordinator checks this at startup and replays the flat stores.
+        self.rebuilt_from: Optional[str] = None
+        self._conn = self._open(path)
         with self._lock, self._conn:
             self._conn.executescript(_SCHEMA)
+            self._migrate_locked()
+
+    # ------------------------------------------------------------------
+    # Open / integrity / migration
+    # ------------------------------------------------------------------
+    def _open(self, path: str) -> sqlite3.Connection:
+        """Connect with the WAL pragmas; quarantine-and-recreate a file
+        that fails ``PRAGMA quick_check``."""
+        try:
+            conn = self._connect(path)
+            row = conn.execute("PRAGMA quick_check").fetchone()
+            if row is not None and str(row[0]).lower() == "ok":
+                return conn
+            conn.close()
+        except sqlite3.DatabaseError:
+            # Not even a sqlite file (truncated header, garbage bytes).
+            pass
+        self.rebuilt_from = self._quarantine_file(path)
+        return self._connect(path)
+
+    @staticmethod
+    def _connect(path: str) -> sqlite3.Connection:
+        conn = sqlite3.connect(path, check_same_thread=False)
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=5000")
+        return conn
+
+    @staticmethod
+    def _quarantine_file(path: str) -> str:
+        """Move a corrupt db (and WAL/SHM sidecars) to ``.corrupt-N``.
+        The evidence is preserved for post-mortem, never deleted."""
+        n = 0
+        while os.path.exists(f"{path}.corrupt-{n}"):
+            n += 1
+        target = f"{path}.corrupt-{n}"
+        os.replace(path, target)
+        for ext in ("-wal", "-shm"):
+            if os.path.exists(path + ext):
+                os.replace(path + ext, target + ext)
+        return target
+
+    def _migrate_locked(self) -> None:
+        """Bring a pre-existing file up to the current schema (additive
+        only). Caller holds the lock and an open transaction."""
+        cols = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(jobs)")
+        }
+        if "idem_key" not in cols:
+            self._conn.execute("ALTER TABLE jobs ADD COLUMN idem_key TEXT")
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_jobs_idem ON jobs(idem_key)"
+        )
 
     def close(self) -> None:
         with self._lock:
+            try:
+                self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.Error:
+                pass  # best-effort: close() must succeed regardless
             self._conn.close()
+
+    # ------------------------------------------------------------------
+    # The single statement gateway
+    # ------------------------------------------------------------------
+    def _exec(self, fn: Callable[[sqlite3.Connection], Any]) -> Any:
+        """Run ``fn(conn)`` under the lock, retrying SQLITE_BUSY.
+
+        Busy/locked errors are transient by construction (another process
+        holds the write lock briefly), so they are retried here with
+        exponential backoff rather than surfacing to every caller. Any
+        other OperationalError propagates. The fault hook fires inside the
+        retry loop: an injected "database is locked" behaves exactly like
+        a real one.
+        """
+        with self._lock:
+            last: Optional[sqlite3.OperationalError] = None
+            for attempt in range(self.BUSY_ATTEMPTS):
+                try:
+                    if self.fault_hook is not None:
+                        self.fault_hook("runtable.execute", None)
+                    return fn(self._conn)
+                except sqlite3.OperationalError as exc:
+                    text = str(exc).lower()
+                    if "locked" not in text and "busy" not in text:
+                        raise
+                    last = exc
+                    self._sleep(
+                        min(self.BUSY_BACKOFF_S * (2 ** attempt), 0.5)
+                    )
+            assert last is not None
+            raise last
 
     # ------------------------------------------------------------------
     # Trial rows
@@ -114,23 +237,28 @@ class RunTable:
         what keeps a crash-resumed job from overwriting the original rows'
         wall times with cache-hit nulls."""
         verb = "INSERT OR REPLACE" if replace else "INSERT OR IGNORE"
-        with self._lock, self._conn:
-            self._conn.execute(
-                f"{verb} INTO trials (experiment, trial_id, fingerprint, "
-                f"seed, wall_time, status, job_id, recorded_at, payload) "
-                f"VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (
-                    experiment,
-                    result.trial_id,
-                    result.fingerprint,
-                    seed,
-                    wall_time,
-                    status,
-                    job_id,
-                    time.time() if recorded_at is None else recorded_at,
-                    json.dumps(result.to_json()),
-                ),
-            )
+        row = (
+            experiment,
+            result.trial_id,
+            result.fingerprint,
+            seed,
+            wall_time,
+            status,
+            job_id,
+            time.time() if recorded_at is None else recorded_at,
+            json.dumps(result.to_json()),
+        )
+
+        def _do(conn: sqlite3.Connection) -> None:
+            with conn:
+                conn.execute(
+                    f"{verb} INTO trials (experiment, trial_id, fingerprint, "
+                    f"seed, wall_time, status, job_id, recorded_at, payload) "
+                    f"VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    row,
+                )
+
+        self._exec(_do)
 
     def record_failure(
         self,
@@ -148,23 +276,76 @@ class RunTable:
         (experiment, trial_id, fingerprint): resubmitting a sweep as a new
         job re-executes its trials, and a transient flake must not erase a
         previously recorded TrialResult from the query side."""
-        with self._lock, self._conn:
-            row = self._conn.execute(
+        self._record_bad(
+            experiment, trial_id, fingerprint, "failed",
+            {"error": error}, seed, job_id,
+        )
+
+    def record_quarantine(
+        self,
+        experiment: str,
+        trial_id: str,
+        fingerprint: str,
+        error: str,
+        error_class: str,
+        seed: Optional[int] = None,
+        job_id: Optional[str] = None,
+    ) -> None:
+        """A trial the coordinator gave up on: permanent failure, hung
+        past its watchdog, or killed its worker twice. The error *class*
+        is recorded alongside the message so "what kinds of trials get
+        quarantined" is one GROUP BY away. Like failures, a quarantine
+        never overwrites an ``ok`` row."""
+        self._record_bad(
+            experiment, trial_id, fingerprint, "quarantined",
+            {"error": error, "error_class": error_class}, seed, job_id,
+        )
+
+    def _record_bad(
+        self,
+        experiment: str,
+        trial_id: str,
+        fingerprint: str,
+        status: str,
+        payload: dict,
+        seed: Optional[int],
+        job_id: Optional[str],
+    ) -> None:
+        def _do(conn: sqlite3.Connection) -> None:
+            with conn:
+                row = conn.execute(
+                    "SELECT status FROM trials WHERE experiment = ? AND "
+                    "trial_id = ? AND fingerprint = ?",
+                    (experiment, trial_id, fingerprint),
+                ).fetchone()
+                if row is not None and row["status"] == "ok":
+                    return
+                conn.execute(
+                    "INSERT OR REPLACE INTO trials (experiment, trial_id, "
+                    "fingerprint, seed, wall_time, status, job_id, "
+                    "recorded_at, payload) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        experiment, trial_id, fingerprint, seed, None,
+                        status, job_id, time.time(), json.dumps(payload),
+                    ),
+                )
+
+        self._exec(_do)
+
+    def trial_status(
+        self, experiment: str, trial_id: str, fingerprint: str
+    ) -> Optional[str]:
+        """The recorded status of one trial (None if never recorded) —
+        what lets a resumed job skip a trial already quarantined by a
+        previous incarnation instead of hanging on it again."""
+        row = self._exec(
+            lambda conn: conn.execute(
                 "SELECT status FROM trials WHERE experiment = ? AND "
                 "trial_id = ? AND fingerprint = ?",
                 (experiment, trial_id, fingerprint),
             ).fetchone()
-            if row is not None and row["status"] == "ok":
-                return
-            self._conn.execute(
-                "INSERT OR REPLACE INTO trials (experiment, trial_id, "
-                "fingerprint, seed, wall_time, status, job_id, recorded_at, "
-                "payload) VALUES (?, ?, ?, ?, ?, 'failed', ?, ?, ?)",
-                (
-                    experiment, trial_id, fingerprint, seed, None, job_id,
-                    time.time(), json.dumps({"error": error}),
-                ),
-            )
+        )
+        return None if row is None else str(row["status"])
 
     def trial_count(
         self,
@@ -173,16 +354,18 @@ class RunTable:
     ) -> int:
         sql = "SELECT COUNT(*) FROM trials"
         where, args = self._where(experiment=experiment, status=status)
-        with self._lock:
-            (n,) = self._conn.execute(sql + where, args).fetchone()
+        (n,) = self._exec(
+            lambda conn: conn.execute(sql + where, args).fetchone()
+        )
         return int(n)
 
     def counts_by_experiment(self) -> Dict[str, int]:
-        with self._lock:
-            rows = self._conn.execute(
+        rows = self._exec(
+            lambda conn: conn.execute(
                 "SELECT experiment, COUNT(*) AS n FROM trials "
                 "GROUP BY experiment ORDER BY experiment"
             ).fetchall()
+        )
         return {row["experiment"]: int(row["n"]) for row in rows}
 
     def recent_runs(
@@ -195,12 +378,13 @@ class RunTable:
         """Newest-first trial rows (metadata only unless asked)."""
         where, args = self._where(experiment=experiment, status=status)
         cols = ", ".join(_TRIAL_COLUMNS) + (", payload" if with_payload else "")
-        with self._lock:
-            rows = self._conn.execute(
+        rows = self._exec(
+            lambda conn: conn.execute(
                 f"SELECT {cols} FROM trials{where} "
                 f"ORDER BY recorded_at DESC, trial_id DESC LIMIT ?",
                 args + [int(limit)],
             ).fetchall()
+        )
         out = []
         for row in rows:
             d = {k: row[k] for k in _TRIAL_COLUMNS}
@@ -210,13 +394,16 @@ class RunTable:
         return out
 
     def results(self, experiment: str) -> List[TrialResult]:
-        """Every successful trial of an experiment, insertion-ordered."""
-        with self._lock:
-            rows = self._conn.execute(
+        """Every successful trial of an experiment, insertion-ordered.
+        Only ``ok`` rows carry a TrialResult payload — failed and
+        quarantined rows hold error records, not results."""
+        rows = self._exec(
+            lambda conn: conn.execute(
                 "SELECT payload FROM trials WHERE experiment = ? AND "
-                "status != 'failed' ORDER BY rowid",
+                "status = 'ok' ORDER BY rowid",
                 (experiment,),
             ).fetchall()
+        )
         return [TrialResult.from_json(json.loads(r["payload"])) for r in rows]
 
     # ------------------------------------------------------------------
@@ -269,25 +456,48 @@ class RunTable:
     # Jobs table
     # ------------------------------------------------------------------
     def upsert_job(self, job: SweepJob) -> None:
-        with self._lock, self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO jobs (job_id, name, priority, state, "
-                "testbed_seed, submitted_at, started_at, finished_at, "
-                "completed, failed, total, error, wire) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (
-                    job.job_id, job.name, job.priority, job.state,
-                    job.testbed_seed, job.submitted_at, job.started_at,
-                    job.finished_at, job.completed, job.failed, job.total,
-                    job.error, json.dumps(job.to_wire()),
-                ),
-            )
+        row = (
+            job.job_id, job.name, job.priority, job.state,
+            job.testbed_seed, job.submitted_at, job.started_at,
+            job.finished_at, job.completed, job.failed, job.total,
+            job.error, json.dumps(job.to_wire()), job.idempotency_key,
+        )
+
+        def _do(conn: sqlite3.Connection) -> None:
+            with conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO jobs (job_id, name, priority, "
+                    "state, testbed_seed, submitted_at, started_at, "
+                    "finished_at, completed, failed, total, error, wire, "
+                    "idem_key) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    row,
+                )
+
+        self._exec(_do)
 
     def get_job(self, job_id: str) -> Optional[SweepJob]:
-        with self._lock:
-            row = self._conn.execute(
+        row = self._exec(
+            lambda conn: conn.execute(
                 "SELECT wire FROM jobs WHERE job_id = ?", (job_id,)
             ).fetchone()
+        )
+        if row is None:
+            return None
+        return SweepJob.from_wire(json.loads(row["wire"]))
+
+    def job_by_idempotency_key(self, key: str) -> Optional[SweepJob]:
+        """The earliest job submitted under ``key`` (None if unseen) — the
+        persistent half of submit dedup, so a client retrying a submit
+        whose response was lost gets the original job back even across a
+        coordinator restart."""
+        row = self._exec(
+            lambda conn: conn.execute(
+                "SELECT wire FROM jobs WHERE idem_key = ? "
+                "ORDER BY submitted_at, job_id LIMIT 1",
+                (key,),
+            ).fetchone()
+        )
         if row is None:
             return None
         return SweepJob.from_wire(json.loads(row["wire"]))
@@ -302,8 +512,7 @@ class RunTable:
             args.extend(states)
         sql += " ORDER BY submitted_at DESC LIMIT ?"
         args.append(int(limit))
-        with self._lock:
-            rows = self._conn.execute(sql, args).fetchall()
+        rows = self._exec(lambda conn: conn.execute(sql, args).fetchall())
         return [SweepJob.from_wire(json.loads(r["wire"])) for r in rows]
 
     def open_jobs(self) -> List[SweepJob]:
@@ -335,6 +544,29 @@ class RunTable:
                 replace=replace,
             )
             n += 1
+        return n
+
+    def rebuild_from_stores(self, stores_dir: str) -> int:
+        """Repopulate trial rows from the flat ResultStores under
+        ``stores_dir`` — the recovery path after a corrupt db was
+        quarantined at open. Stores that fail to parse, and stores written
+        before the experiment name was persisted, are skipped (the flat
+        files stay authoritative either way). Returns rows ingested."""
+        from repro.experiments.executor import ResultStore
+
+        n = 0
+        if not os.path.isdir(stores_dir):
+            return n
+        for fname in sorted(os.listdir(stores_dir)):
+            if not fname.endswith(".json"):
+                continue
+            try:
+                store = ResultStore(os.path.join(stores_dir, fname))
+            except (OSError, ValueError, KeyError):
+                continue
+            if not store.experiment:
+                continue
+            n += self.ingest_store(store, store.experiment, replace=False)
         return n
 
     # ------------------------------------------------------------------

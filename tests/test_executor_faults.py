@@ -1,0 +1,155 @@
+"""Executor fault domains: the trial watchdog, dead pool workers, and the
+requeue-once-then-write-off policy — against real trials, so the recovery
+paths are exercised end to end (including the bit-identity guarantee the
+watchdog must not break)."""
+
+import pytest
+
+from repro.errors import TrialHungError, WorkerCrashError
+from repro.experiments.executor import (
+    ProcessPoolBackend,
+    ResultStore,
+    SerialBackend,
+    run_experiment,
+    run_trial,
+)
+from repro.experiments.spec import ExperimentSpec, MacSpec, TrialSpec
+from repro.net.testbed import Testbed
+from repro.service.faults import FaultPlan, FaultRule
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed(seed=1)
+
+
+def _trials(n, prefix="wt"):
+    """Cheap real trials (~0.1s wall each) with distinct run seeds."""
+    return [
+        TrialSpec(f"{prefix}/{i}", (0, 1), ((0, 1),), MacSpec.of("dcf"),
+                  i, 4.0, 1.0)
+        for i in range(n)
+    ]
+
+
+class TestWatchdog:
+    def test_exhausted_budget_raises_trial_hung(self, testbed):
+        with pytest.raises(TrialHungError, match="wall-clock budget"):
+            run_trial(testbed, _trials(1)[0], timeout_s=0.0)
+
+    def test_armed_watchdog_is_bit_identical(self, testbed):
+        trial = _trials(1)[0]
+        bare = run_trial(testbed, trial)
+        watched = run_trial(testbed, trial, timeout_s=60.0)
+        assert watched.to_json() == bare.to_json()
+
+    def test_injected_hang_counts_against_the_budget(self, testbed):
+        """A hang injected before the run (the fault-plan model of a
+        stuck trial) still trips the watchdog: the deadline is armed
+        before the hook fires."""
+        trial = _trials(1)[0]
+        plan = FaultPlan([FaultRule(site="trial.run", key=trial.trial_id,
+                                    action="hang", hang_s=0.3, times=0)])
+        with pytest.raises(TrialHungError):
+            run_trial(testbed, trial, timeout_s=0.1, fault_hook=plan.fire)
+
+    def test_serial_backend_reports_errors_and_continues(self, testbed):
+        trials = _trials(3)
+        plan = FaultPlan([FaultRule(site="trial.run", key="wt/1",
+                                    action="raise", exc="ValueError",
+                                    message="poisoned")])
+        errors = []
+        backend = SerialBackend(fault_hook=plan.fire)
+        results = backend.run(testbed, trials,
+                              on_error=lambda t, e: errors.append((t, e)))
+        assert [r.trial_id for r in results] == ["wt/0", "wt/2"]
+        assert len(errors) == 1
+        assert errors[0][0].trial_id == "wt/1"
+        assert isinstance(errors[0][1], ValueError)
+
+    def test_serial_backend_raises_without_on_error(self, testbed):
+        plan = FaultPlan([FaultRule(site="trial.run", key="wt/0",
+                                    action="raise", exc="ValueError")])
+        with pytest.raises(ValueError):
+            SerialBackend(fault_hook=plan.fire).run(testbed, _trials(1))
+
+
+class TestBrokenPool:
+    def test_killed_worker_chunk_is_requeued_once(self, testbed, tmp_path):
+        """One worker dies mid-chunk (exactly once, token-gated): the pool
+        breaks, the chunk requeues into a fresh pool, and every trial
+        still completes — bit-identical to the serial run."""
+        trials = _trials(4, "bp")
+        plan = FaultPlan(
+            [FaultRule(site="pool.worker", action="kill", nth=1, once=True)],
+            state_dir=str(tmp_path / "tokens"),
+        )
+        backend = ProcessPoolBackend(jobs=2, fault_plan=plan)
+        results = backend.run(testbed, trials)
+        serial = SerialBackend().run(testbed, trials)
+        assert [r.to_json() for r in results] == [r.to_json() for r in serial]
+
+    def test_persistent_killer_is_written_off_after_two_rounds(
+        self, testbed
+    ):
+        """A trial that kills its worker on *every* attempt breaks two
+        pools, then comes back as WorkerCrashError — the caller's cue to
+        quarantine it rather than ever run it in-process."""
+        trials = _trials(1, "killer")
+        plan = FaultPlan([FaultRule(site="pool.worker", key="killer/0",
+                                    action="kill", times=0)])
+        errors = []
+        backend = ProcessPoolBackend(jobs=2, fault_plan=plan)
+        results = backend.run(testbed, trials,
+                              on_error=lambda t, e: errors.append((t, e)))
+        assert results == []
+        assert len(errors) == 1
+        assert errors[0][0].trial_id == "killer/0"
+        assert isinstance(errors[0][1], WorkerCrashError)
+
+    def test_persistent_killer_raises_without_on_error(self, testbed):
+        plan = FaultPlan([FaultRule(site="pool.worker", key="killer/0",
+                                    action="kill", times=0)])
+        backend = ProcessPoolBackend(jobs=2, fault_plan=plan)
+        with pytest.raises(WorkerCrashError):
+            backend.run(testbed, _trials(1, "killer"))
+
+    def test_run_experiment_still_flushes_store_on_pool_death(
+        self, testbed, tmp_path
+    ):
+        """The flush-on-failure guarantee survives the new pool: when a
+        worker-killing trial sinks the sweep, results that completed
+        before the wreck are already on disk."""
+        trials = _trials(4, "fx")
+        spec = ExperimentSpec("flush", tuple(trials),
+                              reduce=lambda results: results)
+        # the last trial kills its worker on every attempt
+        plan = FaultPlan([FaultRule(site="pool.worker", key="fx/3",
+                                    action="kill", times=0)])
+        store = ResultStore(str(tmp_path / "flush.json"))
+        backend = ProcessPoolBackend(jobs=2, fault_plan=plan)
+        with pytest.raises(WorkerCrashError):
+            run_experiment(spec, testbed, backend=backend, store=store)
+        reloaded = ResultStore(str(tmp_path / "flush.json"))
+        # the first two trials finish before the killer is even scheduled
+        # (two workers, FIFO); their results must have been persisted
+        persisted = {r.trial_id for r in reloaded.results()}
+        assert {"fx/0", "fx/1"} <= persisted
+        assert "fx/3" not in persisted
+
+    def test_external_backstop_catches_noncooperative_hangs(self, testbed):
+        """A worker hung in C code (modeled: injected hang far past the
+        chunk deadline) can't run the cooperative watchdog — the external
+        future timeout turns it into TrialHungError instead of a wedged
+        sweep."""
+        trials = _trials(2, "hang")
+        # hang long enough to blow the external deadline (2*t+1 = 2s)
+        plan = FaultPlan([FaultRule(site="pool.worker", key="hang/1",
+                                    action="hang", hang_s=5.0, times=0)])
+        errors = []
+        backend = ProcessPoolBackend(jobs=2, trial_timeout_s=0.5,
+                                     fault_plan=plan)
+        results = backend.run(testbed, trials,
+                              on_error=lambda t, e: errors.append((t, e)))
+        assert [r.trial_id for r in results] == ["hang/0"]
+        assert len(errors) == 1 and isinstance(errors[0][1], TrialHungError)

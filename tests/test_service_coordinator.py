@@ -16,7 +16,14 @@ from repro.experiments.runners import ExperimentScale, build_single_link_calibra
 from repro.experiments.spec import MacSpec, TrialResult, TrialSpec
 from repro.net.testbed import Testbed
 from repro.service.coordinator import Coordinator
-from repro.service.jobs import CANCELLED, DONE, FAILED, QUEUED, RUNNING, new_job
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    DONE_PARTIAL,
+    QUEUED,
+    RUNNING,
+    new_job,
+)
 from repro.service.queue import InMemoryJobQueue
 
 
@@ -46,12 +53,15 @@ def _trials(n, prefix="t"):
 
 class FakeRunTrial:
     """Scripted run_trial: per-trial canned results, optional failures,
-    and a hook called before each execution (for mid-run submissions)."""
+    and a hook called before each execution (for mid-run submissions).
+    Scripted failures raise ``exc_type`` — OSError (transient, retried)
+    by default; set RuntimeError etc. to exercise the permanent path."""
 
-    def __init__(self, fail=None, hook=None):
+    def __init__(self, fail=None, hook=None, exc_type=OSError):
         self.calls = []
         self.fail = dict(fail or {})  # trial_id -> times to raise
         self.hook = hook
+        self.exc_type = exc_type
 
     def __call__(self, testbed, trial):
         self.calls.append(trial.trial_id)
@@ -60,7 +70,7 @@ class FakeRunTrial:
         left = self.fail.get(trial.trial_id, 0)
         if left > 0:
             self.fail[trial.trial_id] = left - 1
-            raise RuntimeError(f"scripted failure for {trial.trial_id}")
+            raise self.exc_type(f"scripted failure for {trial.trial_id}")
         return TrialResult(
             trial_id=trial.trial_id,
             flow_mbps={trial.flows[0]: 1.0},
@@ -104,8 +114,8 @@ class TestSchedulingLogic:
         store = ResultStore(co._store_path(done))
         assert len(store) == 3
 
-    def test_retry_succeeds_with_capped_backoff(self, co, fake):
-        fake.fail = {"t/1": 2}  # two failures, third attempt succeeds
+    def test_transient_retry_succeeds_with_capped_backoff(self, co, fake):
+        fake.fail = {"t/1": 2}  # two transient failures, third succeeds
         co.submit(new_job("retry", _trials(3)))
         done = co.run_once()
         assert done.state == DONE and done.completed == 3
@@ -116,22 +126,78 @@ class TestSchedulingLogic:
         fake.fail = {"t/0": 99}
         co.max_retries = 4
         co.submit(new_job("cap", _trials(1)))
-        assert co.run_once().state == FAILED
+        done = co.run_once()
+        assert done.state == DONE_PARTIAL and done.quarantined == 1
         assert co.sleeps == [0.1, 0.2, 0.25, 0.25]
 
-    def test_exhausted_retries_fail_job_but_finish_sweep(self, co, fake):
+    def test_exhausted_retries_quarantine_but_finish_sweep(self, co, fake):
         fake.fail = {"t/1": 99}
         job_id = co.submit(new_job("partial", _trials(3)))
         done = co.run_once()
-        assert done.state == FAILED
-        assert (done.completed, done.failed) == (2, 1)
+        assert done.state == DONE_PARTIAL
+        assert (done.completed, done.failed, done.quarantined) == (2, 0, 1)
         assert "scripted failure" in done.error
         # the failing trial got 1 + max_retries attempts, the rest ran once
         assert fake.calls.count("t/1") == 3
-        rows = co.runtable.recent_runs(experiment="partial", status="failed")
+        rows = co.runtable.recent_runs(experiment="partial",
+                                       status="quarantined",
+                                       with_payload=True)
         assert [r["trial_id"] for r in rows] == ["t/1"]
+        assert rows[0]["payload"]["error_class"] == "OSError"
         assert co.runtable.trial_count(experiment="partial", status="ok") == 2
-        assert co.runtable.get_job(job_id).state == FAILED
+        assert co.runtable.get_job(job_id).state == DONE_PARTIAL
+
+    def test_permanent_failure_quarantines_without_retry(self, co, fake):
+        """A ValueError inside a deterministic trial reproduces on every
+        attempt — retrying it would only burn the budget."""
+        fake.fail = {"t/0": 99}
+        fake.exc_type = ValueError
+        job_id = co.submit(new_job("perm", _trials(2)))
+        done = co.run_once()
+        assert done.state == DONE_PARTIAL
+        assert (done.completed, done.quarantined) == (1, 1)
+        assert fake.calls.count("t/0") == 1  # no retries
+        assert co.sleeps == []
+        rows = co.runtable.recent_runs(experiment="perm",
+                                       status="quarantined",
+                                       with_payload=True)
+        assert rows[0]["payload"]["error_class"] == "ValueError"
+        assert co.runtable.get_job(job_id).state == DONE_PARTIAL
+
+    def test_retry_budget_is_shared_across_the_job(self, co, fake):
+        """Per-job transient budget: once it's spent, later transient
+        failures quarantine immediately instead of retrying."""
+        co.retry_budget = 2
+        fake.fail = {"t/0": 99, "t/1": 99}
+        co.submit(new_job("budget", _trials(3)))
+        done = co.run_once()
+        assert done.state == DONE_PARTIAL
+        assert (done.completed, done.quarantined) == (1, 2)
+        # t/0 spends the whole budget (1 + 2 attempts); t/1 gets exactly
+        # one attempt, t/2 succeeds first try.
+        assert fake.calls.count("t/0") == 3
+        assert fake.calls.count("t/1") == 1
+        assert len(co.sleeps) == 2
+
+    def test_resume_skips_previously_quarantined_trials(self, co, fake):
+        """A trial quarantined by a previous incarnation is re-counted
+        from its run-table row on resume, never re-executed — re-running
+        it would hang/crash another worker."""
+        fake.fail = {"t/1": 99}
+        fake.exc_type = ValueError
+        job_id = co.submit(new_job("resume-q", _trials(3)))
+        assert co.run_once().state == DONE_PARTIAL
+        first_calls = list(fake.calls)
+
+        # resubmit the same sweep as the crash-resume path would
+        job = co.runtable.get_job(job_id)
+        job.state = QUEUED
+        co.submit(job)
+        done = co.run_once()
+        assert done.state == DONE_PARTIAL
+        assert (done.completed, done.quarantined) == (2, 1)
+        # no trial re-ran: completed came from the store, t/1 from its row
+        assert fake.calls == first_calls
 
     def test_cancel_queued_job_is_immediate(self, co, fake):
         job_id = co.submit(new_job("doomed", _trials(2)))

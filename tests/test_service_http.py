@@ -9,6 +9,7 @@ against real trials).
 
 import threading
 import time
+import urllib.error
 
 import pytest
 
@@ -23,6 +24,7 @@ from repro.experiments.spec import (
 )
 from repro.net.testbed import Testbed
 from repro.service.coordinator import Coordinator
+from repro.service.faults import FaultPlan, FaultRule
 from repro.service.http_api import ApiError, ServiceClient, make_server, serve_in_thread
 
 
@@ -229,3 +231,96 @@ class TestLongPoll:
             t.join(timeout=30.0)
         assert len(finals) == 4
         assert all(f["state"] == "done" for f in finals)
+
+
+def _faulty_client(service, plan, retries=2):
+    """A second client against the live server, with injected faults and
+    a recorded (instant) sleep so the retry schedule is observable."""
+    _, client = service
+    sleeps = []
+    faulty = ServiceClient(client.base_url, timeout=10.0, retries=retries,
+                           retry_seed=7, fault_hook=plan.fire,
+                           sleep=sleeps.append)
+    return faulty, sleeps
+
+
+class TestIdempotentRetries:
+    def test_dropped_submit_is_retried_with_the_same_key(self, service):
+        """The first submit dies before the bytes leave; the retry carries
+        the same client-minted idempotency key, so exactly one job is
+        created."""
+        plan = FaultPlan([FaultRule(site="client.request", key="/jobs",
+                                    action="drop")])
+        client, sleeps = _faulty_client(service, plan)
+        spec = ExperimentSpec("dropped", _trials(2, "d"), lambda r: r)
+        reply = client.submit_experiment(experiment_to_wire(spec),
+                                         idempotency_key="drop-key-1")
+        assert reply["deduplicated"] is False  # server never saw attempt 1
+        assert len(sleeps) == 1
+        _tail_to_terminal(client, reply["job_id"])
+        # resubmitting under the same key hands the original job back
+        again = client.submit_experiment(experiment_to_wire(spec),
+                                         idempotency_key="drop-key-1")
+        assert again["deduplicated"] is True
+        assert again["job_id"] == reply["job_id"]
+        assert sum(1 for j in client.jobs(limit=1000)
+                   if j["name"] == "dropped") == 1
+
+    def test_truncated_submit_deduplicates_serverside(self, service):
+        """The server processes the submit but the response is lost on the
+        wire: the retry must find the job the first attempt created, not
+        mint a duplicate."""
+        plan = FaultPlan([FaultRule(site="client.request", key="/jobs",
+                                    action="truncate")])
+        client, sleeps = _faulty_client(service, plan)
+        spec = ExperimentSpec("truncated", _trials(2, "x"), lambda r: r)
+        reply = client.submit_experiment(experiment_to_wire(spec),
+                                         idempotency_key="trunc-key-1")
+        assert reply["deduplicated"] is True  # attempt 1 made the job
+        assert len(sleeps) == 1
+        final = _tail_to_terminal(client, reply["job_id"])
+        assert final["state"] == "done" and final["completed"] == 2
+        assert sum(1 for j in client.jobs(limit=1000)
+                   if j["name"] == "truncated") == 1
+
+    def test_api_errors_are_never_retried(self, service):
+        plan = FaultPlan([])
+        client, sleeps = _faulty_client(service, plan)
+        with pytest.raises(ApiError):
+            client.submit_builder("fig99")
+        with pytest.raises(ApiError):
+            client.job("no-such-job")
+        assert sleeps == []
+
+    def test_transport_failure_exhausts_retries_then_raises(self, service):
+        plan = FaultPlan([FaultRule(site="client.request", key="/healthz",
+                                    action="drop", times=0)])
+        client, sleeps = _faulty_client(service, plan, retries=2)
+        with pytest.raises(urllib.error.URLError):
+            client.health()
+        assert len(sleeps) == 2  # retries, not attempts
+
+    def test_non_idempotent_posts_are_not_retried(self, service):
+        plan = FaultPlan([FaultRule(site="client.request", action="drop",
+                                    times=0)])
+        client, sleeps = _faulty_client(service, plan)
+        with pytest.raises(urllib.error.URLError):
+            client.cancel("whatever")
+        assert sleeps == []
+
+    def test_backoff_jitter_is_seed_deterministic(self, service):
+        def schedule():
+            plan = FaultPlan([FaultRule(site="client.request",
+                                        action="drop", times=0)])
+            client, sleeps = _faulty_client(service, plan, retries=3)
+            with pytest.raises(urllib.error.URLError):
+                client.health()
+            return sleeps
+
+        first, second = schedule(), schedule()
+        assert first == second
+        assert len(first) == 3
+        # exponential base with bounded jitter in [0.5x, 1x]
+        for i, s in enumerate(first):
+            base = 0.2 * (2 ** i)
+            assert base * 0.5 <= s <= base

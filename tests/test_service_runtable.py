@@ -1,6 +1,10 @@
-"""Run-table behavior: recording, queries, percentile parity, job rows."""
+"""Run-table behavior: recording, queries, percentile parity, job rows,
+and the crash-consistency envelope (busy retries, corruption quarantine,
+rebuild from flat stores, concurrent writers)."""
 
 import json
+import sqlite3
+import threading
 
 import pytest
 
@@ -192,3 +196,232 @@ class TestMigration:
                 "SELECT wire FROM jobs WHERE job_id = ?", (job.job_id,)
             ).fetchone()
         assert json.loads(raw)["name"] == "fig13"
+
+
+class TestQuarantineRows:
+    def test_quarantine_recorded_with_error_class(self, table):
+        table.record_quarantine("e", "t/0", "fp0", "TrialHungError: wedged",
+                                "TrialHungError", seed=1, job_id="j1")
+        assert table.trial_status("e", "t/0", "fp0") == "quarantined"
+        (row,) = table.recent_runs(experiment="e", status="quarantined",
+                                   with_payload=True)
+        assert row["payload"]["error_class"] == "TrialHungError"
+        # quarantined rows are error records, not results
+        assert table.results("e") == []
+
+    def test_quarantine_never_replaces_an_ok_row(self, table):
+        ok = _result(0)
+        table.record_trial("e", ok)
+        table.record_quarantine("e", ok.trial_id, ok.fingerprint,
+                                "flake", "OSError")
+        assert table.trial_status("e", ok.trial_id, ok.fingerprint) == "ok"
+        assert table.results("e") == [ok]
+
+    def test_trial_status_none_when_unrecorded(self, table):
+        assert table.trial_status("e", "t/9", "fp9") is None
+
+
+class TestIdempotencyKeys:
+    def test_lookup_returns_earliest_job_for_key(self, table):
+        first = new_job("a", [_trial()], now=1.0)
+        first.idempotency_key = "k1"
+        later = new_job("a", [_trial()], now=2.0)
+        later.idempotency_key = "k1"
+        table.upsert_job(later)
+        table.upsert_job(first)
+        found = table.job_by_idempotency_key("k1")
+        assert found is not None and found.job_id == first.job_id
+        assert table.job_by_idempotency_key("unseen") is None
+
+    def test_old_schema_file_gains_the_idem_key_column(self, tmp_path):
+        """A run-table written before PR 7 has no idem_key column; opening
+        it must migrate additively, not fail or drop data."""
+        path = str(tmp_path / "old.sqlite")
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            "CREATE TABLE jobs (job_id TEXT PRIMARY KEY, name TEXT NOT NULL,"
+            " priority INTEGER NOT NULL, state TEXT NOT NULL,"
+            " testbed_seed INTEGER, submitted_at REAL, started_at REAL,"
+            " finished_at REAL, completed INTEGER NOT NULL DEFAULT 0,"
+            " failed INTEGER NOT NULL DEFAULT 0, total INTEGER NOT NULL,"
+            " error TEXT, wire TEXT NOT NULL);"
+        )
+        old = new_job("legacy", [_trial()], now=0.0)
+        conn.execute(
+            "INSERT INTO jobs (job_id, name, priority, state, total, wire)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            (old.job_id, old.name, 0, old.state, 1,
+             json.dumps(old.to_wire())),
+        )
+        conn.commit()
+        conn.close()
+
+        rt = RunTable(path)
+        try:
+            assert rt.rebuilt_from is None
+            assert rt.get_job(old.job_id) == old
+            keyed = new_job("keyed", [_trial()], now=1.0)
+            keyed.idempotency_key = "k"
+            rt.upsert_job(keyed)
+            assert rt.job_by_idempotency_key("k").job_id == keyed.job_id
+        finally:
+            rt.close()
+
+
+class TestCrashConsistency:
+    def test_wal_mode_and_busy_timeout(self, table):
+        with table._lock:
+            (mode,) = table._conn.execute("PRAGMA journal_mode").fetchone()
+            (busy,) = table._conn.execute("PRAGMA busy_timeout").fetchone()
+        assert mode == "wal"
+        assert busy == 5000
+
+    def test_busy_burst_is_absorbed_with_backoff(self, tmp_path):
+        from repro.service.faults import FaultPlan, FaultRule
+
+        plan = FaultPlan([FaultRule(
+            site="runtable.execute", action="raise",
+            exc="sqlite3.OperationalError", message="database is locked",
+            nth=1, times=3,
+        )])
+        sleeps = []
+        rt = RunTable(str(tmp_path / "runs.sqlite"),
+                      sleep=sleeps.append, fault_hook=plan.fire)
+        try:
+            rt.record_trial("e", _result(0))
+            assert rt.trial_count(experiment="e") == 1
+            assert sleeps == [0.05, 0.1, 0.2]
+        finally:
+            rt.close()
+
+    def test_busy_forever_exhausts_the_retry_schedule(self, tmp_path):
+        from repro.service.faults import FaultPlan, FaultRule
+
+        plan = FaultPlan([FaultRule(
+            site="runtable.execute", action="raise",
+            exc="sqlite3.OperationalError", message="database is locked",
+            times=0,
+        )])
+        sleeps = []
+        rt = RunTable(str(tmp_path / "runs.sqlite"),
+                      sleep=sleeps.append, fault_hook=plan.fire)
+        try:
+            with pytest.raises(sqlite3.OperationalError, match="locked"):
+                rt.record_trial("e", _result(0))
+            assert len(sleeps) == RunTable.BUSY_ATTEMPTS
+            assert sleeps[-1] == 0.5  # capped
+        finally:
+            rt.close()
+
+    def test_non_busy_operational_errors_are_not_retried(self, tmp_path):
+        from repro.service.faults import FaultPlan, FaultRule
+
+        plan = FaultPlan([FaultRule(
+            site="runtable.execute", action="raise",
+            exc="sqlite3.OperationalError", message="no such table: bogus",
+        )])
+        sleeps = []
+        rt = RunTable(str(tmp_path / "runs.sqlite"),
+                      sleep=sleeps.append, fault_hook=plan.fire)
+        try:
+            with pytest.raises(sqlite3.OperationalError, match="bogus"):
+                rt.record_trial("e", _result(0))
+            assert sleeps == []
+        finally:
+            rt.close()
+
+    def test_corrupt_file_is_quarantined_and_recreated(self, tmp_path):
+        path = str(tmp_path / "runs.sqlite")
+        with open(path, "wb") as fh:
+            fh.write(b"this is not a sqlite database, not even close")
+        rt = RunTable(path)
+        try:
+            assert rt.rebuilt_from == path + ".corrupt-0"
+            with open(rt.rebuilt_from, "rb") as fh:
+                assert fh.read().startswith(b"this is not")
+            rt.record_trial("e", _result(0))  # the fresh table works
+            assert rt.trial_count() == 1
+        finally:
+            rt.close()
+        # a second corruption lands in .corrupt-1, evidence preserved
+        with open(path, "wb") as fh:
+            fh.write(b"garbage again")
+        rt2 = RunTable(path)
+        try:
+            assert rt2.rebuilt_from == path + ".corrupt-1"
+        finally:
+            rt2.close()
+
+    def test_rebuild_from_stores_repopulates_trial_rows(self, tmp_path):
+        stores = tmp_path / "stores"
+        stores.mkdir()
+        good = ResultStore(str(stores / "fig12.json"), testbed_seed=5,
+                           experiment="fig12")
+        for i in range(3):
+            good.put(_result(i))
+        good.save()
+        # a store predating the experiment-name field is skipped
+        nameless = ResultStore(str(stores / "old.json"), testbed_seed=1)
+        nameless.put(_result(9))
+        nameless.save()
+        # unparseable junk is skipped, not fatal
+        (stores / "junk.json").write_text("{not json")
+        (stores / "notes.txt").write_text("ignore me")
+
+        rt = RunTable(str(tmp_path / "runs.sqlite"))
+        try:
+            assert rt.rebuild_from_stores(str(stores)) == 3
+            assert rt.counts_by_experiment() == {"fig12": 3}
+            (row,) = rt.recent_runs(experiment="fig12", limit=1)
+            assert row["seed"] == 5
+        finally:
+            rt.close()
+
+    def test_rebuild_from_missing_dir_is_a_noop(self, table, tmp_path):
+        assert table.rebuild_from_stores(str(tmp_path / "nowhere")) == 0
+
+
+class TestConcurrentWriters:
+    def test_threaded_writers_never_lose_rows(self, tmp_path):
+        """The satellite thread-safety audit, as a stress test: many
+        threads hammering trial inserts and job upserts through the one
+        locked connection — every row lands, nothing raises."""
+        rt = RunTable(str(tmp_path / "runs.sqlite"))
+        threads, errors = [], []
+        n_threads, n_rows = 8, 25
+
+        def writer(worker):
+            try:
+                job = new_job(f"w{worker}", [_trial()], now=float(worker))
+                for i in range(n_rows):
+                    result = TrialResult(
+                        trial_id=f"w{worker}/t{i}",
+                        flow_mbps={(0, 1): float(i)},
+                        metrics={},
+                        fingerprint=f"fp-{worker}-{i}",
+                    )
+                    rt.record_trial(f"exp{worker}", result, job_id=job.job_id)
+                    job.completed = i + 1
+                    rt.upsert_job(job)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        try:
+            for w in range(n_threads):
+                t = threading.Thread(target=writer, args=(w,))
+                threads.append(t)
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert errors == []
+            assert rt.trial_count() == n_threads * n_rows
+            assert rt.counts_by_experiment() == {
+                f"exp{w}": n_rows for w in range(n_threads)
+            }
+            for w in range(n_threads):
+                jobs = rt.list_jobs(states=None)
+                assert len(jobs) == n_threads
+            for job in rt.list_jobs():
+                assert job.completed == n_rows
+        finally:
+            rt.close()
