@@ -28,7 +28,14 @@ sys.path.insert(
 
 from repro.perf import PROFILE_SCHEMA, REQUIRED_LAYERS  # noqa: E402
 
-_TOP_LEVEL_KEYS = ("schema", "created_utc", "scale", "seed", "figures")
+_TOP_LEVEL_KEYS = (
+    "schema",
+    "created_utc",
+    "scale",
+    "seed",
+    "kernel_backend",
+    "figures",
+)
 _LAYER_KEYS = ("self_seconds", "called_seconds", "seconds", "fraction", "top")
 
 

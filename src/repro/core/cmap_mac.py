@@ -84,6 +84,11 @@ class CmapStats:
 class CmapMac(MacBase):
     """One node's CMAP instance (sender and receiver roles combined)."""
 
+    #: Every draw on this MAC's stream is random()/uniform(lo, hi) — the
+    #: jitter/tau/latency draws below plus LossBackoff.draw_wait — so the
+    #: kernel layer may block-buffer it (MacBase wires the wrap).
+    RNG_DRAW_KIND = "uniform"
+
     def __init__(self, sim, node_id, radio, rng, params: Optional[CmapParams] = None):
         super().__init__(sim, node_id, radio, rng)
         self.params = params or CmapParams()

@@ -1,0 +1,263 @@
+/* Compiled event-loop kernel for the `native` kernel backend.
+ *
+ * run_drain(sim, heappop, until) mirrors Simulator.run's interpreted loop
+ * statement for statement: same pop order, same cancelled-entry handling,
+ * same now/_live/_events_processed update points, same finally-style
+ * counter write-back on exceptions. Heap pops go through the _heapq C
+ * heappop callable passed in by the loader, so the heap invariant and the
+ * (time, priority, seq) comparison semantics are exactly CPython's.
+ *
+ * Built on demand by repro/kernels/native.py (cc -O2 -shared); see that
+ * module for the cache/atomic-replace story.
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+static PyObject *s_now;        /* "now" */
+static PyObject *s_live;       /* "_live" */
+static PyObject *s_heap;       /* "_heap" */
+static PyObject *s_cancelled;  /* "cancelled" */
+static PyObject *s_sim;        /* "_sim" */
+static PyObject *s_events;     /* "_events_processed" */
+static PyObject *c_one;        /* int 1 */
+
+/* sim._live -= 1 (read-modify-write: callbacks also touch the counter). */
+static int
+dec_live(PyObject *sim)
+{
+    PyObject *cur = PyObject_GetAttr(sim, s_live);
+    PyObject *next;
+    int r;
+    if (cur == NULL)
+        return -1;
+    next = PyNumber_Subtract(cur, c_one);
+    Py_DECREF(cur);
+    if (next == NULL)
+        return -1;
+    r = PyObject_SetAttr(sim, s_live, next);
+    Py_DECREF(next);
+    return r;
+}
+
+/* sim._events_processed += n, preserving any in-flight exception (the
+ * interpreted loop's try/finally). */
+static void
+credit_events(PyObject *sim, long n)
+{
+    PyObject *ptype, *pval, *ptb;
+    PyObject *cur, *add, *tot;
+    if (n == 0)
+        return;
+    PyErr_Fetch(&ptype, &pval, &ptb);
+    cur = PyObject_GetAttr(sim, s_events);
+    if (cur != NULL) {
+        add = PyLong_FromLong(n);
+        if (add != NULL) {
+            tot = PyNumber_Add(cur, add);
+            if (tot != NULL) {
+                (void)PyObject_SetAttr(sim, s_events, tot);
+                Py_DECREF(tot);
+            }
+            Py_DECREF(add);
+        }
+        Py_DECREF(cur);
+    }
+    /* The counter is bookkeeping; an original exception outranks any
+     * failure updating it. */
+    if (ptype != NULL)
+        PyErr_Restore(ptype, pval, ptb);
+    else if (PyErr_Occurred())
+        PyErr_Clear();
+}
+
+static PyObject *
+run_drain(PyObject *self, PyObject *args)
+{
+    PyObject *sim, *heappop, *until_obj, *heap;
+    int has_until;
+    double until = 0.0;
+    long n = 0;
+    int err = 0;
+
+    if (!PyArg_ParseTuple(args, "OOO:run_drain", &sim, &heappop, &until_obj))
+        return NULL;
+    has_until = (until_obj != Py_None);
+    if (has_until) {
+        until = PyFloat_AsDouble(until_obj);
+        if (until == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    heap = PyObject_GetAttr(sim, s_heap);
+    if (heap == NULL)
+        return NULL;
+    if (!PyList_Check(heap)) {
+        Py_DECREF(heap);
+        PyErr_SetString(PyExc_TypeError, "sim._heap must be a list");
+        return NULL;
+    }
+
+    while (PyList_GET_SIZE(heap) > 0) {
+        PyObject *entry = NULL;
+        PyObject *ev;
+
+        if (has_until) {
+            /* Peek; pop only once the head is live and within `until`. */
+            PyObject *head = PyList_GET_ITEM(heap, 0); /* borrowed */
+            double t;
+            if (!PyTuple_Check(head) || PyTuple_GET_SIZE(head) < 6) {
+                PyErr_SetString(PyExc_TypeError, "malformed heap entry");
+                err = 1;
+                break;
+            }
+            ev = PyTuple_GET_ITEM(head, 3);
+            if (ev != Py_None) {
+                PyObject *c = PyObject_GetAttr(ev, s_cancelled);
+                int canc;
+                if (c == NULL) {
+                    err = 1;
+                    break;
+                }
+                canc = PyObject_IsTrue(c);
+                Py_DECREF(c);
+                if (canc < 0) {
+                    err = 1;
+                    break;
+                }
+                if (canc) {
+                    PyObject *dead = PyObject_CallOneArg(heappop, heap);
+                    if (dead == NULL) {
+                        err = 1;
+                        break;
+                    }
+                    Py_DECREF(dead);
+                    continue;
+                }
+            }
+            t = PyFloat_AsDouble(PyTuple_GET_ITEM(head, 0));
+            if (t == -1.0 && PyErr_Occurred()) {
+                err = 1;
+                break;
+            }
+            if (t > until)
+                break;
+            entry = PyObject_CallOneArg(heappop, heap);
+            if (entry == NULL) {
+                err = 1;
+                break;
+            }
+            ev = PyTuple_GET_ITEM(entry, 3);
+            if (ev != Py_None &&
+                PyObject_SetAttr(ev, s_sim, Py_None) < 0) {
+                Py_DECREF(entry);
+                err = 1;
+                break;
+            }
+        } else {
+            entry = PyObject_CallOneArg(heappop, heap);
+            if (entry == NULL) {
+                err = 1;
+                break;
+            }
+            if (!PyTuple_Check(entry) || PyTuple_GET_SIZE(entry) < 6) {
+                Py_DECREF(entry);
+                PyErr_SetString(PyExc_TypeError, "malformed heap entry");
+                err = 1;
+                break;
+            }
+            ev = PyTuple_GET_ITEM(entry, 3);
+            if (ev != Py_None) {
+                PyObject *c = PyObject_GetAttr(ev, s_cancelled);
+                int canc;
+                if (c == NULL) {
+                    Py_DECREF(entry);
+                    err = 1;
+                    break;
+                }
+                canc = PyObject_IsTrue(c);
+                Py_DECREF(c);
+                if (canc < 0) {
+                    Py_DECREF(entry);
+                    err = 1;
+                    break;
+                }
+                if (canc) {
+                    Py_DECREF(entry);
+                    continue;
+                }
+                if (PyObject_SetAttr(ev, s_sim, Py_None) < 0) {
+                    Py_DECREF(entry);
+                    err = 1;
+                    break;
+                }
+            }
+        }
+
+        /* self.now = entry[0]; n += 1; self._live -= 1; fn(*args) */
+        if (PyObject_SetAttr(sim, s_now, PyTuple_GET_ITEM(entry, 0)) < 0) {
+            Py_DECREF(entry);
+            err = 1;
+            break;
+        }
+        n += 1;
+        if (dec_live(sim) < 0) {
+            Py_DECREF(entry);
+            err = 1;
+            break;
+        }
+        {
+            PyObject *fn = PyTuple_GET_ITEM(entry, 4);
+            PyObject *cargs = PyTuple_GET_ITEM(entry, 5);
+            PyObject *res;
+            if (!PyTuple_Check(cargs)) {
+                Py_DECREF(entry);
+                PyErr_SetString(PyExc_TypeError, "heap entry args not a tuple");
+                err = 1;
+                break;
+            }
+            res = PyObject_Call(fn, cargs, NULL);
+            Py_DECREF(entry);
+            if (res == NULL) {
+                err = 1;
+                break;
+            }
+            Py_DECREF(res);
+        }
+    }
+
+    credit_events(sim, n);
+    Py_DECREF(heap);
+    if (err)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef native_methods[] = {
+    {"run_drain", run_drain, METH_VARARGS,
+     "run_drain(sim, heappop, until) -- drain the event heap (C loop)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef native_module = {
+    PyModuleDef_HEAD_INIT,
+    "_native",
+    "Compiled kernels for the repro simulator (engine run loop).",
+    -1,
+    native_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__native(void)
+{
+    s_now = PyUnicode_InternFromString("now");
+    s_live = PyUnicode_InternFromString("_live");
+    s_heap = PyUnicode_InternFromString("_heap");
+    s_cancelled = PyUnicode_InternFromString("cancelled");
+    s_sim = PyUnicode_InternFromString("_sim");
+    s_events = PyUnicode_InternFromString("_events_processed");
+    c_one = PyLong_FromLong(1);
+    if (s_now == NULL || s_live == NULL || s_heap == NULL ||
+        s_cancelled == NULL || s_sim == NULL || s_events == NULL ||
+        c_one == NULL)
+        return NULL;
+    return PyModule_Create(&native_module);
+}

@@ -1,0 +1,120 @@
+"""On-demand build and loader for the compiled kernel module.
+
+The ``native`` backend's C sources live next to this file (``_native.c``)
+and are compiled at first use with the system C compiler — no build step,
+no packaging dependency. The shared object is cached under
+``kernels/_build/`` keyed by a hash of the source, so rebuilds happen only
+when the source changes; the compile lands via ``os.replace`` so
+concurrent pool workers race benignly. A missing toolchain raises
+:class:`NativeUnavailable` with instructions (the backend is opt-in via
+``REPRO_KERNEL_BACKEND=native``, so failing loudly beats silently
+benchmarking the wrong loop).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import shutil
+import subprocess
+import sysconfig
+import tempfile
+from pathlib import Path
+
+_SRC = Path(__file__).with_name("_native.c")
+_BUILD_DIR = Path(__file__).with_name("_build")
+
+_module = None
+
+
+class NativeUnavailable(RuntimeError):
+    """The compiled kernel cannot be built or loaded on this host."""
+
+
+def _find_compiler() -> str:
+    for cc in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cc and shutil.which(cc):
+            return cc
+    raise NativeUnavailable(
+        "REPRO_KERNEL_BACKEND=native needs a C compiler (cc/gcc/clang) on "
+        "PATH to build repro/kernels/_native.c; install one or unset the "
+        "variable to use the pure-python backend"
+    )
+
+
+def shared_object_path() -> Path:
+    """Cache path for the current source (hash-keyed)."""
+    tag = hashlib.blake2b(_SRC.read_bytes(), digest_size=8).hexdigest()
+    return _BUILD_DIR / f"_native_{tag}.so"
+
+
+def build(force: bool = False) -> Path:
+    """Compile ``_native.c`` if the cached build is stale; return the .so."""
+    so = shared_object_path()
+    if so.exists() and not force:
+        return so
+    cc = _find_compiler()
+    include = sysconfig.get_paths()["include"]
+    _BUILD_DIR.mkdir(exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=_BUILD_DIR)
+    os.close(fd)
+    cmd = [
+        cc,
+        "-O2",
+        "-fPIC",
+        "-shared",
+        f"-I{include}",
+        str(_SRC),
+        "-o",
+        tmp,
+        "-lm",
+    ]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        os.unlink(tmp)
+        raise NativeUnavailable(f"C compile failed to run: {exc}") from exc
+    if proc.returncode != 0:
+        os.unlink(tmp)
+        raise NativeUnavailable(
+            "C compile of repro/kernels/_native.c failed:\n"
+            + proc.stderr[-2000:]
+        )
+    os.replace(tmp, so)
+    return so
+
+
+def load_native_module():
+    """Import (building if needed) the compiled ``_native`` module."""
+    global _module
+    if _module is None:
+        so = build()
+        spec = importlib.util.spec_from_file_location(
+            "repro.kernels._native", so
+        )
+        if spec is None or spec.loader is None:  # pragma: no cover
+            raise NativeUnavailable(f"cannot load extension at {so}")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        _module = mod
+    return _module
+
+
+def load_run_loop():
+    """A ``(sim, until) -> None`` callable backed by the C drain loop.
+
+    Ordering, counter updates, and exception behaviour match
+    ``Simulator.run``'s interpreted loop exactly (see ``_native.c``); the
+    ``until`` clock clamp stays in Python, as in the interpreted version.
+    """
+    mod = load_native_module()
+    run_drain = mod.run_drain
+    from _heapq import heappop  # the C heappop, same as heapq.heappop
+
+    def run_loop(sim, until) -> None:
+        run_drain(sim, heappop, until)
+        if until is not None:
+            sim.now = max(sim.now, until)
+
+    return run_loop

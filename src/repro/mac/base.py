@@ -58,6 +58,14 @@ class MacStats:
 class MacBase:
     """Base class wiring a MAC to its radio, queue, source, and sink."""
 
+    #: RNG consumption contract of this MAC class. ``"uniform"`` declares
+    #: that every draw on ``self.rng`` is ``random()`` or
+    #: ``uniform(lo, hi)`` (one double each), which lets the kernel layer
+    #: serve the stream from a block-refilled buffer, bit-identically (see
+    #: :mod:`repro.kernels.rngbuf`). ``"raw"`` (e.g. DCF's varying-bound
+    #: ``integers`` backoff draws) keeps the scalar generator.
+    RNG_DRAW_KIND = "raw"
+
     def __init__(
         self,
         sim: "Simulator",
@@ -68,6 +76,10 @@ class MacBase:
         self.sim = sim
         self.node_id = node_id
         self.radio = radio
+        if self.RNG_DRAW_KIND == "uniform":
+            from repro.kernels.backend import wrap_uniform_stream
+
+            rng = wrap_uniform_stream(rng)
         self.rng = rng
         radio.mac = self
         self.stats = MacStats()

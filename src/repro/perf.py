@@ -101,6 +101,19 @@ class PerfRecorder:
 _active: Optional[PerfRecorder] = None
 
 
+def active_kernel_backend() -> str:
+    """Name of the active kernel backend, recorded into perf payloads.
+
+    Perf numbers are only comparable within one backend (the ``scalar``
+    reference backend is deliberately slower), so every BENCH/PROFILE
+    payload carries the name and the regression gate refuses cross-backend
+    comparisons.
+    """
+    from repro.kernels.backend import get_backend
+
+    return get_backend().name
+
+
 def active_recorder() -> Optional[PerfRecorder]:
     """The currently installed recorder, or None (the common case)."""
     return _active
@@ -192,6 +205,7 @@ def bench_payload(
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "scale": scale,
         "seed": seed,
+        "kernel_backend": active_kernel_backend(),
         "figures": {b.figure: asdict(b) for b in figures},
     }
     if baseline is not None:
@@ -237,6 +251,7 @@ def load_bench_file(path: str) -> Optional[dict]:
 #: Module-path fragment -> layer name; first match wins, so more specific
 #: fragments come first. Paths use "/" after normalisation.
 _LAYER_PATTERNS = (
+    ("repro/kernels/", "kernels"),
     ("repro/sim/", "engine"),
     ("repro/phy/medium", "medium"),
     ("repro/phy/radio", "radio"),
@@ -370,6 +385,7 @@ def profile_payload(profiles: List[dict], scale: str, seed: int) -> dict:
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "scale": scale,
         "seed": seed,
+        "kernel_backend": active_kernel_backend(),
         "figures": {p["figure"]: p for p in profiles},
     }
 

@@ -45,6 +45,12 @@ def _gaussian_grid(points: int = 81, span_sigmas: float = 4.5):
 class FadingModel:
     """Interface: per-frame fade draws plus the matching analytic average."""
 
+    #: True when this model's samplers never consume the radio's RNG
+    #: stream. The kernel layer may then block-buffer that stream (the
+    #: delivery coin flip becomes its only draw kind — see
+    #: :mod:`repro.kernels.rngbuf`); RNG-consuming models keep it scalar.
+    RNG_FREE = False
+
     def draw_db(self, rng: np.random.Generator, a: int, b: int) -> float:
         """One fade realisation (dB, added to mean RSS) for a frame a->b."""
         raise NotImplementedError
@@ -77,6 +83,8 @@ class FadingModel:
 class NoFading(FadingModel):
     """Static channel (unit tests, controlled topologies)."""
 
+    RNG_FREE = True
+
     def draw_db(self, rng: np.random.Generator, a: int, b: int) -> float:
         return 0.0
 
@@ -95,6 +103,9 @@ class GaussianBlockFading(FadingModel):
         if sigma_db < 0:
             raise ValueError("sigma must be non-negative")
         self.sigma_db = sigma_db
+        # A zero-sigma model degenerates to the static channel: samplers
+        # return 0.0 without touching the stream (see pair_sampler).
+        self.RNG_FREE = sigma_db == 0.0
         self._nodes, self._weights = _gaussian_grid()
 
     def draw_db(self, rng: np.random.Generator, a: int, b: int) -> float:

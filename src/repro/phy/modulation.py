@@ -133,6 +133,19 @@ class ErrorModel:
         """
         return lambda sinr_db, bits: self.chunk_success(sinr_db, rate, bits)
 
+    def chunk_kernel(self, rate: Rate):
+        """The rate's :class:`repro.kernels.chunkgrid.ChunkKernel`.
+
+        The reception scorer consumes this instead of :meth:`chunk_fn`:
+        the kernel carries the exact chunk closure plus (for models that
+        support them) precomputed saturated-region bounds in the linear
+        SINR-ratio domain. The default has no regions — behaviour is the
+        exact closure, unconditionally.
+        """
+        from repro.kernels.chunkgrid import null_chunk_kernel
+
+        return null_chunk_kernel(self.chunk_fn(rate))
+
 
 class NistErrorModel(ErrorModel):
     """Smooth erfc-shaped waterfall calibrated per rate.
@@ -184,6 +197,26 @@ class NistErrorModel(ErrorModel):
             return exp(bits * log1p(-ber))
 
         return _chunk
+
+    def chunk_kernel(self, rate: Rate):
+        """Grid-backed kernel: saturated SINR regions resolved at build.
+
+        With the active backend's ``chunk_grids`` flag set, the kernel
+        carries exact 0.0/1.0 region bounds (see
+        :mod:`repro.kernels.chunkgrid` for the proof) so the scorer skips
+        ``log10``/``erfc``/``exp`` for saturated chunks; off-region queries
+        run the same fused closure as before, bit for bit. The ``scalar``
+        backend returns the region-free kernel (reference behaviour).
+        """
+        from repro.kernels.backend import get_backend
+        from repro.kernels.chunkgrid import nist_chunk_kernel, null_chunk_kernel
+
+        chunk = self.chunk_fn(rate)
+        if not get_backend().chunk_grids:
+            return null_chunk_kernel(chunk)
+        return nist_chunk_kernel(
+            self.steepness_per_db, rate.sinr50_1400_db, _X50_1400B, chunk
+        )
 
 
 class SinrThresholdErrorModel(ErrorModel):

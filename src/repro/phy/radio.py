@@ -47,6 +47,8 @@ from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 
+from repro.kernels.backend import wrap_uniform_stream
+from repro.kernels.rngbuf import BufferedUniformStream
 from repro.phy.fading import FadingModel
 from repro.phy.frames import Frame
 from repro.phy.modulation import ErrorModel, NistErrorModel
@@ -62,6 +64,17 @@ class RadioState(Enum):
     IDLE = "idle"
     RX = "rx"
     TX = "tx"
+
+
+def _fading_is_rng_free(fading: Optional[FadingModel]) -> bool:
+    """True when the channel's fade samplers never touch the radio stream.
+
+    ``FadingModel.RNG_FREE`` is the model's own declaration (NoFading, a
+    zero-sigma Gaussian); ``None`` is the static channel. Only then can the
+    radio's stream be block-buffered — the delivery coin flip is its sole
+    remaining draw kind.
+    """
+    return fading is None or getattr(fading, "RNG_FREE", False)
 
 
 @dataclass
@@ -157,6 +170,13 @@ class Radio:
     ):
         self.sim = sim
         self.node_id = node_id
+        # A channel whose fading consumes no RNG leaves the per-delivery
+        # coin flip as this stream's only draw kind, so it qualifies for
+        # block buffering (bit-identical; see repro.kernels.rngbuf). With
+        # RNG-consuming fading the stream serves interleaved distributions
+        # and must stay scalar.
+        if _fading_is_rng_free(config.fading):
+            rng = wrap_uniform_stream(rng)
         self.rng = rng
         #: Bound draw method (the finalize path's per-delivery coin flip).
         self._rng_random = rng.random
@@ -216,6 +236,21 @@ class Radio:
         """
         self._config = config
         self._noise_mw = dbm_to_mw(config.noise_dbm)
+        # Keep the stream's buffering in step with the new channel model. A
+        # swap that introduces RNG-consuming fading rewinds the buffer onto
+        # the raw generator (detach() replays exactly the consumed draws,
+        # so scalar consumption continues bit-identically); a swap to an
+        # RNG-free channel starts buffering from the current stream state.
+        rng = self.rng
+        if isinstance(rng, BufferedUniformStream):
+            if not _fading_is_rng_free(config.fading):
+                self.rng = rng.detach()
+                self._rng_random = self.rng.random
+        elif _fading_is_rng_free(config.fading):
+            wrapped = wrap_uniform_stream(rng)
+            if wrapped is not rng:
+                self.rng = wrapped
+                self._rng_random = wrapped.random
         medium = self.medium
         if medium is not None:
             medium.on_radio_config_changed(self.node_id)

@@ -20,6 +20,13 @@ Scoring memoises per-chunk results on the error model, keyed by the exact
 identical-interference intervals skip the ``linear_to_db``/``chunk_success``
 transcendentals. The memo maps equal inputs to the value the direct
 computation produces, so scores are bit-identical with or without it.
+
+On top of the memo, the error model's chunk *kernel*
+(:mod:`repro.kernels.chunkgrid`) precomputes the exact ratio-domain bounds
+of the saturated regions, so chunks whose SINR sits far above or below the
+PER waterfall resolve to exactly 1.0 / 0.0 with no ``log10`` and no memo
+traffic at all — the value the exact evaluation would produce, by the grid
+exactness rule.
 """
 
 from __future__ import annotations
@@ -121,9 +128,10 @@ class Reception:
             return 1.0
         bits_per_second = total_bits / duration
         rate = frame.rate
-        # Per-(model, rate) scorer cache: a rate-specialised chunk closure
-        # plus the interval memo. Both are pure value caches, so scores are
-        # bit-identical with or without them.
+        # Per-(model, rate) scorer cache: the rate's chunk kernel (exact
+        # closure + saturated-region ratio bounds, see
+        # repro.kernels.chunkgrid) plus the interval memo. All pure value
+        # caches, so scores are bit-identical with or without them.
         by_rate = error_model.__dict__.get("_chunk_cache")
         if by_rate is None:
             by_rate = error_model._chunk_cache = {}
@@ -131,18 +139,35 @@ class Reception:
         # safe because the entry holds a reference that pins the id.
         entry = by_rate.get(id(rate))
         if entry is None:
-            entry = by_rate[id(rate)] = (error_model.chunk_fn(rate), {}, rate)
+            kernel = error_model.chunk_kernel(rate)
+            entry = by_rate[id(rate)] = (
+                kernel.chunk,
+                {},
+                rate,
+                kernel.ratio_zero,
+                kernel.ratio_one,
+                kernel.bits_safe,
+            )
         chunk, memo = entry[0], entry[1]
+        ratio_zero, ratio_one, bits_safe = entry[3], entry[4], entry[5]
         signal_mw = self._signal_mw
         interference = self._interference
         n = len(interference)
         if n == 1:
             # Overwhelmingly common: constant interference over the whole
-            # frame — one chunk, no memo machinery. The inlined dB
-            # conversion matches linear_to_db (including the <= 0 floor).
+            # frame — one chunk, no memo machinery. A saturated ratio
+            # resolves without the dB conversion at all (the kernel's
+            # region bounds are exact in the ratio domain); otherwise the
+            # inlined conversion matches linear_to_db (incl. the <=0 floor).
             ratio = signal_mw / (interference[0] + noise_mw)
+            bits = bits_per_second * duration
+            if ratio >= ratio_one:
+                if bits <= bits_safe:
+                    return 1.0
+            elif ratio <= ratio_zero and bits > 0.0:
+                return 0.0
             sinr = 10.0 * _log10(ratio) if ratio > 0.0 else -400.0
-            return chunk(sinr, bits_per_second * duration)
+            return chunk(sinr, bits)
         times = self._times
         end = self.end
         memo_get = memo.get
@@ -156,6 +181,12 @@ class Reception:
                 continue
             ratio = signal_mw / (interference[idx] + noise_mw)
             bits = bits_per_second * seg
+            if ratio >= ratio_one:
+                if bits <= bits_safe:
+                    continue  # p == 1.0 exactly; prob *= 1.0 is the identity
+            elif ratio <= ratio_zero and bits > 0.0:
+                prob = 0.0  # p == 0.0 exactly; finite prob * 0.0 == 0.0
+                break
             key = (ratio, bits)
             p = memo_get(key)
             if p is None:

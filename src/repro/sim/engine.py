@@ -35,6 +35,8 @@ import itertools
 from enum import IntEnum
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.kernels import backend as _kernels_backend
+
 
 class Priority(IntEnum):
     """Tie-break order for events scheduled at the same instant.
@@ -151,7 +153,7 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         time = self.now + delay
-        if time == self._inline_guard_time and priority < Priority.FRAME_START:
+        if time == self._inline_guard_time and priority < _PRIO_START:
             raise RuntimeError(
                 "same-instant event scheduled below FRAME_START priority "
                 "after an inline fan-out delivery at this instant; this "
@@ -175,7 +177,7 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
-        if time == self._inline_guard_time and priority < Priority.FRAME_START:
+        if time == self._inline_guard_time and priority < _PRIO_START:
             raise RuntimeError(
                 "same-instant event scheduled below FRAME_START priority "
                 "after an inline fan-out delivery at this instant; this "
@@ -203,7 +205,7 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         time = self.now + delay
-        if time == self._inline_guard_time and priority < Priority.FRAME_START:
+        if time == self._inline_guard_time and priority < _PRIO_START:
             raise RuntimeError(
                 "same-instant event scheduled below FRAME_START priority "
                 "after an inline fan-out delivery at this instant; this "
@@ -272,7 +274,16 @@ class Simulator:
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the queue drained earlier, so measurement windows are
         well-defined.
+
+        The kernel backend may supply a compiled drain loop (the ``native``
+        backend's C kernel); it executes the same pops in the same order
+        with the same counter semantics, so which loop ran is unobservable
+        in the outputs.
         """
+        loop = _kernels_backend.active_run_loop()
+        if loop is not None:
+            loop(self, until)
+            return
         heap = self._heap
         pop = heapq.heappop
         # The per-event counter increments are batched into a local and

@@ -42,6 +42,7 @@ class RngFactory:
     def __init__(self, seed: int):
         self.seed = int(seed)
         self._streams: dict = {}
+        self._pair_cache: dict = {}
 
     def stream(self, *key: Union[str, int]) -> np.random.Generator:
         """Return (creating on first use) the generator for ``key``."""
@@ -60,7 +61,18 @@ class RngFactory:
 
         Used for symmetric shadowing: ``pair_normal(l, a, b, s) ==
         pair_normal(l, b, a, s)`` by construction.
+
+        The draw is a pure function of ``(seed, label, lo, hi, sigma)``
+        — each call used to build a fresh ``default_rng`` and take its
+        first normal, always the same value — so the result is cached
+        per key instead of paying Generator construction per call
+        (shadowing queries hit the same pairs constantly during fan-out
+        table builds).
         """
         lo, hi = (a, b) if a <= b else (b, a)
-        gen = np.random.default_rng(stable_hash(self.seed, label, lo, hi))
-        return float(gen.normal(0.0, sigma))
+        key = (label, lo, hi, sigma)
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            gen = np.random.default_rng(stable_hash(self.seed, label, lo, hi))
+            cached = self._pair_cache[key] = float(gen.normal(0.0, sigma))
+        return cached

@@ -1,0 +1,327 @@
+"""Kernel layer tests: lockstep bit-identity, grid exactness, backends.
+
+The load-bearing guarantees:
+
+* :class:`BufferedUniformStream` is *lockstep* with per-draw scalar
+  generation — same bits, across refill boundaries, forks, and mixed
+  ``random``/``uniform`` call sequences (the buffer refill determinism
+  rule, DESIGN.md "Kernels");
+* the chunk grids are exact — saturated-region shortcuts and grid-point
+  table hits return the very float the fused closure computes (the grid
+  exactness rule);
+* backends are interchangeable without moving a bit: ``scalar`` and
+  ``python`` produce identical trial results, process-pool workers agree
+  with serial, and the compiled ``native`` loop (when a toolchain exists)
+  replays the goldens byte-for-byte.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.executor import ProcessPoolBackend, SerialBackend, run_trial
+from repro.experiments.spec import MacSpec, TrialSpec
+from repro.kernels.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    available_backends,
+    get_backend,
+    set_backend,
+    wrap_uniform_stream,
+)
+from repro.kernels.chunkgrid import (
+    BITS_SAFE,
+    GRID_POINTS,
+    REF_BITS,
+    nist_chunk_kernel,
+    null_chunk_kernel,
+)
+from repro.kernels.rngbuf import MAX_BLOCK, MIN_BLOCK, BufferedUniformStream
+from repro.net.testbed import Testbed
+from repro.phy.modulation import RATES, NistErrorModel
+from repro.util.rng import RngFactory
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Every test leaves the process on the default backend."""
+    yield
+    set_backend(DEFAULT_BACKEND)
+
+
+# ----------------------------------------------------------------------
+# Buffered RNG lockstep
+# ----------------------------------------------------------------------
+class TestBufferedLockstep:
+    def test_random_lockstep_one_million_draws(self):
+        """>= 1M draws, buffered vs scalar, every value bit-identical."""
+        buffered = BufferedUniformStream(np.random.default_rng(12345))
+        scalar = np.random.default_rng(12345)
+        n = 1_000_000
+        reference = scalar.random(n)  # array draw == n scalar draws
+        draw = buffered.random
+        for i in range(n):
+            assert draw() == reference[i]
+
+    def test_uniform_lockstep_across_refills(self):
+        buffered = BufferedUniformStream(np.random.default_rng(7))
+        scalar = np.random.default_rng(7)
+        bounds = [(0.0, 1.0), (-3.5, 2.25), (10.0, 10.0), (1e-3, 5.0)]
+        for i in range(5 * MAX_BLOCK):
+            lo, hi = bounds[i % len(bounds)]
+            assert buffered.uniform(lo, hi) == scalar.uniform(lo, hi)
+
+    def test_mixed_random_uniform_sequence(self):
+        """Interleaving the two supported draw kinds stays lockstep."""
+        buffered = BufferedUniformStream(np.random.default_rng(99))
+        scalar = np.random.default_rng(99)
+        for i in range(3 * MAX_BLOCK):
+            if i % 3 == 0:
+                assert buffered.uniform(-1.0, float(i)) == scalar.uniform(
+                    -1.0, float(i)
+                )
+            else:
+                assert buffered.random() == scalar.random()
+
+    def test_block_growth_is_geometric(self):
+        buffered = BufferedUniformStream(np.random.default_rng(0))
+        assert buffered.pending() == 0
+        buffered.random()
+        assert buffered.pending() == MIN_BLOCK - 1
+        for _ in range(MIN_BLOCK):
+            buffered.random()
+        assert buffered.pending() == 2 * MIN_BLOCK - 1
+
+    def test_fork_lockstep(self):
+        """Factory forks wrapped after the fork stay lockstep too."""
+        buffered = BufferedUniformStream(
+            RngFactory(5).fork("trial", 3).stream("mac", 1)
+        )
+        scalar = RngFactory(5).fork("trial", 3).stream("mac", 1)
+        for _ in range(2 * MAX_BLOCK):
+            assert buffered.random() == scalar.random()
+
+    def test_detach_resyncs_mid_block(self):
+        buffered = BufferedUniformStream(np.random.default_rng(21))
+        scalar = np.random.default_rng(21)
+        for _ in range(MIN_BLOCK + 17):  # mid-way through the second block
+            assert buffered.random() == scalar.random()
+        gen = buffered.detach()
+        for _ in range(1000):
+            assert gen.random() == scalar.random()
+
+    def test_detach_before_first_draw(self):
+        gen_in = np.random.default_rng(3)
+        gen_out = BufferedUniformStream(gen_in).detach()
+        assert gen_out is gen_in
+        assert gen_out.random() == np.random.default_rng(3).random()
+
+    def test_other_distributions_are_absent(self):
+        """The desync guard: only random/uniform exist on the facade."""
+        buffered = BufferedUniformStream(np.random.default_rng(1))
+        with pytest.raises(AttributeError):
+            buffered.normal(0.0, 1.0)
+        with pytest.raises(AttributeError):
+            buffered.integers(0, 10)
+
+    def test_double_wrap_rejected(self):
+        buffered = BufferedUniformStream(np.random.default_rng(1))
+        with pytest.raises(TypeError):
+            BufferedUniformStream(buffered)
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(ValueError):
+            BufferedUniformStream(np.random.default_rng(1), block=0)
+
+
+# ----------------------------------------------------------------------
+# Chunk grids
+# ----------------------------------------------------------------------
+class TestChunkGrids:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return NistErrorModel()
+
+    @pytest.mark.parametrize("mbps", sorted(RATES))
+    def test_grid_points_match_exact_closure(self, model, mbps):
+        """Every registered rate: table == exact erfc at all grid points."""
+        rate = RATES[mbps]
+        kernel = nist_chunk_kernel(
+            model.steepness_per_db, rate.sinr50_1400_db, 2.7140,
+            model.chunk_fn(rate),
+        )
+        exact = model.chunk_fn(rate)
+        assert len(kernel.grid_sinr_db) == GRID_POINTS
+        for s, tabulated in zip(kernel.grid_sinr_db, kernel.grid_success):
+            assert tabulated == exact(s, REF_BITS)
+            assert kernel.lookup(s, REF_BITS) == exact(s, REF_BITS)
+
+    @pytest.mark.parametrize("mbps", sorted(RATES))
+    def test_region_boundaries_exact(self, model, mbps):
+        """nextafter probes around both saturated-region edges."""
+        rate = RATES[mbps]
+        kernel = model.chunk_kernel(rate)
+        exact = model.chunk_fn(rate)
+        for s in (
+            kernel.sinr_one_db,
+            math.nextafter(kernel.sinr_one_db, math.inf),
+            kernel.sinr_one_db + 5.0,
+        ):
+            assert kernel.lookup(s, REF_BITS) == 1.0 == exact(s, REF_BITS)
+        for s in (
+            kernel.sinr_zero_db,
+            math.nextafter(kernel.sinr_zero_db, -math.inf),
+            kernel.sinr_zero_db - 5.0,
+        ):
+            assert kernel.lookup(s, REF_BITS) == 0.0 == exact(s, REF_BITS)
+        # Ratio-domain thresholds land strictly inside their regions.
+        assert exact(10.0 * math.log10(kernel.ratio_one), 1.0) == 1.0
+        assert exact(10.0 * math.log10(kernel.ratio_zero), 1.0) == 0.0
+
+    @pytest.mark.parametrize("mbps", sorted(RATES))
+    def test_off_grid_matches_fused_closure(self, model, mbps):
+        """Off-grid / off-reference-bits queries: exact closure, bit-for-bit."""
+        rate = RATES[mbps]
+        kernel = model.chunk_kernel(rate)
+        exact = model.chunk_fn(rate)
+        rng = np.random.default_rng(4242)
+        span = kernel.sinr_one_db - kernel.sinr_zero_db
+        for _ in range(200):
+            s = kernel.sinr_zero_db + span * float(rng.random()) * 1.2 - 0.1 * span
+            bits = float(rng.uniform(1.0, 12000.0))
+            assert kernel.lookup(s, bits) == exact(s, bits)
+
+    def test_bits_above_safe_falls_back_to_exact(self, model):
+        rate = RATES[6]
+        kernel = model.chunk_kernel(rate)
+        s = kernel.sinr_one_db + 10.0
+        big = BITS_SAFE * 10.0
+        assert kernel.lookup(s, big) == model.chunk_fn(rate)(s, big)
+
+    def test_zero_bits_chunk_is_certain(self, model):
+        kernel = model.chunk_kernel(RATES[6])
+        assert kernel.lookup(kernel.sinr_zero_db - 1.0, 0.0) == 1.0
+
+    def test_null_kernel_regions_never_fire(self):
+        kernel = null_chunk_kernel(lambda s, b: 0.25)
+        assert kernel.ratio_zero == -math.inf
+        assert kernel.ratio_one == math.inf
+        assert kernel.bits_safe == 0.0
+        assert kernel.lookup(1e9, 1.0) == 0.25
+
+    def test_scalar_backend_builds_null_kernel(self, model):
+        set_backend("scalar")
+        kernel = model.chunk_kernel(RATES[6])
+        assert kernel.ratio_one == math.inf
+        set_backend("python")
+        kernel = model.chunk_kernel(RATES[6])
+        assert math.isfinite(kernel.ratio_one)
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+class TestBackendRegistry:
+    def test_default_backend(self):
+        set_backend(DEFAULT_BACKEND)
+        backend = get_backend()
+        assert backend.name == "python"
+        assert backend.buffer_rng and backend.chunk_grids
+        assert not backend.native_run_loop
+
+    def test_available_backends(self):
+        assert set(available_backends()) == {"python", "scalar", "native"}
+        assert set(BACKENDS) == set(available_backends())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_backend("fortran")
+
+    def test_env_resolution_in_subprocess(self):
+        import subprocess
+        import sys
+
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.kernels.backend import get_backend;"
+             "print(get_backend().name)"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "REPRO_KERNEL_BACKEND": "scalar"},
+            cwd=__file__.rsplit("/tests/", 1)[0],
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "scalar"
+
+    def test_wrap_uniform_stream_respects_backend(self):
+        gen = np.random.default_rng(1)
+        set_backend("scalar")
+        assert wrap_uniform_stream(gen) is gen
+        set_backend("python")
+        wrapped = wrap_uniform_stream(gen)
+        assert isinstance(wrapped, BufferedUniformStream)
+        # Idempotent: an already-buffered stream passes through.
+        assert wrap_uniform_stream(wrapped) is wrapped
+
+
+# ----------------------------------------------------------------------
+# Whole-trial bit-identity across backends
+# ----------------------------------------------------------------------
+def _cmap_trial() -> TrialSpec:
+    """A short saturated CMAP trial on the fading-heavy default testbed.
+
+    CMAP macs buffer their streams under the ``python`` backend, the
+    LOS/NLOS mixture keeps the radio streams scalar, and the chunk grids
+    score every reception — all three kernel paths are exercised.
+    """
+    return TrialSpec(
+        trial_id="kernels/cmap_parity",
+        nodes=(0, 1, 2, 3),
+        flows=((0, 1), (2, 3)),
+        mac=MacSpec.of("cmap"),
+        run_seed=11,
+        duration=2.0,
+        warmup=0.5,
+    )
+
+
+class TestBackendBitIdentity:
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        return Testbed(seed=1)
+
+    @pytest.fixture(scope="class")
+    def scalar_result(self, testbed):
+        set_backend("scalar")
+        try:
+            return run_trial(testbed, _cmap_trial())
+        finally:
+            set_backend(DEFAULT_BACKEND)
+
+    def test_python_backend_matches_scalar(self, testbed, scalar_result):
+        set_backend("python")
+        assert run_trial(testbed, _cmap_trial()) == scalar_result
+
+    def test_pool_workers_match_serial(self, testbed, scalar_result):
+        """Process-pool workers (fresh interpreters, default backend via
+        the inherited environment) reproduce the serial trial exactly."""
+        trial = _cmap_trial()
+        serial = SerialBackend().run(testbed, [trial])
+        pooled = ProcessPoolBackend(jobs=2).run(testbed, [trial])
+        assert serial == pooled
+        assert serial == [scalar_result]
+
+    def test_native_backend_matches_scalar(self, testbed, scalar_result):
+        """The compiled run loop replays the trial byte-for-byte.
+
+        Skipped (not failed) where no C toolchain exists; the backend
+        itself raises loudly in that case, which is also asserted.
+        """
+        from repro.kernels.native import NativeUnavailable
+
+        set_backend("native")
+        try:
+            result = run_trial(testbed, _cmap_trial())
+        except NativeUnavailable as exc:
+            pytest.skip(f"no C toolchain: {exc}")
+        assert result == scalar_result

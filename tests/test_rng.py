@@ -71,6 +71,32 @@ class TestPairNormal:
     def test_zero_sigma_gives_zero(self):
         assert RngFactory(3).pair_normal("s", 1, 2, 0.0) == 0.0
 
+    def test_pinned_values(self):
+        """Exact draws pinned from the original (uncached) construction.
+
+        ``pair_normal`` now caches per ``(label, lo, hi, sigma)`` instead
+        of building a fresh ``default_rng`` per call; the cached value
+        must be the same first-normal bit pattern forever — shadowing
+        (and thus every golden) depends on it.
+        """
+        assert RngFactory(3).pair_normal("shadow", 4, 9, 6.0) == (
+            -7.485547985223958
+        )
+        assert RngFactory(3).pair_normal("shadow", 1, 2, 6.0) == (
+            2.6242559573136144
+        )
+        assert RngFactory(7).pair_normal("s", 20, 10, 2.5) == (
+            -1.0289232472150853
+        )
+
+    def test_cache_hit_returns_same_value(self):
+        rngs = RngFactory(3)
+        first = rngs.pair_normal("shadow", 4, 9, 6.0)
+        assert rngs.pair_normal("shadow", 4, 9, 6.0) == first
+        assert rngs.pair_normal("shadow", 9, 4, 6.0) == first
+        # Distinct sigma is a distinct cache key, not a stale hit.
+        assert rngs.pair_normal("shadow", 4, 9, 3.0) == first / 2.0
+
     def test_distribution_roughly_normal(self):
         rngs = RngFactory(11)
         draws = [rngs.pair_normal("s", i, i + 1000, 6.0) for i in range(500)]
