@@ -54,9 +54,25 @@ def check(payload: dict) -> list:
         errors.append("figures is empty")
     for name, profile in figures.items():
         prefix = f"figures[{name!r}]"
-        for key in ("figure", "wall_seconds", "profiled_seconds", "layers"):
+        for key in (
+            "figure",
+            "wall_seconds",
+            "profiled_seconds",
+            "mac_share",
+            "layers",
+        ):
             if key not in profile:
                 errors.append(f"{prefix}: missing {key!r}")
+        mac_share = profile.get("mac_share")
+        if mac_share is not None:
+            if not 0.0 <= mac_share <= 1.0:
+                errors.append(f"{prefix}: mac_share {mac_share} outside [0, 1]")
+            mac_fraction = profile.get("layers", {}).get("mac", {}).get("fraction")
+            if mac_fraction is not None and mac_share != mac_fraction:
+                errors.append(
+                    f"{prefix}: mac_share {mac_share} != layers.mac.fraction "
+                    f"{mac_fraction}"
+                )
         layers = profile.get("layers", {})
         for layer in REQUIRED_LAYERS:
             if layer not in layers:

@@ -1,0 +1,122 @@
+"""CI gate: MAC code must use the named-timer API, not raw engine events.
+
+PR 9 redesigned the timer/lifecycle API: MACs arm timers through
+``self.timers`` (a :class:`repro.mac.base.TimerRegistry` of named,
+handle-reusing timers drained by the final ``MacBase.stop``) and never
+juggle raw :class:`repro.sim.engine.Event` objects themselves. This lint
+walks the AST of every file under ``src/repro/mac/`` plus
+``src/repro/core/cmap_mac.py`` and fails when one of them:
+
+* constructs ``Event(...)`` directly;
+* calls ``.schedule(...)`` or ``.schedule_at(...)`` (the legacy raw-event
+  shims — fire-and-forget ``schedule_call``/``schedule_fanout`` remain
+  allowed, they return nothing to juggle);
+* calls ``.cancel(...)`` on anything other than the timer registry
+  (``*.timers.cancel(name)``). The registry's own implementation inside
+  ``TimerRegistry`` is the one sanctioned place handles are cancelled.
+
+Usage::
+
+    python benchmarks/check_timer_api.py
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+MAC_DIR = os.path.join(REPO, "src", "repro", "mac")
+EXTRA_FILES = [os.path.join(REPO, "src", "repro", "core", "cmap_mac.py")]
+
+BANNED_SCHEDULERS = {"schedule", "schedule_at"}
+
+
+def lint_file(path: str) -> list:
+    """Return (line, message) violations for one file."""
+    with open(path) as fh:
+        tree = ast.parse(fh.read(), filename=path)
+
+    violations = []
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self._class_stack: list = []
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            self._class_stack.append(node.name)
+            self.generic_visit(node)
+            self._class_stack.pop()
+
+        def visit_Call(self, node: ast.Call) -> None:
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "Event":
+                violations.append(
+                    (node.lineno, "constructs a raw engine Event")
+                )
+            if isinstance(func, ast.Attribute):
+                if func.attr == "Event":
+                    violations.append(
+                        (node.lineno, "constructs a raw engine Event")
+                    )
+                elif func.attr in BANNED_SCHEDULERS:
+                    violations.append(
+                        (
+                            node.lineno,
+                            f"calls .{func.attr}(...) — use "
+                            "self.timers.arm(name, ...) (or schedule_call "
+                            "for fire-and-forget)",
+                        )
+                    )
+                elif (
+                    func.attr == "cancel"
+                    and "TimerRegistry" not in self._class_stack
+                ):
+                    receiver = func.value
+                    timers_receiver = (
+                        isinstance(receiver, ast.Attribute)
+                        and receiver.attr == "timers"
+                    )
+                    if not timers_receiver:
+                        violations.append(
+                            (
+                                node.lineno,
+                                "cancels a raw handle — use "
+                                "self.timers.cancel(name)",
+                            )
+                        )
+            self.generic_visit(node)
+
+    Visitor().visit(tree)
+    return violations
+
+
+def target_files() -> list:
+    files = []
+    for root, _dirs, names in os.walk(MAC_DIR):
+        for name in sorted(names):
+            if name.endswith(".py"):
+                files.append(os.path.join(root, name))
+    files.extend(EXTRA_FILES)
+    return files
+
+
+def main() -> int:
+    failed = False
+    checked = 0
+    for path in target_files():
+        checked += 1
+        rel = os.path.relpath(path, REPO)
+        for line, message in lint_file(path):
+            failed = True
+            print(f"{rel}:{line}: {message}")
+    if failed:
+        print("timer API lint FAILED")
+        return 1
+    print(f"timer API lint ok ({checked} files, zero raw-event timer sites)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,7 +82,47 @@ class CmapStats:
 
 
 class CmapMac(MacBase):
-    """One node's CMAP instance (sender and receiver roles combined)."""
+    """One node's CMAP instance (sender and receiver roles combined).
+
+    Timers go through the named registry (``self.timers``): the sender
+    state machine's mutually-exclusive waits are ``"defer"``, ``"launch"``,
+    ``"ackwait"`` and ``"gap"``; per-destination window timeouts are
+    ``("win", dst)``; the periodic broadcast and map sweep are ``"ilist"``
+    and ``"sweep"``. The registry reuses handles across re-arms, and the
+    base ``stop()`` drains everything — no per-timer cancel bookkeeping.
+    """
+
+    __slots__ = (
+        "params",
+        "cstats",
+        "_arq",
+        "_staged",
+        "_dst_order",
+        "backoff",
+        "_state",
+        "_burst_frames",
+        "_burst_dst",
+        "_burst_rate",
+        "ongoing",
+        "defer_table",
+        "interferer_list",
+        "_foreign_bursts",
+        "anypath",
+        "_forwarders",
+        "_rx",
+        "_t_ackwait",
+        "_t_deferwait",
+        "_jitter_lo",
+        "_jitter_hi",
+        "_sweep_period",
+        "_cb_defer",
+        "_cb_launch",
+        "_cb_ackwait",
+        "_cb_gap",
+        "_cb_ilist",
+        "_cb_sweep",
+        "_cb_window",
+    )
 
     #: Every draw on this MAC's stream is random()/uniform(lo, hi) — the
     #: jitter/tau/latency draws below plus LossBackoff.draw_wait — so the
@@ -102,11 +142,25 @@ class CmapMac(MacBase):
             self.params.cw_start, self.params.cw_max, self.params.l_backoff
         )
         self._state = _State.IDLE
-        self._timer = None
-        self._ilist_timer = None
-        self._window_timers: Dict[int, object] = {}
         self._burst_frames: Deque[Frame] = deque()
         self._burst_dst: Optional[int] = None
+        self._burst_rate: Optional[Rate] = None
+
+        # Hot-path folds: per-decision reads of dataclass fields cost an
+        # attribute chain each; these never change after construction.
+        p = self.params
+        self._t_ackwait = p.t_ackwait
+        self._t_deferwait = p.t_deferwait
+        self._jitter_lo, self._jitter_hi = p.deferwait_jitter
+        self._sweep_period = p.map_sweep_period
+        # Bound once so registry re-arms hit the handle-reuse path.
+        self._cb_defer = self._defer_expired
+        self._cb_launch = self._launch_burst
+        self._cb_ackwait = self._ack_wait_expired
+        self._cb_gap = self._gap_expired
+        self._cb_ilist = self._ilist_tick
+        self._cb_sweep = self._sweep_maps
+        self._cb_window = self._window_timeout
 
         # --- conflict map state ---
         self.ongoing = OngoingList()
@@ -142,23 +196,18 @@ class CmapMac(MacBase):
     # ==================================================================
     # Lifecycle
     # ==================================================================
-    def start(self) -> None:
-        super().start()
+    def _on_start(self) -> None:
         offset = float(self.rng.uniform(0.0, self.params.ilist_period))
-        self._ilist_timer = self.sim.schedule(offset, self._ilist_tick)
+        self.timers.arm("ilist", offset, self._cb_ilist)
+        # Batched map sweep: deterministic node-keyed stagger (no RNG draw —
+        # the uniform stream is a bit-identity contract) so a dense network
+        # does not sweep in lockstep at integer multiples of the period.
+        stagger = (self.node_id % 16) * (self._sweep_period / 16.0)
+        self.timers.arm("sweep", self._sweep_period + stagger, self._cb_sweep)
         self._wake()
 
-    def stop(self) -> None:
-        """Cease operation (churn): cancel every pending timer."""
-        super().stop()
-        for timer in (self._timer, self._ilist_timer):
-            if timer is not None:
-                timer.cancel()
-        self._timer = None
-        self._ilist_timer = None
-        for timer in self._window_timers.values():
-            timer.cancel()
-        self._window_timers.clear()
+    def _on_stop(self) -> None:
+        """Churn out: base stop drains the timer registry after this."""
         self._state = _State.IDLE
 
     def on_queue_refill(self) -> None:
@@ -248,14 +297,14 @@ class CmapMac(MacBase):
             self.cstats.defer_decisions += 1
             self.tracer.emit(self.sim.now, self.node_id, TraceKind.DEFER,
                              earliest_retry)
-            jitter_lo, jitter_hi = self.params.deferwait_jitter
+            jitter_lo, jitter_hi = self._jitter_lo, self._jitter_hi
             # Bit-identical decomposition of rng.uniform(lo, hi).
-            wait = self.params.t_deferwait * float(
+            wait = self._t_deferwait * float(
                 jitter_lo + (jitter_hi - jitter_lo) * self.rng.random()
             )
             self._state = _State.DEFER
             delay = max(0.0, earliest_retry - self.sim.now) + wait
-            self._timer = self.sim.schedule(delay, self._defer_expired)
+            self.timers.arm("defer", delay, self._cb_defer)
 
     def _decide(self, dst: int) -> Tuple[Optional[float], "Rate"]:
         """Transmission decision plus the rate to use.
@@ -327,7 +376,6 @@ class CmapMac(MacBase):
         return max((e.end_time for e in ongoing), default=now)
 
     def _defer_expired(self) -> None:
-        self._timer = None
         self._state = _State.IDLE
         self._wake()
 
@@ -351,16 +399,15 @@ class CmapMac(MacBase):
         self.cstats.vpkts_sent_to[dst] = self.cstats.vpkts_sent_to.get(dst, 0) + 1
         # Sender-side MAC->PHY turnaround (§4.1) before the header airs.
         delay = self.params.latency.tx_turnaround(self.rng)
-        self._timer = self.sim.schedule(delay, self._launch_burst, record)
+        self.timers.arm("launch", delay, self._cb_launch, record)
 
     def _launch_burst(self, record: VpktRecord) -> None:
-        self._timer = None
         self._burst_frames = deque(self._frames_for(record))
         self._send_next_burst_frame()
 
     def _frames_for(self, record: VpktRecord) -> List[Frame]:
         p = self.params
-        data_rate = getattr(self, "_burst_rate", None) or p.data_rate
+        data_rate = self._burst_rate or p.data_rate
         payloads = record.packets
         payload_bytes = payloads[0].packet.size_bytes if payloads else 1400
         data_air = Phy80211a.airtime(
@@ -422,7 +469,7 @@ class CmapMac(MacBase):
             return
         # Burst finished: wait up to t_ackwait for the ACK.
         self._state = _State.WAIT_ACK
-        self._timer = self.sim.schedule(self.params.t_ackwait, self._ack_wait_expired)
+        self.timers.arm("ackwait", self._t_ackwait, self._cb_ackwait)
 
     def on_tx_complete(self, frame: Frame) -> None:
         if not self._started:
@@ -439,7 +486,6 @@ class CmapMac(MacBase):
             self._wake()
 
     def _ack_wait_expired(self) -> None:
-        self._timer = None
         self.cstats.ack_wait_expired += 1
         self.stats.ack_timeouts += 1
         self.tracer.emit(self.sim.now, self.node_id, TraceKind.ACK_TIMEOUT,
@@ -451,13 +497,12 @@ class CmapMac(MacBase):
         gap = self.backoff.draw_wait(self.rng)
         if gap > 0.0:
             self._state = _State.GAP
-            self._timer = self.sim.schedule(gap, self._gap_expired)
+            self.timers.arm("gap", gap, self._cb_gap)
         else:
             self._state = _State.IDLE
             self._wake()
 
     def _gap_expired(self) -> None:
-        self._timer = None
         self._state = _State.IDLE
         self._wake()
 
@@ -465,7 +510,7 @@ class CmapMac(MacBase):
     # Window timeout (§3.3)
     # ------------------------------------------------------------------
     def _ensure_window_timer(self, dst: int) -> None:
-        if dst in self._window_timers:
+        if self.timers.is_armed(("win", dst)):
             return
         payload = 1400
         staged = self._staged.get(dst)
@@ -473,13 +518,10 @@ class CmapMac(MacBase):
             payload = staged[0].size_bytes
         tau_min, tau_max = self.params.window_timeout_bounds(payload_bytes=payload)
         tau = float(tau_min + (tau_max - tau_min) * self.rng.random())
-        self._window_timers[dst] = self.sim.schedule(
-            tau, self._window_timeout, dst
-        )
+        self.timers.arm(("win", dst), tau, self._cb_window, dst)
         self._state = _State.BLOCKED if self._state is _State.IDLE else self._state
 
     def _window_timeout(self, dst: int) -> None:
-        self._window_timers.pop(dst, None)
         arq = self._arq_for(dst)
         requeued = arq.flush_window()
         self.cstats.window_timeouts += 1
@@ -491,9 +533,7 @@ class CmapMac(MacBase):
         self._wake()
 
     def _cancel_window_timer(self, dst: int) -> None:
-        timer = self._window_timers.pop(dst, None)
-        if timer is not None:
-            timer.cancel()
+        self.timers.cancel(("win", dst))
         if self._state is _State.BLOCKED:
             self._state = _State.IDLE
 
@@ -650,9 +690,7 @@ class CmapMac(MacBase):
             self._cancel_window_timer(ack.src)
         if self._state is _State.WAIT_ACK and ack.src == self._burst_dst:
             self.cstats.vpkts_acked += 1
-            if self._timer is not None:
-                self._timer.cancel()
-                self._timer = None
+            self.timers.cancel("ackwait")
             self._after_vpkt()
         else:
             self.cstats.late_acks += 1
@@ -665,7 +703,7 @@ class CmapMac(MacBase):
     def _ilist_tick(self) -> None:
         period = self.params.ilist_period
         jitter = float(self.rng.uniform(0.0, 0.1 * period))
-        self._ilist_timer = self.sim.schedule(period + jitter, self._ilist_tick)
+        self.timers.arm("ilist", period + jitter, self._cb_ilist)
         # Aging (section 3.4 adaptation): drop loss statistics for pairs not
         # observed within the staleness horizon, so a conflict that geometry
         # changes dissolved cannot linger as stale evidence, and re-forms
@@ -723,12 +761,31 @@ class CmapMac(MacBase):
             )
             relay.origin = origin  # type: ignore[attr-defined]
             delay = float(self.rng.uniform(1e-3, 10e-3))
-            self.sim.schedule(delay, self._transmit_relay, relay)
+            # Fire-and-forget (several relays may be in flight at once, so a
+            # named timer would wrongly supersede); guarded by _started.
+            self.sim.schedule_call(delay, self._transmit_relay, (relay,))
 
     def _transmit_relay(self, relay: InterfererListFrame) -> None:
         if not self._started or self.radio.is_transmitting or self._state is _State.BURST:
             return
         self.radio.transmit(relay)
+
+    # ------------------------------------------------------------------
+    # Batched conflict-map sweep
+    # ------------------------------------------------------------------
+    def _sweep_maps(self) -> None:
+        """Reclaim expired ongoing-list/defer-table entries in one batch.
+
+        Replaces the per-event scans (every overheard trailer swept the
+        ongoing list; every defer decision swept the defer table). Decision
+        paths skip expired entries inline, so when the deletion happens is
+        behaviour-neutral — this timer only bounds memory, and draws no
+        randomness so the RNG streams stay bit-identical.
+        """
+        self.timers.arm("sweep", self._sweep_period, self._cb_sweep)
+        now = self.sim.now
+        self.ongoing.sweep(now)
+        self.defer_table.sweep(now)
 
     # ==================================================================
     # Introspection helpers (experiments, tests)

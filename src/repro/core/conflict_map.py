@@ -54,20 +54,17 @@ class OngoingList:
         self._entries[(src, dst)] = OngoingEntry(src, dst, end_time, rate_mbps)
 
     def note_trailer(self, src: int, dst: int, now: float) -> None:
-        """A trailer means the burst just finished.
+        """A trailer means the burst just finished: drop that entry, O(1).
 
-        ``now`` drives an opportunistic expiry sweep: any entry whose
-        announced end has passed is dropped here rather than lingering until
-        the next :meth:`active` call — in a dynamic world a node can move
-        out of range of *everyone* it was tracking, and trailers are the
-        steadiest heartbeat the receiver still gets. Behaviour-neutral for
-        decisions: :meth:`active` never returned expired entries anyway.
+        Expired *other* entries are left for :meth:`active` (delete-before-
+        read, so decisions never see them) or the MAC's periodic
+        :meth:`sweep` — trailers used to drive an O(n) opportunistic sweep
+        here, on every overheard trailer; batching it behind the wheel
+        timer removes that per-event scan. In a dynamic world the sweep
+        timer is now the memory-bound heartbeat (a node that moved out of
+        range of everyone it was tracking still sweeps).
         """
         self._entries.pop((src, dst), None)
-        if self._entries:
-            dead = [k for k, e in self._entries.items() if e.end_time <= now]
-            for k in dead:
-                del self._entries[k]
 
     def active(self, now: float) -> List[OngoingEntry]:
         """Live entries; expired ones are dropped as a side effect."""
@@ -75,6 +72,13 @@ class OngoingList:
         for k in dead:
             del self._entries[k]
         return list(self._entries.values())
+
+    def sweep(self, now: float) -> int:
+        """Drop every expired entry (the periodic batched sweep)."""
+        dead = [k for k, e in self._entries.items() if e.end_time <= now]
+        for k in dead:
+            del self._entries[k]
+        return len(dead)
 
     def busy_with(self, node: int, now: float) -> Optional[OngoingEntry]:
         """The entry showing ``node`` as sender or receiver, if any."""
@@ -327,6 +331,12 @@ class DeferTable:
         for e in dead:
             del self._entries[e]
 
+    def sweep(self, now: float) -> int:
+        """Drop every timed-out entry (the periodic batched sweep)."""
+        before = len(self._entries)
+        self._expire(now)
+        return before - len(self._entries)
+
     def should_defer(
         self,
         now: float,
@@ -336,9 +346,18 @@ class DeferTable:
         my_rate_mbps: int = 6,
         their_rate_mbps: int = 6,
     ) -> bool:
-        """Match an ongoing transmission against both defer patterns (§3.2)."""
-        self._expire(now)
-        for entry in self._entries:
+        """Match an ongoing transmission against both defer patterns (§3.2).
+
+        Timed-out entries are *skipped* inline rather than deleted — this is
+        the per-decision hot path, and the old delete-before-match pass
+        rebuilt a dead-list on every call. Deletion is batched behind the
+        MAC's periodic :meth:`sweep`; the verdict is identical either way
+        because an entry past ``entry_timeout`` never matches.
+        """
+        cutoff = now - self.entry_timeout
+        for entry, stamp in self._entries.items():
+            if stamp < cutoff:
+                continue
             if entry.tx_src != ongoing_src:
                 continue
             if entry.tx_dst not in (ANY, ongoing_dst):

@@ -114,6 +114,11 @@ class CmapParams:
     #: bounded memory and re-learn dissolved conflicts from scratch (§3.4).
     #: Clamped to at least ``interf_window_s``.
     map_staleness_horizon: float = 30.0
+    #: Period of the batched conflict-map sweep: expired ongoing-list and
+    #: defer-table entries are reclaimed on this timer instead of on every
+    #: overheard trailer / defer decision. Purely a memory-reclaim cadence —
+    #: decisions skip expired entries regardless of when they are deleted.
+    map_sweep_period: float = 1.0
 
     # --- latency model (§4.1) ---
     latency: LatencyProfile = field(default_factory=LatencyProfile.paper_soft_mac)

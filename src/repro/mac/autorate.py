@@ -35,6 +35,15 @@ class ArfParams(DcfParams):
 class ArfDcfMac(DcfMac):
     """DCF whose data rate follows the ARF ladder."""
 
+    __slots__ = (
+        "_ladder",
+        "_rung",
+        "_consecutive_ok",
+        "_consecutive_fail",
+        "_probing",
+        "rate_changes",
+    )
+
     def __init__(self, sim, node_id, radio, rng, params: Optional[ArfParams] = None):
         params = params or ArfParams()
         super().__init__(sim, node_id, radio, rng, params)

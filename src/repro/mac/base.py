@@ -6,6 +6,16 @@ next packet on demand, which models the paper's "transmit as fast as they
 can" workloads without unbounded queues). Received application payloads are
 handed to a sink callback; duplicate suppression happens in the sink, since
 "throughput" in the paper is *non-duplicate* packets per second (§5.1).
+
+Timers: MACs do not juggle raw engine events. :class:`TimerRegistry`
+(``self.timers``) names every timer (``"difs"``, ``("win", dst)``, ...),
+arms it through the engine's wheel-backed :meth:`Simulator.call_later`,
+reuses the underlying :class:`~repro.sim.engine.TimerHandle` across
+re-arms, and is drained wholesale by the final :meth:`MacBase.stop` —
+subclasses hook ``_on_start``/``_on_stop`` instead of overriding the
+lifecycle methods, which removes the per-MAC cancel boilerplate the churn
+paths used to duplicate. ``benchmarks/check_timer_api.py`` enforces in CI
+that no MAC constructs raw engine events.
 """
 
 from __future__ import annotations
@@ -13,15 +23,17 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional, TYPE_CHECKING
+from typing import Any, Callable, Deque, Dict, Hashable, Optional, TYPE_CHECKING
 
 import numpy as np
+
+from repro.sim.engine import Priority
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.phy.frames import Frame
     from repro.phy.radio import Radio
     from repro.phy.reception import Reception
-    from repro.sim.engine import Simulator
+    from repro.sim.engine import Simulator, TimerHandle
 
 _packet_ids = itertools.count(1)
 
@@ -40,7 +52,7 @@ class Packet:
 SinkFn = Callable[[int, int, int, int, float], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class MacStats:
     """Counters every MAC maintains."""
 
@@ -55,8 +67,109 @@ class MacStats:
     ack_timeouts: int = 0
 
 
+class TimerRegistry:
+    """Named timers for one MAC: arm/cancel by name, drain on stop.
+
+    Each name (any hashable — hot per-destination timers use tuples like
+    ``("win", dst)``) maps to one :class:`TimerHandle` that is reused
+    across re-arms: arming a name that already holds a handle with the
+    same callback reschedules it in place (no allocation on the wheel
+    fast path), and a cancelled name keeps its handle for revival on the
+    next arm. ``cancel_all`` is the lifecycle drain :meth:`MacBase.stop`
+    relies on, which is what lets the per-MAC stop overrides collapse.
+    """
+
+    __slots__ = ("_sim", "_timers")
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._timers: Dict[Hashable, "TimerHandle"] = {}
+
+    def arm(
+        self,
+        name: Hashable,
+        delay: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = Priority.NORMAL,
+    ) -> None:
+        """Arm (or re-arm) the named timer ``delay`` seconds from now.
+
+        An already-armed name is superseded: its previous arm never fires.
+        """
+        handle = self._timers.get(name)
+        if handle is not None:
+            # Identity check: MACs arm with bound callbacks folded into
+            # slots at __init__, so the reuse fast path never needs the
+            # (much slower) method `==`. A non-identical callback falls
+            # through to cancel + fresh arm, which consumes the same one
+            # seq as reschedule — the choice is invisible to event order.
+            if handle.fn is fn and handle.args == args:
+                self._timers[name] = handle.reschedule(delay)
+                return
+            handle.cancel()
+        self._timers[name] = self._sim.call_later(
+            delay, fn, *args, priority=priority
+        )
+
+    def cancel(self, name: Hashable) -> None:
+        """Cancel the named timer (no-op when not armed).
+
+        The handle is kept for reuse by the next :meth:`arm` of the name.
+        Fired handles are left untouched (cancelling them is already a
+        no-op) so they stay revivable in place.
+        """
+        handle = self._timers.get(name)
+        # `handle._sim is not None` is TimerHandle.pending inlined; the
+        # property call costs more than the whole rest of this method on
+        # the ACK-cancel hot path.
+        if handle is not None and handle._sim is not None:
+            handle.cancel()
+
+    def cancel_all(self) -> None:
+        """Cancel every armed timer (the stop-lifecycle drain)."""
+        for handle in self._timers.values():
+            if handle._sim is not None:
+                handle.cancel()
+
+    def is_armed(self, name: Hashable) -> bool:
+        """True while the named timer is armed and not yet fired."""
+        handle = self._timers.get(name)
+        return handle is not None and handle._sim is not None
+
+    def fire_time(self, name: Hashable) -> Optional[float]:
+        """Absolute fire time of the named timer, or None when not armed."""
+        handle = self._timers.get(name)
+        if handle is not None and handle._sim is not None:
+            return handle.time
+        return None
+
+    def pending_count(self) -> int:
+        """Number of currently armed timers (test/debug aid)."""
+        return sum(1 for h in self._timers.values() if h.pending)
+
+
 class MacBase:
     """Base class wiring a MAC to its radio, queue, source, and sink."""
+
+    #: Slotted: per-event MAC callbacks touch sim/radio/stats/_queue on
+    #: every frame. ``__dict__`` stays available (here only, not repeated
+    #: in subclasses) so tests and wrappers can still attach ad-hoc
+    #: attributes; slotted names keep descriptor-speed access regardless.
+    __slots__ = (
+        "sim",
+        "node_id",
+        "radio",
+        "rng",
+        "stats",
+        "tracer",
+        "timers",
+        "_queue",
+        "_source",
+        "_sink",
+        "_started",
+        "__dict__",
+    )
 
     #: RNG consumption contract of this MAC class. ``"uniform"`` declares
     #: that every draw on ``self.rng`` is ``random()`` or
@@ -87,6 +200,7 @@ class MacBase:
         from repro.tracing import NULL_TRACER
 
         self.tracer = NULL_TRACER
+        self.timers = TimerRegistry(sim)
         self._queue: Deque[Packet] = deque()
         self._source = None  # pull source, see attach_source()
         self._sink: Optional[SinkFn] = None
@@ -137,17 +251,29 @@ class MacBase:
     # Lifecycle and radio callbacks (subclasses override)
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Begin operation; idempotent."""
+        """Begin operation. Template method — subclasses hook ``_on_start``."""
         self._started = True
+        self._on_start()
 
     def stop(self) -> None:
         """Cease operation (node churned out); idempotent.
 
-        Subclasses cancel their timers on top of this. Un-cancellable
-        callbacks already in the heap (``schedule_call`` ACKs, relays) must
-        check ``self._started`` before transmitting.
+        Template method: after the ``_on_stop`` hook resets subclass
+        state, every named timer is drained via
+        :meth:`TimerRegistry.cancel_all` — subclasses do not cancel
+        timers themselves. Un-cancellable callbacks already in the heap
+        (``schedule_call`` ACKs, relays) must check ``self._started``
+        before transmitting.
         """
         self._started = False
+        self._on_stop()
+        self.timers.cancel_all()
+
+    def _on_start(self) -> None:
+        """Subclass hook: arm initial timers, kick the first contention."""
+
+    def _on_stop(self) -> None:
+        """Subclass hook: reset protocol state (timers are drained after)."""
 
     def on_queue_refill(self) -> None:
         """Called when new traffic appears while running."""

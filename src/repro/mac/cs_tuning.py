@@ -37,6 +37,14 @@ class CsTuningParams(DcfParams):
 class CsTuningMac(DcfMac):
     """DCF whose radio CS threshold is tuned online."""
 
+    __slots__ = (
+        "_direction",
+        "_last_epoch_acks",
+        "_prev_rate",
+        "threshold_moves",
+        "_cb_adapt",
+    )
+
     def __init__(self, sim, node_id, radio, rng,
                  params: Optional[CsTuningParams] = None):
         super().__init__(sim, node_id, radio, rng, params or CsTuningParams())
@@ -44,24 +52,17 @@ class CsTuningMac(DcfMac):
         self._last_epoch_acks = 0
         self._prev_rate = 0.0
         self.threshold_moves = 0
+        self._cb_adapt = self._adapt
 
-    def start(self) -> None:
-        super().start()
-        self._adapt_timer = self.sim.schedule(self.params.epoch, self._adapt)
-
-    def stop(self) -> None:
-        """Churn contract (MacBase.stop): cancel the epoch timer too."""
-        timer = getattr(self, "_adapt_timer", None)
-        if timer is not None:
-            timer.cancel()
-            self._adapt_timer = None
-        super().stop()
+    def _on_start(self) -> None:
+        super()._on_start()
+        self.timers.arm("adapt", self.params.epoch, self._cb_adapt)
 
     # ------------------------------------------------------------------
     def _adapt(self) -> None:
         if not self._started:
             return  # stopped between the timer firing and this callback
-        self._adapt_timer = self.sim.schedule(self.params.epoch, self._adapt)
+        self.timers.arm("adapt", self.params.epoch, self._cb_adapt)
         delivered = self.stats.acks_received - self._last_epoch_acks
         self._last_epoch_acks = self.stats.acks_received
         rate = delivered / self.params.epoch

@@ -12,6 +12,12 @@ backoff. The two switches produce the paper's three baselines:
 
 With carrier sense disabled, backoff durations are pure waits (nothing can
 freeze them, as the hardware is not listening before talking).
+
+Hot-path notes: timing/switch params are folded into slotted instance
+fields at build time (``data_rate`` deliberately excepted — the autorate
+MAC mutates it live), timers go through the named registry over the
+engine's wheel, and the per-timer callbacks are bound once at build so
+re-arming a timer allocates nothing.
 """
 
 from __future__ import annotations
@@ -64,6 +70,33 @@ class _State(Enum):
 class DcfMac(MacBase):
     """One node's DCF instance."""
 
+    __slots__ = (
+        "params",
+        "_state",
+        "_cw",
+        "_retries",
+        "_current",
+        "_current_frame",
+        "_seq",
+        "_backoff_slots",
+        "_need_post_backoff",
+        "_ack_timeout",
+        "_cs",
+        "_acks",
+        "_slot",
+        "_sifs",
+        "_difs",
+        "_cw_min",
+        "_cw_max",
+        "_retry_limit",
+        "_ack_rate",
+        "_draw_backoff",
+        "_cb_difs",
+        "_cb_slot",
+        "_cb_tx",
+        "_cb_ack",
+    )
+
     def __init__(self, sim, node_id, radio, rng, params: Optional[DcfParams] = None):
         super().__init__(sim, node_id, radio, rng)
         self.params = params or DcfParams()
@@ -74,28 +107,40 @@ class DcfMac(MacBase):
         self._current_frame: Optional[DcfDataFrame] = None
         self._seq = 0
         self._backoff_slots: Optional[int] = None
-        self._difs_event = None
-        self._slot_event = None
-        self._ack_timer = None
         #: Post-TX backoff applies even after success (standard DCF).
         self._need_post_backoff = False
         #: ack_timeout() is a pure function of the (fixed) params; computing
         #: the ACK airtime once per MAC instead of once per data frame.
         self._ack_timeout = self.params.ack_timeout()
+        # Build-time folding of the per-event params reads. data_rate is
+        # NOT folded: the autorate wrapper retunes it mid-run.
+        p = self.params
+        self._cs = p.carrier_sense
+        self._acks = p.acks
+        self._slot = p.slot
+        self._sifs = p.sifs
+        self._difs = p.difs
+        self._cw_min = p.cw_min
+        self._cw_max = p.cw_max
+        self._retry_limit = p.retry_limit
+        self._ack_rate = p.ack_rate
+        # Per-node specialized draw: same integers(0, hi) call, with the
+        # generator method bound once instead of per contention round.
+        self._draw_backoff = self.rng.integers
+        # Timer callbacks bound once so registry re-arms hit the
+        # handle-reuse fast path (and allocate no bound methods).
+        self._cb_difs = self._difs_elapsed
+        self._cb_slot = self._next_slot
+        self._cb_tx = self._transmit_current
+        self._cb_ack = self._ack_timed_out
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def start(self) -> None:
-        super().start()
+    def _on_start(self) -> None:
         self._maybe_begin()
 
-    def stop(self) -> None:
-        super().stop()
-        self._cancel_timers()
-        if self._ack_timer is not None:
-            self._ack_timer.cancel()
-            self._ack_timer = None
+    def _on_stop(self) -> None:
         self._state = _State.IDLE
 
     def on_queue_refill(self) -> None:
@@ -111,70 +156,61 @@ class DcfMac(MacBase):
         self._state = _State.CONTEND
         if self._backoff_slots is None:
             if self._need_post_backoff or self._retries > 0:
-                self._backoff_slots = int(self.rng.integers(0, self._cw + 1))
+                self._backoff_slots = int(self._draw_backoff(0, self._cw + 1))
             else:
                 self._backoff_slots = 0
-        if self.params.carrier_sense:
+        if self._cs:
             self._start_difs_when_idle()
         else:
             # No listening: DIFS and backoff are pure time.
-            delay = self.params.difs + self._backoff_slots * self.params.slot
+            delay = self._difs + self._backoff_slots * self._slot
             self._backoff_slots = 0
-            self._slot_event = self.sim.schedule(delay, self._transmit_current)
+            self.timers.arm("slot", delay, self._cb_tx)
 
     # ------------------------------------------------------------------
     # Carrier-sensed contention
     # ------------------------------------------------------------------
     def _start_difs_when_idle(self) -> None:
-        self._cancel_timers()
+        self._cancel_contention()
         if self.radio.is_channel_busy():
             return  # on_channel_idle will restart us
-        self._difs_event = self.sim.schedule(self.params.difs, self._difs_elapsed)
+        self.timers.arm("difs", self._difs, self._cb_difs)
 
     def _difs_elapsed(self) -> None:
-        self._difs_event = None
         self._next_slot()
 
     def _next_slot(self) -> None:
-        self._slot_event = None
         if self._backoff_slots is None or self._backoff_slots <= 0:
             self._backoff_slots = None
             self._transmit_current()
             return
         self._backoff_slots -= 1
-        self._slot_event = self.sim.schedule(self.params.slot, self._next_slot)
+        self.timers.arm("slot", self._slot, self._cb_slot)
 
     def on_channel_busy(self) -> None:
-        if self._state is _State.CONTEND and self.params.carrier_sense:
+        if self._state is _State.CONTEND and self._cs:
             # Freeze: cancel DIFS/slot timers, keep remaining slot count.
-            self._cancel_timers()
+            self._cancel_contention()
 
     def on_channel_idle(self) -> None:
-        if self._state is _State.CONTEND and self.params.carrier_sense:
+        if self._state is _State.CONTEND and self._cs:
             self._start_difs_when_idle()
 
-    def _cancel_timers(self) -> None:
-        ev = self._difs_event
-        if ev is not None:
-            ev.cancel()
-            self._difs_event = None
-        ev = self._slot_event
-        if ev is not None:
-            ev.cancel()
-            self._slot_event = None
+    def _cancel_contention(self) -> None:
+        self.timers.cancel("difs")
+        self.timers.cancel("slot")
 
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
     def _transmit_current(self) -> None:
-        self._slot_event = None
         if not self._started:
             return  # stopped (churned out) between scheduling and firing
         if self._current is None:  # pragma: no cover - defensive
             self._state = _State.IDLE
             return
         if self.radio.is_transmitting:  # pragma: no cover - defensive
-            self.sim.schedule(self.params.slot, self._transmit_current)
+            self.timers.arm("slot", self._slot, self._cb_tx)
             return
         pkt = self._current
         frame = DcfDataFrame(
@@ -202,12 +238,10 @@ class DcfMac(MacBase):
             return  # receiver side finished sending an ACK
         if frame is not self._current_frame:
             return
-        wants_ack = self.params.acks and not frame.is_broadcast
+        wants_ack = self._acks and not frame.is_broadcast
         if wants_ack:
             self._state = _State.WAIT_ACK
-            self._ack_timer = self.sim.schedule(
-                self._ack_timeout, self._ack_timed_out
-            )
+            self.timers.arm("ack", self._ack_timeout, self._cb_ack)
         else:
             self._packet_done(success=True)
 
@@ -215,14 +249,13 @@ class DcfMac(MacBase):
     # ACK handling
     # ------------------------------------------------------------------
     def _ack_timed_out(self) -> None:
-        self._ack_timer = None
         self.stats.ack_timeouts += 1
         self._retries += 1
-        if self._retries > self.params.retry_limit:
+        if self._retries > self._retry_limit:
             self.stats.packets_dropped += 1
             self._packet_done(success=False)
             return
-        self._cw = min(2 * self._cw + 1, self.params.cw_max)
+        self._cw = min(2 * self._cw + 1, self._cw_max)
         self._backoff_slots = None
         self._state = _State.IDLE
         self._maybe_begin()
@@ -232,7 +265,7 @@ class DcfMac(MacBase):
         self._current_frame = None
         self._seq += 1
         self._retries = 0
-        self._cw = self.params.cw_min
+        self._cw = self._cw_min
         self._backoff_slots = None
         self._need_post_backoff = True
         self._state = _State.IDLE
@@ -250,7 +283,7 @@ class DcfMac(MacBase):
                 self.deliver_up(
                     frame.src, frame.packet_id, frame.size_bytes - MAC_OVERHEAD_BYTES
                 )
-                if self.params.acks and frame.dst == self.node_id:
+                if self._acks and frame.dst == self.node_id:
                     self._send_ack(frame)
         elif frame.kind is FrameKind.DCF_ACK:
             if frame.dst == self.node_id:
@@ -261,12 +294,12 @@ class DcfMac(MacBase):
             src=self.node_id,
             dst=data_frame.src,
             size_bytes=14,
-            rate=self.params.ack_rate,
+            rate=self._ack_rate,
             acked_seq=data_frame.seq,
             acked_uid=data_frame.uid,
         )
         self.stats.acks_sent += 1
-        self.sim.schedule_call(self.params.sifs, self._transmit_ack, (ack,))
+        self.sim.schedule_call(self._sifs, self._transmit_ack, (ack,))
 
     def _transmit_ack(self, ack: DcfAckFrame) -> None:
         if not self._started or self.radio.is_transmitting:
@@ -281,7 +314,5 @@ class DcfMac(MacBase):
             and ack.acked_uid == self._current_frame.uid
         ):
             self.stats.acks_received += 1
-            if self._ack_timer is not None:
-                self._ack_timer.cancel()
-                self._ack_timer = None
+            self.timers.cancel("ack")
             self._packet_done(success=True)

@@ -60,6 +60,13 @@ class _BinStats:
 class EcsmaMac(DcfMac):
     """DCF whose defer rule is P(success | observed interference bin)."""
 
+    __slots__ = (
+        "_stats",
+        "_tx_bin",
+        "transmitted_through_busy",
+        "deferred_by_stats",
+    )
+
     def __init__(self, sim, node_id, radio, rng, params: Optional[EcsmaParams] = None):
         super().__init__(sim, node_id, radio, rng, params or EcsmaParams())
         self._stats: Dict[Tuple[int, int], _BinStats] = {}
@@ -110,10 +117,10 @@ class EcsmaMac(DcfMac):
         return not ok
 
     def _start_difs_when_idle(self) -> None:
-        self._cancel_timers()
+        self._cancel_contention()
         if self._busy_blocks():
             return  # normal CSMA deferral; the idle edge restarts us
-        self._difs_event = self.sim.schedule(self.params.difs, self._difs_elapsed)
+        self.timers.arm("difs", self._difs, self._cb_difs)
 
     def on_channel_busy(self) -> None:
         """Freeze only when the estimator agrees the busy channel is fatal.
@@ -131,7 +138,7 @@ class EcsmaMac(DcfMac):
             ) >= self.params.success_threshold
             if ok:
                 return  # ignore the edge, keep counting down
-        self._cancel_timers()
+        self._cancel_contention()
 
     def _transmit_current(self) -> None:
         if self._current is not None:

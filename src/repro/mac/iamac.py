@@ -50,6 +50,8 @@ class IaMacParams(RtsCtsParams):
 class IaMac(RtsCtsMac):
     """RTS/CTS with interference margins in the CTS."""
 
+    __slots__ = ("concurrent_grants", "_rts_rss")
+
     def __init__(self, sim, node_id, radio, rng, params: Optional[IaMacParams] = None):
         super().__init__(sim, node_id, radio, rng, params or IaMacParams())
         self.concurrent_grants = 0
@@ -81,7 +83,8 @@ class IaMac(RtsCtsMac):
             rts_uid=rts.uid,
             interference_margin_dbm=margin,
         )
-        self.sim.schedule(p.sifs, self._transmit_control, cts)
+        # Fire-and-forget SIFS turnaround, as in the parent class.
+        self.sim.schedule_call(p.sifs, self._transmit_control, (cts,))
 
     def on_frame_received(self, frame, ok, reception) -> None:
         if isinstance(frame, RtsFrame) and ok and frame.dst == self.node_id:

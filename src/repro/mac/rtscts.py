@@ -66,22 +66,34 @@ class RtsCtsParams(DcfParams):
 class RtsCtsMac(DcfMac):
     """DCF with the four-way RTS/CTS/DATA/ACK exchange and a NAV."""
 
+    __slots__ = (
+        "nav_until",
+        "_awaiting_cts_for",
+        "_pending_data_frame",
+        "_cts_timeout",
+        "_cb_nav_recheck",
+        "_cb_cts_to",
+        "stats_rts_sent",
+        "stats_cts_timeouts",
+        "stats_nav_set",
+    )
+
     def __init__(self, sim, node_id, radio, rng, params: Optional[RtsCtsParams] = None):
         super().__init__(sim, node_id, radio, rng, params or RtsCtsParams())
         #: Network-allocation vector: virtual carrier busy until this time.
         self.nav_until: float = 0.0
         self._awaiting_cts_for: Optional[RtsFrame] = None
-        self._cts_timer = None
         self._pending_data_frame = None
+        #: Like DCF's _ack_timeout: a pure function of the fixed params.
+        self._cts_timeout = self.params.cts_timeout()
+        self._cb_nav_recheck = self._start_difs_when_idle
+        self._cb_cts_to = self._cts_timed_out
         self.stats_rts_sent = 0
         self.stats_cts_timeouts = 0
         self.stats_nav_set = 0
 
-    def stop(self) -> None:
-        super().stop()
-        if self._cts_timer is not None:
-            self._cts_timer.cancel()
-            self._cts_timer = None
+    def _on_stop(self) -> None:
+        super()._on_stop()
         self._awaiting_cts_for = None
 
     # ------------------------------------------------------------------
@@ -91,16 +103,16 @@ class RtsCtsMac(DcfMac):
         return self.radio.is_channel_busy() or self.sim.now < self.nav_until
 
     def _start_difs_when_idle(self) -> None:
-        self._cancel_timers()
+        self._cancel_contention()
         if self._channel_blocked():
             if self.sim.now < self.nav_until:
                 # Re-check when the NAV expires (physical CS edges will not
                 # fire for a virtual reservation).
-                self._difs_event = self.sim.schedule(
-                    self.nav_until - self.sim.now, self._start_difs_when_idle
+                self.timers.arm(
+                    "difs", self.nav_until - self.sim.now, self._cb_nav_recheck
                 )
             return
-        self._difs_event = self.sim.schedule(self.params.difs, self._difs_elapsed)
+        self.timers.arm("difs", self._difs, self._cb_difs)
 
     def _set_nav(self, until: float) -> None:
         if until > self.nav_until:
@@ -111,7 +123,6 @@ class RtsCtsMac(DcfMac):
     # Transmit path: RTS first
     # ------------------------------------------------------------------
     def _transmit_current(self) -> None:
-        self._slot_event = None
         if self._current is None:  # pragma: no cover - defensive
             self._state = _State.IDLE
             return
@@ -143,9 +154,7 @@ class RtsCtsMac(DcfMac):
         if not self._started:
             return  # stopped (churned out) while the frame was in flight
         if isinstance(frame, RtsFrame):
-            self._cts_timer = self.sim.schedule(
-                self.params.cts_timeout(), self._cts_timed_out
-            )
+            self.timers.arm("cts", self._cts_timeout, self._cb_cts_to)
             return
         if isinstance(frame, CtsFrame):
             return  # receiver side; the sender's data will follow
@@ -153,7 +162,6 @@ class RtsCtsMac(DcfMac):
 
     def _cts_timed_out(self) -> None:
         """No CTS: treat like a missing ACK (retry with a wider window)."""
-        self._cts_timer = None
         self._awaiting_cts_for = None
         self.stats_cts_timeouts += 1
         self._ack_timed_out()
@@ -182,16 +190,18 @@ class RtsCtsMac(DcfMac):
         super().on_frame_received(frame, ok, reception)
 
     def _reply_cts(self, rts: RtsFrame) -> None:
-        cts_air = Phy80211a.airtime(CTS_BYTES, self.params.ack_rate)
+        cts_air = Phy80211a.airtime(CTS_BYTES, self._ack_rate)
         cts = CtsFrame(
             src=self.node_id,
             dst=rts.src,
             size_bytes=CTS_BYTES,
-            rate=self.params.ack_rate,
-            duration=max(0.0, rts.duration - self.params.sifs - cts_air),
+            rate=self._ack_rate,
+            duration=max(0.0, rts.duration - self._sifs - cts_air),
             rts_uid=rts.uid,
         )
-        self.sim.schedule(self.params.sifs, self._transmit_control, cts)
+        # Fire-and-forget (never cancelled): the event-free fast path, with
+        # _transmit_control's _started check covering churn-out races.
+        self.sim.schedule_call(self._sifs, self._transmit_control, (cts,))
 
     def _transmit_control(self, frame: Frame) -> None:
         if self._started and not self.radio.is_transmitting:
@@ -201,11 +211,9 @@ class RtsCtsMac(DcfMac):
         if self._awaiting_cts_for is None or cts.rts_uid != self._awaiting_cts_for.uid:
             return
         self._awaiting_cts_for = None
-        if self._cts_timer is not None:
-            self._cts_timer.cancel()
-            self._cts_timer = None
+        self.timers.cancel("cts")
         # Channel is reserved: send the data frame after SIFS.
-        self.sim.schedule(self.params.sifs, self._transmit_reserved_data)
+        self.sim.schedule_call(self._sifs, self._transmit_reserved_data)
 
     def _transmit_reserved_data(self) -> None:
         if not self._started or self._current is None or self.radio.is_transmitting:

@@ -43,7 +43,8 @@ from typing import Callable, Dict, List, Optional
 BENCH_SCHEMA = 1
 
 #: Schema tag written into every PROFILE file, bumped on layout changes.
-PROFILE_SCHEMA = 1
+#: Bumped to 2 when per-figure ``mac_share`` was added (PR 9).
+PROFILE_SCHEMA = 2
 
 #: Layers every PROFILE payload must report (CI asserts these keys exist).
 REQUIRED_LAYERS = (
@@ -374,6 +375,11 @@ def profile_figure(name: str, fn: Callable[[], object]) -> dict:
         "figure": name,
         "wall_seconds": round(wall, 3),
         "profiled_seconds": round(total, 3),
+        # Headline number for MAC-focused perf PRs: the fraction of profiled
+        # time spent in the MAC layer (repro/mac/ + repro/core/). Duplicated
+        # out of ``layers`` so trajectory tooling can diff it without
+        # digging through the per-layer breakdown.
+        "mac_share": layers["mac"]["fraction"],
         "layers": layers,
     }
 

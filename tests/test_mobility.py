@@ -20,7 +20,7 @@ import math
 import pytest
 
 from repro.core.cmap_mac import CmapMac
-from repro.core.conflict_map import OngoingList
+from repro.core.conflict_map import DeferTable, InterfererEntry, OngoingList
 from repro.core.params import CmapParams, LatencyProfile
 from repro.experiments.executor import ProcessPoolBackend, run_experiment, run_trial
 from repro.experiments.runners import ExperimentScale, build_mobility_sweep
@@ -559,18 +559,32 @@ class TestConflictMapAdaptation:
 
 
 # ----------------------------------------------------------------------
-# OngoingList trailer-time expiry (satellite: note_trailer uses ``now``)
+# OngoingList batched expiry (satellite: periodic sweep, O(1) trailers)
 # ----------------------------------------------------------------------
-class TestOngoingListTrailerExpiry:
-    def test_trailer_sweeps_expired_entries(self):
+class TestOngoingListSweep:
+    def test_sweep_drops_expired_keeps_live(self):
         ol = OngoingList()
         ol.note_header(1, 2, end_time=1.0)
         ol.note_header(3, 4, end_time=10.0)
-        # Trailer for an unrelated pair at t=5: the (1, 2) entry's announced
-        # end has long passed and must be swept without an active() call.
-        ol.note_trailer(7, 8, now=5.0)
+        # The batched sweep at t=5 reclaims the (1, 2) entry whose announced
+        # end has long passed, without an active() call, and reports it.
+        assert ol.sweep(5.0) == 1
         assert (1, 2) not in ol._entries
         assert (3, 4) in ol._entries
+        assert ol.sweep(5.0) == 0  # idempotent until something else expires
+
+    def test_trailer_is_o1_pop_only(self):
+        ol = OngoingList()
+        ol.note_header(1, 2, end_time=1.0)
+        ol.note_header(3, 4, end_time=10.0)
+        # Trailers close their own burst and nothing else — the old
+        # opportunistic per-trailer sweep is gone (batched behind the
+        # MAC's "sweep" timer); decisions never see expired entries
+        # because active() deletes before reading.
+        ol.note_trailer(7, 8, now=5.0)
+        assert (1, 2) in ol._entries  # expired but awaiting the sweep
+        assert ol.active(5.0) == [ol._entries[(3, 4)]]
+        assert (1, 2) not in ol._entries  # active() still delete-before-read
 
     def test_trailer_keeps_live_entries(self):
         ol = OngoingList()
@@ -579,6 +593,22 @@ class TestOngoingListTrailerExpiry:
         ol.note_header(3, 4, end_time=9.0)
         ol.note_trailer(5, 6, now=4.0)
         assert (3, 4) in ol._entries
+
+
+class TestDeferTableSweep:
+    def test_should_defer_skips_stale_without_deleting(self):
+        table = DeferTable(entry_timeout=1.0)
+        table.update_from_interferer_list(
+            20, 30, [InterfererEntry(source=20, interferer=99)], now=0.0
+        )
+        assert table.should_defer(0.5, 30, 99, 77)
+        # Past the timeout the verdict flips, but deletion is deferred to
+        # the batched sweep — the hot path only skips.
+        assert not table.should_defer(5.0, 30, 99, 77)
+        assert len(table) == 1
+        assert table.sweep(5.0) == 1
+        assert len(table) == 0
+        assert not table.should_defer(5.0, 30, 99, 77)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,334 @@
+"""Timer-wheel engine and timer/lifecycle API (PR 9).
+
+Three layers of proof that the wheel is invisible to simulation results:
+
+* lockstep micro-tests — the same schedule/cancel/reschedule storm run on a
+  wheel-enabled and a wheel-disabled engine fires in the byte-identical
+  order with identical ``events_processed``;
+* a cancel-storm property test — thousands of pseudo-random arm/cancel/
+  reschedule operations keep ``pending_count`` consistent and never fire a
+  cancelled timer;
+* twin-MAC lockstep — full DCF and CMAP networks over faded worlds produce
+  identical fingerprints (flows, transmissions, event counts, tx log) with
+  the wheel on and off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import CmapParams
+from repro.mac.base import TimerRegistry
+from repro.net.testbed import Testbed, TestbedConfig
+from repro.net.topology import FloorPlan
+from repro.network import Network, cmap_factory, dcf_factory
+from repro.sim.engine import Priority, Simulator, TimerHandle, WHEEL_ENV_VAR
+
+
+def make_sim(monkeypatch, wheel: bool) -> Simulator:
+    monkeypatch.setenv(WHEEL_ENV_VAR, "1" if wheel else "0")
+    sim = Simulator()
+    # The python backend must honour the request; the native run loop
+    # drains the heap directly and legitimately disables the wheel.
+    from repro.kernels.backend import get_backend
+
+    if not get_backend().native_run_loop:
+        assert sim.timer_wheel_enabled == wheel
+    return sim
+
+
+# ----------------------------------------------------------------------
+# TimerHandle unit behaviour
+# ----------------------------------------------------------------------
+class TestTimerHandle:
+    @pytest.mark.parametrize("wheel", [True, False])
+    def test_call_later_fires_and_cancel_is_o1(self, monkeypatch, wheel):
+        sim = make_sim(monkeypatch, wheel)
+        fired = []
+        h1 = sim.call_later(1.0, fired.append, "a")
+        h2 = sim.call_later(2.0, fired.append, "b")
+        assert isinstance(h1, TimerHandle) and h1.pending
+        h2.cancel()
+        assert not h2.pending and h2.cancelled
+        sim.run()
+        assert fired == ["a"]
+        assert not h1.pending  # fired handles are no longer pending
+
+    @pytest.mark.parametrize("wheel", [True, False])
+    def test_reschedule_in_place_retargets(self, monkeypatch, wheel):
+        sim = make_sim(monkeypatch, wheel)
+        fired = []
+        h = sim.call_later(5.0, fired.append, "x")
+        h2 = h.reschedule(1.0)
+        if wheel:
+            # Entry still parked in the wheel: retargeted in place, no
+            # allocation.
+            assert h2 is h
+        else:
+            # Entry already in the main heap: reviving it would leave a
+            # stale heap record that double-fires, so reschedule hands
+            # back a fresh handle and cancels the old one.
+            assert h2 is not h and h.cancelled
+        assert h2.pending and h2.time == 1.0
+        sim.run(until=2.0)
+        assert fired == ["x"]
+        assert sim.now == 2.0
+
+    @pytest.mark.parametrize("wheel", [True, False])
+    def test_reschedule_after_fire_revives_handle(self, monkeypatch, wheel):
+        """The periodic-timer idiom: re-arm the handle from its callback."""
+        sim = make_sim(monkeypatch, wheel)
+        fires = []
+        holder = {}
+
+        def tick():
+            fires.append(sim.now)
+            if len(fires) < 3:
+                holder["h"] = holder["h"].reschedule(1.0)
+
+        holder["h"] = sim.call_later(1.0, tick)
+        sim.run()
+        assert fires == [1.0, 2.0, 3.0]
+
+    @pytest.mark.parametrize("wheel", [True, False])
+    def test_cancelled_then_rescheduled_never_double_fires(
+        self, monkeypatch, wheel
+    ):
+        sim = make_sim(monkeypatch, wheel)
+        fired = []
+        h = sim.call_later(1.0, fired.append, "first")
+        h.cancel()
+        h = h.reschedule(2.0)
+        sim.run()
+        assert fired == ["first"]
+        assert sim.now == 2.0  # fired at the rescheduled time only
+
+    def test_negative_delay_rejected(self, monkeypatch):
+        sim = make_sim(monkeypatch, True)
+        with pytest.raises(ValueError):
+            sim.call_later(-0.1, lambda: None)
+        h = sim.call_later(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            h.reschedule(-1.0)
+
+    @pytest.mark.parametrize("wheel", [True, False])
+    def test_pending_count_tracks_wheel_and_heap(self, monkeypatch, wheel):
+        sim = make_sim(monkeypatch, wheel)
+        handles = [sim.call_later(0.5 + i, lambda: None) for i in range(10)]
+        assert sim.pending_count() == 10
+        for h in handles[:4]:
+            h.cancel()
+        assert sim.pending_count() == 6
+        sim.run()
+        assert sim.pending_count() == 0
+
+
+# ----------------------------------------------------------------------
+# Wheel ≡ heap lockstep (bit-identical firing order)
+# ----------------------------------------------------------------------
+def _storm(sim: Simulator, log: list) -> None:
+    """A deterministic mixed workload: legacy events + handles + cancels."""
+    rng = np.random.default_rng(1234)
+    handles = []
+
+    def note(tag):
+        log.append((round(sim.now, 9), tag))
+
+    def churn(depth):
+        note(("churn", depth))
+        if depth >= 40:
+            return
+        for _ in range(3):
+            d = float(rng.integers(1, 50)) * 1e-4
+            kind = int(rng.integers(0, 4))
+            if kind == 0:
+                sim.schedule(d, note, ("ev", depth))  # legacy shim path
+            elif kind == 1:
+                handles.append(sim.call_later(d, note, ("tm", depth)))
+            elif kind == 2 and handles:
+                handles[int(rng.integers(0, len(handles)))].cancel()
+            elif handles:
+                i = int(rng.integers(0, len(handles)))
+                handles[i] = handles[i].reschedule(d)
+        if depth % 7 == 0:
+            sim.schedule_call(
+                float(rng.integers(1, 20)) * 1e-4, note, (("call", depth),)
+            )
+        sim.call_later(1e-3, churn, depth + 1)
+
+    sim.call_later(0.0, churn, 0)
+
+
+class TestLockstep:
+    def test_storm_is_bit_identical_across_layouts(self, monkeypatch):
+        logs, processed = [], []
+        for wheel in (True, False):
+            sim = make_sim(monkeypatch, wheel)
+            log: list = []
+            _storm(sim, log)
+            sim.run()
+            logs.append(log)
+            processed.append(sim.events_processed)
+        assert logs[0] == logs[1]
+        assert processed[0] == processed[1]
+
+    def test_same_instant_priority_order_preserved(self, monkeypatch):
+        for wheel in (True, False):
+            sim = make_sim(monkeypatch, wheel)
+            order = []
+            sim.call_later(1.0, order.append, "late", priority=Priority.LATE)
+            sim.call_later(1.0, order.append, "start",
+                           priority=Priority.FRAME_START)
+            sim.schedule(1.0, order.append, "normal")
+            sim.call_later(1.0, order.append, "end",
+                           priority=Priority.FRAME_END)
+            sim.run()
+            assert order == ["end", "normal", "start", "late"]
+
+
+# ----------------------------------------------------------------------
+# Cancel-storm property test
+# ----------------------------------------------------------------------
+class TestCancelStorm:
+    @pytest.mark.parametrize("seed", [7, 77, 777])
+    def test_random_arm_cancel_reschedule_storm(self, monkeypatch, seed):
+        """Invariants under a pseudo-random operation storm, wheel on/off:
+
+        * a cancelled arm never fires, every live arm fires exactly once;
+        * ``pending_count`` equals the model's live-set size at every step;
+        * both layouts fire the identical sequence.
+        """
+        results = []
+        for wheel in (True, False):
+            sim = make_sim(monkeypatch, wheel)
+            rng = np.random.default_rng(seed)
+            fired: list = []
+            live: dict = {}  # id -> handle (model of pending arms)
+            next_id = [0]
+
+            def fire(uid):
+                fired.append((round(sim.now, 9), uid))
+                live.pop(uid, None)
+
+            for _ in range(400):
+                op = int(rng.integers(0, 10))
+                if op < 5 or not live:  # arm fresh
+                    uid = next_id[0]
+                    next_id[0] += 1
+                    d = float(rng.integers(0, 1 << 14)) / 16384.0
+                    live[uid] = sim.call_later(d, fire, uid)
+                elif op < 7:  # cancel a live arm
+                    uid = list(live)[int(rng.integers(0, len(live)))]
+                    live.pop(uid).cancel()
+                else:  # reschedule a live arm
+                    uid = list(live)[int(rng.integers(0, len(live)))]
+                    d = float(rng.integers(0, 1 << 14)) / 16384.0
+                    live[uid] = live[uid].reschedule(d)
+                assert sim.pending_count() == len(live)
+                # Occasionally advance time so arms interleave with ops.
+                if op == 9:
+                    sim.run(until=sim.now + 1e-3)
+            sim.run()
+            assert sim.pending_count() == 0
+            armed = next_id[0]
+            results.append((tuple(fired), armed, sim.events_processed))
+        assert results[0] == results[1]
+        fired_uids = [uid for _, uid in results[0][0]]
+        assert len(fired_uids) == len(set(fired_uids))  # nothing double-fired
+
+
+# ----------------------------------------------------------------------
+# TimerRegistry semantics
+# ----------------------------------------------------------------------
+class TestTimerRegistry:
+    def test_arm_supersedes_and_reuses_handle(self, monkeypatch):
+        sim = make_sim(monkeypatch, True)
+        reg = TimerRegistry(sim)
+        fired = []
+        cb = lambda: fired.append(sim.now)  # noqa: E731
+        reg.arm("t", 5.0, cb)
+        first = reg._timers["t"]
+        reg.arm("t", 1.0, cb)  # supersede: earlier deadline wins
+        assert reg._timers["t"] is first  # same-callback re-arm reuses
+        sim.run()
+        assert fired == [1.0]
+
+    def test_cancel_then_rearm_revives(self, monkeypatch):
+        sim = make_sim(monkeypatch, True)
+        reg = TimerRegistry(sim)
+        fired = []
+        cb = lambda: fired.append(sim.now)  # noqa: E731
+        reg.arm("t", 1.0, cb)
+        reg.cancel("t")
+        assert not reg.is_armed("t")
+        reg.arm("t", 2.0, cb)
+        assert reg.is_armed("t") and reg.fire_time("t") == 2.0
+        sim.run()
+        assert fired == [2.0]
+
+    def test_cancel_all_drains(self, monkeypatch):
+        sim = make_sim(monkeypatch, True)
+        reg = TimerRegistry(sim)
+        for i in range(5):
+            reg.arm(("win", i), 1.0 + i, lambda: None, i)
+        assert reg.pending_count() == 5
+        reg.cancel_all()
+        assert reg.pending_count() == 0
+        sim.run()
+        assert sim.now == 0.0  # nothing left to fire
+
+    def test_tuple_names_are_independent(self, monkeypatch):
+        sim = make_sim(monkeypatch, True)
+        reg = TimerRegistry(sim)
+        hits = []
+        reg.arm(("win", 1), 1.0, hits.append, 1)
+        reg.arm(("win", 2), 2.0, hits.append, 2)
+        reg.cancel(("win", 1))
+        sim.run()
+        assert hits == [2]
+
+
+# ----------------------------------------------------------------------
+# Twin-MAC lockstep: full networks over faded worlds, wheel on vs off
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def faded_testbed():
+    return Testbed(
+        seed=9, config=TestbedConfig(num_nodes=10, floor=FloorPlan(90, 45))
+    )
+
+
+def _fingerprint(testbed, factory, run_seed=5):
+    net = Network(testbed, run_seed=run_seed, track_tx=True)
+    for n in (0, 1, 2, 3):
+        net.add_node(n, factory)
+    net.add_saturated_flow(0, 1)
+    net.add_saturated_flow(2, 3)
+    res = net.run(duration=1.0, warmup=0.3)
+    flows = tuple(
+        (f.src, f.dst, f.delivered_unique, f.measured_bytes)
+        for f in sorted(res.sink.flow_list(), key=lambda f: (f.src, f.dst))
+    )
+    return (
+        flows,
+        net.medium.total_transmissions,
+        net.sim.events_processed,
+        tuple(net.medium.tx_log[:100]),
+    )
+
+
+class TestTwinMacLockstep:
+    @pytest.mark.parametrize(
+        "name,make",
+        [
+            ("dcf", lambda: dcf_factory(True, True)),
+            ("cmap", lambda: cmap_factory(CmapParams())),
+        ],
+    )
+    def test_wheel_matches_heap_exactly(
+        self, monkeypatch, faded_testbed, name, make
+    ):
+        monkeypatch.setenv(WHEEL_ENV_VAR, "1")
+        with_wheel = _fingerprint(faded_testbed, make())
+        monkeypatch.setenv(WHEEL_ENV_VAR, "0")
+        without = _fingerprint(faded_testbed, make())
+        assert with_wheel == without
