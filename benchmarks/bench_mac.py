@@ -50,9 +50,19 @@ def _run_pairs(testbed: Testbed, factory, duration: float) -> None:
     assert delivered > 0, "benchmark network moved no traffic"
 
 
-def bench_timer_churn(repeat: int, timers: int = 64, ticks: int = 60000):
-    """Pure timer churn: named periodic timers + a cancel/re-arm storm."""
+def bench_timer_churn(
+    repeat: int,
+    timers: int = 64,
+    ticks: int = 60000,
+    wheel: bool | None = None,
+):
+    """Pure timer churn: named periodic timers + a cancel/re-arm storm.
+
+    ``wheel`` overrides ``REPRO_TIMER_WHEEL`` for the measurement (None =
+    inherit the environment); the engine reads the variable per-Simulator,
+    so one process can interleave both layouts back to back."""
     from repro.mac.base import TimerRegistry
+    from repro.sim.engine import WHEEL_ENV_VAR
 
     def build_and_run() -> Simulator:
         sim = Simulator()
@@ -77,24 +87,60 @@ def bench_timer_churn(repeat: int, timers: int = 64, ticks: int = 60000):
         sim.run(until=ticks * period / timers)
         return sim
 
-    best = None
-    for _ in range(max(1, repeat)):
-        t0 = time.perf_counter()
-        sim = build_and_run()
-        wall = time.perf_counter() - t0
-        bench = perf.FigureBench(
-            figure="mac_timer_churn",
-            wall_seconds=round(wall, 4),
-            run_wall_seconds=round(wall, 4),
-            events=sim.events_processed,
-            trials=1,
-            sim_seconds=sim.now,
-            events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
-            core_events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
-            trials_per_sec=1.0 / wall if wall > 0 else 0.0,
-        )
-        if best is None or bench.wall_seconds < best.wall_seconds:
-            best = bench
+    prev = os.environ.get(WHEEL_ENV_VAR)
+    if wheel is not None:
+        os.environ[WHEEL_ENV_VAR] = "1" if wheel else "0"
+    try:
+        best = None
+        for _ in range(max(1, repeat)):
+            t0 = time.perf_counter()
+            sim = build_and_run()
+            wall = time.perf_counter() - t0
+            bench = _churn_bench(sim, wall)
+            if best is None or bench.wall_seconds < best.wall_seconds:
+                best = bench
+        return best
+    finally:
+        if wheel is not None:
+            if prev is None:
+                os.environ.pop(WHEEL_ENV_VAR, None)
+            else:
+                os.environ[WHEEL_ENV_VAR] = prev
+
+
+def _churn_bench(sim: Simulator, wall: float) -> "perf.FigureBench":
+    return perf.FigureBench(
+        figure="mac_timer_churn",
+        wall_seconds=round(wall, 4),
+        run_wall_seconds=round(wall, 4),
+        events=sim.events_processed,
+        trials=1,
+        sim_seconds=sim.now,
+        events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
+        core_events_per_sec=sim.events_processed / wall if wall > 0 else 0.0,
+        trials_per_sec=1.0 / wall if wall > 0 else 0.0,
+    )
+
+
+def bench_wheel_ab(
+    timers: int, ticks: int = 60000, rounds: int = 3
+) -> dict:
+    """Interleaved wheel-on/wheel-off churn A/B at ``timers`` timers.
+
+    Runs the two layouts strictly alternated (round-for-round, same
+    process) so co-tenant throughput drift hits both sides equally; keeps
+    the best observation per side — the PR 9 methodology, applied to the
+    N>=400 scale its bench flag deferred."""
+    best = {"on": None, "off": None}
+    for _ in range(max(1, rounds)):
+        for mode, wheel in (("off", False), ("on", True)):
+            bench = bench_timer_churn(1, timers=timers, ticks=ticks,
+                                      wheel=wheel)
+            if (
+                best[mode] is None
+                or bench.events_per_sec > best[mode].events_per_sec
+            ):
+                best[mode] = bench
     return best
 
 
@@ -113,7 +159,27 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument("--write-baseline", action="store_true")
+    parser.add_argument("--wheel-ab", type=int, default=None, metavar="N",
+                        help="run ONLY the interleaved wheel-on/off churn "
+                             "A/B at N timers (the N>=400 measurement "
+                             "BENCH_pr9_mac.json deferred) and exit")
+    parser.add_argument("--wheel-rounds", type=int, default=3,
+                        help="interleaved rounds per side for --wheel-ab")
+    parser.add_argument("--churn-ticks", type=int, default=60000,
+                        help="tick budget for the churn workloads")
     args = parser.parse_args(argv)
+
+    if args.wheel_ab is not None:
+        best = bench_wheel_ab(args.wheel_ab, ticks=args.churn_ticks,
+                              rounds=args.wheel_rounds)
+        for mode in ("off", "on"):
+            b = best[mode]
+            print(f"wheel={mode:<3} N={args.wheel_ab:<5} "
+                  f"{b.wall_seconds:6.3f}s wall  {b.events:>9} events  "
+                  f"{b.events_per_sec:>9.0f} ev/s")
+        ratio = best["off"].events_per_sec / best["on"].events_per_sec
+        print(f"wheel-off/wheel-on: {ratio:.3f}x")
+        return 0
 
     testbed = Testbed(seed=args.seed)
     testbed.links  # force the O(N^2) census into setup, not the timing

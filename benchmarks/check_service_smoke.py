@@ -21,10 +21,21 @@ are absorbed by retries; an injected ``os._exit`` kills the server
 mid-job and a restarted server resumes the job to ``done`` — with the
 final rows still bit-identical to the serial reference.
 
+With ``--workers`` the sweep is executed by a *remote fleet* instead of
+the server's local threads: two ``python -m repro.cli work`` daemons
+(running the canned ``worker-chaos`` transport fault plan) lease the job
+over HTTP, and the gate SIGKILLs whichever worker holds the lease as soon
+as its first row lands. The lease must be reaped, the survivor must
+re-lease and finish from the server-side cache sweep, and the final rows
+must be bit-identical to serial with zero duplicates — one row per trial
+even though uploads were dropped, delayed, duplicated, and truncated and
+a worker died mid-lease.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_service_smoke.py [--seed 1]
     PYTHONPATH=src python benchmarks/check_service_smoke.py --chaos
+    PYTHONPATH=src python benchmarks/check_service_smoke.py --workers
 
 Exits non-zero (with a diff report) on any mismatch.
 """
@@ -86,6 +97,16 @@ def start_serve(port: int, data_dir: str, env: dict, extra=()):
     return subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve",
          "--port", str(port), "--data-dir", data_dir, *extra],
+        env=env,
+    )
+
+
+def start_work(url: str, worker_id: str, data_dir: str, env: dict):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "work",
+         "--url", url, "--worker-id", worker_id, "--poll", "0.2",
+         "--fault-plan", "worker-chaos",
+         "--fault-state", os.path.join(data_dir, f"faults-{worker_id}")],
         env=env,
     )
 
@@ -279,6 +300,112 @@ def run_chaos(args, env) -> int:
     return 0
 
 
+def run_workers(args, env) -> int:
+    """The fig12 smoke sweep executed by a two-daemon remote fleet under
+    the ``worker-chaos`` transport plan, with the lease holder SIGKILLed
+    mid-job.
+
+    Proves the partition-tolerance story end to end, across real
+    processes: the killed worker's lease is reaped by the (stood-down)
+    local thread, the surviving daemon re-leases the job with a larger
+    fencing token, the server-side cache sweep spares every trial the
+    victim already uploaded, and the run-table ends bit-identical to
+    ``SerialBackend`` with exactly one row per trial — despite dropped
+    polls, delayed requests, a duplicated upload, a truncated upload
+    response, dropped heartbeats, and one dead worker.
+    """
+    port = free_port()
+    failures = []
+    with tempfile.TemporaryDirectory() as data_dir:
+        url = f"http://127.0.0.1:{port}"
+        proc = start_serve(port, data_dir, env,
+                           ("--lease", "5", "--workers", "1"))
+        workers = {}
+        try:
+            client = ServiceClient(url)
+            wait_for_health(client, proc)
+            workers = {wid: start_work(url, wid, data_dir, env)
+                       for wid in ("fleet-a", "fleet-b")}
+
+            # Both daemons registered before the job exists, so the
+            # server's local thread stands down to reaper duty.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                seen = {w["worker_id"] for w in client.workers()}
+                if seen >= set(workers):
+                    break
+                time.sleep(0.2)
+            else:
+                failures.append(f"fleet never registered: {seen}")
+
+            reply = client.submit_builder("fig12", scale="smoke",
+                                          seed=args.seed)
+            print(f"[submitted {reply['name']} as {reply['job_id']} "
+                  f"({reply['trials']} trials) to a 2-worker fleet]")
+
+            # SIGKILL whichever daemon uploads the first row — by
+            # construction the current lease holder, caught mid-job.
+            victim = None
+            deadline = time.monotonic() + args.timeout
+            while time.monotonic() < deadline:
+                rows = client.runs(experiment=reply["name"], limit=5)["runs"]
+                holders = [r["worker_id"] for r in rows if r["worker_id"]]
+                if holders:
+                    victim = holders[0]
+                    break
+                time.sleep(0.2)
+            if victim is None:
+                failures.append("no worker ever uploaded a row")
+            else:
+                workers[victim].kill()
+                workers[victim].wait(timeout=15)
+                print(f"[SIGKILLed lease holder {victim} mid-job]")
+
+            final = None
+            deadline = time.monotonic() + args.timeout
+            for progress in client.tail(reply["job_id"], wait=10.0):
+                print(f"  {progress['state']:<9} "
+                      f"{progress['completed']}/{progress['total']} "
+                      f"(attempt {progress.get('attempt')})")
+                final = progress
+                if time.monotonic() > deadline:
+                    failures.append("tail timed out")
+                    break
+
+            spec, reference = serial_reference(args.seed)
+            check_results(client, spec, reference, final, failures)
+
+            rows = client.runs(experiment=spec.name,
+                               limit=len(spec.trials) + 10)["runs"]
+            contributed = {r["worker_id"] for r in rows}
+            if None in contributed:
+                failures.append(
+                    "local execution ran trials while the fleet was live")
+            if victim is not None and len(contributed - {None}) < 2:
+                failures.append(
+                    f"expected both workers in the run-table, "
+                    f"got {sorted(c for c in contributed if c)}")
+            if final is not None and final.get("attempt", 0) < 2:
+                failures.append(
+                    f"job finished on attempt {final.get('attempt')} — "
+                    f"the kill did not interrupt a lease")
+        finally:
+            for w in workers.values():
+                if w.poll() is None:
+                    stop_serve(w)
+            stop_serve(proc)
+
+    if failures:
+        print("\nWORKER FLEET SMOKE FAILURES:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nworker fleet smoke OK: killed lease holder reaped, survivor "
+          "finished from cache under transport chaos, rows bit-identical "
+          "to the serial path with zero duplicates")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=1, help="testbed seed")
@@ -287,6 +414,10 @@ def main(argv=None) -> int:
     parser.add_argument("--chaos", action="store_true",
                         help="run under the smoke-chaos fault plan and "
                              "verify the recovery story")
+    parser.add_argument("--workers", action="store_true",
+                        help="run the sweep on a two-daemon remote fleet "
+                             "under worker-chaos and SIGKILL the lease "
+                             "holder mid-job")
     args = parser.parse_args(argv)
 
     env = dict(os.environ)
@@ -295,6 +426,8 @@ def main(argv=None) -> int:
 
     if args.chaos:
         return run_chaos(args, env)
+    if args.workers:
+        return run_workers(args, env)
     return run_smoke(args, env)
 
 

@@ -270,7 +270,7 @@ def run_profile(args, figures) -> int:
 
 #: Targets served by the sweep service CLI (repro.service.cli), which has
 #: its own argument surface; dispatched before the figure parser runs.
-SERVICE_TARGETS = ("serve", "submit", "tail", "runs", "chaos")
+SERVICE_TARGETS = ("serve", "work", "submit", "tail", "runs", "chaos")
 
 
 def main(argv=None) -> int:

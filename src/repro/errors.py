@@ -74,6 +74,20 @@ class StoreCorruptionError(PermanentError):
     """A persistence file failed its integrity check and was quarantined."""
 
 
+class StaleTokenError(PermanentError):
+    """A write arrived carrying a fencing token older than one already
+    recorded for the same row.
+
+    Permanent by definition: the token only moves forward, so the caller
+    is a zombie — a worker whose lease was reaped during a partition and
+    re-granted (possibly to itself) — and retrying the same write can
+    never succeed. The correct response is to abandon the job, not retry;
+    the current holder owns every further write. The run-table raises this
+    as the last line of defense behind the queue's lease check (the two
+    can disagree only in the window between reap and re-grant).
+    """
+
+
 class RetryBudgetExhausted(PermanentError):
     """A job spent its whole transient-retry budget; further transient
     failures quarantine immediately instead of retrying."""

@@ -549,6 +549,12 @@ class ResultStore:
     def put(self, result: TrialResult) -> None:
         self._results[result.trial_id] = result
 
+    def has(self, trial_id: str, fingerprint: str) -> bool:
+        """Whether a result with exactly this (trial_id, fingerprint) is
+        cached — the idempotency check remote result uploads go through."""
+        cached = self._results.get(trial_id)
+        return cached is not None and cached.fingerprint == fingerprint
+
     def __len__(self) -> int:
         return len(self._results)
 

@@ -1,23 +1,29 @@
-"""Service CLI targets: ``serve`` / ``submit`` / ``tail`` / ``runs`` / ``chaos``.
+"""Service CLI targets: ``serve`` / ``work`` / ``submit`` / ``tail`` /
+``runs`` / ``chaos``.
 
 Dispatched from ``python -m repro.cli``::
 
     python -m repro.cli serve --port 8642 --data-dir sweep-data
+    python -m repro.cli work --url http://127.0.0.1:8642
     python -m repro.cli submit --url http://127.0.0.1:8642 \\
         --builder fig12 --scale smoke --seed 1
     python -m repro.cli submit --url ... --builder fig20 --param rates=[6,12]
     python -m repro.cli tail --url ... <job-id>
     python -m repro.cli runs --url ... --experiment fig12 \\
         --metric total_mbps --q 10,50,90
+    python -m repro.cli runs --url ... --prune --max-age 604800 --keep 100000
     python -m repro.cli chaos --builder fig12 --scale smoke
 
 ``serve`` owns the data directory (sqlite run-table + per-job stores),
 resumes any jobs a previous process left open, and drains gracefully on
 SIGTERM/SIGINT: workers finish their current trial, jobs requeue durably,
-and the run-table is checkpointed before exit. ``chaos`` runs a
-deterministic fault-injection soak in-process (see EXPERIMENTS.md) and
-exits non-zero if the stack mishandled any injected fault. Everything
-else talks to a running server over HTTP.
+and the run-table is checkpointed before exit. ``work`` runs a remote
+worker daemon against a serve URL: it leases jobs over HTTP, executes
+them locally, and streams fenced, idempotent uploads back — start one per
+core or host for a fleet (see EXPERIMENTS.md "Remote workers"). ``chaos``
+runs a deterministic fault-injection soak in-process and exits non-zero
+if the stack mishandled any injected fault. Everything else talks to a
+running server over HTTP.
 """
 
 from __future__ import annotations
@@ -64,6 +70,8 @@ def cmd_serve(args) -> int:
         trial_jobs=args.trial_jobs,
         trial_timeout_s=args.trial_timeout,
         fault_plan=fault_plan,
+        lease_s=args.lease,
+        worker_ttl_s=args.worker_ttl,
     )
     if coordinator.runtable.rebuilt_from:
         print(f"[run-table failed its integrity check; quarantined to "
@@ -109,6 +117,51 @@ def cmd_serve(args) -> int:
         coordinator.runtable.close()
     print("[stopped: state persisted; restart with the same --data-dir "
           "to resume]", flush=True)
+    return 0
+
+
+def cmd_work(args) -> int:
+    """Remote worker daemon: lease jobs from a ``serve`` URL, run them
+    locally, upload results. Drains gracefully on SIGTERM/SIGINT (the
+    current job is requeued at the next trial boundary)."""
+    import signal
+
+    from repro.service.faults import describe, load_plan
+    from repro.service.http_api import ServiceClient
+    from repro.service.worker import Worker, default_worker_id
+
+    fault_plan = None
+    if args.fault_plan:
+        fault_plan = load_plan(args.fault_plan, state_dir=args.fault_state)
+        print(f"[fault plan: {describe(fault_plan)}]", flush=True)
+    worker_id = args.worker_id or default_worker_id()
+    worker = Worker(
+        ServiceClient(args.url),
+        worker_id=worker_id,
+        poll_s=args.poll,
+        fault_plan=fault_plan,
+    )
+
+    def _graceful(signum, frame) -> None:
+        print(f"\n[{signal.Signals(signum).name}: draining — current job "
+              f"requeues at the next trial boundary]", flush=True)
+        worker.stop()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, _graceful)
+
+    print(f"[worker {worker_id} leasing from {args.url}]", flush=True)
+    try:
+        taken = worker.run(max_jobs=args.max_jobs,
+                           idle_exit_s=args.idle_exit)
+    except OSError as exc:
+        print(f"[worker {worker_id} giving up: {exc}]", flush=True)
+        return 1
+    s = worker.stats
+    print(f"[worker {worker_id} exiting: {taken} job(s) — "
+          f"acked={s['acked']} abandoned={s['abandoned']} "
+          f"trials={s['trials']} uploaded={s['uploaded']} "
+          f"quarantined={s['quarantined']}]", flush=True)
     return 0
 
 
@@ -282,6 +335,14 @@ def cmd_runs(args) -> int:
     from repro.service.http_api import ServiceClient
 
     client = ServiceClient(args.url)
+    if args.prune:
+        if args.max_age is None and args.keep is None:
+            raise SystemExit("--prune needs --max-age and/or --keep")
+        reply = client.prune_runs(max_age_s=args.max_age,
+                                  max_keep=args.keep)
+        print(f"[pruned {reply['deleted']} run-table row(s); "
+              f"WAL checkpointed]")
+        return 0
     if args.metric:
         if not args.experiment:
             raise SystemExit("--metric needs --experiment")
@@ -326,12 +387,39 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="per-trial wall-clock watchdog in seconds "
                             "(default: none)")
+    serve.add_argument("--lease", type=float, default=300.0, metavar="S",
+                       help="job lease length; a worker silent this long "
+                            "is reaped and its job re-leased (default 300)")
+    serve.add_argument("--worker-ttl", type=float, default=15.0, metavar="S",
+                       help="remote workers silent this long count as "
+                            "gone and local execution resumes (default 15)")
     serve.add_argument("--fault-plan", default=None, metavar="NAME|PATH",
                        help="inject faults: a canned plan name "
                             "(smoke-chaos, none) or a FaultPlan JSON file")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
     serve.set_defaults(fn=cmd_serve)
+
+    work = sub.add_parser(
+        "work", help="remote worker daemon: lease + run jobs over HTTP")
+    work.add_argument("--url", default=DEFAULT_URL,
+                      help=f"serve URL to lease from (default {DEFAULT_URL})")
+    work.add_argument("--worker-id", default=None,
+                      help="stable identity in leases and run-table rows "
+                           "(default: host-pid-suffix)")
+    work.add_argument("--poll", type=float, default=1.0, metavar="S",
+                      help="lease long-poll length when idle (default 1)")
+    work.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                      help="exit after taking N jobs (default: run forever)")
+    work.add_argument("--idle-exit", type=float, default=None, metavar="S",
+                      help="exit after S seconds with nothing to lease "
+                           "(default: keep polling)")
+    work.add_argument("--fault-plan", default=None, metavar="NAME|PATH",
+                      help="worker-side transport faults: a canned name "
+                           "(worker-chaos, none) or a FaultPlan JSON file")
+    work.add_argument("--fault-state", default=None, metavar="DIR",
+                      help="state dir for the plan's exactly-once tokens")
+    work.set_defaults(fn=cmd_work)
 
     chaos = sub.add_parser(
         "chaos", help="deterministic fault-injection soak (in-process)")
@@ -394,6 +482,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "or a named trial metric) instead of listing rows")
     runs.add_argument("--q", default="10,50,90",
                       help="with --metric: percentiles (default 10,50,90)")
+    runs.add_argument("--prune", action="store_true",
+                      help="retention: delete old rows (never open jobs') "
+                           "and checkpoint the WAL")
+    runs.add_argument("--max-age", type=float, default=None, metavar="S",
+                      help="with --prune: drop rows older than S seconds")
+    runs.add_argument("--keep", type=int, default=None, metavar="N",
+                      help="with --prune: keep only the newest N rows")
     runs.set_defaults(fn=cmd_runs)
     return parser
 

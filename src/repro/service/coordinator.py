@@ -101,6 +101,7 @@ class Coordinator:
         fault_plan: Optional[FaultPlan] = None,
         sleep: Callable[[float], None] = time.sleep,
         testbed_factory: Callable[[int], Testbed] = None,
+        worker_ttl_s: float = 15.0,
     ):
         self.data_dir = data_dir
         os.makedirs(os.path.join(data_dir, "stores"), exist_ok=True)
@@ -128,10 +129,19 @@ class Coordinator:
         self._sleep = sleep
         self._testbed_factory = testbed_factory or (lambda seed: Testbed(seed=seed))
         self._testbeds: Dict[int, Testbed] = {}
+        self.worker_ttl_s = worker_ttl_s
         self._jobs: Dict[str, SweepJob] = {}
         #: Live idempotency-key -> job_id map (the run-table holds the
         #: durable half; this catches submit races before the first upsert).
         self._idem: Dict[str, str] = {}
+        #: Remote worker registry: worker_id -> monotonic last-seen. A
+        #: worker is *active* while its last contact (register, lease poll,
+        #: heartbeat, upload) is younger than ``worker_ttl_s``.
+        self._remote_workers: Dict[str, float] = {}
+        #: Per-job remote lease context: job_id -> {worker_id, token,
+        #: store}. Cleared on ack/requeue; a reaped lease leaves a stale
+        #: entry that the queue's verify rejects before it is ever used.
+        self._remote: Dict[str, dict] = {}
         self._cond = threading.Condition()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
@@ -324,8 +334,25 @@ class Coordinator:
     def _worker_loop(self, worker_id: str) -> None:
         while not self._stop.is_set():
             self.queue.reap_expired()
+            if self.remote_workers_active():
+                # Degradation ladder, top rung: a live remote fleet owns
+                # execution, so local threads stand down to pure reaper
+                # duty. The moment every remote worker goes stale (crash,
+                # partition) this check fails and local execution resumes —
+                # the service degrades to exactly its single-host behavior.
+                self._stop.wait(0.2)
+                continue
             job = self.queue.lease(worker_id, timeout=0.2, lease_s=self.lease_s)
             if job is None:
+                continue
+            if self.remote_workers_active():
+                # A remote worker registered while this thread was blocked
+                # inside lease(): the fleet owns execution now, so hand the
+                # job straight back instead of racing the remote lease.
+                try:
+                    self.queue.requeue(job.job_id, worker_id)
+                except LeaseLost:
+                    pass
                 continue
             try:
                 self._run_job(worker_id, job)
@@ -470,6 +497,251 @@ class Coordinator:
             ack=True,
         )
 
+    # ------------------------------------------------------------------
+    # Remote workers (the HTTP lease protocol — see service/worker.py)
+    # ------------------------------------------------------------------
+    def register_worker(self, worker_id: str) -> dict:
+        """A remote worker announced itself. Returns the handshake config
+        the worker daemons run with (lease length drives their heartbeat
+        cadence). Registration is soft state: it expires ``worker_ttl_s``
+        after the worker's last contact and costs nothing to repeat."""
+        with self._cond:
+            self._remote_workers[worker_id] = time.monotonic()
+        return {
+            "worker_id": worker_id,
+            "lease_s": self.lease_s,
+            "worker_ttl_s": self.worker_ttl_s,
+            "trial_timeout_s": self.trial_timeout_s,
+        }
+
+    def touch_worker(self, worker_id: str) -> None:
+        """Refresh a worker's last-seen stamp (every verb calls this)."""
+        with self._cond:
+            if worker_id in self._remote_workers:
+                self._remote_workers[worker_id] = time.monotonic()
+
+    def remote_workers(self) -> List[dict]:
+        """Registry snapshot: worker ids, seconds since contact, liveness."""
+        now = time.monotonic()
+        with self._cond:
+            return [
+                {
+                    "worker_id": wid,
+                    "age_s": now - seen,
+                    "active": (now - seen) < self.worker_ttl_s,
+                }
+                for wid, seen in sorted(self._remote_workers.items())
+            ]
+
+    def remote_workers_active(self) -> bool:
+        """True while at least one registered worker is fresh — the switch
+        that stands the local execution threads down."""
+        now = time.monotonic()
+        with self._cond:
+            return any(
+                (now - seen) < self.worker_ttl_s
+                for seen in self._remote_workers.values()
+            )
+
+    def lease_for_remote(
+        self, worker_id: str, timeout: float = 0.0
+    ) -> Optional[dict]:
+        """Lease one job to a remote worker.
+
+        The coordinator sweeps the job's fingerprinted store and the
+        run-table *before* shipping it: cached results are recorded (with
+        this grant's token) and quarantined trials counted server-side, so
+        the worker stays stateless and only ever receives trials that
+        actually need executing. Returns None when nothing is queued, else
+        ``{"job": SweepJob, "token": int, "pending": [TrialSpec, ...]}``.
+        """
+        self.touch_worker(worker_id)
+        self.queue.reap_expired()
+        job = self.queue.lease(worker_id, timeout=timeout, lease_s=self.lease_s)
+        if job is None:
+            return None
+        token = self.queue.lease_token(job.job_id, worker_id)
+        if job.cancel_requested:
+            self._finalize(job, CANCELLED, worker_id=worker_id, ack=True)
+            return None
+        job.state = RUNNING
+        job.started_at = time.time()
+        job.completed = 0
+        job.failed = 0
+        job.quarantined = 0
+        self.runtable.upsert_job(job)
+        self._notify()
+        store = ResultStore(
+            self._store_path(job),
+            testbed_seed=job.testbed_seed,
+            experiment=job.name,
+            fault_hook=self._fault_hook,
+        )
+        pending: List[TrialSpec] = []
+        for trial in job.trials:
+            cached = store.get(trial)
+            if cached is not None:
+                self._record_ok(
+                    job, cached, wall=None, replace=False,
+                    worker_id=worker_id, attempt=job.attempt, token=token,
+                )
+                continue
+            status = self.runtable.trial_status(
+                job.name, trial.trial_id, trial.fingerprint()
+            )
+            if status == "quarantined":
+                job.quarantined += 1
+                self.runtable.upsert_job(job)
+                self._notify()
+                continue
+            pending.append(trial)
+        with self._cond:
+            self._remote[job.job_id] = {
+                "worker_id": worker_id, "token": token, "store": store,
+            }
+        return {"job": job, "token": token, "pending": pending}
+
+    def remote_heartbeat(self, job_id: str, worker_id: str, token: int) -> None:
+        """Extend a remote lease; :class:`LeaseLost` tells the worker its
+        lease was reaped (and possibly re-granted) — it must abandon."""
+        self.touch_worker(worker_id)
+        try:
+            self.queue.extend(job_id, worker_id, self.lease_s, token=token)
+        except LeaseLost:
+            self._drop_remote_ctx(job_id, token)
+            raise
+
+    def record_remote_result(
+        self,
+        job_id: str,
+        worker_id: str,
+        token: int,
+        result: TrialResult,
+        wall: Optional[float] = None,
+    ) -> bool:
+        """Accept one uploaded TrialResult from a remote worker.
+
+        Ordered checks make this safe against every replay the fault plan
+        can produce: (1) the queue verifies worker *and* fencing token, so
+        a zombie's upload raises :class:`LeaseLost` before any write; (2)
+        the job's store deduplicates by (trial_id, fingerprint), so a
+        duplicated upload returns False without touching counters; (3) the
+        run-table insert carries the token, so even a write racing the
+        reap window is fenced by :class:`~repro.errors.StaleTokenError`.
+        Returns True when the result was new."""
+        self.touch_worker(worker_id)
+        try:
+            self.queue.verify(job_id, worker_id, token)
+        except LeaseLost:
+            self._drop_remote_ctx(job_id, token)
+            raise
+        with self._cond:
+            ctx = self._remote.get(job_id)
+            job = self._jobs.get(job_id)
+        if ctx is None or job is None or ctx["token"] != token:
+            raise LeaseLost(
+                f"job {job_id} has no live remote lease for token {token}"
+            )
+        store: ResultStore = ctx["store"]
+        if store.has(result.trial_id, result.fingerprint):
+            return False  # duplicated upload: one row, one counter bump
+        store.put(result)
+        self._save_store(store)
+        self._record_ok(
+            job, result, wall=wall, replace=True, already_stored=True,
+            worker_id=worker_id, attempt=job.attempt, token=token,
+        )
+        return True
+
+    def record_remote_quarantine(
+        self,
+        job_id: str,
+        worker_id: str,
+        token: int,
+        trial_id: str,
+        fingerprint: str,
+        error: str,
+        error_class_name: str,
+    ) -> None:
+        """A remote worker gave up on one trial (permanent failure or
+        exhausted retries). Fenced and verified exactly like a result."""
+        self.touch_worker(worker_id)
+        try:
+            self.queue.verify(job_id, worker_id, token)
+        except LeaseLost:
+            self._drop_remote_ctx(job_id, token)
+            raise
+        with self._cond:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise LeaseLost(f"job {job_id} is not live")
+        job.quarantined += 1
+        job.error = f"{error_class_name}: {error}"
+        self.runtable.record_quarantine(
+            job.name, trial_id, fingerprint, error, error_class_name,
+            seed=job.testbed_seed, job_id=job.job_id,
+            worker_id=worker_id, attempt=job.attempt, token=token,
+        )
+        self.runtable.upsert_job(job)
+        self._notify()
+
+    def remote_ack(self, job_id: str, worker_id: str, token: int) -> dict:
+        """The worker walked every pending trial: finalize the job. The
+        terminal state is computed *server-side* from the counters the
+        verified uploads built — a worker cannot claim completion it did
+        not upload. Returns the job's final progress dict."""
+        self.touch_worker(worker_id)
+        with self._cond:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise LeaseLost(f"job {job_id} is not live")
+        if job.cancel_requested:
+            state = CANCELLED
+        elif (
+            job.completed + job.quarantined + job.failed >= job.total
+            and job.failed == 0
+            and job.quarantined == 0
+        ):
+            state = DONE
+        else:
+            state = DONE_PARTIAL
+        try:
+            # Ack verifies worker + token; LeaseLost means the new holder
+            # owns the job and this worker's view of it is already history.
+            self.queue.ack(job_id, worker_id, token)
+        except LeaseLost:
+            self._drop_remote_ctx(job_id, token)
+            raise
+        self._drop_remote_ctx(job_id, token)
+        self._finalize(job, state)
+        return job.progress()
+
+    def remote_requeue(self, job_id: str, worker_id: str, token: int) -> None:
+        """Graceful give-back (worker draining for shutdown): the job goes
+        back to the queue at its original position, progress persisted."""
+        self.touch_worker(worker_id)
+        with self._cond:
+            job = self._jobs.get(job_id)
+        try:
+            self.queue.requeue(job_id, worker_id, token=token)
+        except LeaseLost:
+            self._drop_remote_ctx(job_id, token)
+            raise
+        self._drop_remote_ctx(job_id, token)
+        if job is not None:
+            job.state = QUEUED
+            self.runtable.upsert_job(job)
+            self._notify()
+
+    def _drop_remote_ctx(self, job_id: str, token: int) -> None:
+        """Forget a remote lease context, but only if it still belongs to
+        ``token`` — a re-granted lease's fresh context must survive the
+        zombie's cleanup."""
+        with self._cond:
+            ctx = self._remote.get(job_id)
+            if ctx is not None and ctx["token"] == token:
+                del self._remote[job_id]
+
     def _run_with_retries(
         self, testbed: Testbed, trial: TrialSpec, budget: Dict[str, int]
     ) -> "Tuple[Optional[TrialResult], Optional[float], Optional[BaseException]]":
@@ -516,10 +788,14 @@ class Coordinator:
         wall: Optional[float],
         replace: bool,
         already_stored: bool = False,
+        worker_id: Optional[str] = None,
+        attempt: Optional[int] = None,
+        token: Optional[int] = None,
     ) -> None:
         self.runtable.record_trial(
             job.name, result, seed=job.testbed_seed, wall_time=wall,
             status="ok", job_id=job.job_id, replace=replace,
+            worker_id=worker_id, attempt=attempt, token=token,
         )
         job.completed += 1
         self.runtable.upsert_job(job)

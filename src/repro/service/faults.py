@@ -21,7 +21,17 @@ site                 key                          actions that make sense
 ``client.request``   request path                 drop / truncate
 ``lease.reap``       job id                       reap (force-expire lease)
 ``coordinator.record`` trial id                   kill / crash
+``worker.request``   request path                 drop / delay / truncate
+``worker.upload``    trial id                     drop / delay / truncate / duplicate
+``worker.heartbeat`` job id                       drop / delay
 ==================== ============================ ========================
+
+The three ``worker.*`` sites live in the remote worker daemon's transport
+(see ``repro.service.worker``): ``drop`` fails the request before it is
+sent (a partition), ``delay`` sleeps ``hang_s`` first (a slow link — the
+request still goes out, late), ``truncate`` sends the request but loses
+the response (the server processed it; the retry must deduplicate), and
+``duplicate`` sends the same upload twice (exactly one row may land).
 
 Every hookable object holds an optional ``fault_hook`` that defaults to
 ``None`` and is checked with a single ``is not None`` — production runs
@@ -64,7 +74,8 @@ _EXC_FACTORIES = {
 }
 
 _ACTIONS = frozenset(
-    {"raise", "hang", "kill", "crash", "drop", "truncate", "reap"}
+    {"raise", "hang", "kill", "crash", "drop", "truncate", "reap",
+     "delay", "duplicate"}
 )
 
 
@@ -166,8 +177,10 @@ class FaultPlan:
     def fire(self, site: str, key: Optional[str] = None) -> Optional[FaultRule]:
         """Count a call at ``site``/``key`` and perform any due rule.
 
-        raise/hang/kill/crash are performed here; drop/truncate/reap are
-        returned for the caller to implement (first due rule wins).
+        raise/hang/kill/crash are performed here, and so is the sleep half
+        of ``delay`` (the caller then proceeds normally — a slow link, not
+        a dead one); drop/truncate/reap/duplicate are returned for the
+        caller to implement (first due rule wins).
         """
         due: List[FaultRule] = []
         with self._lock:
@@ -183,7 +196,7 @@ class FaultPlan:
                 raise _EXC_FACTORIES[rule.exc](rule.message)
             if rule.action == "crash":
                 raise SimulatedCrash(rule.message)
-            if rule.action == "hang":
+            if rule.action in ("hang", "delay"):
                 time.sleep(rule.hang_s)
             elif rule.action == "kill":
                 os._exit(KILL_EXIT_CODE)
@@ -289,10 +302,29 @@ def canned_plan(name: str, state_dir: Optional[str] = None) -> FaultPlan:
       requeued into a fresh pool), and one coordinator ``kill`` after the
       second recorded trial (the harness restarts the server, which finds
       the token file and stays up).
+    * ``worker-chaos`` — the remote-worker transport script: a delayed
+      request (slow link), a dropped lease poll (brief partition — the
+      poll loop retries), an upload sent twice (the fenced run-table may
+      land exactly one row), an upload whose response is truncated (the
+      server recorded it; the transport retry must deduplicate), and two
+      dropped heartbeats (absorbed: the lease outlives them).
     * ``none`` — an empty plan (hook wiring with zero rules).
     """
     if name == "none":
         return FaultPlan(state_dir=state_dir)
+    if name == "worker-chaos":
+        return FaultPlan(
+            rules=[
+                FaultRule(site="worker.request", action="delay",
+                          hang_s=0.05, nth=2, times=2),
+                FaultRule(site="worker.request", action="drop", nth=5),
+                FaultRule(site="worker.upload", action="duplicate", nth=1),
+                FaultRule(site="worker.upload", action="truncate", nth=3),
+                FaultRule(site="worker.heartbeat", action="drop", nth=1,
+                          times=2),
+            ],
+            state_dir=state_dir,
+        )
     if name == "smoke-chaos":
         return FaultPlan(
             rules=[

@@ -2,15 +2,29 @@
 
 Server: a :class:`ThreadingHTTPServer` over a :class:`Coordinator`.
 
-==========================  =========================================
-``GET  /healthz``           liveness + queue depth
-``POST /jobs``              submit a sweep (wire spec or named builder)
-``GET  /jobs``              newest-first job listing
-``GET  /jobs/<id>``         progress; ``?wait=S&cursor=N`` long-polls
-``POST /jobs/<id>/cancel``  cancel (honored at the next trial boundary)
-``GET  /runs``              recent run-table rows + per-experiment counts
-``GET  /runs/summary``      percentiles/summary of a metric
-==========================  =========================================
+===============================  =========================================
+``GET  /healthz``                liveness + queue depth
+``POST /jobs``                   submit a sweep (wire spec or named builder)
+``GET  /jobs``                   newest-first job listing
+``GET  /jobs/<id>``              progress; ``?wait=S&cursor=N`` long-polls
+``POST /jobs/<id>/cancel``       cancel (honored at the next trial boundary)
+``GET  /runs``                   recent run-table rows + per-experiment counts
+``GET  /runs/summary``           percentiles/summary of a metric
+``POST /runs/prune``             retention: drop old rows, checkpoint WAL
+``GET  /workers``                remote worker registry snapshot
+``POST /workers/register``       remote worker handshake
+``POST /workers/lease``          lease one job + fencing token to a worker
+``POST /workers/heartbeat``      extend a remote lease
+``POST /workers/upload``         idempotent, fenced TrialResult upload
+``POST /workers/quarantine``     worker gave up on one trial
+``POST /workers/ack``            job finished; server computes final state
+``POST /workers/requeue``        graceful give-back (worker draining)
+===============================  =========================================
+
+The worker verbs (see ``repro.service.worker``) carry ``worker_id`` and
+the lease's **fencing token** in every body; a stale lease maps to HTTP
+409 with ``code`` ``lease_lost`` or ``stale_token`` — the reply that
+tells a zombie worker to back away.
 
 Submit bodies (JSON)::
 
@@ -46,21 +60,39 @@ import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
+from repro.errors import StaleTokenError
 from repro.experiments.runners import SWEEP_BUILDERS, ExperimentScale
-from repro.experiments.spec import experiment_from_wire
+from repro.experiments.spec import TrialResult, experiment_from_wire
 from repro.service.coordinator import Coordinator
 from repro.service.jobs import TERMINAL_STATES, new_job
+from repro.service.queue import LeaseLost
 
 #: Cap on ?wait= so a stalled client cannot pin a server thread forever.
 MAX_LONG_POLL_S = 60.0
 
+#: Largest request body accepted (413 beyond this). Generous for wire
+#: sweeps — a trial spec is ~200 bytes, so this clears ~40k trials — but
+#: finite, so a hostile Content-Length cannot make a handler allocate
+#: unbounded memory.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Per-connection socket timeout: a client that stops sending mid-request
+#: (or never sends one) frees its handler thread after this, instead of
+#: pinning it forever.
+SOCKET_TIMEOUT_S = 65.0
+
 
 class ApiError(Exception):
-    """Maps to an HTTP error status."""
+    """Maps to an HTTP error status.
 
-    def __init__(self, status: int, message: str):
+    ``code`` is the machine-readable error tag the server attaches to
+    lease-protocol conflicts (``lease_lost``, ``stale_token``): the worker
+    keys its back-away decision on it instead of parsing message text."""
+
+    def __init__(self, status: int, message: str, code: Optional[str] = None):
         super().__init__(message)
         self.status = status
+        self.code = code
 
 
 def _query_num(query: Dict[str, str], key: str, default, parse):
@@ -79,6 +111,9 @@ def _query_num(query: Dict[str, str], key: str, default, parse):
 class _Handler(BaseHTTPRequestHandler):
     server: "ServiceHTTPServer"
     protocol_version = "HTTP/1.1"
+    #: StreamRequestHandler applies this to the connection socket: a hung
+    #: or half-dead client raises timeout instead of pinning the thread.
+    timeout = SOCKET_TIMEOUT_S
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
@@ -100,6 +135,18 @@ class _Handler(BaseHTTPRequestHandler):
             payload = self._route(method, parts, query)
         except ApiError as exc:
             self._send(exc.status, {"error": str(exc)})
+        except LeaseLost as exc:
+            # 409: the caller's lease was reaped (and possibly re-granted).
+            # ``code`` lets a worker distinguish "back away" from a plain
+            # error without parsing the message text.
+            self._send(409, {"error": str(exc), "code": "lease_lost"})
+        except StaleTokenError as exc:
+            self._send(409, {"error": str(exc), "code": "stale_token"})
+        except TimeoutError:
+            # The connection socket timed out mid-read: the client went
+            # away or stalled. Drop the connection; there is nobody to
+            # answer, and trying to would just raise again.
+            self.close_connection = True
         except Exception as exc:  # defensive: a handler bug is a 500, not EOF
             self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
         else:
@@ -113,6 +160,8 @@ class _Handler(BaseHTTPRequestHandler):
             return self._route_jobs(method, parts, query, co)
         if parts[:1] == ["runs"]:
             return self._route_runs(method, parts, query, co)
+        if parts[:1] == ["workers"]:
+            return self._route_workers(method, parts, co)
         raise ApiError(404, f"no route {method} /{'/'.join(parts)}")
 
     def _route_jobs(self, method, parts, query, co: Coordinator) -> dict:
@@ -141,8 +190,21 @@ class _Handler(BaseHTTPRequestHandler):
         raise ApiError(404, f"no route {method} /{'/'.join(parts)}")
 
     def _route_runs(self, method, parts, query, co: Coordinator) -> dict:
+        if method == "POST" and parts[1:] == ["prune"]:
+            body = self._read_body()
+            max_age_s = body.get("max_age_s")
+            max_keep = body.get("max_keep")
+            try:
+                deleted = co.runtable.prune(
+                    max_age_s=None if max_age_s is None else float(max_age_s),
+                    max_keep=None if max_keep is None else int(max_keep),
+                )
+            except (TypeError, ValueError) as exc:
+                raise ApiError(400, f"bad prune bounds: {exc}")
+            return {"deleted": deleted}
         if method != "GET":
-            raise ApiError(405, "run-table endpoints are read-only")
+            raise ApiError(405, "run-table endpoints are read-only "
+                                "(except POST /runs/prune)")
         table = co.runtable
         experiment = query.get("experiment")
         if len(parts) == 1:
@@ -178,12 +240,104 @@ class _Handler(BaseHTTPRequestHandler):
         raise ApiError(404, f"no route GET /{'/'.join(parts)}")
 
     # ------------------------------------------------------------------
-    def _submit(self, co: Coordinator) -> dict:
+    def _route_workers(self, method, parts, co: Coordinator) -> dict:
+        if method == "GET" and len(parts) == 1:
+            return {"workers": co.remote_workers()}
+        if method != "POST" or len(parts) != 2:
+            raise ApiError(404, f"no route {method} /{'/'.join(parts)}")
+        verb = parts[1]
+        body = self._read_body()
+        worker_id = body.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise ApiError(400, "body needs a non-empty 'worker_id'")
+
+        if verb == "register":
+            return co.register_worker(worker_id)
+
+        if verb == "lease":
+            timeout = min(
+                float(body.get("timeout", 0.0) or 0.0), MAX_LONG_POLL_S
+            )
+            leased = co.lease_for_remote(worker_id, timeout=timeout)
+            if leased is None:
+                return {"job": None}
+            return {
+                "job": leased["job"].to_wire(),
+                "token": leased["token"],
+                "pending": [t.to_wire() for t in leased["pending"]],
+            }
+
+        # Every verb below acts on an existing lease: job_id + token.
+        job_id = body.get("job_id")
+        token = body.get("token")
+        if not isinstance(job_id, str) or not job_id:
+            raise ApiError(400, "body needs a non-empty 'job_id'")
+        if not isinstance(token, int):
+            raise ApiError(400, "body needs an integer fencing 'token'")
+
+        if verb == "heartbeat":
+            co.remote_heartbeat(job_id, worker_id, token)
+            return {"ok": True}
+        if verb == "upload":
+            try:
+                result = TrialResult.from_json(body["result"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ApiError(400, f"bad wire TrialResult: {exc}")
+            wall = body.get("wall")
+            recorded = co.record_remote_result(
+                job_id, worker_id, token, result,
+                wall=None if wall is None else float(wall),
+            )
+            return {"recorded": recorded}
+        if verb == "quarantine":
+            try:
+                trial_id = str(body["trial_id"])
+                fingerprint = str(body["fingerprint"])
+                error = str(body["error"])
+                error_class_name = str(body.get("error_class", "RuntimeError"))
+            except KeyError as exc:
+                raise ApiError(400, f"quarantine body missing {exc}")
+            co.record_remote_quarantine(
+                job_id, worker_id, token, trial_id, fingerprint,
+                error, error_class_name,
+            )
+            return {"ok": True}
+        if verb == "ack":
+            return co.remote_ack(job_id, worker_id, token)
+        if verb == "requeue":
+            co.remote_requeue(job_id, worker_id, token)
+            return {"ok": True}
+        raise ApiError(404, f"no worker verb {verb!r}")
+
+    # ------------------------------------------------------------------
+    def _read_body(self) -> dict:
+        """Read and parse the JSON request body, bounded by
+        :data:`MAX_BODY_BYTES` (413 beyond — before reading a byte of an
+        oversized payload, so the allocation never happens)."""
         try:
             length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise ApiError(400, "bad Content-Length header")
+        if length > MAX_BODY_BYTES:
+            # The body stays unread, so the connection cannot be reused
+            # for a next request — close it after the 413 goes out.
+            self.close_connection = True
+            raise ApiError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+            )
+        try:
             body = json.loads(self.rfile.read(length) or b"{}")
         except (ValueError, json.JSONDecodeError) as exc:
             raise ApiError(400, f"bad JSON body: {exc}")
+        if not isinstance(body, dict):
+            raise ApiError(400, "JSON body must be an object")
+        return body
+
+    # ------------------------------------------------------------------
+    def _submit(self, co: Coordinator) -> dict:
+        body = self._read_body()
         try:
             priority = int(body.get("priority", 0))
             seed = int(body.get("seed", body.get("testbed_seed", 1)))
@@ -393,6 +547,93 @@ class ServiceClient:
             query["payload"] = 1
         return self._request("GET", f"/runs?{urllib.parse.urlencode(query)}")
 
+    # ------------------------------------------------------------------
+    # Worker verbs (used by repro.service.worker; retry policy per verb:
+    # register/heartbeat/upload/requeue are server-side idempotent — the
+    # registry upserts, extend re-extends, upload dedups by fingerprint
+    # under the fencing token, requeue's replay just raises 409 — so the
+    # transport may retry them. A lease retry could grant a second job,
+    # so the worker polls again instead.)
+    # ------------------------------------------------------------------
+    def register_worker(self, worker_id: str) -> dict:
+        return self._request("POST", "/workers/register",
+                             {"worker_id": worker_id}, idempotent=True)
+
+    def workers(self) -> List[dict]:
+        return self._request("GET", "/workers")["workers"]
+
+    def lease_job(self, worker_id: str, timeout: float = 0.0) -> dict:
+        return self._request(
+            "POST", "/workers/lease",
+            {"worker_id": worker_id, "timeout": timeout},
+            timeout=self.timeout + timeout,
+        )
+
+    def heartbeat(self, job_id: str, worker_id: str, token: int) -> dict:
+        return self._request(
+            "POST", "/workers/heartbeat",
+            {"job_id": job_id, "worker_id": worker_id, "token": token},
+            idempotent=True,
+        )
+
+    def upload_result(
+        self,
+        job_id: str,
+        worker_id: str,
+        token: int,
+        result_wire: dict,
+        wall: Optional[float] = None,
+    ) -> dict:
+        return self._request(
+            "POST", "/workers/upload",
+            {"job_id": job_id, "worker_id": worker_id, "token": token,
+             "result": result_wire, "wall": wall},
+            idempotent=True,
+        )
+
+    def quarantine_trial(
+        self,
+        job_id: str,
+        worker_id: str,
+        token: int,
+        trial_id: str,
+        fingerprint: str,
+        error: str,
+        error_class_name: str,
+    ) -> dict:
+        return self._request(
+            "POST", "/workers/quarantine",
+            {"job_id": job_id, "worker_id": worker_id, "token": token,
+             "trial_id": trial_id, "fingerprint": fingerprint,
+             "error": error, "error_class": error_class_name},
+            idempotent=True,
+        )
+
+    def ack_job(self, job_id: str, worker_id: str, token: int) -> dict:
+        return self._request(
+            "POST", "/workers/ack",
+            {"job_id": job_id, "worker_id": worker_id, "token": token},
+            idempotent=True,
+        )
+
+    def requeue_job(self, job_id: str, worker_id: str, token: int) -> dict:
+        return self._request(
+            "POST", "/workers/requeue",
+            {"job_id": job_id, "worker_id": worker_id, "token": token},
+            idempotent=True,
+        )
+
+    def prune_runs(
+        self,
+        max_age_s: Optional[float] = None,
+        max_keep: Optional[int] = None,
+    ) -> dict:
+        return self._request(
+            "POST", "/runs/prune",
+            {"max_age_s": max_age_s, "max_keep": max_keep},
+            idempotent=True,
+        )
+
     def summary(
         self,
         experiment: str,
@@ -446,13 +687,16 @@ class ServiceClient:
                 return payload
             except urllib.error.HTTPError as exc:
                 # The server answered: not a transport failure, no retry.
+                code = None
                 try:
-                    message = json.loads(
-                        exc.read().decode("utf-8")
-                    ).get("error", "")
+                    payload = json.loads(exc.read().decode("utf-8"))
+                    message = payload.get("error", "")
+                    code = payload.get("code")
                 except Exception:
                     message = exc.reason
-                raise ApiError(exc.code, message or f"HTTP {exc.code}")
+                raise ApiError(
+                    exc.code, message or f"HTTP {exc.code}", code=code
+                )
             except (OSError, json.JSONDecodeError):
                 # URLError, ConnectionError, socket timeouts, truncated
                 # JSON — the request may or may not have been processed.

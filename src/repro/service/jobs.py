@@ -70,6 +70,10 @@ class SweepJob:
     completed: int = 0
     failed: int = 0
     quarantined: int = 0
+    #: Lease-grant count: bumped by the queue on every grant (first run,
+    #: re-lease after a reap, resume after a crash). Recorded next to each
+    #: run-table row so "which attempt produced this row" is queryable.
+    attempt: int = 0
     error: Optional[str] = None
     idempotency_key: Optional[str] = None
     #: Set by cancel(); the coordinator honors it at the next trial boundary.
@@ -95,6 +99,7 @@ class SweepJob:
             "completed": self.completed,
             "failed": self.failed,
             "quarantined": self.quarantined,
+            "attempt": self.attempt,
             "error": self.error,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -118,6 +123,7 @@ class SweepJob:
             "completed": self.completed,
             "failed": self.failed,
             "quarantined": self.quarantined,
+            "attempt": self.attempt,
             "error": self.error,
             "idempotency_key": self.idempotency_key,
         }
@@ -140,6 +146,7 @@ class SweepJob:
             completed=int(obj.get("completed", 0)),
             failed=int(obj.get("failed", 0)),
             quarantined=int(obj.get("quarantined", 0)),
+            attempt=int(obj.get("attempt", 0)),
             error=obj.get("error"),
             idempotency_key=obj.get("idempotency_key"),
         )

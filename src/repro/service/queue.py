@@ -18,6 +18,17 @@ was granted to and raise :class:`LeaseLost` if that worker no longer holds
 it — a worker whose lease expired and was re-granted fails fast instead of
 silently corrupting the new holder's run. Acked and cancelled entries are
 deleted outright, so the queue does not grow with job history.
+
+Fencing: every lease grant additionally mints a **fencing token** from one
+queue-wide monotonic counter (:meth:`InMemoryJobQueue.lease_token` reads
+the current holder's). A re-granted lease always carries a strictly larger
+token than every grant before it, so any layer that records the token with
+its writes (the run-table does) can reject a partitioned worker's late
+upload by simple integer comparison — the worker-id check alone cannot,
+because the *same* worker can lose and re-win a lease across a partition
+and would pass an identity check while still holding stale state.
+``ack``/``requeue``/``extend`` take an optional ``token`` and raise
+:class:`LeaseLost` when it is not the current grant's.
 """
 
 from __future__ import annotations
@@ -36,7 +47,7 @@ class LeaseLost(ValueError):
 
 
 class _Entry:
-    __slots__ = ("job", "seq", "state", "leased_to", "lease_expiry")
+    __slots__ = ("job", "seq", "state", "leased_to", "lease_expiry", "token")
 
     def __init__(self, job: SweepJob, seq: int):
         self.job = job
@@ -44,6 +55,8 @@ class _Entry:
         self.state = "queued"  # queued | leased
         self.leased_to: Optional[str] = None
         self.lease_expiry: float = 0.0
+        #: Fencing token of the current (or last) grant; 0 = never leased.
+        self.token: int = 0
 
 
 class InMemoryJobQueue:
@@ -62,6 +75,9 @@ class InMemoryJobQueue:
         self._clock = clock
         self._entries: Dict[str, _Entry] = {}
         self._seq = itertools.count()
+        #: Queue-wide fencing counter: one grant = one token, strictly
+        #: increasing across every job, worker, and re-grant.
+        self._tokens = itertools.count(1)
         self._cond = threading.Condition()
 
     # ------------------------------------------------------------------
@@ -96,6 +112,8 @@ class InMemoryJobQueue:
                     entry.lease_expiry = self._clock() + (
                         lease_s if lease_s is not None else self.default_lease_s
                     )
+                    entry.token = next(self._tokens)
+                    entry.job.attempt += 1
                     return entry.job
                 if deadline is None:
                     self._cond.wait()
@@ -105,15 +123,20 @@ class InMemoryJobQueue:
                         return None
                     self._cond.wait(remaining)
 
-    def ack(self, job_id: str, worker_id: str) -> None:
+    def ack(
+        self, job_id: str, worker_id: str, token: Optional[int] = None
+    ) -> None:
         """The leased job reached a terminal state; drop it from the queue.
-        Raises :class:`LeaseLost` if ``worker_id`` no longer holds the
-        lease (expired and reaped, possibly re-granted)."""
+        Raises :class:`LeaseLost` if ``worker_id`` (with ``token``, when
+        given) no longer holds the lease (expired and reaped, possibly
+        re-granted)."""
         with self._cond:
-            self._leased_entry_locked(job_id, worker_id)
+            self._leased_entry_locked(job_id, worker_id, token)
             del self._entries[job_id]
 
-    def requeue(self, job_id: str, worker_id: str) -> None:
+    def requeue(
+        self, job_id: str, worker_id: str, token: Optional[int] = None
+    ) -> None:
         """Voluntarily give a leased job back (preemption, graceful stop).
 
         The job keeps its original submission sequence, so it resumes at the
@@ -121,23 +144,52 @@ class InMemoryJobQueue:
         Raises :class:`LeaseLost` if ``worker_id`` no longer holds the lease.
         """
         with self._cond:
-            entry = self._leased_entry_locked(job_id, worker_id)
+            entry = self._leased_entry_locked(job_id, worker_id, token)
             entry.state = "queued"
             entry.leased_to = None
             self._cond.notify_all()
 
     def extend(
-        self, job_id: str, worker_id: str, lease_s: Optional[float] = None
+        self,
+        job_id: str,
+        worker_id: str,
+        lease_s: Optional[float] = None,
+        token: Optional[int] = None,
     ) -> None:
         """Heartbeat: push the lease expiry out (long trials mid-job).
         Raises :class:`LeaseLost` if ``worker_id`` no longer holds the
         lease — the heartbeat doubles as the "do I still own this job?"
         check the coordinator makes at every trial boundary."""
         with self._cond:
-            entry = self._leased_entry_locked(job_id, worker_id)
+            entry = self._leased_entry_locked(job_id, worker_id, token)
             entry.lease_expiry = self._clock() + (
                 lease_s if lease_s is not None else self.default_lease_s
             )
+
+    def lease_token(self, job_id: str, worker_id: str) -> int:
+        """The fencing token of ``worker_id``'s current lease on ``job_id``.
+        Raises :class:`LeaseLost` if that worker does not hold the lease —
+        callers fetch the token right after :meth:`lease` and attach it to
+        every downstream write."""
+        with self._cond:
+            return self._leased_entry_locked(job_id, worker_id).token
+
+    def verify(
+        self, job_id: str, worker_id: str, token: Optional[int] = None
+    ) -> None:
+        """Assert ``worker_id`` (holding ``token``, when given) still owns
+        the lease; raises :class:`LeaseLost` otherwise. The read-only verb
+        upload handlers call before accepting a result."""
+        with self._cond:
+            self._leased_entry_locked(job_id, worker_id, token)
+
+    def current_token(self, job_id: str) -> int:
+        """The token of the newest grant of ``job_id`` (0 if never leased,
+        or if the job already left the queue). Diagnostic only: by the time
+        the caller looks at it the grant may have changed again."""
+        with self._cond:
+            entry = self._entries.get(job_id)
+            return 0 if entry is None else entry.token
 
     # ------------------------------------------------------------------
     # Maintenance / introspection
@@ -213,7 +265,9 @@ class InMemoryJobQueue:
                 best = entry
         return best
 
-    def _leased_entry_locked(self, job_id: str, worker_id: str) -> _Entry:
+    def _leased_entry_locked(
+        self, job_id: str, worker_id: str, token: Optional[int] = None
+    ) -> _Entry:
         entry = self._entries.get(job_id)
         if entry is None or entry.state != "leased":
             state = None if entry is None else entry.state
@@ -222,5 +276,13 @@ class InMemoryJobQueue:
             raise LeaseLost(
                 f"job {job_id} is leased to {entry.leased_to!r}, "
                 f"not {worker_id!r}"
+            )
+        if token is not None and token != entry.token:
+            # Same worker, different grant: it lost the lease during a
+            # partition and won it back — identity passes, the token
+            # must not. (Tokens only grow, so != means stale.)
+            raise LeaseLost(
+                f"job {job_id} lease token is {entry.token}, "
+                f"caller presented stale token {token}"
             )
         return entry

@@ -45,6 +45,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis import stats
+from repro.errors import StaleTokenError
 from repro.experiments.spec import TrialResult
 from repro.service.jobs import QUEUED, RUNNING, SweepJob
 
@@ -57,6 +58,9 @@ CREATE TABLE IF NOT EXISTS trials (
     wall_time   REAL,
     status      TEXT NOT NULL,
     job_id      TEXT,
+    worker_id   TEXT,
+    attempt     INTEGER,
+    token       INTEGER,
     recorded_at REAL NOT NULL,
     payload     TEXT NOT NULL,
     PRIMARY KEY (experiment, trial_id, fingerprint)
@@ -89,7 +93,7 @@ CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs(state);
 
 _TRIAL_COLUMNS = (
     "experiment", "trial_id", "fingerprint", "seed", "wall_time", "status",
-    "job_id", "recorded_at",
+    "job_id", "worker_id", "attempt", "token", "recorded_at",
 )
 
 
@@ -178,6 +182,19 @@ class RunTable:
         self._conn.execute(
             "CREATE INDEX IF NOT EXISTS idx_jobs_idem ON jobs(idem_key)"
         )
+        trial_cols = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(trials)")
+        }
+        for name, decl in (
+            ("worker_id", "TEXT"),
+            ("attempt", "INTEGER"),
+            ("token", "INTEGER"),
+        ):
+            if name not in trial_cols:
+                self._conn.execute(
+                    f"ALTER TABLE trials ADD COLUMN {name} {decl}"
+                )
 
     def close(self) -> None:
         with self._lock:
@@ -231,11 +248,23 @@ class RunTable:
         job_id: Optional[str] = None,
         recorded_at: Optional[float] = None,
         replace: bool = True,
-    ) -> None:
+        worker_id: Optional[str] = None,
+        attempt: Optional[int] = None,
+        token: Optional[int] = None,
+    ) -> bool:
         """Insert one trial row. With ``replace=False`` an existing
         (experiment, trial_id, fingerprint) row is left untouched — that is
         what keeps a crash-resumed job from overwriting the original rows'
-        wall times with cache-hit nulls."""
+        wall times with cache-hit nulls.
+
+        ``worker_id``/``attempt``/``token`` stamp which lease produced the
+        row. A non-None ``token`` additionally *fences* the write: if the
+        existing row for the same key carries a strictly larger token, the
+        caller's lease was reaped and re-granted since it ran the trial —
+        :class:`~repro.errors.StaleTokenError` is raised and nothing is
+        written, whatever ``replace`` says. A fenced write that finds an
+        existing ``ok`` row returns False (idempotent duplicate) instead of
+        overwriting it. Returns True when a row was written."""
         verb = "INSERT OR REPLACE" if replace else "INSERT OR IGNORE"
         row = (
             experiment,
@@ -245,20 +274,41 @@ class RunTable:
             wall_time,
             status,
             job_id,
+            worker_id,
+            attempt,
+            token,
             time.time() if recorded_at is None else recorded_at,
             json.dumps(result.to_json()),
         )
 
-        def _do(conn: sqlite3.Connection) -> None:
+        def _do(conn: sqlite3.Connection) -> bool:
             with conn:
-                conn.execute(
+                if token is not None:
+                    existing = conn.execute(
+                        "SELECT status, token FROM trials WHERE "
+                        "experiment = ? AND trial_id = ? AND fingerprint = ?",
+                        (experiment, result.trial_id, result.fingerprint),
+                    ).fetchone()
+                    if existing is not None:
+                        held = existing["token"]
+                        if held is not None and int(held) > token:
+                            raise StaleTokenError(
+                                f"trial {result.trial_id!r} already recorded "
+                                f"under fencing token {held}; rejecting "
+                                f"upload with stale token {token}"
+                            )
+                        if existing["status"] == "ok":
+                            return False  # idempotent duplicate
+                cur = conn.execute(
                     f"{verb} INTO trials (experiment, trial_id, fingerprint, "
-                    f"seed, wall_time, status, job_id, recorded_at, payload) "
-                    f"VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    f"seed, wall_time, status, job_id, worker_id, attempt, "
+                    f"token, recorded_at, payload) "
+                    f"VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                     row,
                 )
+                return cur.rowcount > 0
 
-        self._exec(_do)
+        return bool(self._exec(_do))
 
     def record_failure(
         self,
@@ -268,6 +318,9 @@ class RunTable:
         error: str,
         seed: Optional[int] = None,
         job_id: Optional[str] = None,
+        worker_id: Optional[str] = None,
+        attempt: Optional[int] = None,
+        token: Optional[int] = None,
     ) -> None:
         """A trial that exhausted its retries still gets a row — "what
         failed last week" is as much a run-table question as "what ran".
@@ -278,7 +331,7 @@ class RunTable:
         previously recorded TrialResult from the query side."""
         self._record_bad(
             experiment, trial_id, fingerprint, "failed",
-            {"error": error}, seed, job_id,
+            {"error": error}, seed, job_id, worker_id, attempt, token,
         )
 
     def record_quarantine(
@@ -290,6 +343,9 @@ class RunTable:
         error_class: str,
         seed: Optional[int] = None,
         job_id: Optional[str] = None,
+        worker_id: Optional[str] = None,
+        attempt: Optional[int] = None,
+        token: Optional[int] = None,
     ) -> None:
         """A trial the coordinator gave up on: permanent failure, hung
         past its watchdog, or killed its worker twice. The error *class*
@@ -299,6 +355,7 @@ class RunTable:
         self._record_bad(
             experiment, trial_id, fingerprint, "quarantined",
             {"error": error, "error_class": error_class}, seed, job_id,
+            worker_id, attempt, token,
         )
 
     def _record_bad(
@@ -310,27 +367,102 @@ class RunTable:
         payload: dict,
         seed: Optional[int],
         job_id: Optional[str],
+        worker_id: Optional[str] = None,
+        attempt: Optional[int] = None,
+        token: Optional[int] = None,
     ) -> None:
         def _do(conn: sqlite3.Connection) -> None:
             with conn:
                 row = conn.execute(
-                    "SELECT status FROM trials WHERE experiment = ? AND "
-                    "trial_id = ? AND fingerprint = ?",
+                    "SELECT status, token FROM trials WHERE experiment = ? "
+                    "AND trial_id = ? AND fingerprint = ?",
                     (experiment, trial_id, fingerprint),
                 ).fetchone()
-                if row is not None and row["status"] == "ok":
-                    return
+                if row is not None:
+                    if row["status"] == "ok":
+                        return
+                    held = row["token"]
+                    if (
+                        token is not None
+                        and held is not None
+                        and int(held) > token
+                    ):
+                        raise StaleTokenError(
+                            f"trial {trial_id!r} already recorded under "
+                            f"fencing token {held}; rejecting {status} "
+                            f"write with stale token {token}"
+                        )
                 conn.execute(
                     "INSERT OR REPLACE INTO trials (experiment, trial_id, "
                     "fingerprint, seed, wall_time, status, job_id, "
-                    "recorded_at, payload) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    "worker_id, attempt, token, recorded_at, payload) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                     (
                         experiment, trial_id, fingerprint, seed, None,
-                        status, job_id, time.time(), json.dumps(payload),
+                        status, job_id, worker_id, attempt, token,
+                        time.time(), json.dumps(payload),
                     ),
                 )
 
         self._exec(_do)
+
+    def prune(
+        self,
+        max_age_s: Optional[float] = None,
+        max_keep: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Retention: delete old trial rows, then checkpoint the WAL.
+
+        ``max_age_s`` drops rows recorded longer ago than that; ``max_keep``
+        keeps only the newest N rows (both may combine). Rows belonging to a
+        still-open job (``queued``/``running`` in the jobs table) are never
+        pruned, whatever their age — a crash-resume must always find its
+        predecessor's rows. After compaction the WAL is checkpointed with
+        TRUNCATE so the reclaimed space actually leaves the disk instead of
+        sitting in the sidecar file. Returns the number of rows deleted.
+        """
+        if max_age_s is None and max_keep is None:
+            return 0
+        if max_age_s is not None and max_age_s < 0:
+            raise ValueError(f"max_age_s must be >= 0, got {max_age_s}")
+        if max_keep is not None and max_keep < 0:
+            raise ValueError(f"max_keep must be >= 0, got {max_keep}")
+        cutoff = (
+            None
+            if max_age_s is None
+            else (time.time() if now is None else now) - max_age_s
+        )
+        open_clause = (
+            "(job_id IS NULL OR job_id NOT IN "
+            "(SELECT job_id FROM jobs WHERE state IN (?, ?)))"
+        )
+
+        def _do(conn: sqlite3.Connection) -> int:
+            deleted = 0
+            with conn:
+                if cutoff is not None:
+                    cur = conn.execute(
+                        f"DELETE FROM trials WHERE recorded_at < ? "
+                        f"AND {open_clause}",
+                        (cutoff, QUEUED, RUNNING),
+                    )
+                    deleted += cur.rowcount
+                if max_keep is not None:
+                    cur = conn.execute(
+                        f"DELETE FROM trials WHERE {open_clause} "
+                        f"AND rowid NOT IN (SELECT rowid FROM trials "
+                        f"ORDER BY recorded_at DESC, rowid DESC LIMIT ?)",
+                        (QUEUED, RUNNING, int(max_keep)),
+                    )
+                    deleted += cur.rowcount
+            return deleted
+
+        deleted = int(self._exec(_do))
+        self._exec(
+            lambda conn: conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        )
+        return deleted
 
     def trial_status(
         self, experiment: str, trial_id: str, fingerprint: str

@@ -1,0 +1,407 @@
+"""Remote worker daemon: leases jobs over HTTP and executes them locally.
+
+One :class:`Worker` is the client half of the lease protocol the
+coordinator serves (``/workers/*`` in ``http_api.py``)::
+
+    register ──> lease ──> run trial ──> upload ──┐
+                   ^         |    ^───────────────┘ (per pending trial)
+                   |         └──> quarantine (permanent failure)
+                   └── ack (all trials walked) / requeue (draining)
+
+    heartbeat ────────────────────────── (background, every lease_s/3)
+
+Safety rests on three server-side properties, so the worker itself can be
+dumb and stateless:
+
+* every lease carries a **fencing token**; the worker attaches it to every
+  verb, and the first 409 reply (``lease_lost`` / ``stale_token``) means
+  the lease was reaped during a partition — the worker *abandons* the job
+  on the spot, uploading nothing further (the new holder owns it);
+* uploads are **idempotent**: the coordinator dedups by (trial_id,
+  fingerprint) under the token, so the worker retries transport failures
+  freely — a truncated response or a duplicated send lands one row;
+* the terminal state is computed by the server from verified uploads at
+  ``ack`` — a worker cannot claim progress it did not upload.
+
+The transport wrapper :meth:`Worker._call` fires the fault sites
+``worker.request`` / ``worker.upload`` / ``worker.heartbeat`` (actions
+``drop``, ``delay``, ``truncate``, ``duplicate`` — see
+``repro.service.faults``), which is how CI injects partitions, slow
+links, and duplicated uploads deterministically.
+
+Execution is serial and in-process: the *fleet* is the parallelism unit
+(one daemon per core/host), and serial execution keeps results
+bit-identical to ``SerialBackend`` by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import uuid
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import error_class, is_transient
+from repro.experiments.executor import run_trial
+from repro.experiments.spec import TrialResult, TrialSpec
+from repro.net.testbed import Testbed
+from repro.service.faults import FaultPlan
+from repro.service.http_api import ApiError, ServiceClient
+from repro.service.jobs import SweepJob
+
+#: Outcomes of Worker.run_one (also its return values).
+IDLE = None            # nothing leased
+ACKED = "acked"        # walked every trial, server finalized the job
+ABANDONED = "abandoned"  # lease lost (or server unreachable): backed away
+REQUEUED = "requeued"  # graceful give-back while draining
+
+
+def default_worker_id() -> str:
+    """host-pid-suffix: unique per daemon, readable in run-table rows."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class Worker:
+    """One worker daemon bound to a :class:`ServiceClient`.
+
+    ``fault_plan`` here is the *worker-side* plan: its ``worker.*`` sites
+    fire in this process's transport, independent of whatever plan the
+    server runs. ``sleep`` is injectable so retry/poll tests are instant.
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        worker_id: Optional[str] = None,
+        poll_s: float = 1.0,
+        upload_retries: int = 2,
+        trial_retries: int = 2,
+        fault_plan: Optional[FaultPlan] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        testbed_factory: Callable[[int], Testbed] = None,
+    ):
+        self.client = client
+        self.worker_id = worker_id or default_worker_id()
+        self.poll_s = poll_s
+        self.upload_retries = upload_retries
+        self.trial_retries = trial_retries
+        self._fault_hook = None if fault_plan is None else fault_plan.fire
+        self._sleep = sleep
+        self._testbed_factory = testbed_factory or (
+            lambda seed: Testbed(seed=seed)
+        )
+        self._testbeds: Dict[int, Testbed] = {}
+        #: Filled by the register handshake.
+        self.lease_s: float = 60.0
+        self.trial_timeout_s: Optional[float] = None
+        self.stop_event = threading.Event()
+        #: Counters for the daemon's exit report (and tests).
+        self.stats = {"jobs": 0, "acked": 0, "abandoned": 0,
+                      "trials": 0, "uploaded": 0, "quarantined": 0}
+
+    # ------------------------------------------------------------------
+    # Transport wrapper: where the worker.* fault sites live
+    # ------------------------------------------------------------------
+    def _call(self, site: str, key: Optional[str], fn: Callable[[], Any]) -> Any:
+        """Run one HTTP call through the fault plan.
+
+        ``delay`` already slept inside ``fire``; ``drop`` fails before the
+        bytes leave (a partition); ``truncate`` performs the call but loses
+        the response; ``duplicate`` performs it twice and returns the
+        *second* reply — the replayed request is the one whose answer the
+        caller sees, exactly the retransmission case the fenced,
+        idempotent server must absorb."""
+        rule = None
+        if self._fault_hook is not None:
+            rule = self._fault_hook(site, key)
+        if rule is not None and rule.action == "drop":
+            raise OSError(f"injected: {site} dropped before send")
+        out = fn()
+        if rule is not None and rule.action == "truncate":
+            raise OSError(f"injected: {site} response truncated")
+        if rule is not None and rule.action == "duplicate":
+            out = fn()
+        return out
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def register(self, retries: int = 5) -> dict:
+        """Handshake: announce this worker, adopt the server's lease
+        length (drives heartbeat cadence) and trial watchdog budget."""
+        last: Optional[Exception] = None
+        for attempt in range(retries):
+            try:
+                cfg = self._call(
+                    "worker.request", "register",
+                    lambda: self.client.register_worker(self.worker_id),
+                )
+                self.lease_s = float(cfg.get("lease_s", self.lease_s))
+                timeout = cfg.get("trial_timeout_s")
+                self.trial_timeout_s = (
+                    None if timeout is None else float(timeout)
+                )
+                return cfg
+            except OSError as exc:
+                last = exc
+                self._sleep(min(2.0, 0.2 * (2 ** attempt)))
+        assert last is not None
+        raise last
+
+    def run(
+        self,
+        max_jobs: Optional[int] = None,
+        idle_exit_s: Optional[float] = None,
+    ) -> int:
+        """The daemon loop: poll-lease-execute until told to stop.
+
+        ``max_jobs`` bounds how many jobs this worker takes (tests, CI);
+        ``idle_exit_s`` exits after that long without work (lets a CI
+        fleet drain and leave). Returns the number of jobs taken."""
+        self.register()
+        taken = 0
+        idle_since = time.monotonic()
+        while not self.stop_event.is_set():
+            if max_jobs is not None and taken >= max_jobs:
+                break
+            outcome = self.run_one(timeout=self.poll_s)
+            if outcome is IDLE:
+                if (
+                    idle_exit_s is not None
+                    and time.monotonic() - idle_since >= idle_exit_s
+                ):
+                    break
+                continue
+            taken += 1
+            idle_since = time.monotonic()
+        return taken
+
+    def stop(self) -> None:
+        """Ask the daemon loop to exit after the current job (the current
+        job is *requeued* at the next trial boundary, not abandoned)."""
+        self.stop_event.set()
+
+    # ------------------------------------------------------------------
+    # One job
+    # ------------------------------------------------------------------
+    def run_one(self, timeout: float = 0.0) -> Optional[str]:
+        """Lease and execute at most one job. Returns None (nothing
+        queued / transport down), else one of ``acked`` / ``abandoned`` /
+        ``requeued``."""
+        try:
+            leased = self._call(
+                "worker.request", "lease",
+                lambda: self.client.lease_job(self.worker_id, timeout=timeout),
+            )
+        except (OSError, ApiError):
+            self._sleep(self.poll_s)
+            return IDLE
+        if not leased or leased.get("job") is None:
+            return IDLE
+        self.stats["jobs"] += 1
+        outcome = self._execute(leased)
+        self.stats[outcome] = self.stats.get(outcome, 0) + 1
+        return outcome
+
+    def _execute(self, leased: dict) -> str:
+        job = SweepJob.from_wire(leased["job"])
+        token = int(leased["token"])
+        pending = [TrialSpec.from_wire(t) for t in leased["pending"]]
+        testbed = self._testbed(job.testbed_seed)
+
+        lost = threading.Event()
+        stop_hb = threading.Event()
+        hb = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(job.job_id, token, lost, stop_hb),
+            name=f"hb-{job.job_id}",
+            daemon=True,
+        )
+        hb.start()
+        try:
+            for trial in pending:
+                # Trial boundary: the only places a worker changes course.
+                if lost.is_set():
+                    return ABANDONED
+                if self.stop_event.is_set():
+                    return self._requeue(job.job_id, token)
+                result, wall, exc = self._run_trial(testbed, trial)
+                self.stats["trials"] += 1
+                if result is not None:
+                    if not self._upload(job.job_id, token, result, wall, lost):
+                        return ABANDONED
+                else:
+                    if not self._quarantine(job.job_id, token, trial, exc,
+                                            lost):
+                        return ABANDONED
+            if lost.is_set():
+                return ABANDONED
+            return self._ack(job.job_id, token)
+        finally:
+            stop_hb.set()
+            hb.join(timeout=5.0)
+
+    def _heartbeat_loop(
+        self,
+        job_id: str,
+        token: int,
+        lost: threading.Event,
+        stop: threading.Event,
+    ) -> None:
+        """Extend the lease every ``lease_s / 3``. A 409 sets ``lost`` —
+        the back-away signal the trial loop checks at every boundary. A
+        transport failure (dropped beat) is absorbed: the lease outlives
+        a few missed beats, and a partition long enough to matter ends in
+        the reap + 409 this loop exists to detect."""
+        interval = max(0.1, self.lease_s / 3.0)
+        while not stop.wait(interval):
+            try:
+                self._call(
+                    "worker.heartbeat", job_id,
+                    lambda: self.client.heartbeat(
+                        job_id, self.worker_id, token
+                    ),
+                )
+            except ApiError as exc:
+                if exc.status == 409:
+                    lost.set()
+                    return
+            except OSError:
+                continue
+
+    # ------------------------------------------------------------------
+    # Trial execution + the fenced verbs
+    # ------------------------------------------------------------------
+    def _run_trial(self, testbed: Testbed, trial: TrialSpec):
+        """Serial run with a small transient-retry loop (the server also
+        quarantines what we report — this is just first-line absorption).
+        Returns (result | None, wall | None, exception | None)."""
+        attempt = 0
+        while True:
+            try:
+                t0 = time.perf_counter()
+                result = run_trial(testbed, trial, **self._trial_kwargs())
+                return result, time.perf_counter() - t0, None
+            except Exception as exc:
+                if not is_transient(exc) or attempt >= self.trial_retries:
+                    return None, None, exc
+                attempt += 1
+                self._sleep(min(2.0, 0.1 * (2 ** (attempt - 1))))
+
+    def _trial_kwargs(self) -> dict:
+        kwargs: dict = {}
+        if self.trial_timeout_s is not None:
+            kwargs["timeout_s"] = self.trial_timeout_s
+        return kwargs
+
+    def _upload(
+        self,
+        job_id: str,
+        token: int,
+        result: TrialResult,
+        wall: Optional[float],
+        lost: threading.Event,
+    ) -> bool:
+        """Idempotent upload with transport retries. False = back away
+        (409, or the server is unreachable past the retry budget — the
+        lease will be reaped, and re-uploading later would be fenced)."""
+        wire = result.to_json()
+        for attempt in range(self.upload_retries + 1):
+            try:
+                self._call(
+                    "worker.upload", result.trial_id,
+                    lambda: self.client.upload_result(
+                        job_id, self.worker_id, token, wire, wall=wall
+                    ),
+                )
+                self.stats["uploaded"] += 1
+                return True
+            except ApiError as exc:
+                if exc.status == 409:
+                    lost.set()
+                    return False
+                raise
+            except OSError:
+                if attempt == self.upload_retries:
+                    lost.set()
+                    return False
+                self._sleep(min(2.0, 0.2 * (2 ** attempt)))
+        return False  # pragma: no cover - loop always returns
+
+    def _quarantine(
+        self,
+        job_id: str,
+        token: int,
+        trial: TrialSpec,
+        exc: Optional[BaseException],
+        lost: threading.Event,
+    ) -> bool:
+        exc = exc if exc is not None else RuntimeError("unknown error")
+        for attempt in range(self.upload_retries + 1):
+            try:
+                self._call(
+                    "worker.upload", trial.trial_id,
+                    lambda: self.client.quarantine_trial(
+                        job_id, self.worker_id, token,
+                        trial.trial_id, trial.fingerprint(),
+                        str(exc), error_class(exc),
+                    ),
+                )
+                self.stats["quarantined"] += 1
+                return True
+            except ApiError as api_exc:
+                if api_exc.status == 409:
+                    lost.set()
+                    return False
+                raise
+            except OSError:
+                if attempt == self.upload_retries:
+                    lost.set()
+                    return False
+                self._sleep(min(2.0, 0.2 * (2 ** attempt)))
+        return False  # pragma: no cover - loop always returns
+
+    def _ack(self, job_id: str, token: int) -> str:
+        try:
+            self._call(
+                "worker.request", "ack",
+                lambda: self.client.ack_job(job_id, self.worker_id, token),
+            )
+            return ACKED
+        except (ApiError, OSError):
+            # 409: someone else owns the job now. Transport-dead: the
+            # lease will be reaped and the (fully uploaded) job re-leased,
+            # where the server-side cache sweep finishes it without
+            # re-running anything. Either way: back away.
+            return ABANDONED
+
+    def _requeue(self, job_id: str, token: int) -> str:
+        try:
+            self._call(
+                "worker.request", "requeue",
+                lambda: self.client.requeue_job(
+                    job_id, self.worker_id, token
+                ),
+            )
+            return REQUEUED
+        except (ApiError, OSError):
+            return ABANDONED
+
+    # ------------------------------------------------------------------
+    def _testbed(self, seed: int) -> Testbed:
+        tb = self._testbeds.get(seed)
+        if tb is None:
+            tb = self._testbed_factory(seed)
+            self._testbeds[seed] = tb
+        return tb
+
+
+__all__ = [
+    "Worker",
+    "default_worker_id",
+    "ACKED",
+    "ABANDONED",
+    "REQUEUED",
+]

@@ -56,6 +56,12 @@ from repro.kernels import backend as _kernels_backend
 #: Environment switch for the timer wheel (default on). ``0`` forces every
 #: ``call_later``/``call_at`` straight onto the heap — the legacy layout —
 #: which the lockstep twin-engine tests use as the reference ordering.
+#: The default was re-examined at N>=400-timer scale (the measurement
+#: BENCH_pr9_mac.json deferred; recorded in BENCH_pr10_wheel.json): the
+#: layouts split by workload shape, not by N — fire-dominated churn runs
+#: ~1.05-1.2x faster all-heap, while cancel-dominated churn (the regime
+#: the wheel exists for) runs ~1.4x faster wheel-on — so the flip
+#: condition "N>=400 measurements agree" failed and the default stays on.
 WHEEL_ENV_VAR = "REPRO_TIMER_WHEEL"
 
 #: Wheel bucket granularity. A power of two so ``time * _INV_GRAN`` is an

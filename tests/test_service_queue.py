@@ -205,3 +205,65 @@ class TestMemory:
         queue.ack(done.job_id, "w")
         assert queue.cancel(doomed.job_id) is True
         assert queue._entries == {}
+
+
+class TestFencingTokens:
+    def test_tokens_strictly_increase_across_grants(self, queue, clock):
+        """One queue-wide counter: every grant — any job, any worker,
+        re-grants included — gets a strictly larger token."""
+        a, b = _job("a"), _job("b")
+        queue.submit(a)
+        queue.submit(b)
+        queue.lease("w1", timeout=0, lease_s=5.0)
+        t_a = queue.lease_token(a.job_id, "w1")
+        queue.lease("w2", timeout=0, lease_s=5.0)
+        t_b = queue.lease_token(b.job_id, "w2")
+        assert t_b > t_a > 0
+        clock.advance(5.1)
+        queue.reap_expired()
+        queue.lease("w1", timeout=0)
+        queue.lease("w2", timeout=0)
+        assert queue.current_token(a.job_id) > t_b
+        assert queue.current_token(b.job_id) > t_b
+
+    def test_same_worker_re_grant_fails_token_check(self, queue, clock):
+        """The partition case the worker-id check cannot catch: the same
+        worker loses the lease and wins it back — identity matches, but
+        writes carrying the old grant's token must be rejected."""
+        job = _job("j")
+        queue.submit(job)
+        queue.lease("w", timeout=0, lease_s=5.0)
+        old = queue.lease_token(job.job_id, "w")
+        clock.advance(5.1)
+        queue.reap_expired()
+        assert queue.lease("w", timeout=0) is job  # same worker re-wins
+        new = queue.lease_token(job.job_id, "w")
+        assert new > old
+        for verb in (queue.ack, queue.requeue):
+            with pytest.raises(LeaseLost):
+                verb(job.job_id, "w", token=old)
+        with pytest.raises(LeaseLost):
+            queue.extend(job.job_id, "w", token=old)
+        with pytest.raises(LeaseLost):
+            queue.verify(job.job_id, "w", token=old)
+        queue.verify(job.job_id, "w", token=new)
+        queue.ack(job.job_id, "w", token=new)
+
+    def test_lease_bumps_job_attempt(self, queue, clock):
+        job = _job("j")
+        assert job.attempt == 0
+        queue.submit(job)
+        queue.lease("w", timeout=0, lease_s=5.0)
+        assert job.attempt == 1
+        clock.advance(5.1)
+        queue.reap_expired()
+        queue.lease("w2", timeout=0)
+        assert job.attempt == 2
+
+    def test_lease_token_requires_holding_the_lease(self, queue):
+        job = _job("j")
+        queue.submit(job)
+        queue.lease("w", timeout=0)
+        with pytest.raises(LeaseLost):
+            queue.lease_token(job.job_id, "other")
+        assert queue.current_token("unknown-job") == 0

@@ -425,3 +425,127 @@ class TestConcurrentWriters:
                 assert job.completed == n_rows
         finally:
             rt.close()
+
+
+class TestFencedWrites:
+    def test_rows_carry_worker_attempt_token(self, table):
+        table.record_trial("fig12", _result(0), worker_id="wA",
+                           attempt=1, token=7)
+        row = table.recent_runs(limit=1)[0]
+        assert (row["worker_id"], row["attempt"], row["token"]) == ("wA", 1, 7)
+
+    def test_stale_token_write_is_rejected(self, table):
+        """The zombie case: the new holder (token 9) recorded the row; a
+        partitioned worker's late upload (token 3) must raise, not
+        overwrite — whatever ``replace`` says."""
+        from repro.errors import StaleTokenError
+
+        table.record_trial("fig12", _result(0), worker_id="wB", token=9)
+        for replace in (True, False):
+            with pytest.raises(StaleTokenError):
+                table.record_trial("fig12", _result(0), worker_id="wA",
+                                   token=3, replace=replace)
+        row = table.recent_runs(limit=1)[0]
+        assert row["worker_id"] == "wB" and row["token"] == 9
+
+    def test_duplicate_fenced_upload_lands_one_row(self, table):
+        """Same token, same row, twice (a duplicated upload): the second
+        write is an idempotent no-op returning False."""
+        assert table.record_trial("fig12", _result(0), token=5) is True
+        assert table.record_trial("fig12", _result(0), token=5) is False
+        assert table.trial_count() == 1
+
+    def test_stale_quarantine_is_fenced_too(self, table):
+        from repro.errors import StaleTokenError
+
+        table.record_failure("fig12", "t/0", "fp0", "boom", token=9)
+        with pytest.raises(StaleTokenError):
+            table.record_quarantine("fig12", "t/0", "fp0", "late", "OSError",
+                                    token=2)
+
+    def test_unfenced_writes_keep_working(self, table):
+        """token=None (every pre-existing caller) bypasses the fence."""
+        table.record_trial("fig12", _result(0))
+        assert table.record_trial("fig12", _result(0), replace=True) is True
+        assert table.trial_count() == 1
+
+
+class TestPrune:
+    def test_age_based_prune_checkpoints_wal(self, table):
+        for i in range(6):
+            table.record_trial("fig12", _result(i), recorded_at=float(i))
+        # cutoff = 6 - 2 = 4: rows recorded at 0..3 drop, 4 and 5 stay
+        assert table.prune(max_age_s=2.0, now=6.0) == 4
+        assert table.trial_count() == 2
+
+    def test_count_based_prune_keeps_newest(self, table):
+        for i in range(6):
+            table.record_trial("fig12", _result(i), recorded_at=float(i))
+        assert table.prune(max_keep=2) == 4
+        kept = {r["trial_id"] for r in table.recent_runs(limit=10)}
+        assert kept == {"t/4", "t/5"}
+
+    def test_open_jobs_rows_are_never_pruned(self, table):
+        """Retention must not eat a crash-resume's evidence: rows of
+        queued/running jobs survive any bound."""
+        open_job = new_job("open", [_trial()], now=0.0)
+        open_job.state = RUNNING
+        table.upsert_job(open_job)
+        done_job = new_job("done", [_trial()], now=0.0)
+        done_job.state = DONE
+        table.upsert_job(done_job)
+        table.record_trial("fig12", _result(0), job_id=open_job.job_id,
+                           recorded_at=0.0)
+        table.record_trial("fig12", _result(1), job_id=done_job.job_id,
+                           recorded_at=0.0)
+        table.record_trial("fig12", _result(2), recorded_at=0.0)  # no job
+        assert table.prune(max_age_s=1.0, now=100.0, max_keep=0) == 2
+        rows = table.recent_runs(limit=10)
+        assert [r["trial_id"] for r in rows] == ["t/0"]
+
+    def test_no_bounds_is_a_no_op(self, table):
+        table.record_trial("fig12", _result(0))
+        assert table.prune() == 0
+        assert table.trial_count() == 1
+        with pytest.raises(ValueError):
+            table.prune(max_age_s=-1)
+        with pytest.raises(ValueError):
+            table.prune(max_keep=-1)
+
+
+class TestMigration:
+    def test_pre_fencing_db_gains_the_new_columns(self, tmp_path):
+        """A run-table created before worker_id/attempt/token existed is
+        migrated additively on open — old rows read back with NULLs."""
+        path = str(tmp_path / "old.sqlite")
+        conn = sqlite3.connect(path)
+        conn.executescript("""
+            CREATE TABLE trials (
+                experiment TEXT NOT NULL, trial_id TEXT NOT NULL,
+                fingerprint TEXT NOT NULL, seed INTEGER, wall_time REAL,
+                status TEXT NOT NULL, job_id TEXT, recorded_at REAL NOT NULL,
+                payload TEXT NOT NULL,
+                PRIMARY KEY (experiment, trial_id, fingerprint));
+            CREATE TABLE jobs (
+                job_id TEXT PRIMARY KEY, name TEXT NOT NULL,
+                priority INTEGER NOT NULL, state TEXT NOT NULL,
+                testbed_seed INTEGER, submitted_at REAL, started_at REAL,
+                finished_at REAL, completed INTEGER NOT NULL DEFAULT 0,
+                failed INTEGER NOT NULL DEFAULT 0, total INTEGER NOT NULL,
+                error TEXT, wire TEXT NOT NULL);
+        """)
+        conn.execute(
+            "INSERT INTO trials VALUES ('fig12', 't/0', 'fp0', 1, 0.5, "
+            "'ok', NULL, 1.0, ?)",
+            (json.dumps(_result(0).to_json()),),
+        )
+        conn.commit()
+        conn.close()
+        rt = RunTable(path)
+        try:
+            row = rt.recent_runs(limit=1)[0]
+            assert row["worker_id"] is None and row["token"] is None
+            rt.record_trial("fig12", _result(1), worker_id="wA", token=3)
+            assert rt.trial_count() == 2
+        finally:
+            rt.close()
