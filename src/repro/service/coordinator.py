@@ -119,6 +119,12 @@ class Coordinator:
             self.runtable.rebuild_from_stores(
                 os.path.join(data_dir, "stores")
             )
+        # Fencing tokens must stay monotonic across process restarts: the
+        # queue's counter is in-memory, but the run-table rows (and their
+        # tokens) are durable. Seed the counter past the largest persisted
+        # token or a resumed job's fresh leases would be "stale" against
+        # its own pre-crash rows.
+        self.queue.advance_tokens(self.runtable.max_token())
         self.trial_jobs = trial_jobs
         self.max_retries = max_retries
         self.retry_budget = retry_budget
@@ -598,6 +604,10 @@ class Coordinator:
         with self._cond:
             self._remote[job.job_id] = {
                 "worker_id": worker_id, "token": token, "store": store,
+                # Serializes this lease's uploads: the has/put/counter
+                # sequence must be atomic against a retransmission racing
+                # its still-in-flight original on another handler thread.
+                "lock": threading.Lock(),
             }
         return {"job": job, "token": token, "pending": pending}
 
@@ -643,14 +653,15 @@ class Coordinator:
                 f"job {job_id} has no live remote lease for token {token}"
             )
         store: ResultStore = ctx["store"]
-        if store.has(result.trial_id, result.fingerprint):
-            return False  # duplicated upload: one row, one counter bump
-        store.put(result)
-        self._save_store(store)
-        self._record_ok(
-            job, result, wall=wall, replace=True, already_stored=True,
-            worker_id=worker_id, attempt=job.attempt, token=token,
-        )
+        with ctx["lock"]:
+            if store.has(result.trial_id, result.fingerprint):
+                return False  # duplicated upload: one row, one counter bump
+            store.put(result)
+            self._save_store(store)
+            self._record_ok(
+                job, result, wall=wall, replace=True, already_stored=True,
+                worker_id=worker_id, attempt=job.attempt, token=token,
+            )
         return True
 
     def record_remote_quarantine(
@@ -672,17 +683,32 @@ class Coordinator:
             self._drop_remote_ctx(job_id, token)
             raise
         with self._cond:
+            ctx = self._remote.get(job_id)
             job = self._jobs.get(job_id)
-        if job is None:
-            raise LeaseLost(f"job {job_id} is not live")
-        job.quarantined += 1
-        job.error = f"{error_class_name}: {error}"
-        self.runtable.record_quarantine(
-            job.name, trial_id, fingerprint, error, error_class_name,
-            seed=job.testbed_seed, job_id=job.job_id,
-            worker_id=worker_id, attempt=job.attempt, token=token,
-        )
-        self.runtable.upsert_job(job)
+        if ctx is None or job is None or ctx["token"] != token:
+            raise LeaseLost(
+                f"job {job_id} has no live remote lease for token {token}"
+            )
+        with ctx["lock"]:
+            # Replay dedup, mirroring the store.has check on the result
+            # path: a duplicated quarantine upload must land exactly one
+            # row *and* exactly one counter bump. The run-table row is the
+            # durable witness that this (trial, fingerprint) was already
+            # counted — lease_for_remote excludes quarantined trials from
+            # ``pending``, so a fresh grant never legitimately re-sends one.
+            status = self.runtable.trial_status(
+                job.name, trial_id, fingerprint
+            )
+            if status == "quarantined":
+                return
+            job.quarantined += 1
+            job.error = f"{error_class_name}: {error}"
+            self.runtable.record_quarantine(
+                job.name, trial_id, fingerprint, error, error_class_name,
+                seed=job.testbed_seed, job_id=job.job_id,
+                worker_id=worker_id, attempt=job.attempt, token=token,
+            )
+            self.runtable.upsert_job(job)
         self._notify()
 
     def remote_ack(self, job_id: str, worker_id: str, token: int) -> dict:

@@ -318,6 +318,10 @@ class _Handler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length", 0))
         except (TypeError, ValueError):
             raise ApiError(400, "bad Content-Length header")
+        if length < 0:
+            # rfile.read(-1) would block until EOF/socket timeout, pinning
+            # this handler thread for a malicious or broken client.
+            raise ApiError(400, "bad Content-Length header")
         if length > MAX_BODY_BYTES:
             # The body stays unread, so the connection cannot be reused
             # for a next request — close it after the 413 goes out.

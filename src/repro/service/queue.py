@@ -183,6 +183,19 @@ class InMemoryJobQueue:
         with self._cond:
             self._leased_entry_locked(job_id, worker_id, token)
 
+    def advance_tokens(self, floor: int) -> None:
+        """Ensure every future grant's token is strictly greater than
+        ``floor``. The coordinator calls this at startup with the largest
+        token the run-table ever persisted: the counter is in-memory and
+        restarts at 1, but the fence rows survive — without re-seeding, a
+        resumed job's fresh grants would mint tokens *smaller* than its
+        own durable rows and every legitimate upload would bounce off
+        :class:`~repro.errors.StaleTokenError` until the counter caught
+        up. No-op when ``floor`` is behind the counter already."""
+        with self._cond:
+            nxt = next(self._tokens)
+            self._tokens = itertools.count(max(nxt, floor + 1))
+
     def current_token(self, job_id: str) -> int:
         """The token of the newest grant of ``job_id`` (0 if never leased,
         or if the job already left the queue). Diagnostic only: by the time

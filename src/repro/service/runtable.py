@@ -491,6 +491,19 @@ class RunTable:
         )
         return int(n)
 
+    def max_token(self) -> int:
+        """The largest fencing token any persisted row carries (0 when no
+        fenced row exists). The queue's token counter is re-seeded from
+        this at coordinator startup so a restart can never mint a token
+        the table has already seen — see
+        :meth:`~repro.service.queue.InMemoryJobQueue.advance_tokens`."""
+        (m,) = self._exec(
+            lambda conn: conn.execute(
+                "SELECT MAX(token) FROM trials"
+            ).fetchone()
+        )
+        return 0 if m is None else int(m)
+
     def counts_by_experiment(self) -> Dict[str, int]:
         rows = self._exec(
             lambda conn: conn.execute(

@@ -260,6 +260,26 @@ class TestFencingTokens:
         queue.lease("w2", timeout=0)
         assert job.attempt == 2
 
+    def test_advance_tokens_seeds_past_floor(self, queue):
+        """Restart recovery: the counter is in-memory but the fenced rows
+        are durable — re-seeded from the run-table's max, the first grant
+        after a restart still outranks every persisted row."""
+        queue.advance_tokens(100)
+        job = _job("j")
+        queue.submit(job)
+        queue.lease("w", timeout=0)
+        assert queue.lease_token(job.job_id, "w") > 100
+
+    def test_advance_tokens_never_rewinds(self, queue):
+        a, b = _job("a"), _job("b")
+        queue.submit(a)
+        queue.submit(b)
+        queue.lease("w1", timeout=0)
+        t_a = queue.lease_token(a.job_id, "w1")
+        queue.advance_tokens(0)  # floor behind the counter: a no-op
+        queue.lease("w2", timeout=0)
+        assert queue.lease_token(b.job_id, "w2") > t_a
+
     def test_lease_token_requires_holding_the_lease(self, queue):
         job = _job("j")
         queue.submit(job)

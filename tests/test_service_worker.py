@@ -10,6 +10,7 @@ oversized and hung clients instead of pinning threads.
 
 import http.client
 import socket
+import threading
 import time
 
 import pytest
@@ -210,6 +211,67 @@ class TestTransportFaults:
         finally:
             service.close()
 
+    def test_duplicated_quarantine_bumps_counter_once(self, tmp_path,
+                                                      scripted):
+        """A replayed quarantine upload (truncated response → client
+        retry) must land one run-table row *and* one counter bump — the
+        idempotency invariant covers both halves."""
+        service = _Service(tmp_path)
+        try:
+            job = _submit(service, n=2)
+            leased = service.client.lease_job("wA")
+            token = leased["token"]
+            spec = _trials(2, "sweep")[0]
+            for _ in range(3):  # original + two replays
+                service.client.quarantine_trial(
+                    job.job_id, "wA", token, spec.trial_id,
+                    spec.fingerprint(), "boom", "RuntimeError",
+                )
+            progress = service.client.job(job.job_id)
+            assert progress["quarantined"] == 1
+            assert service.co.runtable.trial_count(
+                status="quarantined") == 1
+        finally:
+            service.close()
+
+    def test_racing_duplicate_uploads_bump_counter_once(self, tmp_path,
+                                                        scripted):
+        """A retransmission racing its still-in-flight original on a
+        second handler thread: the has/put/counter sequence is held under
+        the lease's lock, so exactly one upload is recorded even when the
+        first is still mid-put when the second arrives."""
+        service = _Service(tmp_path)
+        try:
+            job = _submit(service, n=1)
+            leased = service.client.lease_job("wA")
+            token = leased["token"]
+            store = service.co._remote[job.job_id]["store"]
+            real_put = store.put
+            store.put = lambda res: (time.sleep(0.3), real_put(res))[1]
+            spec = _trials(1, "sweep")[0]
+            wire = TrialResult(
+                trial_id=spec.trial_id,
+                flow_mbps={(0, 1): 1.0},
+                fingerprint=spec.fingerprint(),
+            ).to_json()
+            outcomes = []
+
+            def upload():
+                client = ServiceClient(service.url, timeout=10.0)
+                outcomes.append(client.upload_result(
+                    job.job_id, "wA", token, wire)["recorded"])
+
+            threads = [threading.Thread(target=upload) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sorted(outcomes) == [False, True]
+            assert service.client.job(job.job_id)["completed"] == 1
+            assert service.co.runtable.trial_count() == 1
+        finally:
+            service.close()
+
     def test_truncated_upload_response_retries_and_dedups(self, tmp_path,
                                                           scripted):
         """`truncate`: the server recorded the row but the reply is lost.
@@ -361,6 +423,59 @@ class TestFencing:
             service.close()
 
 
+    def test_restart_reseeds_token_counter_from_runtable(self, tmp_path,
+                                                         scripted):
+        """Coordinator restart: the queue's token counter is in-memory,
+        the fenced rows are not. A resumed job whose rows carry tokens
+        from before the crash must get *fresh* grants that outrank them —
+        otherwise the cache sweep and every legitimate upload bounce off
+        409 stale_token until the counter catches up."""
+        service = _Service(tmp_path)
+        try:
+            job = _submit(service, n=2)
+            # Burn a few grants so the persisted max outruns a counter
+            # naively restarting at 1.
+            for _ in range(3):
+                burned = service.client.lease_job("wA")
+                service.client.requeue_job(job.job_id, "wA",
+                                           burned["token"])
+            leased = service.client.lease_job("wA")
+            token = leased["token"]
+            spec = _trials(2, "sweep")[0]
+            wire = TrialResult(
+                trial_id=spec.trial_id,
+                flow_mbps={(0, 1): 1.0},
+                fingerprint=spec.fingerprint(),
+            ).to_json()
+            service.client.upload_result(job.job_id, "wA", token, wire)
+        finally:
+            service.close()
+
+        service2 = _Service(tmp_path)
+        try:
+            assert service2.co.runtable.max_token() == token
+            service2.co.resume_open_jobs()
+            leased2 = service2.client.lease_job("wB")
+            token2 = leased2["token"]
+            assert token2 > token
+            # The cache sweep re-recorded sweep/0 without a stale bounce
+            # and only the un-run trial ships to the new worker.
+            assert [t["trial_id"] for t in leased2["pending"]] == ["sweep/1"]
+            spec1 = _trials(2, "sweep")[1]
+            wire1 = TrialResult(
+                trial_id=spec1.trial_id,
+                flow_mbps={(0, 1): 2.0},
+                fingerprint=spec1.fingerprint(),
+            ).to_json()
+            out = service2.client.upload_result(
+                job.job_id, "wB", token2, wire1)
+            assert out["recorded"] is True
+            done = service2.client.ack_job(job.job_id, "wB", token2)
+            assert done["state"] == "done" and done["completed"] == 2
+        finally:
+            service2.close()
+
+
 class TestPartitionedWorker:
     def test_reaped_worker_abandons_then_finishes_on_relase(
         self, tmp_path, monkeypatch
@@ -458,6 +573,23 @@ class TestServerHardening:
             conn.endheaders()
             resp = conn.getresponse()
             assert resp.status == 413
+            conn.close()
+        finally:
+            service.close()
+
+    def test_negative_content_length_is_400(self, tmp_path, scripted):
+        """Content-Length: -1 must be rejected up front — rfile.read(-1)
+        would block until EOF/socket timeout, pinning a handler thread."""
+        service = _Service(tmp_path)
+        try:
+            host, port = service.server.server_address[:2]
+            conn = http.client.HTTPConnection(host, port, timeout=5.0)
+            conn.putrequest("POST", "/jobs")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", "-1")
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 400
             conn.close()
         finally:
             service.close()
